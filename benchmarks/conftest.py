@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one artefact of the paper (a Figure-1 panel,
+the section-2 table, an ablation) and records its headline numbers in
+``benchmark.extra_info`` so the JSON output doubles as the reproduction
+record.  Simulation-backed benchmarks run one round (a run is seconds
+long and internally averaged over thousands of messages); model-only
+benchmarks let pytest-benchmark time them normally.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under the benchmark clock."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,76 @@
+"""Micro-benchmarks of the library's hot paths.
+
+These are genuine timing benchmarks (many rounds): the model solve, the
+path-set precomputation, routing-table queries and simulator throughput.
+They guard against performance regressions that would make the Figure-1
+harness impractical.
+"""
+
+import pytest
+
+from repro.core import StarLatencyModel
+from repro.core.pathstats import StarPathStatistics
+from repro.routing import EnhancedNbc
+from repro.simulation import SimulationConfig, WormholeSimulator
+from repro.topology import StarGraph
+from repro.topology.routing_sets import PathSetEnumerator
+
+
+def test_model_evaluate_speed(benchmark):
+    model = StarLatencyModel(5, 32, 6)
+    model.evaluate(0.01)  # warm caches
+    res = benchmark(model.evaluate, 0.01)
+    assert not res.saturated
+
+
+def test_path_statistics_construction(benchmark):
+    stats = benchmark(StarPathStatistics, 6)
+    assert stats.total_destinations == 719
+
+
+def test_path_enumerator_large_n(benchmark):
+    def build():
+        enum = PathSetEnumerator(9)
+        for ctype, _, _ in enum.destination_classes():
+            enum.hop_stats(ctype)
+        return enum
+
+    enum = benchmark(build)
+    assert enum.mean_distance() > 8
+
+
+def test_routing_table_lookup(benchmark):
+    g = StarGraph(5)
+    g.profitable_ports(1, 100)  # warm the dense table
+
+    def lookups():
+        acc = 0
+        for a in range(0, 120, 3):
+            for b in range(0, 120, 5):
+                acc += len(g.profitable_ports(a, b))
+        return acc
+
+    assert benchmark(lookups) > 0
+
+
+def test_simulator_cycles_per_second(benchmark, once):
+    """Throughput of the engine at moderate S5 load (cycles simulated)."""
+    cfg = SimulationConfig(
+        message_length=32,
+        generation_rate=0.008,
+        total_vcs=6,
+        warmup_cycles=500,
+        measure_cycles=2_500,
+        drain_cycles=2_000,
+        seed=0,
+    )
+
+    def run():
+        sim = WormholeSimulator(StarGraph(5), EnhancedNbc(), cfg)
+        res = sim.run()
+        return sim, res
+
+    sim, res = once(run)
+    assert res.messages_measured > 100
+    benchmark.extra_info["cycles_run"] = res.cycles_run
+    benchmark.extra_info["messages_completed"] = res.messages_completed

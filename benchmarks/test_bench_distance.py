@@ -1,0 +1,27 @@
+"""TAB-DIST — Eq. (2) average distance vs. exact enumeration."""
+
+import pytest
+
+from repro.topology.star import StarGraph, star_average_distance_closed_form
+
+
+@pytest.mark.parametrize("n", [4, 5, 6, 7])
+def test_average_distance_closed_form(benchmark, n):
+    closed = benchmark(star_average_distance_closed_form, n)
+    exact = StarGraph(n).exact_average_distance()
+    assert closed == pytest.approx(exact, abs=1e-12)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["closed_form"] = round(closed, 6)
+    benchmark.extra_info["enumeration"] = round(exact, 6)
+
+
+def test_distance_query_throughput(benchmark):
+    """Per-pair distance queries (the simulator's hot topology call)."""
+    g = StarGraph(5)
+    pairs = [(a, b) for a in range(0, 120, 7) for b in range(0, 120, 11)]
+
+    def run():
+        return sum(g.distance(a, b) for a, b in pairs)
+
+    total = benchmark(run)
+    assert total > 0

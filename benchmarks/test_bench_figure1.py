@@ -1,0 +1,101 @@
+"""FIG1A/FIG1B/FIG1C — regenerate Figure 1 (the paper's evaluation).
+
+For each panel (V = 6, 9, 12) and message length (M = 32, 64) this
+produces the model curve over the paper's load range and simulation
+points at three representative loads, then records the model-vs-sim
+accuracy statistics.  The *shape* targets (checked in extra_info):
+
+* latency rises monotonically and blows up approaching saturation;
+* larger V saturates later (panel c extends to 0.02 as in the paper);
+* M = 64 saturates at roughly half the rate of M = 32.
+"""
+
+import math
+
+import pytest
+
+from repro.core import StarLatencyModel
+from repro.experiments.figure1 import FIGURE1_PANELS, load_grid, sim_quality_config
+from repro.routing import EnhancedNbc
+from repro.simulation import simulate
+from repro.topology import StarGraph
+from repro.validation.compare import OperatingPoint, compare_curves
+
+_SIM_FRACTIONS = (0.30, 0.60, 0.82)
+
+
+def _panel_series(label: str, message_length: int, quality: str = "smoke"):
+    panel = FIGURE1_PANELS[label]
+    topology = StarGraph(panel.n)
+    model = StarLatencyModel(panel.n, message_length, panel.total_vcs)
+    rates = load_grid(panel)  # panel axis anchored to the M=32 saturation
+    model_curve = [model.evaluate(r) for r in rates]
+    sat = StarLatencyModel(panel.n, 32, panel.total_vcs).saturation_rate()
+    points = []
+    for frac in _SIM_FRACTIONS:
+        rate = round(frac * sat, 6)
+        cfg = sim_quality_config(
+            quality,
+            message_length=message_length,
+            generation_rate=rate,
+            total_vcs=panel.total_vcs,
+            seed=1,
+        )
+        sim = simulate(topology, EnhancedNbc(), cfg)
+        pred = model.evaluate(rate)
+        points.append(
+            OperatingPoint(
+                generation_rate=rate,
+                model_latency=pred.latency,
+                sim_latency=sim.mean_latency,
+                model_saturated=pred.saturated,
+                sim_saturated=sim.saturated,
+            )
+        )
+    return rates, model_curve, compare_curves(points)
+
+
+@pytest.mark.parametrize("label", ["a", "b", "c"])
+@pytest.mark.parametrize("message_length", [32, 64])
+def test_figure1_panel(benchmark, once, label, message_length):
+    rates, curve, comparison = once(_panel_series, label, message_length)
+    stable = [r.latency for r in curve if not r.saturated]
+    assert stable == sorted(stable), "latency must rise with load"
+    benchmark.extra_info["panel"] = label
+    benchmark.extra_info["message_length"] = message_length
+    benchmark.extra_info["rates"] = list(rates)
+    benchmark.extra_info["model_latency"] = [
+        None if r.saturated else round(r.latency, 2) for r in curve
+    ]
+    benchmark.extra_info["model_vs_sim"] = comparison.summary()
+    benchmark.extra_info["sim_points"] = [
+        {
+            "rate": p.generation_rate,
+            "model": None if p.model_saturated else round(p.model_latency, 2),
+            "sim": round(p.sim_latency, 2),
+        }
+        for p in comparison.points
+    ]
+    # Accuracy gate over mutually stable operating points.
+    if comparison.stable_points:
+        assert comparison.mean_relative_error < 0.25
+
+
+def test_figure1_saturation_ordering(benchmark):
+    """Panel-level shape facts: V and M orderings of the saturation onset."""
+
+    def compute():
+        sat = {
+            (v, m): StarLatencyModel(5, m, v).saturation_rate()
+            for v in (6, 9, 12)
+            for m in (32, 64)
+        }
+        return sat
+
+    sat = benchmark(compute)
+    assert sat[(6, 32)] < sat[(9, 32)] < sat[(12, 32)]
+    assert sat[(6, 64)] < sat[(6, 32)]
+    assert sat[(6, 64)] == pytest.approx(sat[(6, 32)] / 2, rel=0.3)
+    benchmark.extra_info["saturation_rates"] = {
+        f"V{v}_M{m}": round(r, 5) for (v, m), r in sat.items()
+    }

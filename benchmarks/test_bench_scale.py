@@ -1,0 +1,32 @@
+"""EXT-SCALE — model-only study of stars beyond simulation reach.
+
+The paper's introduction motivates analytical models with exactly this:
+results "for large systems ... which may not be feasible to study using
+simulation".  The cycle-type collapse makes the model's cost a function
+of the number of cycle types, not of n! — S9 (362,880 nodes) solves in
+milliseconds.
+"""
+
+import math
+
+from repro.core import StarLatencyModel
+from repro.experiments.scale import scale_study
+
+
+def test_scale_study_table(benchmark, once):
+    rec = once(scale_study, n_values=(4, 5, 6, 7, 8))
+    rows = {r["n"]: r for r in rec.rows}
+    # saturation rate decreases with n (longer routes per channel)
+    sats = [rows[n]["saturation_rate"] for n in (4, 5, 6, 7, 8)]
+    assert all(a >= b for a, b in zip(sats, sats[1:]))
+    benchmark.extra_info["rows"] = rec.rows
+
+
+def test_s9_single_evaluation(benchmark):
+    """One model solve for the 362,880-node star."""
+    model = StarLatencyModel(9, 32, 9)
+    res = benchmark(model.evaluate, 0.005)
+    assert not res.saturated
+    assert res.latency > model.zero_load_latency() - 1
+    benchmark.extra_info["latency"] = round(res.latency, 2)
+    benchmark.extra_info["nodes"] = math.factorial(9)

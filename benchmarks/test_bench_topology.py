@@ -1,0 +1,14 @@
+"""TAB-TOPO — the section-2 star-vs-hypercube comparison table."""
+
+from repro.topology.properties import comparison_table
+
+
+def test_topology_comparison_table(benchmark):
+    rows = benchmark(comparison_table, (3, 4, 5, 6, 7, 8, 9))
+    stars = [r for r in rows if r.name.startswith("S")]
+    cubes = [r for r in rows if r.name.startswith("Q")]
+    # Paper claim: sub-logarithmic degree/diameter for equal-or-more nodes.
+    for s, q in zip(stars[3:], cubes[3:]):  # from S6 upwards
+        assert s.degree < q.degree
+        assert s.diameter < q.diameter
+    benchmark.extra_info["rows"] = [r.as_dict() for r in rows]

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Reproduce Figure 1 of the paper (any panel, any quality).
+
+Figure 1 plots mean message latency against the traffic generation rate
+for the 5-star under Enhanced-Nbc routing, model vs. simulation, for
+V = 6/9/12 virtual channels (panels a/b/c) and M = 32/64 flits.
+
+Run:  python examples/reproduce_figure1.py --panel a --quality smoke
+      python examples/reproduce_figure1.py --panel c --no-sim   # instant
+"""
+
+import argparse
+
+from repro.experiments.figure1 import panel_record, render_panel, reproduce_panel
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--panel", choices=("a", "b", "c"), default="a")
+    parser.add_argument(
+        "--quality",
+        choices=("smoke", "quick", "full"),
+        default="smoke",
+        help="simulation window size (smoke ~ 1 min/panel, full ~ 30 min)",
+    )
+    parser.add_argument("--no-sim", action="store_true", help="model curves only")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--save", metavar="DIR", help="also write a JSON record")
+    args = parser.parse_args()
+
+    series = reproduce_panel(
+        args.panel,
+        include_sim=not args.no_sim,
+        quality=args.quality,
+        seed=args.seed,
+    )
+    print(render_panel(series))
+    if args.save:
+        print(f"\nsaved: {panel_record(series).save(args.save)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Reproduction of Kiasari, Sarbazi-Azad & Ould-Khaoua (IPDPS 2006):
+*Analytical performance modelling of adaptive wormhole routing in the
+star interconnection network*.
+
+Public entry points:
+
+* :class:`repro.core.StarLatencyModel` — the paper's analytical model;
+* :func:`repro.simulation.simulate` — the flit-level validation simulator;
+* :class:`repro.topology.StarGraph` — the star interconnection network;
+* :mod:`repro.experiments` — regenerates every figure/table of the paper.
+"""
+
+from repro.core import ModelResult, StarLatencyModel
+from repro.routing import EnhancedNbc, GreedyDeterministic, Nbc, NegativeHop, make_algorithm
+from repro.simulation import SimulationConfig, SimulationResult, simulate
+from repro.topology import Hypercube, StarGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "StarLatencyModel",
+    "ModelResult",
+    "SimulationConfig",
+    "SimulationResult",
+    "simulate",
+    "StarGraph",
+    "Hypercube",
+    "EnhancedNbc",
+    "Nbc",
+    "NegativeHop",
+    "GreedyDeterministic",
+    "make_algorithm",
+    "__version__",
+]

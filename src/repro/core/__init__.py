@@ -1,0 +1,33 @@
+"""The paper's contribution: an analytical latency model for S_n.
+
+Implements equations (1)-(19) of the paper: mean distance (Eq. 2), channel
+rates (Eq. 3), per-hop blocking over path sets (Eqs. 4-11), M/G/1 waiting
+times (Eqs. 12-16), birth-death virtual-channel occupancy (Eq. 18), the
+Dally multiplexing factor (Eq. 19), and the damped fixed-point iteration
+the paper describes for resolving their inter-dependencies.
+"""
+
+from repro.core.blocking import BlockingModel, BlockingVariant
+from repro.core.hypercube_model import HypercubePathStatistics
+from repro.core.model import HypercubeLatencyModel, ModelResult, StarLatencyModel
+from repro.core.occupancy import multiplexing_degree, vc_occupancy
+from repro.core.pathstats import DestinationClass, StarPathStatistics
+from repro.core.queueing import channel_waiting_time, source_waiting_time
+from repro.core.solver import FixedPointSolver, SolverSettings
+
+__all__ = [
+    "StarLatencyModel",
+    "HypercubeLatencyModel",
+    "HypercubePathStatistics",
+    "ModelResult",
+    "BlockingModel",
+    "BlockingVariant",
+    "StarPathStatistics",
+    "DestinationClass",
+    "vc_occupancy",
+    "multiplexing_degree",
+    "channel_waiting_time",
+    "source_waiting_time",
+    "FixedPointSolver",
+    "SolverSettings",
+]

@@ -1,0 +1,122 @@
+"""Per-hop blocking probabilities — paper equations (6)-(11).
+
+A message requesting its k-th hop is blocked at one candidate physical
+channel when every virtual channel it may legally use there is busy.
+With ``P_v`` the busy-VC distribution (Eq. 18) and E eligible channels,
+the per-channel blocking probability is
+
+    P_one(E) = sum_{v >= E} P_v C(v, E) / C(V, E),
+
+and the hop blocks only if all f (profitable-channel count) candidates
+block: ``P_block = E_paths[P_one^f]`` (Eqs. 7-8).
+
+Two variants of the eligible-count arithmetic are provided:
+
+* ``EXACT`` — re-derived from the negative-hop/bonus-card invariants,
+  which in the bipartite star are deterministic per (source colour, hop
+  index): eligible classes are ``floor .. V2-1-negatives_after``; the
+  paper's A/B-/B+ mixture arises exactly as the average over the two
+  source colours.
+* ``PAPER`` — the literal counts read from the (OCR-degraded) equations
+  (9)-(11): group A uses ``V1 + V2 - ceil(d/2)``, groups B-/B+ subtract
+  the last-hop class and one or two more; groups are weighted by the
+  class-a usage fraction ``V1/V`` and the B split is half/half.
+
+Both appear in the ablation benchmark; EXACT is the library default.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.core.pathstats import DestinationClass
+from repro.routing.vc_classes import (
+    VcConfig,
+    escape_eligible_count,
+    hop_is_negative,
+    minimal_floor,
+)
+from repro.utils.mathx import prob_busy_covers
+
+__all__ = ["BlockingVariant", "BlockingModel"]
+
+
+class BlockingVariant(str, Enum):
+    """Which eligible-VC arithmetic drives Eqs. (9)-(11)."""
+
+    EXACT = "exact"
+    PAPER = "paper"
+
+
+class BlockingModel:
+    """Computes mean per-hop blocking for every destination class."""
+
+    def __init__(self, vc: VcConfig, variant: BlockingVariant | str = BlockingVariant.EXACT):
+        self.vc = vc
+        self.variant = BlockingVariant(variant)
+
+    # -- eligible-count arithmetic ------------------------------------
+
+    def eligible_exact(self, distance: int, k: int, source_color: int) -> int:
+        """E at hop k of an h-hop route from a ``source_color`` node."""
+        d_remaining = distance - k + 1
+        negative = hop_is_negative(k, source_color)
+        floor = minimal_floor(k, source_color)
+        nb = escape_eligible_count(self.vc.num_escape, d_remaining, negative, floor)
+        return self.vc.num_adaptive + nb
+
+    def _p_one_exact(
+        self, occupancy: list[float], distance: int, k: int, source_color: int
+    ) -> float:
+        return prob_busy_covers(occupancy, self.eligible_exact(distance, k, source_color))
+
+    def _p_one_paper(
+        self, occupancy: list[float], distance: int, k: int, source_color: int
+    ) -> float:
+        v1, v2 = self.vc.num_adaptive, self.vc.num_escape
+        total = self.vc.total
+        d = distance - k + 1
+        floor = minimal_floor(k, source_color)
+        e_a = v1 + v2 - (d + 1) // 2
+        e_bm = e_a - floor - 1
+        e_bp = e_a - floor
+        p_a = v1 / total if total else 0.0
+        blocked_a = prob_busy_covers(occupancy, min(e_a, total))
+        blocked_bm = prob_busy_covers(occupancy, min(e_bm, total))
+        blocked_bp = prob_busy_covers(occupancy, min(e_bp, total))
+        return p_a * blocked_a + (1.0 - p_a) * 0.5 * (blocked_bm + blocked_bp)
+
+    # -- per-hop and per-class blocking ---------------------------------
+
+    def p_one(
+        self, occupancy: list[float], distance: int, k: int, source_color: int
+    ) -> float:
+        """Blocking probability at one candidate channel (Eqs. 9-11)."""
+        if self.variant is BlockingVariant.EXACT:
+            return self._p_one_exact(occupancy, distance, k, source_color)
+        return self._p_one_paper(occupancy, distance, k, source_color)
+
+    def hop_blocking(
+        self,
+        occupancy: list[float],
+        cls: DestinationClass,
+        k: int,
+        source_color: int,
+    ) -> float:
+        """P_block for hop k of class ``cls`` (Eqs. 7-8): E_paths[p_one^f]."""
+        base = self.p_one(occupancy, cls.distance, k, source_color)
+        return cls.expect_pow(k, base)
+
+    def class_blocking_sum(
+        self, occupancy: list[float], cls: DestinationClass
+    ) -> float:
+        """Sum over hops of P_block, averaged over the two source colours.
+
+        This is the factor multiplying the channel wait w in Eq. (4):
+        ``sum_k B_{i,k} = w * class_blocking_sum``.
+        """
+        total = 0.0
+        for color in (0, 1):
+            for k in range(1, cls.distance + 1):
+                total += self.hop_blocking(occupancy, cls, k, color)
+        return total / 2.0

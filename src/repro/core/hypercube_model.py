@@ -1,0 +1,96 @@
+"""Analytical latency model for the hypercube — the paper's future work.
+
+Section 6 announces "our next objective is to compare the performance
+merits of the star graphs and their equivalent hypercubes".  The model
+machinery carries over directly because Q_k is also bipartite with
+alternating hop signs:
+
+* destinations at distance h number C(k, h); every minimal path visits
+  states whose adaptivity is exactly the remaining distance, so the
+  paper's f(i, j, k) is deterministic: ``f = h - k + 1`` at hop k;
+* mean distance is ``k 2^(k-1) / (2^k - 1)``;
+* the negative-hop escape layer needs ``floor(k/2) + 1`` classes.
+
+Everything else — occupancy, M/G/1 waits, multiplexing, the fixed point —
+is shared with :class:`repro.core.model.StarLatencyModel` through the
+same :class:`DestinationClass` interface.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core.pathstats import DestinationClass
+from repro.topology.routing_sets import CycleType
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["HypercubePathStatistics", "cached_hypercube_statistics"]
+
+
+#: Placeholder cycle type attached to hypercube classes (the class is
+#: identified by its distance; cycle structure is a star-graph notion).
+_DUMMY_TYPE = CycleType(0, ())
+
+
+class HypercubePathStatistics:
+    """Destination-class statistics for Q_k, same interface as the star's."""
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ConfigurationError(f"HypercubePathStatistics requires k >= 1, got {k}")
+        self._k = k
+        classes = []
+        for h in range(1, k + 1):
+            # At hop j of an h-hop route, exactly h-j+1 dimensions remain
+            # profitable on every minimal path: the f distribution is a
+            # point mass.
+            f_dist = tuple({h - j + 1: 1.0} for j in range(1, h + 1))
+            classes.append(
+                DestinationClass(
+                    ctype=_DUMMY_TYPE,
+                    count=math.comb(k, h),
+                    distance=h,
+                    f_dist=f_dist,
+                )
+            )
+        self.classes: tuple[DestinationClass, ...] = tuple(classes)
+        self.total_destinations = (1 << k) - 1
+
+    @property
+    def n(self) -> int:
+        """Dimension count k (named ``n`` for interface parity)."""
+        return self._k
+
+    @property
+    def degree(self) -> int:
+        """Node degree, k."""
+        return self._k
+
+    @property
+    def diameter(self) -> int:
+        """Diameter, k."""
+        return self._k
+
+    def mean_distance(self) -> float:
+        """k 2^(k-1) / (2^k - 1)."""
+        return self._k * (1 << (self._k - 1)) / ((1 << self._k) - 1)
+
+    def verify_against_closed_form(self) -> None:
+        """Internal consistency: class counts and count-weighted mean."""
+        if sum(c.count for c in self.classes) != self.total_destinations:
+            raise ConfigurationError("hypercube classes do not cover the network")
+        by_classes = (
+            sum(c.count * c.distance for c in self.classes) / self.total_destinations
+        )
+        if abs(by_classes - self.mean_distance()) > 1e-9:
+            raise ConfigurationError("hypercube mean distance inconsistent")
+
+
+@lru_cache(maxsize=32)
+def cached_hypercube_statistics(k: int) -> HypercubePathStatistics:
+    """Shared per-k instance, verified on first construction."""
+    stats = HypercubePathStatistics(k)
+    stats.verify_against_closed_form()
+    return stats

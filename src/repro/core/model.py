@@ -1,0 +1,255 @@
+"""The analytical latency model for adaptive wormhole routing in S_n.
+
+Assembles the paper's pipeline:
+
+* Eq. (2): mean message distance d̄ (exact, via destination classes);
+* Eq. (3): channel rate ``lambda_c = lambda_g * d̄ / (n - 1)``;
+* Eqs. (4)-(11): mean network latency S̄ with per-hop blocking over path
+  sets (exact f distributions from the cycle-type DAG);
+* Eqs. (12)-(15): channel waiting time w (M/G/1);
+* Eq. (16): source queueing W_s;
+* Eq. (18): virtual-channel occupancy P_v;
+* Eq. (19): multiplexing degree V̄;
+* Eq. (1): ``Latency = (S̄ + W_s) * V̄``.
+
+The model never touches an explicit graph: everything is computed from
+cycle-type combinatorics, so it runs in milliseconds for any n — exactly
+the "large systems infeasible to simulate" use-case the paper motivates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.blocking import BlockingModel, BlockingVariant
+from repro.core.occupancy import multiplexing_degree, vc_occupancy
+from repro.core.pathstats import cached_path_statistics
+from repro.core.queueing import channel_waiting_time, source_waiting_time
+from repro.core.solver import FixedPointSolver, SolverSettings
+from repro.routing.vc_classes import VcConfig
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["ModelResult", "StarLatencyModel", "HypercubeLatencyModel"]
+
+
+@dataclass(frozen=True)
+class ModelResult:
+    """One operating point predicted by the model."""
+
+    generation_rate: float
+    latency: float
+    network_latency: float
+    source_wait: float
+    channel_wait: float
+    multiplexing: float
+    channel_rate: float
+    rho: float
+    saturated: bool
+    iterations: int
+
+    def as_dict(self) -> dict:
+        """JSON/table-friendly view."""
+        def _r(x: float) -> float | None:
+            return None if math.isinf(x) or math.isnan(x) else round(x, 4)
+
+        return {
+            "generation_rate": self.generation_rate,
+            "latency": _r(self.latency),
+            "network_latency": _r(self.network_latency),
+            "source_wait": _r(self.source_wait),
+            "channel_wait": _r(self.channel_wait),
+            "multiplexing": _r(self.multiplexing),
+            "channel_rate": round(self.channel_rate, 6),
+            "rho": _r(self.rho),
+            "saturated": self.saturated,
+            "iterations": self.iterations,
+        }
+
+
+class _WormholeLatencyModel:
+    """Shared model pipeline over any destination-class statistics.
+
+    Subclasses supply ``stats`` (an object with ``classes``, ``degree``,
+    ``diameter``, ``total_destinations`` and ``mean_distance()``) — the
+    star graph via cycle types, the hypercube via binomial distance
+    classes.  Everything downstream of the path-set statistics is the
+    paper's pipeline verbatim.
+    """
+
+    def __init__(
+        self,
+        stats,
+        message_length: int,
+        total_vcs: int,
+        *,
+        vc_config: VcConfig | None = None,
+        variant: BlockingVariant | str = BlockingVariant.EXACT,
+        solver: SolverSettings | None = None,
+    ):
+        if message_length < 1:
+            raise ConfigurationError(f"message_length must be >= 1, got {message_length}")
+        self.message_length = message_length
+        self.stats = stats
+        if vc_config is None:
+            need = stats.diameter // 2 + 1
+            if total_vcs < need:
+                raise ConfigurationError(
+                    f"this network needs at least {need} virtual channels for "
+                    f"the negative-hop escape layer, got {total_vcs}"
+                )
+            vc_config = VcConfig(num_adaptive=total_vcs - need, num_escape=need)
+        elif vc_config.total != total_vcs:
+            raise ConfigurationError(
+                f"vc_config totals {vc_config.total} VCs but total_vcs={total_vcs}"
+            )
+        self.vc = vc_config
+        self.blocking = BlockingModel(self.vc, variant)
+        self.solver = FixedPointSolver(solver)
+
+    # -- derived constants ------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        """Physical channels per node, n - 1."""
+        return self.stats.degree
+
+    def mean_distance(self) -> float:
+        """d̄ of Eq. (2) (exact enumeration over destination classes)."""
+        return self.stats.mean_distance()
+
+    def channel_rate(self, generation_rate: float) -> float:
+        """lambda_c of Eq. (3)."""
+        if generation_rate < 0:
+            raise ConfigurationError(f"generation rate must be >= 0, got {generation_rate}")
+        return generation_rate * self.mean_distance() / self.degree
+
+    def zero_load_latency(self) -> float:
+        """M + d̄ — the network latency floor."""
+        return self.message_length + self.mean_distance()
+
+    # -- the fixed point ---------------------------------------------------
+
+    def _network_latency_map(self, lambda_c: float):
+        """Build the scalar map S̄ -> F(S̄) of Eqs. (4)-(15)."""
+        m = float(self.message_length)
+        classes = self.stats.classes
+        total = self.stats.total_destinations
+
+        def f(s_bar: float) -> float:
+            rho = lambda_c * s_bar
+            if rho >= 1.0:
+                return math.inf
+            occ = vc_occupancy(lambda_c, s_bar, self.vc.total)
+            w = channel_waiting_time(lambda_c, s_bar, m)
+            acc = 0.0
+            for cls in classes:
+                blocking_sum = self.blocking.class_blocking_sum(occ, cls)
+                acc += cls.count * (m + cls.distance + w * blocking_sum)
+            return acc / total
+
+        return f
+
+    def evaluate(self, generation_rate: float) -> ModelResult:
+        """Predict the mean message latency at ``generation_rate``."""
+        lambda_c = self.channel_rate(generation_rate)
+        s0 = self.zero_load_latency()
+        fp = self.solver.solve(self._network_latency_map(lambda_c), s0)
+        if fp.saturated:
+            return ModelResult(
+                generation_rate=generation_rate,
+                latency=math.inf,
+                network_latency=math.inf,
+                source_wait=math.inf,
+                channel_wait=math.inf,
+                multiplexing=math.nan,
+                channel_rate=lambda_c,
+                rho=math.inf,
+                saturated=True,
+                iterations=fp.iterations,
+            )
+        s_bar = fp.value
+        rho = lambda_c * s_bar
+        occ = vc_occupancy(lambda_c, s_bar, self.vc.total)
+        w = channel_waiting_time(lambda_c, s_bar, self.message_length)
+        w_s = source_waiting_time(
+            generation_rate, self.vc.total, s_bar, self.message_length
+        )
+        v_bar = multiplexing_degree(occ)
+        saturated = not math.isfinite(w_s)
+        latency = (s_bar + w_s) * v_bar if not saturated else math.inf
+        return ModelResult(
+            generation_rate=generation_rate,
+            latency=latency,
+            network_latency=s_bar,
+            source_wait=w_s,
+            channel_wait=w,
+            multiplexing=v_bar,
+            channel_rate=lambda_c,
+            rho=rho,
+            saturated=saturated,
+            iterations=fp.iterations,
+        )
+
+    def sweep(self, rates) -> list[ModelResult]:
+        """Evaluate a sequence of generation rates."""
+        return [self.evaluate(r) for r in rates]
+
+    def saturation_rate(self, lo: float = 0.0, hi: float = 0.2, tol: float = 1e-5) -> float:
+        """Smallest generation rate at which the model saturates (bisection)."""
+        if self.evaluate(hi).saturated is False:
+            return math.inf
+        lo_rate, hi_rate = lo, hi
+        while hi_rate - lo_rate > tol:
+            mid = 0.5 * (lo_rate + hi_rate)
+            if self.evaluate(mid).saturated:
+                hi_rate = mid
+            else:
+                lo_rate = mid
+        return hi_rate
+
+
+class StarLatencyModel(_WormholeLatencyModel):
+    """Mean message latency in a wormhole S_n under Enhanced-Nbc routing.
+
+    Parameters
+    ----------
+    n:
+        Star-graph order (network has n! nodes).
+    message_length:
+        M, flits per message.
+    total_vcs:
+        V, virtual channels per physical channel.  Split into class-a /
+        class-b with the paper's minimum-escape rule unless an explicit
+        ``vc_config`` is given.
+    vc_config:
+        Optional explicit V1/V2 split (ablation studies).
+    variant:
+        Blocking arithmetic, ``"exact"`` (default) or ``"paper"``
+        (see :mod:`repro.core.blocking`).
+    solver:
+        Fixed-point settings; the defaults converge everywhere below
+        saturation for the paper's configurations.
+    """
+
+    def __init__(self, n: int, message_length: int, total_vcs: int, **kwargs):
+        self.n = n
+        super().__init__(cached_path_statistics(n), message_length, total_vcs, **kwargs)
+
+
+class HypercubeLatencyModel(_WormholeLatencyModel):
+    """The same model pipeline for the binary hypercube Q_k.
+
+    Implements the paper's stated future work (section 6): comparing the
+    star graph against its "equivalent" hypercube under one modelling
+    framework.  Adaptivity statistics are exact and trivial in Q_k
+    (``f = remaining distance`` on every minimal path).
+    """
+
+    def __init__(self, k: int, message_length: int, total_vcs: int, **kwargs):
+        from repro.core.hypercube_model import cached_hypercube_statistics
+
+        self.k = k
+        super().__init__(
+            cached_hypercube_statistics(k), message_length, total_vcs, **kwargs
+        )

@@ -1,0 +1,55 @@
+"""Virtual-channel occupancy — paper equations (18) and (19).
+
+A physical channel with V virtual channels is modelled as a birth-death
+chain: state v (busy VCs) gains arrivals at the channel traffic rate
+lambda_c and drains at rate 1/S̄, with the channel service time
+approximated by the mean network latency (the paper's stated
+approximation).  The steady state is geometric:
+
+    P_v = rho^v (1 - rho)   for v < V,      P_V = rho^V,
+
+with rho = lambda_c * S̄, which sums to one exactly.  Dally's average
+multiplexing degree (Eq. 19) is the busy-VC second moment over the first.
+"""
+
+from __future__ import annotations
+
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["vc_occupancy", "multiplexing_degree", "utilisation"]
+
+
+def vc_occupancy(lambda_c: float, service_time: float, num_vcs: int) -> list[float]:
+    """Steady-state probabilities ``P_v`` of v busy VCs (Eq. 18).
+
+    Requires ``rho = lambda_c * service_time < 1`` — beyond that the chain
+    has no steady state and the caller must report saturation.
+    """
+    if num_vcs < 1:
+        raise ConfigurationError(f"num_vcs must be >= 1, got {num_vcs}")
+    if lambda_c < 0 or service_time < 0:
+        raise ConfigurationError("rates and service times must be non-negative")
+    rho = lambda_c * service_time
+    if rho >= 1.0:
+        raise ConfigurationError(f"occupancy undefined at rho={rho:.4f} >= 1")
+    probs = [(rho**v) * (1.0 - rho) for v in range(num_vcs)]
+    probs.append(rho**num_vcs)
+    return probs
+
+
+def multiplexing_degree(occupancy: list[float]) -> float:
+    """Dally's average degree of VC multiplexing V̄ (Eq. 19).
+
+    ``sum(v^2 P_v) / sum(v P_v)``; defined as 1.0 at zero load (no busy
+    channels to multiplex).
+    """
+    first = sum(v * p for v, p in enumerate(occupancy))
+    second = sum(v * v * p for v, p in enumerate(occupancy))
+    if first <= 0.0:
+        return 1.0
+    return second / first
+
+
+def utilisation(occupancy: list[float]) -> float:
+    """Probability that at least one VC is busy (diagnostics)."""
+    return 1.0 - occupancy[0]

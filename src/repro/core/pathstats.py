@@ -1,0 +1,98 @@
+"""Destination-class statistics feeding the blocking model.
+
+Wraps :class:`repro.topology.routing_sets.PathSetEnumerator` into the form
+the model iterates over: one record per destination cycle-type class with
+its population, distance and per-hop adaptivity (f) distributions — the
+paper's "path sets" (Eq. 7), computed exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.topology.routing_sets import CycleType, PathSetEnumerator
+from repro.topology.star import star_average_distance_closed_form
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["DestinationClass", "StarPathStatistics"]
+
+
+@dataclass(frozen=True)
+class DestinationClass:
+    """All destinations sharing a residual cycle type (and hence paths)."""
+
+    ctype: CycleType
+    count: int
+    distance: int
+    #: ``f_dist[k-1][f]`` = P(adaptivity == f at hop k) over minimal paths.
+    f_dist: tuple[dict[int, float], ...]
+
+    def expect_pow(self, k: int, base: float) -> float:
+        """E[base**f] at hop ``k`` — blocked iff all f channels block."""
+        if base <= 0.0:
+            return 0.0
+        return sum(p * base**f for f, p in self.f_dist[k - 1].items())
+
+
+class StarPathStatistics:
+    """Per-destination-class path statistics for S_n (cached singleton)."""
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ConfigurationError(f"StarPathStatistics requires n >= 2, got {n}")
+        self._n = n
+        enum = PathSetEnumerator(n)
+        classes = []
+        for ctype, count, dist in enum.destination_classes():
+            stats = enum.hop_stats(ctype)
+            classes.append(
+                DestinationClass(
+                    ctype=ctype, count=count, distance=dist, f_dist=stats.f_dist
+                )
+            )
+        classes.sort(key=lambda c: (c.distance, -c.count))
+        self.classes: tuple[DestinationClass, ...] = tuple(classes)
+        self.total_destinations = sum(c.count for c in classes)
+
+    @property
+    def n(self) -> int:
+        """Symbol count of S_n."""
+        return self._n
+
+    @property
+    def degree(self) -> int:
+        """Node degree, n - 1."""
+        return self._n - 1
+
+    @property
+    def diameter(self) -> int:
+        """floor(3(n-1)/2)."""
+        return (3 * (self._n - 1)) // 2
+
+    def mean_distance(self) -> float:
+        """Count-weighted mean distance; equals Eq. (2) exactly."""
+        acc = sum(c.count * c.distance for c in self.classes)
+        return acc / self.total_destinations
+
+    def verify_against_closed_form(self) -> None:
+        """Assert internal consistency with Eq. (2) and the node count."""
+        if self.total_destinations != math.factorial(self._n) - 1:
+            raise ConfigurationError(
+                f"destination classes cover {self.total_destinations} nodes, "
+                f"expected {math.factorial(self._n) - 1}"
+            )
+        closed = star_average_distance_closed_form(self._n)
+        if abs(self.mean_distance() - closed) > 1e-9:
+            raise ConfigurationError(
+                f"mean distance {self.mean_distance()} != closed form {closed}"
+            )
+
+
+@lru_cache(maxsize=16)
+def cached_path_statistics(n: int) -> StarPathStatistics:
+    """Shared per-n instance (building one is pure and deterministic)."""
+    stats = StarPathStatistics(n)
+    stats.verify_against_closed_form()
+    return stats

@@ -1,0 +1,57 @@
+"""M/G/1 waiting-time formulas — paper equations (12)-(16).
+
+Both the network channels and the source queue are approximated as M/G/1
+stations with mean service time S̄ (the mean network latency) and the
+paper's service-variance approximation ``sigma_S^2 = (S̄ - M)^2``, i.e.
+the spread of the service time is attributed entirely to the part above
+the minimum possible service (the message length M).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["mg1_waiting_time", "channel_waiting_time", "source_waiting_time"]
+
+
+def mg1_waiting_time(arrival_rate: float, service_time: float, message_length: float) -> float:
+    """Mean M/G/1 wait with the paper's variance approximation (Eq. 15).
+
+        w = rate * (S̄^2 + (S̄ - M)^2) / (2 (1 - rate * S̄))
+
+    Returns ``inf`` at or beyond ``rate * S̄ = 1`` (saturation) so callers
+    can propagate the saturated operating point without branching.
+    """
+    if arrival_rate < 0 or service_time < 0:
+        raise ConfigurationError("rates and service times must be non-negative")
+    if message_length < 0 or message_length > service_time:
+        raise ConfigurationError(
+            f"message length {message_length} exceeds service time {service_time}"
+        )
+    rho = arrival_rate * service_time
+    if rho >= 1.0:
+        return math.inf
+    if arrival_rate == 0.0:
+        return 0.0
+    variance = (service_time - message_length) ** 2
+    return arrival_rate * (service_time**2 + variance) / (2.0 * (1.0 - rho))
+
+
+def channel_waiting_time(lambda_c: float, service_time: float, message_length: float) -> float:
+    """Mean wait to acquire a network virtual channel, w (Eq. 15)."""
+    return mg1_waiting_time(lambda_c, service_time, message_length)
+
+
+def source_waiting_time(
+    lambda_g: float, num_vcs: int, service_time: float, message_length: float
+) -> float:
+    """Mean wait in the source node's injection queue, W_s (Eq. 16).
+
+    The generation stream of rate lambda_g splits evenly over the V
+    injection virtual channels, each modelled as its own M/G/1 queue.
+    """
+    if num_vcs < 1:
+        raise ConfigurationError(f"num_vcs must be >= 1, got {num_vcs}")
+    return mg1_waiting_time(lambda_g / num_vcs, service_time, message_length)

@@ -1,0 +1,31 @@
+"""Experiment harness: regenerates every figure/table of the paper.
+
+* :mod:`repro.experiments.figure1` — Figure 1(a)/(b)/(c): model vs
+  simulation latency curves for S5 with V = 6/9/12 and M = 32/64;
+* :mod:`repro.experiments.ablations` — blocking-variant, routing
+  algorithm, VC-split and star-vs-hypercube studies;
+* :mod:`repro.experiments.scale` — model-only large-n study (the paper's
+  "large systems infeasible to simulate" motivation);
+* :mod:`repro.experiments.tables` / :mod:`repro.experiments.records` —
+  rendering and persistence.
+"""
+
+from repro.experiments.figure1 import (
+    FIGURE1_PANELS,
+    Figure1Panel,
+    PanelSeries,
+    reproduce_panel,
+    sim_quality_config,
+)
+from repro.experiments.records import ExperimentRecord
+from repro.experiments.tables import render_table
+
+__all__ = [
+    "FIGURE1_PANELS",
+    "Figure1Panel",
+    "PanelSeries",
+    "reproduce_panel",
+    "sim_quality_config",
+    "ExperimentRecord",
+    "render_table",
+]

@@ -1,0 +1,120 @@
+"""Command-line entry point: ``starnet <command> [options]``.
+
+Commands
+--------
+figure1      Reproduce a Figure-1 panel (model + optional simulation).
+properties   Section-2 topology comparison table (star vs. hypercube).
+scale        Large-n model-only study.
+ablation     Run one of the named ablation studies.
+distance     Average-distance table (Eq. 2 vs. exact enumeration).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import ablations
+from repro.experiments.figure1 import FIGURE1_PANELS, panel_record, render_panel, reproduce_panel
+from repro.experiments.scale import scale_study
+from repro.experiments.tables import render_table
+from repro.topology.properties import comparison_table
+from repro.topology.star import StarGraph, star_average_distance_closed_form
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="starnet",
+        description="Star-graph wormhole latency model reproduction (IPDPS 2006)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure1", help="reproduce a Figure-1 panel")
+    fig.add_argument("--panel", choices=sorted(FIGURE1_PANELS), default="a")
+    fig.add_argument("--quality", choices=("smoke", "quick", "full"), default="quick")
+    fig.add_argument("--no-sim", action="store_true", help="model curves only")
+    fig.add_argument("--seed", type=int, default=0)
+    fig.add_argument("--save", metavar="DIR", help="write a JSON record to DIR")
+
+    sub.add_parser("properties", help="topology comparison table (section 2)")
+
+    sc = sub.add_parser("scale", help="large-n model study")
+    sc.add_argument("--max-n", type=int, default=9)
+
+    ab = sub.add_parser("ablation", help="run a named ablation")
+    ab.add_argument(
+        "name",
+        choices=(
+            "blocking",
+            "routing",
+            "vcsplit",
+            "hypercube",
+            "hypercube-model",
+            "blocking-profile",
+        ),
+    )
+
+    dist = sub.add_parser("distance", help="average-distance table (Eq. 2)")
+    dist.add_argument("--max-n", type=int, default=7)
+    return parser
+
+
+def _record_table(rec) -> str:
+    if not rec.rows:
+        return "(no rows)"
+    headers = list(rec.rows[0].keys())
+    rows = [[row.get(h) for h in headers] for row in rec.rows]
+    return render_table(headers, rows)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "figure1":
+        series = reproduce_panel(
+            args.panel,
+            include_sim=not args.no_sim,
+            quality=args.quality,
+            seed=args.seed,
+        )
+        print(render_panel(series))
+        if args.save:
+            path = panel_record(series).save(args.save)
+            print(f"\nsaved: {path}")
+    elif args.command == "properties":
+        rows = comparison_table()
+        print(
+            render_table(
+                ["name", "nodes", "degree", "diameter", "avg distance"],
+                [
+                    [r.name, r.nodes, r.degree, r.diameter, r.average_distance]
+                    for r in rows
+                ],
+            )
+        )
+    elif args.command == "scale":
+        rec = scale_study(n_values=tuple(range(4, args.max_n + 1)))
+        print(_record_table(rec))
+    elif args.command == "ablation":
+        runner = {
+            "blocking": ablations.blocking_variant_study,
+            "routing": ablations.routing_comparison,
+            "vcsplit": ablations.vc_split_study,
+            "hypercube": ablations.star_vs_hypercube,
+            "hypercube-model": ablations.star_vs_hypercube_model,
+            "blocking-profile": ablations.blocking_profile_study,
+        }[args.name]
+        print(_record_table(runner()))
+    elif args.command == "distance":
+        rows = []
+        for n in range(3, args.max_n + 1):
+            closed = star_average_distance_closed_form(n)
+            exact = StarGraph(n).exact_average_distance() if n <= 7 else float("nan")
+            rows.append([f"S{n}", closed, exact, abs(closed - exact)])
+        print(render_table(["network", "Eq. (2)", "enumeration", "|diff|"], rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,215 @@
+"""Reproduction of Figure 1 — the paper's entire evaluation.
+
+Each panel plots mean message latency against the traffic generation
+rate for the 120-node 5-star under Enhanced-Nbc routing:
+
+* panel (a): V = 6 virtual channels per physical channel,
+* panel (b): V = 9,
+* panel (c): V = 12,
+
+each with model curves for M = 32 and 64 flits overlaid on simulation
+points.  The paper's x-axes end just past the M = 32 saturation point
+(0.015, 0.015 and 0.02 respectively) — the model reproduces those ranges,
+so the sweep grid here is expressed as fractions of the model's predicted
+saturation rate rather than hard-coded rates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.model import ModelResult, StarLatencyModel
+from repro.experiments.records import ExperimentRecord
+from repro.experiments.tables import render_table
+from repro.routing import EnhancedNbc
+from repro.simulation import SimulationConfig, SimulationResult, simulate
+from repro.topology import StarGraph
+from repro.utils.exceptions import ConfigurationError
+from repro.validation.compare import CurveComparison, OperatingPoint, compare_curves
+
+__all__ = [
+    "Figure1Panel",
+    "FIGURE1_PANELS",
+    "PanelSeries",
+    "sim_quality_config",
+    "reproduce_panel",
+    "render_panel",
+]
+
+#: Load grid as fractions of the model's M=32 saturation rate.
+_LOAD_FRACTIONS = (0.15, 0.30, 0.45, 0.60, 0.72, 0.82, 0.90)
+
+
+@dataclass(frozen=True)
+class Figure1Panel:
+    """One panel of Figure 1."""
+
+    label: str
+    total_vcs: int
+    n: int = 5
+    message_lengths: tuple[int, ...] = (32, 64)
+
+
+FIGURE1_PANELS: dict[str, Figure1Panel] = {
+    "a": Figure1Panel(label="a", total_vcs=6),
+    "b": Figure1Panel(label="b", total_vcs=9),
+    "c": Figure1Panel(label="c", total_vcs=12),
+}
+
+#: Simulation window presets: quick for CI/benchmarks, full for the
+#: publication-quality comparison in EXPERIMENTS.md.
+_QUALITY = {
+    "smoke": dict(warmup_cycles=1_000, measure_cycles=3_000, drain_cycles=4_000),
+    "quick": dict(warmup_cycles=2_500, measure_cycles=8_000, drain_cycles=10_000),
+    "full": dict(warmup_cycles=6_000, measure_cycles=24_000, drain_cycles=30_000),
+}
+
+
+def sim_quality_config(
+    quality: str,
+    *,
+    message_length: int,
+    generation_rate: float,
+    total_vcs: int,
+    seed: int = 0,
+) -> SimulationConfig:
+    """Simulation window preset (``smoke`` / ``quick`` / ``full``)."""
+    try:
+        window = _QUALITY[quality]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown quality {quality!r}; expected one of {sorted(_QUALITY)}"
+        ) from None
+    return SimulationConfig(
+        message_length=message_length,
+        generation_rate=generation_rate,
+        total_vcs=total_vcs,
+        seed=seed,
+        **window,
+    )
+
+
+@dataclass(frozen=True)
+class PanelSeries:
+    """Model and (optional) simulation series for one (panel, M) pair."""
+
+    panel: Figure1Panel
+    message_length: int
+    rates: tuple[float, ...]
+    model: tuple[ModelResult, ...]
+    sim: tuple[SimulationResult, ...] | None
+
+    def comparison(self) -> CurveComparison | None:
+        """Model-vs-sim accuracy over the mutually stable points."""
+        if self.sim is None:
+            return None
+        points = [
+            OperatingPoint(
+                generation_rate=r,
+                model_latency=m.latency,
+                sim_latency=s.mean_latency,
+                model_saturated=m.saturated,
+                sim_saturated=s.saturated,
+            )
+            for r, m, s in zip(self.rates, self.model, self.sim)
+        ]
+        return compare_curves(points)
+
+
+def load_grid(panel: Figure1Panel, message_length: int = 32) -> tuple[float, ...]:
+    """Generation-rate sweep for a panel, anchored to model saturation."""
+    model = StarLatencyModel(panel.n, message_length, panel.total_vcs)
+    sat = model.saturation_rate()
+    if not math.isfinite(sat):
+        raise ConfigurationError(f"model does not saturate for panel {panel.label}")
+    return tuple(round(frac * sat, 6) for frac in _LOAD_FRACTIONS)
+
+
+def reproduce_panel(
+    label: str,
+    *,
+    include_sim: bool = True,
+    quality: str = "quick",
+    seed: int = 0,
+) -> list[PanelSeries]:
+    """Regenerate one Figure-1 panel (both message lengths)."""
+    panel = FIGURE1_PANELS[label]
+    out: list[PanelSeries] = []
+    topology = StarGraph(panel.n) if include_sim else None
+    for m in panel.message_lengths:
+        # The paper sweeps each message length over the same axis; we
+        # anchor the grid to the M=32 saturation (the panel's x-range).
+        rates = load_grid(panel, message_length=panel.message_lengths[0])
+        model = StarLatencyModel(panel.n, m, panel.total_vcs)
+        model_results = tuple(model.evaluate(r) for r in rates)
+        sim_results = None
+        if include_sim:
+            runs = []
+            for r in rates:
+                cfg = sim_quality_config(
+                    quality,
+                    message_length=m,
+                    generation_rate=r,
+                    total_vcs=panel.total_vcs,
+                    seed=seed,
+                )
+                runs.append(simulate(topology, EnhancedNbc(), cfg))
+            sim_results = tuple(runs)
+        out.append(
+            PanelSeries(
+                panel=panel,
+                message_length=m,
+                rates=rates,
+                model=model_results,
+                sim=sim_results,
+            )
+        )
+    return out
+
+
+def render_panel(series: list[PanelSeries]) -> str:
+    """ASCII rendering of one panel (the paper's plotted series as rows)."""
+    blocks = []
+    for s in series:
+        headers = ["rate", "model latency", "model V̄", "model rho"]
+        if s.sim is not None:
+            headers += ["sim latency", "sim ±CI", "sim mux", "sim saturated"]
+        rows = []
+        for i, r in enumerate(s.rates):
+            row = [
+                r,
+                s.model[i].latency,
+                s.model[i].multiplexing,
+                s.model[i].rho,
+            ]
+            if s.sim is not None:
+                sim = s.sim[i]
+                row += [sim.mean_latency, sim.latency_ci, sim.mean_multiplexing, sim.saturated]
+            rows.append(row)
+        title = (
+            f"Figure 1({s.panel.label}): S{s.panel.n}, V={s.panel.total_vcs}, "
+            f"M={s.message_length}"
+        )
+        comp = s.comparison()
+        if comp is not None:
+            title += f"   [{comp.summary()}]"
+        blocks.append(title + "\n" + render_table(headers, rows))
+    return "\n\n".join(blocks)
+
+
+def panel_record(series: list[PanelSeries]) -> ExperimentRecord:
+    """Persistable record of one reproduced panel."""
+    panel = series[0].panel
+    rec = ExperimentRecord(
+        name=f"figure1{panel.label}",
+        params={"n": panel.n, "total_vcs": panel.total_vcs},
+    )
+    for s in series:
+        for i, r in enumerate(s.rates):
+            row = {"message_length": s.message_length, "rate": r}
+            row.update({f"model_{k}": v for k, v in s.model[i].as_dict().items()})
+            if s.sim is not None:
+                row.update({f"sim_{k}": v for k, v in s.sim[i].as_dict().items()})
+            rec.add_row(**row)
+    return rec

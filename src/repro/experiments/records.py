@@ -1,0 +1,57 @@
+"""Experiment result records with JSON persistence."""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["ExperimentRecord"]
+
+
+@dataclass
+class ExperimentRecord:
+    """A named experiment with parameters and tabular results."""
+
+    name: str
+    params: dict = field(default_factory=dict)
+    rows: list[dict] = field(default_factory=list)
+    created_at: float = field(default_factory=time.time)
+
+    def add_row(self, **kwargs) -> None:
+        """Append one result row."""
+        self.rows.append(dict(kwargs))
+
+    def to_json(self) -> str:
+        """Serialise (stable key order, NaN-safe)."""
+        return json.dumps(
+            {
+                "name": self.name,
+                "params": self.params,
+                "rows": self.rows,
+                "created_at": self.created_at,
+            },
+            indent=2,
+            sort_keys=True,
+            default=str,
+        )
+
+    def save(self, directory: str | Path) -> Path:
+        """Write ``<directory>/<name>.json`` and return the path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.name}.json"
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentRecord":
+        """Read a record previously written by :meth:`save`."""
+        data = json.loads(Path(path).read_text())
+        return cls(
+            name=data["name"],
+            params=data.get("params", {}),
+            rows=data.get("rows", []),
+            created_at=data.get("created_at", 0.0),
+        )

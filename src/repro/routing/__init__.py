@@ -1,0 +1,49 @@
+"""Wormhole routing algorithms for bipartite interconnection networks.
+
+The paper's algorithm family (section 3):
+
+* :class:`~repro.routing.nhop.NegativeHop` — Boppana/Chalasani hop scheme,
+  virtual channel class = number of negative hops taken;
+* :class:`~repro.routing.nbc.Nbc` — negative hop + *bonus cards*: unneeded
+  class levels may be spent early, balancing virtual-channel usage;
+* :class:`~repro.routing.enhanced_nbc.EnhancedNbc` — the paper's subject:
+  V1 fully adaptive class-a VCs on top of a V2-channel Nbc escape layer;
+* :class:`~repro.routing.greedy.GreedyDeterministic` — single-path baseline.
+"""
+
+from repro.routing.base import (
+    EligibleSet,
+    MessageRouteState,
+    RoutingAlgorithm,
+    SelectionPolicy,
+)
+from repro.routing.enhanced_nbc import EnhancedNbc
+from repro.routing.greedy import GreedyDeterministic
+from repro.routing.nbc import Nbc
+from repro.routing.nhop import NegativeHop
+from repro.routing.registry import available_algorithms, make_algorithm
+from repro.routing.vc_classes import (
+    VcConfig,
+    escape_ceiling,
+    hop_is_negative,
+    minimal_floor,
+    negatives_in_hops,
+)
+
+__all__ = [
+    "VcConfig",
+    "negatives_in_hops",
+    "escape_ceiling",
+    "hop_is_negative",
+    "minimal_floor",
+    "RoutingAlgorithm",
+    "MessageRouteState",
+    "EligibleSet",
+    "SelectionPolicy",
+    "GreedyDeterministic",
+    "NegativeHop",
+    "Nbc",
+    "EnhancedNbc",
+    "make_algorithm",
+    "available_algorithms",
+]

@@ -1,0 +1,59 @@
+"""Enhanced-Nbc — the routing algorithm the paper models.
+
+Duato-style composition: V1 class-a virtual channels are *fully adaptive*
+(usable on any profitable port with no ordering restriction) while V2
+class-b channels form an Nbc escape layer whose hop-scheme ordering
+guarantees deadlock freedom.  A blocked message always has at least one
+legal escape class, so every blocking cycle can drain through the acyclic
+escape layer.
+
+The paper reports (citing its companion study [13]) that this algorithm
+dominates the alternatives with minimum virtual-channel requirements:
+only ``floor(diameter/2) + 1`` channels (4 for S5) must be reserved for
+class-b; everything else is adaptive.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import EligibleSet, MessageRouteState, RoutingAlgorithm
+from repro.routing.vc_classes import VcConfig, escape_ceiling
+from repro.topology.base import Topology
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["EnhancedNbc"]
+
+
+class EnhancedNbc(RoutingAlgorithm):
+    """Fully adaptive class-a channels over an Nbc class-b escape layer."""
+
+    name = "enhanced_nbc"
+
+    def make_vc_config(self, total_vcs: int, topology: Topology) -> VcConfig:
+        return VcConfig.split_for(total_vcs, topology)
+
+    def validate(self, cfg: VcConfig, topology: Topology) -> None:
+        super().validate(cfg, topology)
+        if cfg.num_adaptive < 1:
+            raise ConfigurationError(
+                "enhanced_nbc needs at least one class-a adaptive channel; "
+                f"increase V beyond {topology.min_escape_classes()}"
+            )
+
+    def eligible(
+        self,
+        cfg: VcConfig,
+        d_remaining: int,
+        hop_negative: bool,
+        state: MessageRouteState,
+    ) -> EligibleSet:
+        hi = escape_ceiling(cfg.num_escape, d_remaining, hop_negative)
+        lo = state.escape_floor
+        if lo > hi:
+            raise ConfigurationError(
+                f"enhanced_nbc floor {lo} exceeds ceiling {hi}; "
+                "escape layer mis-sized"
+            )
+        return EligibleSet(
+            adaptive=cfg.adaptive_indices(),
+            escape=range(cfg.escape_index(lo), cfg.escape_index(hi) + 1),
+        )

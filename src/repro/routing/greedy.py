@@ -1,0 +1,59 @@
+"""Deterministic single-path baseline routing.
+
+Always takes the lowest profitable port (for the star graph this is the
+classic "send the first symbol home, else fetch the smallest displaced
+symbol" order), with the Nbc virtual-channel discipline for deadlock
+freedom.  Useful as the zero-adaptivity baseline in the routing-algorithm
+comparison ablation.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import EligibleSet, MessageRouteState, RoutingAlgorithm, SelectionPolicy
+from repro.routing.vc_classes import VcConfig, escape_ceiling
+from repro.topology.base import Topology
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["GreedyDeterministic"]
+
+
+class GreedyDeterministic(RoutingAlgorithm):
+    """Minimal deterministic routing: one fixed path per (src, dst)."""
+
+    name = "greedy"
+
+    def __init__(self, policy: SelectionPolicy | str = SelectionPolicy.LOWEST_ESCAPE):
+        super().__init__(policy)
+
+    def make_vc_config(self, total_vcs: int, topology: Topology) -> VcConfig:
+        need = topology.min_escape_classes()
+        if total_vcs < need:
+            raise ConfigurationError(
+                f"greedy on {topology.name} needs >= {need} virtual channels, "
+                f"got {total_vcs}"
+            )
+        return VcConfig(num_adaptive=0, num_escape=total_vcs)
+
+    def ports(self, topology: Topology, cur: int, dst: int) -> tuple[int, ...]:
+        profitable = topology.profitable_ports(cur, dst)
+        if not profitable:
+            return ()
+        return (profitable[0],)
+
+    def eligible(
+        self,
+        cfg: VcConfig,
+        d_remaining: int,
+        hop_negative: bool,
+        state: MessageRouteState,
+    ) -> EligibleSet:
+        hi = escape_ceiling(cfg.num_escape, d_remaining, hop_negative)
+        lo = state.escape_floor
+        if lo > hi:
+            raise ConfigurationError(
+                f"greedy floor {lo} exceeds ceiling {hi}; escape layer mis-sized"
+            )
+        return EligibleSet(
+            adaptive=range(0),
+            escape=range(cfg.escape_index(lo), cfg.escape_index(hi) + 1),
+        )

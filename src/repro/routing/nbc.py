@@ -1,0 +1,54 @@
+"""Negative-hop routing with bonus cards (Nbc).
+
+A header's bonus cards equal the number of class levels it can spare:
+``V2 - 1 - floor - (negative hops still required before the final hop)``.
+The selectable class range is ``bonus + 1`` wide (paper section 3), which
+spreads traffic over the high classes the plain NHop scheme leaves idle.
+All V virtual channels are escape classes (V1 = 0).
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import EligibleSet, MessageRouteState, RoutingAlgorithm, SelectionPolicy
+from repro.routing.vc_classes import VcConfig, escape_ceiling
+from repro.topology.base import Topology
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["Nbc"]
+
+
+class Nbc(RoutingAlgorithm):
+    """Negative-hop + bonus cards over all V virtual channels."""
+
+    name = "nbc"
+
+    def __init__(self, policy: SelectionPolicy | str = SelectionPolicy.RANDOM):
+        # RANDOM is the balancing selection the bonus card exists for.
+        super().__init__(policy)
+
+    def make_vc_config(self, total_vcs: int, topology: Topology) -> VcConfig:
+        need = topology.min_escape_classes()
+        if total_vcs < need:
+            raise ConfigurationError(
+                f"nbc on {topology.name} needs >= {need} virtual channels, "
+                f"got {total_vcs}"
+            )
+        return VcConfig(num_adaptive=0, num_escape=total_vcs)
+
+    def eligible(
+        self,
+        cfg: VcConfig,
+        d_remaining: int,
+        hop_negative: bool,
+        state: MessageRouteState,
+    ) -> EligibleSet:
+        hi = escape_ceiling(cfg.num_escape, d_remaining, hop_negative)
+        lo = state.escape_floor
+        if lo > hi:
+            raise ConfigurationError(
+                f"nbc floor {lo} exceeds ceiling {hi}; escape layer mis-sized"
+            )
+        return EligibleSet(
+            adaptive=range(0),
+            escape=range(cfg.escape_index(lo), cfg.escape_index(hi) + 1),
+        )

@@ -1,0 +1,51 @@
+"""The plain negative-hop (NHop) routing algorithm.
+
+Fully adaptive over profitable ports, but the virtual channel is dictated
+exactly by the message's class floor: a message that has taken ``l``
+negative hops must use class ``l``.  All V virtual channels are escape
+classes (V1 = 0).  This is the scheme whose "unbalanced use of virtual
+channels" (classes beyond ``l`` sit idle) motivates the bonus card of
+section 3.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import EligibleSet, MessageRouteState, RoutingAlgorithm
+from repro.routing.vc_classes import VcConfig, escape_ceiling
+from repro.topology.base import Topology
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["NegativeHop"]
+
+
+class NegativeHop(RoutingAlgorithm):
+    """Boppana/Chalasani negative-hop scheme: VC class == negative hops."""
+
+    name = "nhop"
+
+    def make_vc_config(self, total_vcs: int, topology: Topology) -> VcConfig:
+        need = topology.min_escape_classes()
+        if total_vcs < need:
+            raise ConfigurationError(
+                f"nhop on {topology.name} needs >= {need} virtual channels, "
+                f"got {total_vcs}"
+            )
+        return VcConfig(num_adaptive=0, num_escape=total_vcs)
+
+    def eligible(
+        self,
+        cfg: VcConfig,
+        d_remaining: int,
+        hop_negative: bool,
+        state: MessageRouteState,
+    ) -> EligibleSet:
+        # Exactly one class is usable; escape_ceiling is consulted only to
+        # assert the invariant that the floor never outruns feasibility.
+        hi = escape_ceiling(cfg.num_escape, d_remaining, hop_negative)
+        if state.escape_floor > hi:
+            raise ConfigurationError(
+                f"nhop floor {state.escape_floor} exceeds ceiling {hi}; "
+                "escape layer mis-sized"
+            )
+        idx = cfg.escape_index(state.escape_floor)
+        return EligibleSet(adaptive=range(0), escape=range(idx, idx + 1))

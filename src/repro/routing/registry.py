@@ -1,0 +1,37 @@
+"""Name-based construction of routing algorithms (CLI / sweep plumbing)."""
+
+from __future__ import annotations
+
+from repro.routing.base import RoutingAlgorithm, SelectionPolicy
+from repro.routing.enhanced_nbc import EnhancedNbc
+from repro.routing.greedy import GreedyDeterministic
+from repro.routing.nbc import Nbc
+from repro.routing.nhop import NegativeHop
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["make_algorithm", "available_algorithms"]
+
+_REGISTRY: dict[str, type[RoutingAlgorithm]] = {
+    cls.name: cls for cls in (GreedyDeterministic, NegativeHop, Nbc, EnhancedNbc)
+}
+
+
+def available_algorithms() -> tuple[str, ...]:
+    """Registered algorithm names, alphabetical."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_algorithm(
+    name: str, policy: SelectionPolicy | str | None = None
+) -> RoutingAlgorithm:
+    """Instantiate a routing algorithm by its registry name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown routing algorithm {name!r}; available: "
+            f"{', '.join(available_algorithms())}"
+        ) from None
+    if policy is None:
+        return cls()
+    return cls(policy=policy)

@@ -1,0 +1,159 @@
+"""Virtual-channel class arithmetic shared by routing and the model.
+
+The negative-hop scheme of Boppana & Chalasani partitions a bipartite
+network's nodes into colours 0 and 1; a hop 1 -> 0 is *negative*.  In the
+star graph (and the hypercube) every channel joins opposite colours, so
+the sign of hop k is fully determined by the source colour — the key
+simplification exploited throughout this reproduction.
+
+Deadlock freedom requires the sequence of class-b (escape) virtual-channel
+indices used by a message to be non-decreasing, and to increase strictly
+across a negative hop.  With V2 classes available, a message whose current
+hop starts a remaining alternating route of length d may therefore use
+classes ``floor .. V2 - 1 - negatives_in_hops(d - 1, current hop sign)``
+(the "bonus card" range of the paper: spare levels may be spent early).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = [
+    "VcConfig",
+    "negatives_in_hops",
+    "hop_is_negative",
+    "minimal_floor",
+    "escape_ceiling",
+    "escape_eligible_count",
+]
+
+
+@dataclass(frozen=True)
+class VcConfig:
+    """Split of the V virtual channels of every physical channel.
+
+    Attributes
+    ----------
+    num_adaptive:
+        V1 class-a channels, usable by fully adaptive routing without
+        ordering restrictions (0 for the pure escape-only algorithms).
+    num_escape:
+        V2 class-b channels driven by the negative-hop/bonus-card
+        discipline; class ``j`` lives at VC index ``num_adaptive + j``.
+    """
+
+    num_adaptive: int
+    num_escape: int
+
+    def __post_init__(self) -> None:
+        if self.num_adaptive < 0:
+            raise ConfigurationError(f"num_adaptive must be >= 0, got {self.num_adaptive}")
+        if self.num_escape < 1:
+            raise ConfigurationError(f"num_escape must be >= 1, got {self.num_escape}")
+
+    @property
+    def total(self) -> int:
+        """V = V1 + V2, the paper's virtual channels per physical channel."""
+        return self.num_adaptive + self.num_escape
+
+    def adaptive_indices(self) -> range:
+        """VC indices of the class-a channels."""
+        return range(self.num_adaptive)
+
+    def escape_index(self, cls: int) -> int:
+        """VC index of class-b level ``cls``."""
+        if not (0 <= cls < self.num_escape):
+            raise ConfigurationError(
+                f"escape class {cls} out of range [0, {self.num_escape})"
+            )
+        return self.num_adaptive + cls
+
+    def class_of_index(self, vc_index: int) -> int | None:
+        """Escape class of a VC index, or ``None`` for a class-a channel."""
+        if not (0 <= vc_index < self.total):
+            raise ConfigurationError(f"vc index {vc_index} out of range")
+        if vc_index < self.num_adaptive:
+            return None
+        return vc_index - self.num_adaptive
+
+    @staticmethod
+    def split_for(total: int, topology) -> "VcConfig":
+        """The paper's split of V total VCs for ``topology``.
+
+        The escape layer gets exactly the minimum class count the
+        negative-hop scheme needs (``floor(diameter/2) + 1``; 4 for S5),
+        and every remaining channel becomes fully adaptive — the
+        "minimum virtual channel requirements" property claimed for
+        Enhanced-Nbc.
+        """
+        need = topology.min_escape_classes()
+        if total < need:
+            raise ConfigurationError(
+                f"{topology.name} needs at least {need} virtual channels "
+                f"for deadlock-free negative-hop routing, got {total}"
+            )
+        return VcConfig(num_adaptive=total - need, num_escape=need)
+
+
+def negatives_in_hops(num_hops: int, first_negative: bool) -> int:
+    """Number of negative hops among ``num_hops`` alternating hops.
+
+    Hops in a bipartite network alternate sign; if the first of the
+    ``num_hops`` hops is negative there are ``ceil(num_hops / 2)``
+    negatives, otherwise ``floor(num_hops / 2)``.
+    """
+    if num_hops < 0:
+        raise ConfigurationError(f"num_hops must be >= 0, got {num_hops}")
+    if first_negative:
+        return (num_hops + 1) // 2
+    return num_hops // 2
+
+
+def hop_is_negative(k: int, source_color: int) -> bool:
+    """Sign of hop ``k`` (1-based) for a message injected at ``source_color``.
+
+    Hop k leaves a node of colour ``(source_color + k - 1) % 2``; it is
+    negative exactly when that colour is 1.
+    """
+    if k < 1:
+        raise ConfigurationError(f"hop index must be >= 1, got {k}")
+    if source_color not in (0, 1):
+        raise ConfigurationError(f"colour must be 0 or 1, got {source_color}")
+    return (source_color + k - 1) % 2 == 1
+
+
+def minimal_floor(k: int, source_color: int) -> int:
+    """Escape-class floor before hop ``k`` for a minimal-class message.
+
+    Equals the number of negative hops among hops 1 .. k-1 — the paper's
+    "number of negative hops taken to reach that intermediate node".
+    """
+    return negatives_in_hops(k - 1, first_negative=(source_color == 1))
+
+
+def escape_ceiling(num_escape: int, d_remaining: int, current_negative: bool) -> int:
+    """Highest escape class usable on the current hop (bonus-card rule).
+
+    With ``d_remaining`` hops left (current included), feasibility of the
+    remaining journey caps the class at
+
+        V2 - 1 - negatives_in_hops(d_remaining - 1, current hop sign)
+
+    because the class must rise by one across each of the negative hops
+    among the current-and-later hops that *precede* the final hop.
+    """
+    if d_remaining < 1:
+        raise ConfigurationError(
+            f"d_remaining must be >= 1 when requesting a hop, got {d_remaining}"
+        )
+    return num_escape - 1 - negatives_in_hops(d_remaining - 1, current_negative)
+
+
+def escape_eligible_count(
+    num_escape: int, d_remaining: int, current_negative: bool, floor: int
+) -> int:
+    """Number of escape classes in ``[floor, ceiling]`` (possibly 0)."""
+    hi = escape_ceiling(num_escape, d_remaining, current_negative)
+    return max(0, hi - floor + 1)

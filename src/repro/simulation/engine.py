@@ -1,0 +1,425 @@
+"""Cycle-driven wormhole simulation engine.
+
+Each cycle proceeds in four steps, mirroring a canonical wormhole router
+pipeline at flit granularity:
+
+1. **generation/activation** — Poisson arrivals join per-node source
+   queues; up to ``injection_slots`` messages per node are concurrently
+   active;
+2. **virtual-channel allocation** — every header with no onward channel
+   consults the routing algorithm (profitable ports × eligible VC
+   classes) and claims one free VC; contention is resolved in a random
+   order each cycle;
+3. **switch traversal** — every physical channel forwards at most one
+   flit per cycle, chosen round-robin among its busy virtual channels
+   that have a flit available and downstream buffer space (Dally
+   virtual-channel flow control);
+4. **ejection** — flits of messages whose header has reached the
+   destination drain into the PE.
+
+Steps 3 and 4 are evaluated against pre-cycle state and applied
+atomically ("two-phase"), so intra-cycle ordering artefacts cannot leak
+into the results.  A watchdog raises :class:`SimulationError` if the
+network stops making progress while messages are in flight — the
+empirical deadlock check for every routing algorithm in the test-suite.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from repro.routing.base import RoutingAlgorithm, SelectionPolicy
+from repro.simulation.config import SimulationConfig
+from repro.simulation.flits import Message, PhysicalChannel, VirtualChannel
+from repro.simulation.metrics import (
+    ChannelLoadSampler,
+    HopBlockingStats,
+    LatencyAccumulator,
+    SimulationResult,
+)
+from repro.simulation.traffic import PoissonSource, make_traffic
+from repro.topology.base import Topology
+from repro.utils.exceptions import SimulationError
+from repro.utils.rng import RngStreams
+
+__all__ = ["WormholeSimulator", "simulate"]
+
+#: Cycles without any flit movement/allocation before declaring deadlock.
+_WATCHDOG_GRACE = 20_000
+
+
+class WormholeSimulator:
+    """A single simulation run binding topology, routing and workload."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        algorithm: RoutingAlgorithm,
+        config: SimulationConfig,
+    ):
+        self.topology = topology
+        self.algorithm = algorithm
+        self.config = config
+        self.vc_config = algorithm.make_vc_config(config.total_vcs, topology)
+        algorithm.validate(self.vc_config, topology)
+
+        n = topology.num_nodes
+        deg = topology.degree
+        self.channels: list[PhysicalChannel] = [
+            PhysicalChannel(
+                cid=u * deg + p,
+                src=u,
+                dst=int(topology.neighbor_table[u, p]),
+                port=p,
+                num_vcs=config.total_vcs,
+            )
+            for u in range(n)
+            for p in range(deg)
+        ]
+        self._busy_channels: set[PhysicalChannel] = set()
+
+        self._rng = RngStreams(config.seed)
+        self._alloc_rng = self._rng.allocator()
+        self.traffic = make_traffic(config.traffic, n)
+        self._sources = [
+            PoissonSource(config.generation_rate, self._rng.traffic(u)) for u in range(n)
+        ]
+        self._queues: list[deque[Message]] = [deque() for _ in range(n)]
+        self._active_injections = [0] * n
+        self._slots = config.effective_injection_slots()
+        #: Min-heap of (next arrival time, node) — avoids an O(N) scan per cycle.
+        self._arrival_heap: list[tuple[float, int]] = [
+            (src.peek(), node) for node, src in enumerate(self._sources)
+        ]
+        heapq.heapify(self._arrival_heap)
+        #: Nodes whose source queue may be able to activate a message.
+        self._activatable: set[int] = set()
+
+        self._need_route: list[Message] = []
+        self._ejecting: list[Message] = []
+        self._in_flight = 0
+        self._next_mid = 0
+        self.cycle = 0
+        self._last_progress = 0
+
+        horizon = config.horizon
+        self._lat = LatencyAccumulator(config.batches, config.warmup_cycles, horizon)
+        self._net_lat = LatencyAccumulator(config.batches, config.warmup_cycles, horizon)
+        self._src_wait = LatencyAccumulator(config.batches, config.warmup_cycles, horizon)
+        self._sampler = ChannelLoadSampler(len(self.channels))
+
+        self._generated = 0
+        self._completed = 0
+        self._measured_generated = 0
+        self._measured_in_flight = 0
+        self._injected_in_window = 0
+        self.alloc_attempts = 0
+        self.alloc_failures = 0
+        self.hop_blocking = HopBlockingStats(topology.diameter())
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Run to completion and return the aggregated statistics."""
+        cfg = self.config
+        horizon = cfg.horizon
+        end = horizon + cfg.drain_cycles
+        while True:
+            if self.cycle >= horizon and self._measured_in_flight == 0:
+                break
+            if self.cycle >= end:
+                break
+            self.step()
+        return self._result()
+
+    def step(self) -> None:
+        """Advance the network by one cycle."""
+        cycle = self.cycle
+        progressed = False
+        self._generate(cycle)
+        self._activate(cycle)
+        if self._need_route:
+            progressed |= self._allocate(cycle)
+        grants = self._pick_transfers()
+        ejections = self._pick_ejections()
+        if grants:
+            progressed = True
+            self._apply_transfers(grants)
+        if ejections:
+            progressed = True
+            self._apply_ejections(ejections, cycle)
+        if progressed:
+            self._last_progress = cycle
+        elif self._in_flight > 0 and cycle - self._last_progress > _WATCHDOG_GRACE:
+            self._deadlock_dump(cycle)
+        if cycle % self.config.sample_interval == 0 and cycle >= self.config.warmup_cycles:
+            self._sampler.sample([ch.busy_count for ch in self._busy_channels])
+        self.cycle = cycle + 1
+
+    # ------------------------------------------------------------------
+    # Cycle phases
+    # ------------------------------------------------------------------
+
+    def _generate(self, cycle: int) -> None:
+        cfg = self.config
+        heap = self._arrival_heap
+        while heap and heap[0][0] <= cycle:
+            t, node = heapq.heappop(heap)
+            dst = self.traffic.destination(node, self._rng.traffic(node))
+            msg = Message(
+                mid=self._next_mid,
+                src=node,
+                dst=dst,
+                length=cfg.message_length,
+                t_gen=t,
+                dist=self.topology.distance(node, dst),
+            )
+            self._next_mid += 1
+            self._generated += 1
+            if cfg.warmup_cycles <= t < cfg.horizon:
+                msg.measured = True
+                self._measured_generated += 1
+            self._queues[node].append(msg)
+            self._activatable.add(node)
+            heapq.heappush(heap, (self._sources[node].pop_next(), node))
+
+    def _activate(self, cycle: int) -> None:
+        if not self._activatable:
+            return
+        for node in self._activatable:
+            queue = self._queues[node]
+            while queue and self._active_injections[node] < self._slots:
+                msg = queue.popleft()
+                self._active_injections[node] += 1
+                self._in_flight += 1
+                if msg.measured:
+                    self._measured_in_flight += 1
+                self._need_route.append(msg)
+        self._activatable.clear()
+
+    def _allocate(self, cycle: int) -> bool:
+        """Header VC allocation; returns True if any header advanced."""
+        order = self._need_route
+        self._alloc_rng.shuffle(order)
+        progressed = False
+        still_routing: list[Message] = []
+        for msg in order:
+            if not msg.header_ready():
+                still_routing.append(msg)
+                continue
+            self.alloc_attempts += 1
+            if msg.hop_first_attempt is None:
+                msg.hop_first_attempt = cycle
+            vc = self._choose_vc(msg)
+            if vc is None:
+                self.alloc_failures += 1
+                still_routing.append(msg)
+                continue
+            progressed = True
+            hop_index = msg.route_state.hops_taken + 1
+            if msg.measured:
+                self.hop_blocking.record(hop_index, cycle - msg.hop_first_attempt)
+            msg.hop_first_attempt = None
+            self._acquire(vc, msg)
+            if msg.routing_complete:
+                self._ejecting.append(msg)
+            else:
+                still_routing.append(msg)
+        self._need_route = still_routing
+        return progressed
+
+    def _choose_vc(self, msg: Message) -> VirtualChannel | None:
+        topo = self.topology
+        cur = msg.header_node
+        ports = self.algorithm.ports(topo, cur, msg.dst)
+        hop_negative = topo.color(cur) == 1
+        eligible = self.algorithm.eligible(
+            self.vc_config, msg.dist_remaining, hop_negative, msg.route_state
+        )
+        base = cur * topo.degree
+        free_adaptive: list[VirtualChannel] = []
+        free_escape: list[VirtualChannel] = []
+        for port in ports:
+            vcs = self.channels[base + port].vcs
+            for idx in eligible.adaptive:
+                if vcs[idx].owner is None:
+                    free_adaptive.append(vcs[idx])
+            for idx in eligible.escape:
+                if vcs[idx].owner is None:
+                    free_escape.append(vcs[idx])
+        return self._select(free_adaptive, free_escape)
+
+    def _select(
+        self,
+        free_adaptive: list[VirtualChannel],
+        free_escape: list[VirtualChannel],
+    ) -> VirtualChannel | None:
+        policy = self.algorithm.policy
+        rng = self._alloc_rng
+        if policy is SelectionPolicy.ADAPTIVE_FIRST:
+            if free_adaptive:
+                return free_adaptive[int(rng.integers(len(free_adaptive)))]
+            if free_escape:
+                # Lowest class first; random among equal-class ports.
+                lowest = min(vc.index for vc in free_escape)
+                pool = [vc for vc in free_escape if vc.index == lowest]
+                return pool[int(rng.integers(len(pool)))]
+            return None
+        if policy is SelectionPolicy.LOWEST_ESCAPE:
+            if free_escape:
+                lowest = min(vc.index for vc in free_escape)
+                pool = [vc for vc in free_escape if vc.index == lowest]
+                return pool[int(rng.integers(len(pool)))]
+            if free_adaptive:
+                return free_adaptive[int(rng.integers(len(free_adaptive)))]
+            return None
+        pool = free_adaptive + free_escape
+        if not pool:
+            return None
+        return pool[int(rng.integers(len(pool)))]
+
+    def _acquire(self, vc: VirtualChannel, msg: Message) -> None:
+        ch = vc.channel
+        hop_negative = self.topology.color(ch.src) == 1
+        if ch.busy_count == 0:
+            self._busy_channels.add(ch)
+        vc.acquire(msg)
+        self.algorithm.advance_floor(self.vc_config, msg.route_state, vc.index, hop_negative)
+        msg.header_node = ch.dst
+        msg.dist_remaining -= 1
+        if msg.t_inject is None:
+            msg.t_inject = float(self.cycle)
+            if msg.measured:
+                self._injected_in_window += 1
+        if ch.dst == msg.dst:
+            msg.routing_complete = True
+            if msg.dist_remaining != 0:
+                raise SimulationError(
+                    f"non-minimal route for {msg!r}: {msg.dist_remaining} hops left"
+                )
+
+    def _pick_transfers(self) -> list[VirtualChannel]:
+        depth = self.config.buffer_depth
+        grants: list[VirtualChannel] = []
+        for ch in self._busy_channels:
+            vc = ch.pick_transfer(depth)
+            if vc is not None:
+                grants.append(vc)
+        return grants
+
+    def _apply_transfers(self, grants: list[VirtualChannel]) -> None:
+        for vc in grants:
+            msg = vc.owner
+            up = vc.upstream
+            if up is None:
+                msg.injected += 1
+                if msg.injected == msg.length:
+                    node = msg.src
+                    self._active_injections[node] -= 1
+                    self._activatable.add(node)
+            else:
+                up.buffered -= 1
+                if up.delivered == msg.length and up.buffered == 0:
+                    self._release(up)
+            vc.buffered += 1
+            vc.delivered += 1
+            vc.channel.transfers += 1
+
+    def _pick_ejections(self) -> list[tuple[Message, int]]:
+        rate = self.config.ejection_rate
+        out: list[tuple[Message, int]] = []
+        for msg in self._ejecting:
+            tail_vc = msg.chain[-1] if msg.chain else None
+            if tail_vc is None or tail_vc.buffered == 0:
+                continue
+            k = tail_vc.buffered if rate is None else min(tail_vc.buffered, rate)
+            out.append((msg, k))
+        return out
+
+    def _apply_ejections(self, ejections: list[tuple[Message, int]], cycle: int) -> None:
+        for msg, k in ejections:
+            tail_vc = msg.chain[-1]
+            tail_vc.buffered -= k
+            msg.ejected += k
+            if tail_vc.delivered == msg.length and tail_vc.buffered == 0:
+                self._release(tail_vc)
+            if msg.ejected == msg.length:
+                self._complete(msg, cycle)
+
+    def _release(self, vc: VirtualChannel) -> None:
+        ch = vc.channel
+        vc.release()
+        if ch.busy_count == 0:
+            self._busy_channels.discard(ch)
+
+    def _complete(self, msg: Message, cycle: int) -> None:
+        msg.t_done = cycle + 1.0  # last flit lands at the end of this cycle
+        self._ejecting.remove(msg)
+        self._in_flight -= 1
+        self._completed += 1
+        if msg.chain:
+            raise SimulationError(f"completed message still owns channels: {msg!r}")
+        if msg.measured:
+            self._measured_in_flight -= 1
+            self._lat.add(msg.t_gen, msg.t_done - msg.t_gen)
+            self._net_lat.add(msg.t_gen, msg.t_done - msg.t_inject)
+            self._src_wait.add(msg.t_gen, msg.t_inject - msg.t_gen)
+
+    # ------------------------------------------------------------------
+    # Diagnostics & results
+    # ------------------------------------------------------------------
+
+    def _deadlock_dump(self, cycle: int) -> None:
+        holders = [m for m in self._need_route if m.chain] + self._ejecting
+        detail = "; ".join(repr(m) for m in holders[:8])
+        raise SimulationError(
+            f"no progress for {_WATCHDOG_GRACE} cycles at cycle {cycle} with "
+            f"{self._in_flight} messages in flight — routing deadlock? ({detail})"
+        )
+
+    def _result(self) -> SimulationResult:
+        cfg = self.config
+        measured_window = cfg.measure_cycles * self.topology.num_nodes
+        accepted = self._injected_in_window / measured_window if measured_window else 0.0
+        backlog = sum(len(q) for q in self._queues)
+        incomplete = self._measured_in_flight
+        saturated = False
+        if cfg.generation_rate > 0:
+            # A stable network ends with an O(1) source backlog and
+            # (almost) every measured message completed within the drain
+            # window; a saturated one accumulates queue length linearly.
+            if backlog > max(20.0, 0.02 * self._generated):
+                saturated = True
+            if incomplete > 0.05 * max(self._measured_generated, 1):
+                saturated = True
+        total_capacity = len(self.channels) * max(self.cycle, 1)
+        utilization = sum(ch.transfers for ch in self.channels) / total_capacity
+        return SimulationResult(
+            mean_latency=self._lat.mean,
+            mean_network_latency=self._net_lat.mean,
+            mean_source_wait=self._src_wait.mean,
+            latency_ci=self._lat.ci_halfwidth(),
+            messages_measured=self._lat.count,
+            messages_generated=self._generated,
+            messages_completed=self._completed,
+            saturated=saturated,
+            offered_rate=cfg.generation_rate,
+            accepted_rate=accepted,
+            mean_multiplexing=self._sampler.multiplexing_degree,
+            channel_utilization=utilization,
+            cycles_run=self.cycle,
+            backlog=backlog,
+            hop_blocking=self.hop_blocking,
+        )
+
+
+def simulate(
+    topology: Topology,
+    algorithm: RoutingAlgorithm,
+    config: SimulationConfig,
+) -> SimulationResult:
+    """Build and run a :class:`WormholeSimulator` (convenience wrapper)."""
+    return WormholeSimulator(topology, algorithm, config).run()

@@ -1,0 +1,190 @@
+"""Message and channel state for the flit-level simulator.
+
+Flits are not materialised as objects: wormhole flow control only needs
+*counts* — how many flits of a message have entered each virtual channel
+and how many sit in its downstream buffer.  A message therefore owns an
+ordered chain of :class:`VirtualChannel` records from its source towards
+its header, and flit movement is pure integer bookkeeping.  This keeps the
+simulator allocation-free on the per-cycle fast path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.routing.base import MessageRouteState
+
+__all__ = ["Message", "VirtualChannel", "PhysicalChannel"]
+
+
+class Message:
+    """One wormhole message (a worm of ``length`` flits)."""
+
+    __slots__ = (
+        "mid",
+        "src",
+        "dst",
+        "length",
+        "t_gen",
+        "t_inject",
+        "t_done",
+        "route_state",
+        "chain",
+        "injected",
+        "ejected",
+        "routing_complete",
+        "header_node",
+        "dist_remaining",
+        "measured",
+        "hop_first_attempt",
+    )
+
+    def __init__(self, mid: int, src: int, dst: int, length: int, t_gen: float, dist: int):
+        self.mid = mid
+        self.src = src
+        self.dst = dst
+        self.length = length
+        self.t_gen = t_gen
+        self.t_inject: float | None = None
+        self.t_done: float | None = None
+        self.route_state = MessageRouteState()
+        #: Virtual channels currently held, source side first.
+        self.chain: deque[VirtualChannel] = deque()
+        #: Flits that have left the source PE into the first channel.
+        self.injected = 0
+        #: Flits absorbed by the destination PE.
+        self.ejected = 0
+        self.routing_complete = False
+        #: Node where the header currently is (or will arrive).
+        self.header_node = src
+        self.dist_remaining = dist
+        #: Whether this message counts towards statistics.
+        self.measured = False
+        #: Cycle at which the header first requested its current hop
+        #: (``None`` between hops) — feeds per-hop blocking statistics.
+        self.hop_first_attempt: int | None = None
+
+    @property
+    def head_vc(self) -> Optional["VirtualChannel"]:
+        """Most recently acquired channel (``None`` before injection)."""
+        return self.chain[-1] if self.chain else None
+
+    def header_ready(self) -> bool:
+        """True when the header flit is available for the next allocation."""
+        if self.routing_complete:
+            return False
+        head = self.head_vc
+        if head is None:
+            return True  # header still at the source PE
+        return head.delivered >= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Message(#{self.mid} {self.src}->{self.dst} len={self.length} "
+            f"inj={self.injected} ej={self.ejected} hops={self.route_state.hops_taken})"
+        )
+
+
+class VirtualChannel:
+    """One virtual channel of a physical channel, with its input buffer."""
+
+    __slots__ = ("channel", "index", "owner", "buffered", "delivered", "upstream")
+
+    def __init__(self, channel: "PhysicalChannel", index: int):
+        self.channel = channel
+        self.index = index
+        self.owner: Message | None = None
+        #: Flits currently waiting in this VC's downstream input buffer.
+        self.buffered = 0
+        #: Flits (of the owning message) that have crossed this channel.
+        self.delivered = 0
+        #: Previous VC in the owner's chain (``None`` = source PE).
+        self.upstream: VirtualChannel | None = None
+
+    def acquire(self, msg: Message) -> None:
+        """Claim this VC for ``msg`` and link it into the message chain."""
+        assert self.owner is None, "acquiring an owned virtual channel"
+        self.owner = msg
+        self.buffered = 0
+        self.delivered = 0
+        self.upstream = msg.chain[-1] if msg.chain else None
+        msg.chain.append(self)
+        self.channel.on_acquire(self)
+
+    def release(self) -> None:
+        """Free the VC after the owner's tail flit has drained through."""
+        assert self.owner is not None, "releasing a free virtual channel"
+        assert self.buffered == 0 and self.delivered == self.owner.length
+        msg = self.owner
+        assert msg.chain[0] is self, "chain must release in order"
+        msg.chain.popleft()
+        self.owner = None
+        self.upstream = None
+        self.channel.on_release(self)
+
+    def upstream_has_flit(self) -> bool:
+        """True when a flit of the *owner* is available to cross.
+
+        A fully-delivered VC (all ``length`` flits crossed) must never
+        pull again: its upstream pointer may dangle onto a channel that
+        has been released and re-acquired by a different message.
+        """
+        owner = self.owner
+        if owner is None or self.delivered >= owner.length:
+            return False
+        if self.upstream is None:
+            return owner.injected < owner.length
+        return self.upstream.buffered > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        own = f"msg#{self.owner.mid}" if self.owner else "free"
+        return f"VC({self.channel.cid}.{self.index} {own} buf={self.buffered} del={self.delivered})"
+
+
+class PhysicalChannel:
+    """A directed network channel with V multiplexed virtual channels."""
+
+    __slots__ = ("cid", "src", "dst", "port", "vcs", "active", "rr", "transfers")
+
+    def __init__(self, cid: int, src: int, dst: int, port: int, num_vcs: int):
+        self.cid = cid
+        self.src = src
+        self.dst = dst
+        self.port = port
+        self.vcs = [VirtualChannel(self, i) for i in range(num_vcs)]
+        #: Currently owned VCs, maintained by acquire/release.
+        self.active: list[VirtualChannel] = []
+        #: Round-robin pointer into :attr:`active`.
+        self.rr = 0
+        #: Total flits transported (utilisation statistics).
+        self.transfers = 0
+
+    def on_acquire(self, vc: VirtualChannel) -> None:
+        self.active.append(vc)
+
+    def on_release(self, vc: VirtualChannel) -> None:
+        idx = self.active.index(vc)
+        self.active.pop(idx)
+        if idx < self.rr:
+            self.rr -= 1
+        if self.active and self.rr >= len(self.active):
+            self.rr = 0
+
+    @property
+    def busy_count(self) -> int:
+        """Number of currently owned virtual channels."""
+        return len(self.active)
+
+    def pick_transfer(self, buffer_depth: int) -> VirtualChannel | None:
+        """Round-robin choice of the VC that sends a flit this cycle."""
+        n = len(self.active)
+        for step in range(n):
+            vc = self.active[(self.rr + step) % n]
+            if vc.buffered < buffer_depth and vc.upstream_has_flit():
+                self.rr = (self.rr + step + 1) % n
+                return vc
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Channel({self.cid}: {self.src}->{self.dst} port={self.port} busy={self.busy_count})"

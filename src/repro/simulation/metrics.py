@@ -1,0 +1,237 @@
+"""Measurement infrastructure: latency accumulators and run results.
+
+Latencies follow the paper's definitions (section 5):
+
+* *message latency* — generation until the last flit reaches the
+  destination PE;
+* *network latency* — first-channel acquisition until the last flit
+  reaches the destination PE;
+* *source queueing time* — generation until first-channel acquisition.
+
+Confidence intervals use the method of batch means over the measurement
+window (messages are assigned to batches by generation time).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "LatencyAccumulator",
+    "ChannelLoadSampler",
+    "HopBlockingStats",
+    "SimulationResult",
+]
+
+
+class HopBlockingStats:
+    """Measured per-hop blocking — the simulator's view of Eq. (6).
+
+    For every hop index k (1-based) this tracks how many headers
+    requested that hop, how many found all eligible virtual channels busy
+    on the first attempt, and how long blocked headers waited — directly
+    comparable with the model's ``P_block(k)`` and ``w``.
+    """
+
+    def __init__(self, max_hops: int):
+        if max_hops < 1:
+            raise ValueError("max_hops must be >= 1")
+        self.max_hops = max_hops
+        self._requests = [0] * (max_hops + 1)
+        self._blocked = [0] * (max_hops + 1)
+        self._wait_total = [0.0] * (max_hops + 1)
+
+    def record(self, hop_index: int, waited: float) -> None:
+        """One completed hop allocation: ``waited`` cycles before success."""
+        k = min(max(hop_index, 1), self.max_hops)
+        self._requests[k] += 1
+        if waited > 0:
+            self._blocked[k] += 1
+            self._wait_total[k] += waited
+
+    def blocking_probability(self, k: int) -> float:
+        """P(header found no eligible VC when first requesting hop k)."""
+        if self._requests[k] == 0:
+            return math.nan
+        return self._blocked[k] / self._requests[k]
+
+    def mean_wait_when_blocked(self, k: int) -> float:
+        """Mean cycles a blocked header waited at hop k (the paper's w)."""
+        if self._blocked[k] == 0:
+            return math.nan
+        return self._wait_total[k] / self._blocked[k]
+
+    def mean_blocking_delay(self, k: int) -> float:
+        """P_block(k) * w(k) — the per-hop term B of paper Eq. (6)."""
+        if self._requests[k] == 0:
+            return math.nan
+        return self._wait_total[k] / self._requests[k]
+
+    def as_rows(self) -> list[dict]:
+        """Table rows for hops that saw traffic."""
+        out = []
+        for k in range(1, self.max_hops + 1):
+            if self._requests[k] == 0:
+                continue
+            out.append(
+                {
+                    "hop": k,
+                    "requests": self._requests[k],
+                    "p_block": round(self.blocking_probability(k), 5),
+                    "wait_when_blocked": (
+                        round(self.mean_wait_when_blocked(k), 3)
+                        if self._blocked[k]
+                        else 0.0
+                    ),
+                    "blocking_delay": round(self.mean_blocking_delay(k), 4),
+                }
+            )
+        return out
+
+
+class LatencyAccumulator:
+    """Streaming mean/variance plus batch means for one latency metric."""
+
+    def __init__(self, batches: int, t_start: float, t_end: float):
+        if batches < 1:
+            raise ValueError("batches must be >= 1")
+        if t_end <= t_start:
+            raise ValueError("empty measurement window")
+        self._batches = batches
+        self._t0 = t_start
+        self._width = (t_end - t_start) / batches
+        self._sum = 0.0
+        self._sumsq = 0.0
+        self._count = 0
+        self._batch_sum = [0.0] * batches
+        self._batch_count = [0] * batches
+
+    def add(self, t_gen: float, value: float) -> None:
+        """Record one message's latency, batched by generation time."""
+        self._sum += value
+        self._sumsq += value * value
+        self._count += 1
+        b = int((t_gen - self._t0) / self._width)
+        b = min(max(b, 0), self._batches - 1)
+        self._batch_sum[b] += value
+        self._batch_count[b] += 1
+
+    @property
+    def count(self) -> int:
+        """Number of recorded messages."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (NaN when empty)."""
+        return self._sum / self._count if self._count else math.nan
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (NaN when < 2 samples)."""
+        if self._count < 2:
+            return math.nan
+        var = (self._sumsq - self._sum * self._sum / self._count) / (self._count - 1)
+        return math.sqrt(max(var, 0.0))
+
+    def batch_means(self) -> list[float]:
+        """Per-batch means (non-empty batches only)."""
+        return [
+            s / c for s, c in zip(self._batch_sum, self._batch_count) if c > 0
+        ]
+
+    def ci_halfwidth(self) -> float:
+        """~95% half-width from batch means (NaN with < 2 batches).
+
+        Uses the normal critical value 1.96; with the default 8 batches
+        the Student-t correction would widen this by ~20%, which is within
+        the accuracy we claim for the reproduction.
+        """
+        means = self.batch_means()
+        k = len(means)
+        if k < 2:
+            return math.nan
+        mu = sum(means) / k
+        var = sum((m - mu) ** 2 for m in means) / (k - 1)
+        return 1.96 * math.sqrt(var / k)
+
+
+class ChannelLoadSampler:
+    """Periodic sampler of per-channel busy-VC counts.
+
+    Estimates the average multiplexing degree of Dally's equation (19):
+    V̄ = E[v²] / E[v] with v the number of busy VCs at a channel.  Idle
+    channels contribute zero to both moments, so sampling only busy
+    channels is exact.
+    """
+
+    def __init__(self, num_channels: int):
+        self._num_channels = num_channels
+        self._samples = 0
+        self._sum_v = 0
+        self._sum_v2 = 0
+        self._busy_channel_samples = 0
+
+    def sample(self, busy_counts: list[int]) -> None:
+        """Record one snapshot given the busy-VC count of busy channels."""
+        self._samples += 1
+        for v in busy_counts:
+            self._sum_v += v
+            self._sum_v2 += v * v
+            self._busy_channel_samples += 1
+
+    @property
+    def multiplexing_degree(self) -> float:
+        """V̄ estimate (1.0 when no traffic was observed)."""
+        if self._sum_v == 0:
+            return 1.0
+        return self._sum_v2 / self._sum_v
+
+    @property
+    def mean_busy_vcs(self) -> float:
+        """Average busy VCs per channel (over all channels and samples)."""
+        if self._samples == 0:
+            return 0.0
+        return self._sum_v / (self._samples * self._num_channels)
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    mean_latency: float
+    mean_network_latency: float
+    mean_source_wait: float
+    latency_ci: float
+    messages_measured: int
+    messages_generated: int
+    messages_completed: int
+    saturated: bool
+    offered_rate: float
+    accepted_rate: float
+    mean_multiplexing: float
+    channel_utilization: float
+    cycles_run: int
+    backlog: int
+    #: Per-hop measured blocking (None when instrumentation disabled).
+    hop_blocking: HopBlockingStats | None = None
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view (rounded for table rendering)."""
+        return {
+            "mean_latency": round(self.mean_latency, 3),
+            "mean_network_latency": round(self.mean_network_latency, 3),
+            "mean_source_wait": round(self.mean_source_wait, 3),
+            "latency_ci": round(self.latency_ci, 3) if not math.isnan(self.latency_ci) else None,
+            "messages_measured": self.messages_measured,
+            "messages_generated": self.messages_generated,
+            "messages_completed": self.messages_completed,
+            "saturated": self.saturated,
+            "offered_rate": self.offered_rate,
+            "accepted_rate": round(self.accepted_rate, 6),
+            "mean_multiplexing": round(self.mean_multiplexing, 4),
+            "channel_utilization": round(self.channel_utilization, 4),
+            "cycles_run": self.cycles_run,
+            "backlog": self.backlog,
+        }

@@ -1,0 +1,51 @@
+"""Interconnection-network topologies and their routing structure.
+
+The star graph S_n (the paper's subject) is the primary topology; a binary
+hypercube is provided for the comparative studies of paper section 2 and
+the stated future work (star vs. equivalent hypercube).
+"""
+
+from repro.topology.base import Topology
+from repro.topology.hypercube import Hypercube
+from repro.topology.permutations import (
+    compose,
+    cycle_structure,
+    identity,
+    invert,
+    parity,
+    permutation_rank,
+    permutation_unrank,
+    random_permutation,
+    star_distance,
+    star_neighbor,
+)
+from repro.topology.routing_sets import (
+    CycleType,
+    HopStats,
+    PathSetEnumerator,
+    cycle_type_of,
+    enumerate_minimal_paths,
+)
+from repro.topology.star import StarGraph, profitable_ports_of_relative
+
+__all__ = [
+    "Topology",
+    "StarGraph",
+    "Hypercube",
+    "identity",
+    "compose",
+    "invert",
+    "parity",
+    "cycle_structure",
+    "permutation_rank",
+    "permutation_unrank",
+    "random_permutation",
+    "star_distance",
+    "star_neighbor",
+    "profitable_ports_of_relative",
+    "cycle_type_of",
+    "enumerate_minimal_paths",
+    "CycleType",
+    "HopStats",
+    "PathSetEnumerator",
+]

@@ -1,0 +1,245 @@
+"""Permutation algebra underlying the star graph S_n.
+
+Star-graph nodes are the n! permutations of the symbols 1..n.  We represent
+a permutation as a tuple ``p`` of length n with ``p[i]`` the symbol at
+*position* i+1, so the identity is ``(1, 2, ..., n)`` and the paper's
+generator "interchange the first and i-th symbols" is
+:func:`star_neighbor` with ``dim = i``.
+
+Node *indices* (0 .. n!-1) use the Lehmer code via
+:func:`permutation_rank` / :func:`permutation_unrank`; index 0 is always
+the identity, which the analytical model uses as its canonical source node.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.exceptions import TopologyError
+
+__all__ = [
+    "identity",
+    "is_permutation",
+    "compose",
+    "invert",
+    "apply_to",
+    "parity",
+    "cycle_structure",
+    "cycles_of",
+    "star_neighbor",
+    "star_distance",
+    "permutation_rank",
+    "permutation_unrank",
+    "random_permutation",
+    "all_permutations",
+    "relative_permutation",
+]
+
+Perm = tuple[int, ...]
+
+
+def identity(n: int) -> Perm:
+    """The identity permutation (1, 2, ..., n)."""
+    if n < 1:
+        raise TopologyError(f"permutation size must be >= 1, got {n}")
+    return tuple(range(1, n + 1))
+
+
+def is_permutation(p: Sequence[int]) -> bool:
+    """True iff ``p`` is a permutation of 1..len(p)."""
+    n = len(p)
+    return sorted(p) == list(range(1, n + 1))
+
+
+def _check(p: Sequence[int]) -> None:
+    if not is_permutation(p):
+        raise TopologyError(f"not a permutation of 1..{len(p)}: {p!r}")
+
+
+def compose(p: Sequence[int], q: Sequence[int]) -> Perm:
+    """The composition p∘q: position i holds ``p[q[i]-1]``.
+
+    Applying ``compose(p, q)`` is "first q, then p" when permutations are
+    read as functions from positions to symbols.
+    """
+    if len(p) != len(q):
+        raise TopologyError("cannot compose permutations of different sizes")
+    return tuple(p[x - 1] for x in q)
+
+
+def invert(p: Sequence[int]) -> Perm:
+    """The inverse permutation: ``invert(p)[p[i]-1] == i+1``."""
+    inv = [0] * len(p)
+    for pos, sym in enumerate(p):
+        inv[sym - 1] = pos + 1
+    return tuple(inv)
+
+
+def apply_to(p: Sequence[int], items: Sequence) -> tuple:
+    """Rearrange ``items`` so that slot i receives ``items[p[i]-1]``."""
+    if len(p) != len(items):
+        raise TopologyError("permutation size does not match item count")
+    return tuple(items[x - 1] for x in p)
+
+
+def parity(p: Sequence[int]) -> int:
+    """Parity of the permutation: 0 for even, 1 for odd.
+
+    In the star graph every generator is a transposition, so the parity of
+    a node equals its colour in the bipartition used by the negative-hop
+    routing scheme (section 3 of the paper).
+    """
+    n = len(p)
+    seen = [False] * n
+    transpositions = 0
+    for start in range(n):
+        if seen[start]:
+            continue
+        length = 0
+        j = start
+        while not seen[j]:
+            seen[j] = True
+            j = p[j] - 1
+            length += 1
+        transpositions += length - 1
+    return transpositions & 1
+
+
+def cycles_of(p: Sequence[int]) -> list[list[int]]:
+    """Disjoint cycles of ``p`` (positions, 1-based), fixed points included.
+
+    Each cycle lists positions in traversal order starting from its
+    smallest position: position j is followed by position p[j] (the
+    position where the symbol currently at j belongs).
+    """
+    n = len(p)
+    seen = [False] * n
+    cycles: list[list[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        cyc = []
+        j = start
+        while not seen[j]:
+            seen[j] = True
+            cyc.append(j + 1)
+            j = p[j] - 1
+        cycles.append(cyc)
+    return cycles
+
+
+def cycle_structure(p: Sequence[int]) -> tuple[int, int, int]:
+    """Return ``(m, c, ell)`` — the star-distance ingredients.
+
+    * ``m``  : number of displaced symbols (positions in non-trivial cycles)
+    * ``c``  : number of non-trivial cycles (length >= 2)
+    * ``ell``: length of the cycle containing position 1 (0 when position 1
+      is a fixed point)
+
+    The star-graph distance to the identity (Akers/Harel/Krishnamurthy) is
+    ``m + c`` when position 1 is home and ``m + c - 2`` otherwise; see
+    :func:`star_distance`.
+    """
+    m = 0
+    c = 0
+    ell = 0
+    for cyc in cycles_of(p):
+        if len(cyc) >= 2:
+            m += len(cyc)
+            c += 1
+            if 1 in cyc:
+                ell = len(cyc)
+    return m, c, ell
+
+
+def star_neighbor(p: Sequence[int], dim: int) -> Perm:
+    """The neighbour of ``p`` along dimension ``dim`` (2 <= dim <= n).
+
+    Dimension ``dim`` interchanges the first and dim-th symbols — the
+    paper's edge set ``[v1 v2 .. vi .. vn,  vi v2 .. v1 .. vn]``.
+    """
+    n = len(p)
+    if not (2 <= dim <= n):
+        raise TopologyError(f"star dimension must be in [2, {n}], got {dim}")
+    q = list(p)
+    q[0], q[dim - 1] = q[dim - 1], q[0]
+    return tuple(q)
+
+
+def star_distance(p: Sequence[int]) -> int:
+    """Minimal number of star moves from ``p`` to the identity.
+
+    Closed form from the cycle structure: ``m + c`` if the first symbol is
+    home, else ``m + c - 2``.
+    """
+    m, c, _ = cycle_structure(p)
+    if p[0] == 1:
+        return m + c
+    return m + c - 2
+
+
+def permutation_rank(p: Sequence[int]) -> int:
+    """Lexicographic rank of ``p`` among all permutations of 1..n.
+
+    The identity has rank 0 and ranks are dense in 0 .. n!-1, providing the
+    node indexing used throughout the simulator.
+    """
+    _check(p)
+    n = len(p)
+    rank = 0
+    fact = math.factorial(n - 1)
+    remaining = list(range(1, n + 1))
+    for i, sym in enumerate(p):
+        idx = remaining.index(sym)
+        rank += idx * fact
+        remaining.pop(idx)
+        if i < n - 1:
+            fact //= n - 1 - i
+    return rank
+
+
+def permutation_unrank(rank: int, n: int) -> Perm:
+    """Inverse of :func:`permutation_rank`."""
+    total = math.factorial(n)
+    if not (0 <= rank < total):
+        raise TopologyError(f"rank {rank} out of range for n={n} ({total} perms)")
+    remaining = list(range(1, n + 1))
+    out = []
+    fact = math.factorial(n - 1)
+    for i in range(n):
+        idx, rank = divmod(rank, fact)
+        out.append(remaining.pop(idx))
+        if i < n - 1:
+            fact //= n - 1 - i
+    return tuple(out)
+
+
+def random_permutation(n: int, rng: np.random.Generator) -> Perm:
+    """A uniformly random permutation of 1..n drawn from ``rng``."""
+    return tuple(int(x) + 1 for x in rng.permutation(n))
+
+
+@lru_cache(maxsize=8)
+def all_permutations(n: int) -> tuple[Perm, ...]:
+    """All n! permutations in rank order (cached; intended for n <= 7)."""
+    if n > 8:
+        raise TopologyError(
+            f"refusing to materialise {math.factorial(n)} permutations; "
+            "use the cycle-type machinery for large n"
+        )
+    return tuple(permutation_unrank(r, n) for r in range(math.factorial(n)))
+
+
+def relative_permutation(src: Sequence[int], dst: Sequence[int]) -> Perm:
+    """The residual permutation that routing must reduce to the identity.
+
+    A message at node ``src`` destined for ``dst`` behaves exactly like a
+    message at ``relative_permutation(src, dst)`` destined for the
+    identity: applying a star generator to the node applies the same
+    generator to the residual.  Formally ``dst^{-1} ∘ src``.
+    """
+    return compose(invert(dst), src)

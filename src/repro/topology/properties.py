@@ -1,0 +1,83 @@
+"""Topological comparisons of section 2: star graph vs. hypercube.
+
+The paper's argument for the star graph is quantitative: with ~n! nodes,
+degree and diameter are sub-logarithmic in N for S_n but logarithmic for
+the hypercube.  :func:`comparison_table` regenerates those numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.topology.hypercube import Hypercube, equivalent_hypercube_dimension
+from repro.topology.star import StarGraph, star_average_distance_closed_form
+
+__all__ = ["TopologyRow", "star_row", "hypercube_row", "comparison_table"]
+
+
+@dataclass(frozen=True)
+class TopologyRow:
+    """One line of the section-2 comparison."""
+
+    name: str
+    nodes: int
+    degree: int
+    diameter: int
+    average_distance: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for table rendering and JSON export."""
+        return {
+            "name": self.name,
+            "nodes": self.nodes,
+            "degree": self.degree,
+            "diameter": self.diameter,
+            "average_distance": round(self.average_distance, 4),
+        }
+
+
+def star_row(n: int) -> TopologyRow:
+    """Properties of S_n without materialising the graph (any n >= 2)."""
+    return TopologyRow(
+        name=f"S{n}",
+        nodes=math.factorial(n),
+        degree=n - 1,
+        diameter=(3 * (n - 1)) // 2,
+        average_distance=star_average_distance_closed_form(n),
+    )
+
+
+def hypercube_row(k: int) -> TopologyRow:
+    """Properties of Q_k without materialising the graph."""
+    return TopologyRow(
+        name=f"Q{k}",
+        nodes=1 << k,
+        degree=k,
+        diameter=k,
+        average_distance=k * (1 << (k - 1)) / ((1 << k) - 1),
+    )
+
+
+def comparison_table(n_values: tuple[int, ...] = (3, 4, 5, 6, 7, 8, 9)) -> list[TopologyRow]:
+    """S_n rows interleaved with their equivalent (>= n! node) hypercubes."""
+    rows: list[TopologyRow] = []
+    for n in n_values:
+        rows.append(star_row(n))
+        rows.append(hypercube_row(equivalent_hypercube_dimension(math.factorial(n))))
+    return rows
+
+
+def verify_row(row: TopologyRow) -> bool:
+    """Cross-check a row against an explicit graph (small sizes only)."""
+    if row.name.startswith("S"):
+        g: StarGraph | Hypercube = StarGraph(int(row.name[1:]))
+    else:
+        g = Hypercube(int(row.name[1:]))
+    ok = (
+        g.num_nodes == row.nodes
+        and g.degree == row.degree
+        and g.diameter() == row.diameter
+        and abs(g.average_distance() - row.average_distance) < 1e-9
+    )
+    return ok

@@ -1,0 +1,341 @@
+"""Minimal-path structure of the star graph: path sets and f(i, j, k).
+
+The hardest ingredient of the paper's model is the "number of output
+channels for the k-th hop of the j-th path set" — how much adaptivity a
+message still has at every step.  In S_n this quantity depends only on the
+*cycle type* of the residual permutation:
+
+* position-1 symbol displaced (own cycle of length ``ell``):
+  ``f = 1 + (m - ell)`` — send the first symbol home, or merge with any
+  position of another non-trivial cycle;
+* position-1 symbol home: ``f = m`` — enter any non-trivial cycle.
+
+Minimal hops transform cycle types predictably, so the whole minimal-path
+DAG collapses onto the (small) lattice of cycle types.  This module builds
+that lattice, counts minimal paths through it, and produces, for every
+destination class and hop index, the exact probability distribution of f
+over uniformly chosen minimal paths ("path sets" in the paper's language).
+An explicit permutation-level enumeration is provided for cross-checking
+on small networks.
+
+The collapse is what lets the analytical model run for S_10 and beyond in
+milliseconds — precisely the "large systems that are infeasible to
+simulate" motivation of the paper's introduction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterator, Sequence
+
+from repro.topology import permutations as pm
+from repro.topology.star import profitable_ports_of_relative
+from repro.utils.exceptions import TopologyError
+
+__all__ = [
+    "CycleType",
+    "cycle_type_of",
+    "count_permutations_of_type",
+    "all_cycle_types",
+    "HopStats",
+    "PathSetEnumerator",
+    "enumerate_minimal_paths",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class CycleType:
+    """Cycle type of a residual permutation, as routing sees it.
+
+    Attributes
+    ----------
+    ell:
+        Length of the cycle containing position 1, or 0 when the first
+        symbol is home.  ``ell == 1`` is never used (a 1-cycle is "home").
+    others:
+        Sorted (ascending) lengths of the remaining non-trivial cycles.
+    """
+
+    ell: int
+    others: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.ell == 1 or self.ell < 0:
+            raise TopologyError(f"invalid own-cycle length {self.ell}")
+        if any(a < 2 for a in self.others):
+            raise TopologyError(f"non-trivial cycles must have length >= 2: {self}")
+        if tuple(sorted(self.others)) != self.others:
+            raise TopologyError(f"others must be sorted ascending: {self}")
+
+    @property
+    def m(self) -> int:
+        """Number of displaced symbols."""
+        return (self.ell if self.ell >= 2 else 0) + sum(self.others)
+
+    @property
+    def c(self) -> int:
+        """Number of non-trivial cycles."""
+        return (1 if self.ell >= 2 else 0) + len(self.others)
+
+    @property
+    def distance(self) -> int:
+        """Star distance to the identity (Akers-Krishnamurthy)."""
+        if self.ell >= 2:
+            return self.m + self.c - 2
+        return self.m + self.c
+
+    @property
+    def f(self) -> int:
+        """Number of profitable output channels (the paper's f)."""
+        if self.ell >= 2:
+            return 1 + sum(self.others)
+        return self.m
+
+    @property
+    def is_identity(self) -> bool:
+        """True for the destination-reached state."""
+        return self.ell == 0 and not self.others
+
+    def transitions(self) -> list[tuple["CycleType", int]]:
+        """Profitable successors with multiplicities (sum == ``f``).
+
+        Each entry ``(child, w)`` means ``w`` distinct star moves lead from
+        a permutation of this type to permutations of type ``child``; every
+        move decreases the distance by exactly one.
+        """
+        out: list[tuple[CycleType, int]] = []
+        if self.ell >= 2:
+            # Send the first symbol home (1 way).
+            new_ell = self.ell - 1 if self.ell > 2 else 0
+            out.append((CycleType(new_ell, self.others), 1))
+            # Merge the own cycle with another cycle of length a (a ways
+            # per cycle: any of its positions).
+            for a, mult in _multiplicities(self.others):
+                out.append(
+                    (CycleType(self.ell + a, _remove_one(self.others, a)), a * mult)
+                )
+        else:
+            # Enter a cycle of length a (a ways per cycle).
+            for a, mult in _multiplicities(self.others):
+                out.append(
+                    (CycleType(a + 1, _remove_one(self.others, a)), a * mult)
+                )
+        return out
+
+    def min_symbols(self) -> int:
+        """Smallest n an instance of this type can live in."""
+        return max(self.m if self.ell >= 2 else self.m + 1, 1)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        own = f"[1:{self.ell}]" if self.ell else "[1 home]"
+        return f"CycleType({own}, others={list(self.others)})"
+
+
+def _multiplicities(parts: Sequence[int]) -> list[tuple[int, int]]:
+    """Distinct values of ``parts`` with their multiplicities."""
+    out: list[tuple[int, int]] = []
+    for a in parts:
+        if out and out[-1][0] == a:
+            out[-1] = (a, out[-1][1] + 1)
+        else:
+            out.append((a, 1))
+    return out
+
+
+def _remove_one(parts: tuple[int, ...], value: int) -> tuple[int, ...]:
+    """Copy of ``parts`` with one occurrence of ``value`` removed."""
+    lst = list(parts)
+    lst.remove(value)
+    return tuple(lst)
+
+
+def cycle_type_of(rel: pm.Perm) -> CycleType:
+    """The :class:`CycleType` of a residual permutation."""
+    ell = 0
+    others: list[int] = []
+    for cyc in pm.cycles_of(rel):
+        if len(cyc) < 2:
+            continue
+        if 1 in cyc:
+            ell = len(cyc)
+        else:
+            others.append(len(cyc))
+    return CycleType(ell, tuple(sorted(others)))
+
+
+def count_permutations_of_type(ctype: CycleType, n: int) -> int:
+    """Number of permutations of 1..n whose type is ``ctype``.
+
+    Choose the companions of position 1 and arrange each cycle; unnamed
+    positions are fixed points.
+    """
+    if ctype.min_symbols() > n:
+        return 0
+    if ctype.ell >= 2:
+        ways = math.comb(n - 1, ctype.ell - 1) * math.factorial(ctype.ell - 1)
+        remaining = n - ctype.ell
+    else:
+        ways = 1
+        remaining = n - 1
+    s = sum(ctype.others)
+    if s > remaining:
+        return 0
+    # Permutations of `remaining` labelled elements with non-trivial cycle
+    # lengths exactly `others` and the rest fixed:
+    #   remaining! / ((remaining - s)! * prod(a^k_a * k_a!)).
+    denom = math.factorial(remaining - s)
+    for a, mult in _multiplicities(ctype.others):
+        denom *= (a**mult) * math.factorial(mult)
+    return ways * math.factorial(remaining) // denom
+
+
+def all_cycle_types(n: int) -> list[CycleType]:
+    """Every cycle type realisable in S_n (identity included)."""
+    types: list[CycleType] = []
+    for ell in [0, *range(2, n + 1)]:
+        budget = n - (ell if ell >= 2 else 1)
+        for others in _partitions_min2(budget):
+            types.append(CycleType(ell, others))
+    return types
+
+
+def _partitions_min2(budget: int) -> Iterator[tuple[int, ...]]:
+    """All ascending-sorted tuples of parts >= 2 with sum <= budget."""
+
+    def rec(remaining: int, min_part: int, acc: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+        yield acc
+        for part in range(min_part, remaining + 1):
+            yield from rec(remaining - part, part, acc + (part,))
+
+    yield from rec(budget, 2, ())
+
+
+@dataclass(frozen=True)
+class HopStats:
+    """Per-hop adaptivity statistics for one destination class.
+
+    ``f_dist[k-1]`` maps f -> probability that a message on a uniformly
+    random minimal path has exactly f profitable output channels when
+    making its k-th hop (k = 1 .. distance).
+    """
+
+    ctype: CycleType
+    distance: int
+    f_dist: tuple[dict[int, float], ...]
+    num_paths: int
+
+    def mean_f(self, k: int) -> float:
+        """Expected adaptivity at hop ``k`` (1-based)."""
+        dist = self.f_dist[k - 1]
+        return sum(f * p for f, p in dist.items())
+
+    def expect_pow(self, k: int, base: float) -> float:
+        """E[base**f] at hop ``k`` — the blocking-probability kernel."""
+        dist = self.f_dist[k - 1]
+        return sum(p * base**f for f, p in dist.items())
+
+
+class PathSetEnumerator:
+    """Path-set statistics for S_n destinations, via the cycle-type DAG.
+
+    This object is cheap to build (the type lattice is tiny even for large
+    n) and caches per-type hop statistics, so the analytical model can
+    query it freely inside its fixed-point iteration.
+    """
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise TopologyError(f"PathSetEnumerator requires n >= 2, got {n}")
+        self._n = n
+        self._paths_cache: dict[CycleType, int] = {}
+        self._stats_cache: dict[CycleType, HopStats] = {}
+
+    @property
+    def n(self) -> int:
+        """Symbol count of the underlying S_n."""
+        return self._n
+
+    def destination_classes(self) -> list[tuple[CycleType, int, int]]:
+        """All destination classes: (type, #destinations, distance).
+
+        Destination counts sum to n! - 1 (all non-identity nodes), and the
+        count-weighted mean distance equals the closed-form d̄ of Eq. (2) —
+        both facts are asserted by the test-suite.
+        """
+        out = []
+        for t in all_cycle_types(self._n):
+            if t.is_identity:
+                continue
+            cnt = count_permutations_of_type(t, self._n)
+            if cnt:
+                out.append((t, cnt, t.distance))
+        return out
+
+    def num_paths(self, ctype: CycleType) -> int:
+        """Number of minimal paths from a ``ctype`` state to the identity."""
+        hit = self._paths_cache.get(ctype)
+        if hit is not None:
+            return hit
+        if ctype.is_identity:
+            result = 1
+        else:
+            result = sum(w * self.num_paths(child) for child, w in ctype.transitions())
+        self._paths_cache[ctype] = result
+        return result
+
+    def hop_stats(self, ctype: CycleType) -> HopStats:
+        """Exact per-hop f distribution over uniform minimal paths."""
+        hit = self._stats_cache.get(ctype)
+        if hit is not None:
+            return hit
+        h = ctype.distance
+        total = self.num_paths(ctype)
+        # Forward sweep: `level` maps state -> number of path-prefixes of
+        # length (k-1) from ctype reaching it; weighting each state by
+        # (#prefixes * #suffixes)/total gives the uniform-path occupancy.
+        level: dict[CycleType, int] = {ctype: 1}
+        dists: list[dict[int, float]] = []
+        for _ in range(h):
+            dist_k: dict[int, float] = {}
+            for state, ways in level.items():
+                mass = ways * self.num_paths(state) / total
+                dist_k[state.f] = dist_k.get(state.f, 0.0) + mass
+            dists.append(dist_k)
+            nxt: dict[CycleType, int] = {}
+            for state, ways in level.items():
+                for child, w in state.transitions():
+                    nxt[child] = nxt.get(child, 0) + ways * w
+            level = nxt
+        # The forward sweep must terminate exactly at the identity.
+        if list(level.keys()) != [CycleType(0, ())]:
+            raise TopologyError(f"path DAG for {ctype} did not converge to identity")
+        stats = HopStats(ctype=ctype, distance=h, f_dist=tuple(dists), num_paths=total)
+        self._stats_cache[ctype] = stats
+        return stats
+
+    def mean_distance(self) -> float:
+        """Count-weighted mean distance over destinations (checks Eq. 2)."""
+        classes = self.destination_classes()
+        total = sum(cnt for _, cnt, _ in classes)
+        return sum(cnt * d for _, cnt, d in classes) / total
+
+
+def enumerate_minimal_paths(rel: pm.Perm) -> list[list[pm.Perm]]:
+    """All minimal paths from residual ``rel`` to the identity (small n).
+
+    Each path is the list of visited residual permutations, starting at
+    ``rel`` and ending at the identity.  Exponential — test/verification
+    use only.
+    """
+    n = len(rel)
+    ident = pm.identity(n)
+    if rel == ident:
+        return [[ident]]
+    paths: list[list[pm.Perm]] = []
+    for port in profitable_ports_of_relative(rel):
+        child = pm.star_neighbor(rel, port + 2)
+        for tail in enumerate_minimal_paths(child):
+            paths.append([rel, *tail])
+    return paths

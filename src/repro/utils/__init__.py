@@ -1,0 +1,32 @@
+"""Shared low-level utilities: math helpers, RNG streams, exceptions."""
+
+from repro.utils.exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+)
+from repro.utils.mathx import (
+    binomial,
+    harmonic,
+    prob_busy_covers,
+    safe_div,
+    validate_probability,
+)
+from repro.utils.rng import RngStreams, spawn_generator
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ConvergenceError",
+    "SimulationError",
+    "TopologyError",
+    "binomial",
+    "harmonic",
+    "prob_busy_covers",
+    "safe_div",
+    "validate_probability",
+    "RngStreams",
+    "spawn_generator",
+]

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter combination was supplied by the caller.
+
+    Raised eagerly at object-construction time so that misconfigured
+    experiments fail before any expensive computation starts.
+    """
+
+
+class TopologyError(ReproError, ValueError):
+    """A topology query was made with out-of-range nodes or dimensions."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """The analytical model's fixed-point iteration failed to converge.
+
+    This is distinct from *saturation*: a saturated operating point is a
+    legitimate model output (reported as ``latency == inf``), whereas a
+    :class:`ConvergenceError` indicates oscillation that damping could not
+    suppress within the iteration budget.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulator reached an inconsistent state.
+
+    The simulator is heavily asserted; this error indicates a bug in the
+    routing algorithm under test (for example a deadlock detected by the
+    watchdog) rather than a transient condition.
+    """

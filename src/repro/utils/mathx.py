@@ -1,0 +1,93 @@
+"""Small numerical helpers used across the model and the simulator.
+
+These are deliberately dependency-light (``math`` only) so they can be
+unit-tested exhaustively and reused from hot loops without NumPy overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+__all__ = [
+    "binomial",
+    "harmonic",
+    "prob_busy_covers",
+    "safe_div",
+    "validate_probability",
+    "clamp",
+]
+
+
+@lru_cache(maxsize=None)
+def binomial(n: int, k: int) -> int:
+    """Binomial coefficient C(n, k); zero outside the valid range.
+
+    Unlike :func:`math.comb` this tolerates negative or too-large ``k``
+    (returning 0), which keeps the blocking-probability sums free of edge
+    case branching.
+    """
+    if k < 0 or k > n or n < 0:
+        return 0
+    return math.comb(n, k)
+
+
+@lru_cache(maxsize=None)
+def harmonic(n: int) -> float:
+    """The n-th harmonic number H_n = sum_{i=1}^{n} 1/i (H_0 = 0)."""
+    if n < 0:
+        raise ValueError(f"harmonic() requires n >= 0, got {n}")
+    return sum(1.0 / i for i in range(1, n + 1))
+
+
+def prob_busy_covers(p_busy: list[float] | tuple[float, ...], eligible: int) -> float:
+    """Probability that the busy virtual channels cover all eligible ones.
+
+    Given ``p_busy[v]`` = steady-state probability that exactly ``v`` of the
+    ``V`` virtual channels of a physical channel are busy, return the
+    probability that a random busy set of that size contains a fixed set of
+    ``eligible`` channels:
+
+        P = sum_{v >= eligible} p_busy[v] * C(v, eligible) / C(V, eligible)
+
+    This is the per-channel blocking kernel of the paper's equations
+    (9)-(11): a message that may use ``eligible`` of the V virtual channels
+    is blocked at the channel exactly when all of them are busy.
+
+    ``eligible <= 0`` returns 1.0 (a message with no usable VC is always
+    blocked); ``eligible > V`` is a caller bug and raises.
+    """
+    v_total = len(p_busy) - 1
+    if eligible <= 0:
+        return 1.0
+    if eligible > v_total:
+        raise ValueError(
+            f"eligible={eligible} exceeds the {v_total} virtual channels"
+        )
+    denom = binomial(v_total, eligible)
+    acc = 0.0
+    for v in range(eligible, v_total + 1):
+        acc += p_busy[v] * binomial(v, eligible) / denom
+    # Guard against tiny negative values from cancellation.
+    return min(1.0, max(0.0, acc))
+
+
+def safe_div(num: float, den: float, default: float = 0.0) -> float:
+    """``num / den`` with a default when the denominator is (near) zero."""
+    if abs(den) < 1e-300:
+        return default
+    return num / den
+
+
+def validate_probability(p: float, name: str = "probability") -> float:
+    """Validate that ``p`` lies in [0, 1]; returns it for chaining."""
+    if not (0.0 <= p <= 1.0):
+        raise ValueError(f"{name} must lie in [0, 1], got {p}")
+    return p
+
+
+def clamp(x: float, lo: float, hi: float) -> float:
+    """Clamp ``x`` to the closed interval [lo, hi]."""
+    if lo > hi:
+        raise ValueError(f"empty interval [{lo}, {hi}]")
+    return max(lo, min(hi, x))

@@ -1,0 +1,11 @@
+"""Model-vs-simulation comparison tooling (paper section 5)."""
+
+from repro.validation.compare import CurveComparison, OperatingPoint, compare_curves
+from repro.validation.saturation import estimate_saturation_rate
+
+__all__ = [
+    "OperatingPoint",
+    "CurveComparison",
+    "compare_curves",
+    "estimate_saturation_rate",
+]

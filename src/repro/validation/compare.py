@@ -1,0 +1,69 @@
+"""Quantitative comparison of model predictions against simulation runs.
+
+The paper validates by overlaying curves (Figure 1) and arguing accuracy
+visually; we additionally compute relative errors in the steady-state
+region and around saturation so the reproduction can assert accuracy in
+tests instead of eyeballing plots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["OperatingPoint", "CurveComparison", "compare_curves"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One (rate, model latency, simulated latency) sample."""
+
+    generation_rate: float
+    model_latency: float
+    sim_latency: float
+    model_saturated: bool
+    sim_saturated: bool
+
+    @property
+    def relative_error(self) -> float:
+        """|model - sim| / sim (NaN when either side is saturated)."""
+        if self.model_saturated or self.sim_saturated:
+            return math.nan
+        if self.sim_latency == 0:
+            return math.nan
+        return abs(self.model_latency - self.sim_latency) / self.sim_latency
+
+
+@dataclass(frozen=True)
+class CurveComparison:
+    """Aggregated accuracy statistics over a latency-vs-rate curve."""
+
+    points: tuple[OperatingPoint, ...]
+    mean_relative_error: float
+    max_relative_error: float
+    stable_points: int
+
+    def summary(self) -> str:
+        """One-line human-readable accuracy report."""
+        return (
+            f"{self.stable_points} stable points, mean err "
+            f"{100 * self.mean_relative_error:.1f}%, max err "
+            f"{100 * self.max_relative_error:.1f}%"
+        )
+
+
+def compare_curves(points: list[OperatingPoint]) -> CurveComparison:
+    """Aggregate per-point errors over the mutually stable region."""
+    errors = [p.relative_error for p in points if not math.isnan(p.relative_error)]
+    if errors:
+        mean_err = sum(errors) / len(errors)
+        max_err = max(errors)
+    else:
+        mean_err = math.nan
+        max_err = math.nan
+    return CurveComparison(
+        points=tuple(points),
+        mean_relative_error=mean_err,
+        max_relative_error=max_err,
+        stable_points=len(errors),
+    )

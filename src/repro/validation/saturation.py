@@ -1,0 +1,46 @@
+"""Saturation-point extraction from latency-vs-rate curves."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["estimate_saturation_rate"]
+
+
+def estimate_saturation_rate(
+    rates: Sequence[float],
+    latencies: Sequence[float],
+    threshold_factor: float = 8.0,
+) -> float:
+    """Rate at which the latency curve blows past its zero-load value.
+
+    Returns the first rate whose latency exceeds ``threshold_factor``
+    times the lowest-rate latency (or is infinite), linearly interpolated
+    between the bracketing samples; ``inf`` when the curve never blows up.
+    """
+    if len(rates) != len(latencies) or len(rates) < 2:
+        raise ConfigurationError("need matching rate/latency sequences (>= 2 points)")
+    pairs = sorted(zip(rates, latencies))
+    base = pairs[0][1]
+    if not math.isfinite(base) or base <= 0:
+        raise ConfigurationError("lowest-rate latency must be finite and positive")
+    limit = threshold_factor * base
+    prev_r, prev_l = pairs[0]
+    for r, lat in pairs[1:]:
+        if not math.isfinite(lat):
+            return prev_r if not math.isfinite(prev_l) else _interp(prev_r, prev_l, r, limit * 10, limit)
+        if lat >= limit:
+            return _interp(prev_r, prev_l, r, lat, limit)
+        prev_r, prev_l = r, lat
+    return math.inf
+
+
+def _interp(r0: float, l0: float, r1: float, l1: float, target: float) -> float:
+    if not math.isfinite(l0) or l1 <= l0:
+        return r1
+    frac = (target - l0) / (l1 - l0)
+    frac = min(max(frac, 0.0), 1.0)
+    return r0 + frac * (r1 - r0)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import SimulationConfig
+from repro.topology import Hypercube, StarGraph
+
+
+@pytest.fixture(scope="session")
+def star3() -> StarGraph:
+    return StarGraph(3)
+
+
+@pytest.fixture(scope="session")
+def star4() -> StarGraph:
+    return StarGraph(4)
+
+
+@pytest.fixture(scope="session")
+def star5() -> StarGraph:
+    return StarGraph(5)
+
+
+@pytest.fixture(scope="session")
+def cube4() -> Hypercube:
+    return Hypercube(4)
+
+
+@pytest.fixture
+def quick_sim_config() -> SimulationConfig:
+    """Small but statistically meaningful simulation window."""
+    return SimulationConfig(
+        message_length=16,
+        generation_rate=0.004,
+        total_vcs=6,
+        warmup_cycles=500,
+        measure_cycles=2_000,
+        drain_cycles=4_000,
+        seed=7,
+    )

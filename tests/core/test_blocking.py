@@ -1,0 +1,131 @@
+"""Tests for the blocking-probability machinery (Eqs. 6-11)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.blocking import BlockingModel, BlockingVariant
+from repro.core.occupancy import vc_occupancy
+from repro.core.pathstats import cached_path_statistics
+from repro.routing.vc_classes import VcConfig
+
+
+@pytest.fixture(scope="module")
+def s5_stats():
+    return cached_path_statistics(5)
+
+
+@pytest.fixture(scope="module")
+def vc6():
+    return VcConfig(num_adaptive=2, num_escape=4)  # paper's V=6 split for S5
+
+
+class TestEligibleExact:
+    def test_first_hop_long_route(self, vc6):
+        model = BlockingModel(vc6)
+        # 6-hop route: colour-1 source has only one escape class at hop 1,
+        # colour-0 two (ceilings 0 and 1 with floor 0).
+        assert model.eligible_exact(6, 1, 1) == 2 + 1
+        assert model.eligible_exact(6, 1, 0) == 2 + 2
+
+    def test_last_hop_generous(self, vc6):
+        model = BlockingModel(vc6)
+        # final hop: ceiling = V2-1; floor = negatives among first h-1 hops.
+        # colour 0, h=6: floor = 2 -> classes 2,3 -> 2 + 2.
+        assert model.eligible_exact(6, 6, 0) == 2 + 2
+        # colour 1, h=6: floor = 3 -> class 3 only.
+        assert model.eligible_exact(6, 6, 1) == 2 + 1
+
+    def test_single_hop_message(self, vc6):
+        model = BlockingModel(vc6)
+        # one hop, floor 0, ceiling V2-1: everything eligible.
+        assert model.eligible_exact(1, 1, 0) == 6
+        assert model.eligible_exact(1, 1, 1) == 6
+
+    @given(st.integers(1, 6), st.integers(0, 1))
+    def test_always_at_least_one_escape(self, h, color):
+        model = BlockingModel(VcConfig(num_adaptive=0, num_escape=4))
+        for k in range(1, h + 1):
+            assert model.eligible_exact(h, k, color) >= 1
+
+    @given(st.integers(1, 6), st.integers(0, 1), st.integers(0, 8))
+    def test_adaptive_adds_linearly(self, h, color, v1):
+        escape_only = BlockingModel(VcConfig(num_adaptive=0, num_escape=4))
+        with_adaptive = BlockingModel(VcConfig(num_adaptive=v1, num_escape=4))
+        for k in range(1, h + 1):
+            assert (
+                with_adaptive.eligible_exact(h, k, color)
+                == escape_only.eligible_exact(h, k, color) + v1
+            )
+
+
+class TestPOne:
+    def test_zero_load_never_blocks(self, vc6):
+        model = BlockingModel(vc6)
+        occ = vc_occupancy(0.0, 40.0, vc6.total)
+        for h in (1, 3, 6):
+            for k in range(1, h + 1):
+                for c in (0, 1):
+                    assert model.p_one(occ, h, k, c) == pytest.approx(0.0)
+
+    def test_monotone_in_load(self, vc6):
+        model = BlockingModel(vc6)
+        lo = vc_occupancy(0.004, 40.0, vc6.total)
+        hi = vc_occupancy(0.012, 40.0, vc6.total)
+        for k in range(1, 7):
+            assert model.p_one(hi, 6, k, 0) >= model.p_one(lo, 6, k, 0)
+
+    def test_probability_bounds(self, vc6):
+        model = BlockingModel(vc6)
+        occ = vc_occupancy(0.02, 45.0, vc6.total)
+        for h in range(1, 7):
+            for k in range(1, h + 1):
+                for c in (0, 1):
+                    assert 0.0 <= model.p_one(occ, h, k, c) <= 1.0
+
+    def test_paper_variant_bounds(self, vc6):
+        model = BlockingModel(vc6, variant=BlockingVariant.PAPER)
+        occ = vc_occupancy(0.02, 45.0, vc6.total)
+        for h in range(1, 7):
+            for k in range(1, h + 1):
+                for c in (0, 1):
+                    assert 0.0 <= model.p_one(occ, h, k, c) <= 1.0
+
+    def test_paper_variant_is_more_pessimistic(self, vc6):
+        """The literal group counts never under-estimate the exact ones."""
+        exact = BlockingModel(vc6, variant=BlockingVariant.EXACT)
+        paper = BlockingModel(vc6, variant=BlockingVariant.PAPER)
+        occ = vc_occupancy(0.012, 45.0, vc6.total)
+        for h in (2, 4, 6):
+            for k in range(1, h + 1):
+                for c in (0, 1):
+                    assert paper.p_one(occ, h, k, c) >= exact.p_one(occ, h, k, c) - 1e-12
+
+
+class TestHopBlocking:
+    def test_adaptivity_reduces_blocking(self, s5_stats, vc6):
+        """Classes with more paths block less at the same per-channel prob."""
+        model = BlockingModel(vc6)
+        occ = vc_occupancy(0.012, 45.0, vc6.total)
+        # distance-2 class: f=2 at hop 1 vs a single-path destination f=1
+        by_distance = {}
+        for cls in s5_stats.classes:
+            p = model.hop_blocking(occ, cls, 1, 0)
+            by_distance.setdefault(cls.distance, []).append((cls.ctype.f, p))
+        for dist, entries in by_distance.items():
+            entries.sort()
+            probs = [p for _, p in entries]
+            assert probs == sorted(probs, reverse=True), dist
+
+    def test_class_blocking_sum_bounds(self, s5_stats, vc6):
+        model = BlockingModel(vc6)
+        occ = vc_occupancy(0.012, 45.0, vc6.total)
+        for cls in s5_stats.classes:
+            total = model.class_blocking_sum(occ, cls)
+            assert 0.0 <= total <= cls.distance
+
+    def test_zero_load_blocking_sum_zero(self, s5_stats, vc6):
+        model = BlockingModel(vc6)
+        occ = vc_occupancy(0.0, 45.0, vc6.total)
+        for cls in s5_stats.classes:
+            assert model.class_blocking_sum(occ, cls) == pytest.approx(0.0)

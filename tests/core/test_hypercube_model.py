@@ -1,0 +1,69 @@
+"""Tests for the hypercube model extension (paper's future work)."""
+
+import math
+
+import pytest
+
+from repro.core import HypercubeLatencyModel, HypercubePathStatistics, StarLatencyModel
+from repro.core.hypercube_model import cached_hypercube_statistics
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestHypercubePathStatistics:
+    @pytest.mark.parametrize("k", [2, 4, 7])
+    def test_classes_cover_network(self, k):
+        stats = HypercubePathStatistics(k)
+        assert sum(c.count for c in stats.classes) == 2**k - 1
+        stats.verify_against_closed_form()
+
+    def test_binomial_counts(self):
+        stats = HypercubePathStatistics(5)
+        counts = {c.distance: c.count for c in stats.classes}
+        assert counts == {h: math.comb(5, h) for h in range(1, 6)}
+
+    def test_f_is_remaining_distance(self):
+        stats = HypercubePathStatistics(6)
+        for cls in stats.classes:
+            for j in range(1, cls.distance + 1):
+                assert cls.f_dist[j - 1] == {cls.distance - j + 1: 1.0}
+
+    def test_mean_distance(self):
+        stats = HypercubePathStatistics(4)
+        assert stats.mean_distance() == pytest.approx(4 * 8 / 15)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            HypercubePathStatistics(0)
+
+    def test_cache(self):
+        assert cached_hypercube_statistics(5) is cached_hypercube_statistics(5)
+
+
+class TestHypercubeLatencyModel:
+    def test_zero_load_limit(self):
+        m = HypercubeLatencyModel(5, 16, 5)
+        res = m.evaluate(0.0)
+        assert res.latency == pytest.approx(16 + m.mean_distance())
+        assert not res.saturated
+
+    def test_monotone_and_saturates(self):
+        m = HypercubeLatencyModel(5, 16, 5)
+        sat = m.saturation_rate()
+        assert math.isfinite(sat)
+        lats = [m.evaluate(f * sat).latency for f in (0.2, 0.5, 0.8)]
+        assert lats == sorted(lats)
+
+    def test_escape_layer_minimum(self):
+        # Q7 needs floor(7/2)+1 = 4 escape classes
+        with pytest.raises(ConfigurationError):
+            HypercubeLatencyModel(7, 16, 3)
+        m = HypercubeLatencyModel(7, 16, 6)
+        assert m.vc.num_escape == 4
+        assert m.vc.num_adaptive == 2
+
+    def test_star_vs_cube_equal_vcs(self):
+        """Q7 beats S5 at equal per-channel VCs (more channels per node)."""
+        s5 = StarLatencyModel(5, 32, 6)
+        q7 = HypercubeLatencyModel(7, 32, 6)
+        assert q7.saturation_rate() > s5.saturation_rate()
+        assert q7.evaluate(0.008).latency < s5.evaluate(0.008).latency

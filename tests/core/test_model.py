@@ -1,0 +1,154 @@
+"""Behavioural tests of the full analytical model."""
+
+import math
+
+import pytest
+
+from repro.core import StarLatencyModel
+from repro.core.blocking import BlockingVariant
+from repro.routing.vc_classes import VcConfig
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def model_v6():
+    return StarLatencyModel(5, 32, 6)
+
+
+class TestConstruction:
+    def test_default_split(self, model_v6):
+        assert model_v6.vc.num_escape == 4
+        assert model_v6.vc.num_adaptive == 2
+
+    def test_explicit_split(self):
+        cfg = VcConfig(num_adaptive=1, num_escape=5)
+        m = StarLatencyModel(5, 32, 6, vc_config=cfg)
+        assert m.vc is cfg
+
+    def test_split_mismatch_rejected(self):
+        cfg = VcConfig(num_adaptive=1, num_escape=5)
+        with pytest.raises(ConfigurationError):
+            StarLatencyModel(5, 32, 9, vc_config=cfg)
+
+    def test_too_few_vcs(self):
+        with pytest.raises(ConfigurationError):
+            StarLatencyModel(5, 32, 3)
+
+    def test_invalid_message_length(self):
+        with pytest.raises(ConfigurationError):
+            StarLatencyModel(5, 0, 6)
+
+
+class TestDerivedConstants:
+    def test_mean_distance_eq2(self, model_v6):
+        assert model_v6.mean_distance() == pytest.approx(3.714285714, abs=1e-8)
+
+    def test_channel_rate_eq3(self, model_v6):
+        # lambda_c = lambda_g * dbar / (n-1)
+        assert model_v6.channel_rate(0.01) == pytest.approx(0.01 * 3.7142857 / 4, abs=1e-7)
+
+    def test_zero_load_latency(self, model_v6):
+        assert model_v6.zero_load_latency() == pytest.approx(32 + 3.7142857, abs=1e-6)
+
+    def test_negative_rate_rejected(self, model_v6):
+        with pytest.raises(ConfigurationError):
+            model_v6.channel_rate(-0.01)
+
+
+class TestEvaluate:
+    def test_zero_load_limit(self, model_v6):
+        res = model_v6.evaluate(0.0)
+        assert not res.saturated
+        assert res.network_latency == pytest.approx(model_v6.zero_load_latency())
+        assert res.source_wait == pytest.approx(0.0)
+        assert res.multiplexing == pytest.approx(1.0)
+        assert res.latency == pytest.approx(model_v6.zero_load_latency())
+
+    def test_monotone_in_rate(self, model_v6):
+        rates = (0.002, 0.006, 0.010, 0.014)
+        lats = [model_v6.evaluate(r).latency for r in rates]
+        assert all(a < b for a, b in zip(lats, lats[1:]))
+
+    def test_all_components_grow(self, model_v6):
+        lo = model_v6.evaluate(0.004)
+        hi = model_v6.evaluate(0.014)
+        assert hi.network_latency > lo.network_latency
+        assert hi.source_wait > lo.source_wait
+        assert hi.channel_wait > lo.channel_wait
+        assert hi.multiplexing > lo.multiplexing
+        assert hi.rho > lo.rho
+
+    def test_saturation_reported(self, model_v6):
+        res = model_v6.evaluate(0.05)
+        assert res.saturated
+        assert math.isinf(res.latency)
+
+    def test_as_dict_roundtrips(self, model_v6):
+        d = model_v6.evaluate(0.01).as_dict()
+        assert d["generation_rate"] == 0.01
+        assert d["latency"] > 0
+        sat = model_v6.evaluate(0.05).as_dict()
+        assert sat["latency"] is None
+        assert sat["saturated"] is True
+
+
+class TestSaturationOrdering:
+    def test_more_vcs_saturate_later(self):
+        sat = {
+            v: StarLatencyModel(5, 32, v).saturation_rate() for v in (6, 9, 12)
+        }
+        assert sat[6] < sat[9] < sat[12]
+
+    def test_longer_messages_saturate_earlier(self):
+        sat32 = StarLatencyModel(5, 32, 6).saturation_rate()
+        sat64 = StarLatencyModel(5, 64, 6).saturation_rate()
+        assert sat64 < sat32
+        # M doubled: saturation roughly halves (service-time scaling)
+        assert sat64 == pytest.approx(sat32 / 2, rel=0.25)
+
+    def test_paper_figure_ranges(self):
+        """Fig. 1 x-axes (0.015/0.015/0.02) bracket the predicted onset."""
+        sat6 = StarLatencyModel(5, 32, 6).saturation_rate()
+        sat9 = StarLatencyModel(5, 32, 9).saturation_rate()
+        sat12 = StarLatencyModel(5, 32, 12).saturation_rate()
+        assert 0.012 < sat6 < 0.02
+        assert 0.014 < sat9 < 0.022
+        assert 0.016 < sat12 < 0.025
+
+
+class TestVariants:
+    def test_paper_variant_runs(self):
+        m = StarLatencyModel(5, 32, 6, variant=BlockingVariant.PAPER)
+        res = m.evaluate(0.008)
+        assert not res.saturated
+        assert res.latency > 0
+
+    def test_paper_variant_not_below_exact(self):
+        exact = StarLatencyModel(5, 32, 6, variant=BlockingVariant.EXACT)
+        paper = StarLatencyModel(5, 32, 6, variant=BlockingVariant.PAPER)
+        for rate in (0.004, 0.008, 0.012):
+            assert paper.evaluate(rate).latency >= exact.evaluate(rate).latency - 1e-6
+
+
+class TestSweepAndScale:
+    def test_sweep_shape(self, model_v6):
+        out = model_v6.sweep([0.002, 0.01])
+        assert [r.generation_rate for r in out] == [0.002, 0.01]
+
+    @pytest.mark.parametrize("n", [4, 6, 7])
+    def test_other_network_sizes(self, n):
+        need = (3 * (n - 1)) // 2 // 2 + 1
+        m = StarLatencyModel(n, 32, need + 2)
+        res = m.evaluate(0.004)
+        assert not res.saturated
+        assert res.latency > 32
+
+    def test_large_n_runs_fast(self):
+        import time
+
+        t0 = time.perf_counter()
+        m = StarLatencyModel(9, 32, 9)
+        res = m.evaluate(0.005)
+        elapsed = time.perf_counter() - t0
+        assert res.latency > 0
+        assert elapsed < 10.0  # model never touches the 362880-node graph

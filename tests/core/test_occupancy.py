@@ -1,0 +1,78 @@
+"""Tests for the VC occupancy chain (Eq. 18) and multiplexing (Eq. 19)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.occupancy import multiplexing_degree, utilisation, vc_occupancy
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestOccupancy:
+    def test_zero_load_all_idle(self):
+        p = vc_occupancy(0.0, 100.0, 6)
+        assert p[0] == pytest.approx(1.0)
+        assert sum(p[1:]) == pytest.approx(0.0)
+
+    def test_sums_to_one(self):
+        p = vc_occupancy(0.01, 40.0, 6)
+        assert sum(p) == pytest.approx(1.0, abs=1e-12)
+
+    def test_geometric_shape(self):
+        lam, s = 0.005, 50.0
+        rho = lam * s
+        p = vc_occupancy(lam, s, 4)
+        for v in range(4):
+            assert p[v] == pytest.approx((rho**v) * (1 - rho))
+        assert p[4] == pytest.approx(rho**4)
+
+    def test_saturated_raises(self):
+        with pytest.raises(ConfigurationError):
+            vc_occupancy(0.05, 20.0, 4)  # rho = 1
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            vc_occupancy(0.01, 10.0, 0)
+        with pytest.raises(ConfigurationError):
+            vc_occupancy(-0.01, 10.0, 4)
+
+    @given(st.floats(0.0, 0.99), st.integers(1, 16))
+    def test_always_normalised(self, rho, v):
+        p = vc_occupancy(rho, 1.0, v)
+        assert sum(p) == pytest.approx(1.0, abs=1e-9)
+        assert all(x >= 0 for x in p)
+
+
+class TestMultiplexing:
+    def test_idle_channel_degree_one(self):
+        assert multiplexing_degree([1.0, 0.0, 0.0]) == 1.0
+
+    def test_single_busy_degree_one(self):
+        assert multiplexing_degree([0.3, 0.7, 0.0]) == pytest.approx(1.0)
+
+    def test_fully_busy_degree_v(self):
+        assert multiplexing_degree([0.0, 0.0, 0.0, 1.0]) == pytest.approx(3.0)
+
+    @given(st.floats(0.001, 0.95), st.integers(2, 12))
+    def test_degree_bounds(self, rho, v):
+        p = vc_occupancy(rho, 1.0, v)
+        d = multiplexing_degree(p)
+        assert 1.0 <= d <= v + 1e-9
+
+    @given(st.integers(2, 10))
+    def test_monotone_in_load(self, v):
+        degrees = [
+            multiplexing_degree(vc_occupancy(rho, 1.0, v))
+            for rho in (0.1, 0.3, 0.5, 0.7, 0.9)
+        ]
+        assert degrees == sorted(degrees)
+
+
+class TestUtilisation:
+    def test_idle(self):
+        assert utilisation([1.0, 0.0]) == 0.0
+
+    def test_increases_with_load(self):
+        low = utilisation(vc_occupancy(0.001, 40.0, 4))
+        high = utilisation(vc_occupancy(0.02, 40.0, 4))
+        assert high > low

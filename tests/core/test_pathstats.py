@@ -1,0 +1,46 @@
+"""Tests for destination-class statistics."""
+
+import math
+
+import pytest
+
+from repro.core.pathstats import StarPathStatistics, cached_path_statistics
+from repro.topology.star import star_average_distance_closed_form
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestStarPathStatistics:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_coverage_and_mean(self, n):
+        stats = StarPathStatistics(n)
+        assert stats.total_destinations == math.factorial(n) - 1
+        assert stats.mean_distance() == pytest.approx(
+            star_average_distance_closed_form(n), abs=1e-9
+        )
+        stats.verify_against_closed_form()
+
+    def test_shapes(self):
+        stats = StarPathStatistics(5)
+        assert stats.degree == 4
+        assert stats.diameter == 6
+        for cls in stats.classes:
+            assert len(cls.f_dist) == cls.distance
+            for k in range(1, cls.distance + 1):
+                assert sum(cls.f_dist[k - 1].values()) == pytest.approx(1.0)
+
+    def test_sorted_by_distance(self):
+        stats = StarPathStatistics(5)
+        distances = [c.distance for c in stats.classes]
+        assert distances == sorted(distances)
+
+    def test_expect_pow_edge_cases(self):
+        cls = StarPathStatistics(4).classes[-1]
+        assert cls.expect_pow(1, 0.0) == 0.0
+        assert cls.expect_pow(1, 1.0) == pytest.approx(1.0)
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigurationError):
+            StarPathStatistics(1)
+
+    def test_cache_returns_same_instance(self):
+        assert cached_path_statistics(5) is cached_path_statistics(5)

@@ -1,0 +1,76 @@
+"""Tests for the M/G/1 waiting-time formulas (Eqs. 12-16)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.queueing import channel_waiting_time, mg1_waiting_time, source_waiting_time
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestMg1:
+    def test_zero_arrivals_zero_wait(self):
+        assert mg1_waiting_time(0.0, 40.0, 32) == 0.0
+
+    def test_saturation_infinite(self):
+        assert math.isinf(mg1_waiting_time(0.05, 20.0, 16))
+        assert math.isinf(mg1_waiting_time(0.06, 20.0, 16))
+
+    def test_deterministic_service_reduces_to_md1(self):
+        """With S̄ == M the variance term vanishes: w = rho*S/(2(1-rho))."""
+        lam, s = 0.004, 40.0
+        w = mg1_waiting_time(lam, s, message_length=40.0)
+        rho = lam * s
+        assert w == pytest.approx(rho * s / (2 * (1 - rho)))
+
+    def test_paper_formula_value(self):
+        # w = lam (S^2 + (S-M)^2) / (2(1-lam S))
+        lam, s, m = 0.01, 50.0, 30.0
+        expected = lam * (s**2 + (s - m) ** 2) / (2 * (1 - lam * s))
+        assert mg1_waiting_time(lam, s, m) == pytest.approx(expected)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            mg1_waiting_time(-0.1, 10.0, 5.0)
+        with pytest.raises(ConfigurationError):
+            mg1_waiting_time(0.1, 10.0, 15.0)  # M > S̄
+
+    @given(st.floats(1e-5, 0.02), st.floats(30.0, 60.0))
+    def test_monotone_in_arrival_rate(self, lam, s):
+        if lam * s >= 0.95:
+            return
+        w1 = mg1_waiting_time(lam, s, 20.0)
+        w2 = mg1_waiting_time(lam * 1.5, s, 20.0)
+        if lam * 1.5 * s < 1.0:
+            assert w2 > w1
+
+    @given(st.floats(0.0001, 0.01))
+    def test_wait_nonnegative(self, lam):
+        assert mg1_waiting_time(lam, 45.0, 32.0) >= 0.0
+
+
+class TestSourceWait:
+    def test_splits_rate_over_vcs(self):
+        """W_s with V VCs equals the M/G/1 wait at rate lambda_g / V."""
+        lam_g, s, m, v = 0.01, 45.0, 32.0, 6
+        assert source_waiting_time(lam_g, v, s, m) == pytest.approx(
+            mg1_waiting_time(lam_g / v, s, m)
+        )
+
+    def test_more_vcs_less_wait(self):
+        w6 = source_waiting_time(0.015, 6, 45.0, 32.0)
+        w12 = source_waiting_time(0.015, 12, 45.0, 32.0)
+        assert w12 < w6
+
+    def test_invalid_vcs(self):
+        with pytest.raises(ConfigurationError):
+            source_waiting_time(0.01, 0, 45.0, 32.0)
+
+
+class TestChannelWait:
+    def test_alias_of_mg1(self):
+        assert channel_waiting_time(0.008, 42.0, 32.0) == pytest.approx(
+            mg1_waiting_time(0.008, 42.0, 32.0)
+        )

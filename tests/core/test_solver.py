@@ -1,0 +1,74 @@
+"""Tests for the damped fixed-point solver."""
+
+import math
+
+import pytest
+
+from repro.core.solver import FixedPointSolver, SolverSettings
+from repro.utils.exceptions import ConfigurationError, ConvergenceError
+
+
+class TestSettings:
+    def test_defaults_valid(self):
+        s = SolverSettings()
+        assert 0 < s.damping <= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"damping": 0.0},
+            {"damping": 1.5},
+            {"tolerance": 0.0},
+            {"max_iterations": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SolverSettings(**kwargs)
+
+
+class TestSolve:
+    def test_linear_contraction(self):
+        # x -> 0.5 x + 10 has fixed point 20
+        res = FixedPointSolver().solve(lambda x: 0.5 * x + 10, 0.0)
+        assert res.converged
+        assert not res.saturated
+        assert res.value == pytest.approx(20.0, abs=1e-6)
+
+    def test_already_at_fixed_point(self):
+        res = FixedPointSolver().solve(lambda x: x, 7.0)
+        assert res.converged
+        assert res.value == pytest.approx(7.0)
+        assert res.iterations == 1
+
+    def test_infinity_is_saturation(self):
+        res = FixedPointSolver().solve(lambda x: math.inf, 1.0)
+        assert res.saturated
+        assert not res.converged
+        assert math.isinf(res.value)
+
+    def test_blowup_is_saturation(self):
+        res = FixedPointSolver().solve(lambda x: 3.0 * x + 1.0, 1.0)
+        assert res.saturated
+        assert math.isinf(res.value)
+
+    def test_slow_drift_eventually_saturates(self):
+        settings = SolverSettings(max_iterations=200, divergence_threshold=1e6)
+        res = FixedPointSolver(settings).solve(lambda x: x * 1.2 + 1, 1.0)
+        assert res.saturated
+
+    def test_oscillation_raises(self):
+        settings = SolverSettings(damping=1.0, max_iterations=50)
+        with pytest.raises(ConvergenceError):
+            # period-2 orbit around 5 that damping=1 cannot kill
+            FixedPointSolver(settings).solve(lambda x: 10.0 - x, 2.0)
+
+    def test_damping_tames_oscillation(self):
+        settings = SolverSettings(damping=0.5, max_iterations=500)
+        res = FixedPointSolver(settings).solve(lambda x: 10.0 - x, 2.0)
+        assert res.converged
+        assert res.value == pytest.approx(5.0, abs=1e-6)
+
+    def test_nan_is_saturation(self):
+        res = FixedPointSolver().solve(lambda x: math.nan, 1.0)
+        assert res.saturated

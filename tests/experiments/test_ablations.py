@@ -1,0 +1,82 @@
+"""Tests for the ablation studies (fast configurations)."""
+
+import math
+
+import pytest
+
+from repro.experiments.ablations import (
+    blocking_profile_study,
+    blocking_variant_study,
+    routing_comparison,
+    star_vs_hypercube,
+    star_vs_hypercube_model,
+    vc_split_study,
+)
+
+
+class TestBlockingVariantStudy:
+    def test_rows_and_ordering(self):
+        rec = blocking_variant_study(rates=[0.004, 0.008])
+        assert len(rec.rows) == 2
+        for row in rec.rows:
+            assert row["paper_latency"] >= row["exact_latency"] - 1e-9
+
+
+class TestVcSplitStudy:
+    def test_minimum_escape_wins(self):
+        rec = vc_split_study(n=5, total_vcs=6, message_length=32, rate=0.010)
+        rows = {r["num_escape"]: r for r in rec.rows}
+        assert set(rows) == {4, 5, 6}
+        sats = [rows[e]["saturation_rate"] for e in (4, 5, 6)]
+        assert sats == sorted(sats, reverse=True)
+
+
+class TestStarVsHypercubeModel:
+    def test_fair_budget_split(self):
+        rec = star_vs_hypercube_model(n=5, message_length=32, pin_budget=48)
+        assert rec.params["star_vcs"] == 12
+        assert rec.params["cube_vcs"] == 6  # 48 // 7 = 6
+        assert len(rec.rows) == 4
+        for row in rec.rows:
+            assert math.isfinite(row["star_latency"])
+            assert math.isfinite(row["cube_latency"])
+
+
+class TestSimulationBackedStudies:
+    def test_routing_comparison_small(self):
+        rec = routing_comparison(
+            n=3,
+            total_vcs=4,
+            message_length=8,
+            rates=(0.01,),
+            quality_windows=(200, 1_000, 1_500),
+        )
+        row = rec.rows[0]
+        for alg in ("greedy", "nhop", "nbc", "enhanced_nbc"):
+            assert row[f"{alg}_latency"] > 8
+
+    def test_star_vs_hypercube_small(self):
+        rec = star_vs_hypercube(
+            n=3,
+            total_vcs=4,
+            message_length=8,
+            rates=(0.01,),
+            quality_windows=(200, 1_000, 1_500),
+        )
+        row = rec.rows[0]
+        assert row["S3_latency"] > 0
+        assert row["Q3_latency"] > 0
+
+    def test_blocking_profile_study(self):
+        rec = blocking_profile_study(
+            n=4,
+            total_vcs=6,
+            message_length=16,
+            rate=0.02,
+            quality_windows=(400, 2_000, 2_500),
+        )
+        assert rec.rows, "instrumentation produced no hops"
+        hops = [r["hop"] for r in rec.rows]
+        assert hops == sorted(hops)
+        for row in rec.rows:
+            assert 0.0 <= row["sim_p_block"] <= 1.0

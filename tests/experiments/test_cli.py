@@ -1,0 +1,57 @@
+"""Smoke tests of the CLI entry points (model-only paths)."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure1_defaults(self):
+        args = build_parser().parse_args(["figure1"])
+        assert args.panel == "a"
+        assert args.quality == "quick"
+
+
+class TestCommands:
+    def test_properties(self, capsys):
+        assert main(["properties"]) == 0
+        out = capsys.readouterr().out
+        assert "S5" in out and "Q7" in out
+
+    def test_distance(self, capsys):
+        assert main(["distance", "--max-n", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "S5" in out
+
+    def test_scale_small(self, capsys):
+        assert main(["scale", "--max-n", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "saturation_rate" in out
+
+    def test_figure1_model_only(self, capsys):
+        assert main(["figure1", "--panel", "a", "--no-sim"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1(a)" in out
+        assert "model latency" in out
+
+    def test_figure1_save(self, tmp_path, capsys):
+        assert main(["figure1", "--no-sim", "--save", str(tmp_path)]) == 0
+        assert (tmp_path / "figure1a.json").exists()
+
+    def test_ablation_blocking(self, capsys):
+        assert main(["ablation", "blocking"]) == 0
+        out = capsys.readouterr().out
+        assert "exact_latency" in out
+
+    def test_ablation_hypercube_model(self, capsys):
+        assert main(["ablation", "hypercube-model"]) == 0
+        out = capsys.readouterr().out
+        assert "star_latency" in out and "cube_latency" in out
+
+    def test_ablation_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["ablation", "nonsense"])

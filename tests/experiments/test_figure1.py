@@ -1,0 +1,82 @@
+"""Tests of the Figure-1 harness (model side; simulation smoke only)."""
+
+import pytest
+
+from repro.experiments.figure1 import (
+    FIGURE1_PANELS,
+    load_grid,
+    panel_record,
+    render_panel,
+    reproduce_panel,
+    sim_quality_config,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestPanels:
+    def test_three_panels_matching_paper(self):
+        assert set(FIGURE1_PANELS) == {"a", "b", "c"}
+        assert FIGURE1_PANELS["a"].total_vcs == 6
+        assert FIGURE1_PANELS["b"].total_vcs == 9
+        assert FIGURE1_PANELS["c"].total_vcs == 12
+        for p in FIGURE1_PANELS.values():
+            assert p.n == 5
+            assert p.message_lengths == (32, 64)
+
+
+class TestLoadGrid:
+    def test_grid_below_saturation(self):
+        grid = load_grid(FIGURE1_PANELS["a"])
+        assert len(grid) == 7
+        assert all(a < b for a, b in zip(grid, grid[1:]))
+        # the paper's x-axis for panel (a) ends at 0.015
+        assert 0.01 < grid[-1] < 0.016
+
+    def test_panel_c_extends_further(self):
+        # the paper extends panel (c)'s axis to 0.02
+        assert load_grid(FIGURE1_PANELS["c"])[-1] > load_grid(FIGURE1_PANELS["a"])[-1]
+
+
+class TestQualityConfig:
+    def test_presets(self):
+        quick = sim_quality_config(
+            "quick", message_length=32, generation_rate=0.01, total_vcs=6
+        )
+        full = sim_quality_config(
+            "full", message_length=32, generation_rate=0.01, total_vcs=6
+        )
+        assert full.measure_cycles > quick.measure_cycles
+
+    def test_unknown_quality(self):
+        with pytest.raises(ConfigurationError):
+            sim_quality_config(
+                "ultra", message_length=32, generation_rate=0.01, total_vcs=6
+            )
+
+
+class TestModelOnlyReproduction:
+    def test_panel_without_sim(self):
+        series = reproduce_panel("a", include_sim=False)
+        assert len(series) == 2  # M = 32 and 64
+        for s in series:
+            assert s.sim is None
+            assert len(s.model) == len(s.rates)
+            assert s.comparison() is None
+
+    def test_m64_saturates_within_m32_grid(self):
+        """The paper's M=64 curves saturate inside the panel's x-range."""
+        series = reproduce_panel("a", include_sim=False)
+        m64 = next(s for s in series if s.message_length == 64)
+        assert any(r.saturated for r in m64.model)
+
+    def test_render_contains_series(self):
+        series = reproduce_panel("b", include_sim=False)
+        text = render_panel(series)
+        assert "Figure 1(b)" in text
+        assert "M=32" in text and "M=64" in text
+
+    def test_record_rows(self):
+        series = reproduce_panel("c", include_sim=False)
+        rec = panel_record(series)
+        assert rec.name == "figure1c"
+        assert len(rec.rows) == 2 * len(series[0].rates)

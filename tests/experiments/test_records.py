@@ -1,0 +1,30 @@
+"""Tests for experiment records and persistence."""
+
+import json
+
+from repro.experiments.records import ExperimentRecord
+
+
+class TestExperimentRecord:
+    def test_add_rows(self):
+        rec = ExperimentRecord("demo", params={"n": 5})
+        rec.add_row(rate=0.01, latency=50.0)
+        rec.add_row(rate=0.02, latency=90.0)
+        assert len(rec.rows) == 2
+        assert rec.rows[0]["rate"] == 0.01
+
+    def test_json_roundtrip(self, tmp_path):
+        rec = ExperimentRecord("demo", params={"n": 5})
+        rec.add_row(rate=0.01, latency=50.0, saturated=False)
+        path = rec.save(tmp_path)
+        assert path.name == "demo.json"
+        loaded = ExperimentRecord.load(path)
+        assert loaded.name == "demo"
+        assert loaded.params == {"n": 5}
+        assert loaded.rows == rec.rows
+
+    def test_json_is_valid(self):
+        rec = ExperimentRecord("x")
+        rec.add_row(a=1)
+        parsed = json.loads(rec.to_json())
+        assert parsed["rows"] == [{"a": 1}]

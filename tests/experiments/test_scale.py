@@ -1,0 +1,22 @@
+"""Tests for the large-n scale study."""
+
+import math
+
+from repro.experiments.scale import scale_study
+
+
+class TestScaleStudy:
+    def test_rows_and_monotone_saturation(self):
+        rec = scale_study(n_values=(4, 5, 6), message_length=32, extra_adaptive=2)
+        assert [r["n"] for r in rec.rows] == [4, 5, 6]
+        for row in rec.rows:
+            assert row["nodes"] == math.factorial(row["n"])
+            assert row["zero_load_latency"] > 32
+            assert math.isfinite(row["saturation_rate"])
+        sats = [r["saturation_rate"] for r in rec.rows]
+        assert sats == sorted(sats, reverse=True)
+
+    def test_mean_distance_grows_with_n(self):
+        rec = scale_study(n_values=(4, 5, 6), message_length=16)
+        dists = [r["mean_distance"] for r in rec.rows]
+        assert dists == sorted(dists)

@@ -1,0 +1,35 @@
+"""Tests for ASCII table rendering."""
+
+import math
+
+from repro.experiments.tables import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_floats(self):
+        assert format_cell(3.14159) == "3.14"
+        assert format_cell(0.001234) == "0.00123"
+        assert format_cell(1234.5) == "1234"
+        assert format_cell(0.0) == "0"
+
+    def test_special_values(self):
+        assert format_cell(math.inf) == "saturated"
+        assert format_cell(math.nan) == "-"
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+        assert format_cell("abc") == "abc"
+        assert format_cell(42) == "42"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_contains_values(self):
+        out = render_table(["rate", "latency"], [[0.01, 99.5]])
+        assert "0.01000" in out
+        assert "99.50" in out

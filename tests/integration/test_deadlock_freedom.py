@@ -1,0 +1,92 @@
+"""Property-based deadlock-freedom fuzzing.
+
+The negative-hop escape layer guarantees deadlock freedom; the engine's
+watchdog raises if the network ever stops moving with messages in
+flight.  These tests fuzz configurations (algorithm, VC count, message
+length, load, buffering, seeds) on small stars and the hypercube, and
+assert every run terminates with flit conservation intact.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.routing import make_algorithm
+from repro.simulation import SimulationConfig, WormholeSimulator
+from repro.topology import Hypercube, StarGraph
+
+_star3 = StarGraph(3)
+_star4 = StarGraph(4)
+_cube3 = Hypercube(3)
+
+config_strategy = st.fixed_dictionaries(
+    {
+        "algorithm": st.sampled_from(["greedy", "nhop", "nbc", "enhanced_nbc"]),
+        "total_vcs": st.integers(4, 8),
+        "message_length": st.sampled_from([1, 2, 5, 16]),
+        "generation_rate": st.sampled_from([0.01, 0.05, 0.15]),
+        "buffer_depth": st.integers(1, 3),
+        "seed": st.integers(0, 2**16),
+        "ejection_rate": st.sampled_from([None, 1]),
+    }
+)
+
+
+def run_fuzzed(topology, params) -> None:
+    alg = make_algorithm(params["algorithm"])
+    cfg = SimulationConfig(
+        message_length=params["message_length"],
+        generation_rate=params["generation_rate"],
+        total_vcs=params["total_vcs"],
+        buffer_depth=params["buffer_depth"],
+        ejection_rate=params["ejection_rate"],
+        warmup_cycles=100,
+        measure_cycles=600,
+        drain_cycles=600,
+        batches=2,
+        seed=params["seed"],
+    )
+    sim = WormholeSimulator(topology, alg, cfg)
+    res = sim.run()  # watchdog raises on deadlock
+    # Conservation: nothing lost, nothing double-counted.
+    assert res.messages_completed + sim._in_flight + res.backlog == res.messages_generated
+    # Completed messages freed all their channels.
+    if sim._in_flight == 0:
+        assert all(ch.busy_count == 0 for ch in sim.channels)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(params=config_strategy)
+def test_star3_never_deadlocks(params):
+    run_fuzzed(_star3, params)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(params=config_strategy)
+def test_star4_never_deadlocks(params):
+    run_fuzzed(_star4, params)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(params=config_strategy)
+def test_cube3_never_deadlocks(params):
+    run_fuzzed(_cube3, params)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_sustained_overload_drains_eventually(seed):
+    """Even far beyond saturation the network keeps delivering."""
+    cfg = SimulationConfig(
+        message_length=8,
+        generation_rate=0.4,
+        total_vcs=5,
+        warmup_cycles=50,
+        measure_cycles=400,
+        drain_cycles=200,
+        batches=2,
+        seed=seed,
+    )
+    sim = WormholeSimulator(_star3, make_algorithm("enhanced_nbc"), cfg)
+    res = sim.run()
+    assert res.messages_completed > 0
+    assert res.saturated

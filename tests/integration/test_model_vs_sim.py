@@ -1,0 +1,119 @@
+"""Integration: the analytical model must track the flit-level simulator.
+
+This is the paper's validation claim (section 5) executed as a test: in
+the steady-state region the model's latency should sit within a modest
+relative error of the simulation; discrepancies are expected (and
+tolerated) near saturation.
+"""
+
+import math
+
+import pytest
+
+from repro.core import StarLatencyModel
+from repro.routing import EnhancedNbc
+from repro.simulation import SimulationConfig, simulate
+from repro.topology import StarGraph
+from repro.validation.compare import OperatingPoint, compare_curves
+
+
+@pytest.fixture(scope="module")
+def star5():
+    return StarGraph(5)
+
+
+def run_sim(topology, rate, message_length, total_vcs, seed=2):
+    cfg = SimulationConfig(
+        message_length=message_length,
+        generation_rate=rate,
+        total_vcs=total_vcs,
+        warmup_cycles=2_000,
+        measure_cycles=8_000,
+        drain_cycles=10_000,
+        seed=seed,
+    )
+    return simulate(topology, EnhancedNbc(), cfg)
+
+
+class TestSteadyStateAccuracy:
+    @pytest.mark.parametrize("total_vcs", [6, 9])
+    def test_low_load_within_ten_percent(self, star5, total_vcs):
+        model = StarLatencyModel(5, 32, total_vcs)
+        rate = 0.3 * model.saturation_rate()
+        sim = run_sim(star5, rate, 32, total_vcs)
+        pred = model.evaluate(rate)
+        assert not sim.saturated and not pred.saturated
+        err = abs(pred.latency - sim.mean_latency) / sim.mean_latency
+        assert err < 0.10, (pred.latency, sim.mean_latency)
+
+    def test_moderate_load_within_twenty_percent(self, star5):
+        model = StarLatencyModel(5, 32, 6)
+        rate = 0.6 * model.saturation_rate()
+        sim = run_sim(star5, rate, 32, 6)
+        pred = model.evaluate(rate)
+        assert not sim.saturated and not pred.saturated
+        err = abs(pred.latency - sim.mean_latency) / sim.mean_latency
+        assert err < 0.20, (pred.latency, sim.mean_latency)
+
+    def test_m64_low_load_accuracy(self, star5):
+        model = StarLatencyModel(5, 64, 6)
+        rate = 0.3 * model.saturation_rate()
+        sim = run_sim(star5, rate, 64, 6)
+        pred = model.evaluate(rate)
+        err = abs(pred.latency - sim.mean_latency) / sim.mean_latency
+        assert err < 0.12, (pred.latency, sim.mean_latency)
+
+
+class TestQualitativeAgreement:
+    def test_curve_accuracy_aggregate(self, star5):
+        """Mean error over the stable region of the V=6 curve stays small."""
+        model = StarLatencyModel(5, 32, 6)
+        sat = model.saturation_rate()
+        points = []
+        for frac in (0.2, 0.4, 0.6):
+            rate = frac * sat
+            sim = run_sim(star5, rate, 32, 6)
+            pred = model.evaluate(rate)
+            points.append(
+                OperatingPoint(
+                    generation_rate=rate,
+                    model_latency=pred.latency,
+                    sim_latency=sim.mean_latency,
+                    model_saturated=pred.saturated,
+                    sim_saturated=sim.saturated,
+                )
+            )
+        comp = compare_curves(points)
+        assert comp.stable_points == 3
+        assert comp.mean_relative_error < 0.15, comp.summary()
+
+    def test_multiplexing_degree_tracks_sim(self, star5):
+        """Dally's V̄ estimate should match the sampled busy-VC moments."""
+        model = StarLatencyModel(5, 32, 6)
+        rate = 0.5 * model.saturation_rate()
+        sim = run_sim(star5, rate, 32, 6)
+        pred = model.evaluate(rate)
+        assert pred.multiplexing == pytest.approx(sim.mean_multiplexing, rel=0.35)
+
+    def test_model_conservative_near_saturation(self, star5):
+        """The model must not predict stability beyond the simulator's.
+
+        Its service-time approximation (channel held for the whole network
+        latency) makes it pessimistic: every rate the model calls stable
+        must be stable in simulation too.
+        """
+        model = StarLatencyModel(5, 32, 6)
+        rate = 0.9 * model.saturation_rate()
+        sim = run_sim(star5, rate, 32, 6)
+        assert not sim.saturated
+
+
+class TestSmallNetworkAccuracy:
+    def test_s4_low_load(self):
+        star4 = StarGraph(4)
+        model = StarLatencyModel(4, 16, 5)
+        rate = 0.3 * model.saturation_rate()
+        sim = run_sim(star4, rate, 16, 5)
+        pred = model.evaluate(rate)
+        err = abs(pred.latency - sim.mean_latency) / sim.mean_latency
+        assert err < 0.12, (pred.latency, sim.mean_latency)

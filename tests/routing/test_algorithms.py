@@ -1,0 +1,179 @@
+"""Tests for the routing algorithms' eligibility and floor bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.routing import (
+    EnhancedNbc,
+    GreedyDeterministic,
+    MessageRouteState,
+    Nbc,
+    NegativeHop,
+    SelectionPolicy,
+    available_algorithms,
+    make_algorithm,
+)
+from repro.routing.vc_classes import VcConfig
+from repro.topology import StarGraph
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestRegistry:
+    def test_names(self):
+        assert available_algorithms() == ("enhanced_nbc", "greedy", "nbc", "nhop")
+
+    def test_make(self):
+        assert isinstance(make_algorithm("nbc"), Nbc)
+        assert isinstance(make_algorithm("enhanced_nbc"), EnhancedNbc)
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_algorithm("wormy")
+
+    def test_policy_override(self):
+        alg = make_algorithm("enhanced_nbc", policy="random")
+        assert alg.policy is SelectionPolicy.RANDOM
+
+
+class TestVcConfigConstruction:
+    def test_enhanced_split(self, star5):
+        cfg = EnhancedNbc().make_vc_config(9, star5)
+        assert cfg.num_escape == 4
+        assert cfg.num_adaptive == 5
+
+    def test_escape_only_algorithms(self, star5):
+        for alg in (NegativeHop(), Nbc(), GreedyDeterministic()):
+            cfg = alg.make_vc_config(6, star5)
+            assert cfg.num_adaptive == 0
+            assert cfg.num_escape == 6
+
+    def test_too_few_vcs(self, star5):
+        for name in available_algorithms():
+            with pytest.raises(ConfigurationError):
+                make_algorithm(name).make_vc_config(3, star5)
+
+    def test_enhanced_needs_an_adaptive_channel(self, star5):
+        alg = EnhancedNbc()
+        cfg = VcConfig(num_adaptive=0, num_escape=4)
+        with pytest.raises(ConfigurationError):
+            alg.validate(cfg, star5)
+
+
+class TestEligibility:
+    def test_nhop_single_class(self):
+        alg = NegativeHop()
+        cfg = VcConfig(num_adaptive=0, num_escape=6)
+        state = MessageRouteState(escape_floor=2)
+        e = alg.eligible(cfg, d_remaining=3, hop_negative=True, state=state)
+        assert list(e.adaptive) == []
+        assert list(e.escape) == [2]
+        assert e.count == 1
+
+    def test_nbc_range(self):
+        alg = Nbc()
+        cfg = VcConfig(num_adaptive=0, num_escape=6)
+        state = MessageRouteState(escape_floor=1)
+        # d=3 starting negative: 1 negative among remaining-after (2 hops
+        # starting positive => 1) -> ceiling = 6 - 1 - 1 = 4.
+        e = alg.eligible(cfg, d_remaining=3, hop_negative=True, state=state)
+        assert list(e.escape) == [1, 2, 3, 4]
+
+    def test_enhanced_includes_adaptive(self):
+        alg = EnhancedNbc()
+        cfg = VcConfig(num_adaptive=3, num_escape=4)
+        state = MessageRouteState(escape_floor=0)
+        e = alg.eligible(cfg, d_remaining=1, hop_negative=False, state=state)
+        assert list(e.adaptive) == [0, 1, 2]
+        assert list(e.escape) == [3, 4, 5, 6]
+        assert e.count == 7
+
+    def test_eligible_set_contains(self):
+        alg = EnhancedNbc()
+        cfg = VcConfig(num_adaptive=2, num_escape=4)
+        e = alg.eligible(cfg, 2, False, MessageRouteState())
+        assert 0 in e and 1 in e
+        assert e.indices()[0] == 0
+
+    def test_floor_beyond_ceiling_raises(self):
+        alg = Nbc()
+        cfg = VcConfig(num_adaptive=0, num_escape=4)
+        state = MessageRouteState(escape_floor=3)
+        with pytest.raises(ConfigurationError):
+            # 6 remaining hops starting negative: ceiling 0 < floor 3.
+            alg.eligible(cfg, d_remaining=6, hop_negative=True, state=state)
+
+
+class TestAdvanceFloor:
+    def test_adaptive_hop_keeps_class_floor(self):
+        alg = EnhancedNbc()
+        cfg = VcConfig(num_adaptive=2, num_escape=4)
+        state = MessageRouteState(escape_floor=1)
+        alg.advance_floor(cfg, state, used_vc_index=0, hop_negative=False)
+        assert state.escape_floor == 1
+        assert state.hops_taken == 1
+        assert state.negative_hops == 0
+
+    def test_adaptive_negative_hop_increments(self):
+        alg = EnhancedNbc()
+        cfg = VcConfig(num_adaptive=2, num_escape=4)
+        state = MessageRouteState(escape_floor=1)
+        alg.advance_floor(cfg, state, used_vc_index=1, hop_negative=True)
+        assert state.escape_floor == 2
+        assert state.negative_hops == 1
+
+    def test_escape_hop_jumps_to_used_class(self):
+        alg = EnhancedNbc()
+        cfg = VcConfig(num_adaptive=2, num_escape=4)
+        state = MessageRouteState(escape_floor=0)
+        # class 2 lives at VC index 4
+        alg.advance_floor(cfg, state, used_vc_index=4, hop_negative=False)
+        assert state.escape_floor == 2
+        alg.advance_floor(cfg, state, used_vc_index=4, hop_negative=True)
+        assert state.escape_floor == 3
+
+
+class TestPorts:
+    def test_greedy_single_port(self, star4):
+        alg = GreedyDeterministic()
+        adaptive = EnhancedNbc()
+        for src in range(0, 24, 5):
+            for dst in range(24):
+                if src == dst:
+                    continue
+                g = alg.ports(star4, src, dst)
+                a = adaptive.ports(star4, src, dst)
+                assert len(g) == 1
+                assert g[0] in a
+
+    def test_adaptive_uses_all_profitable(self, star4):
+        alg = EnhancedNbc()
+        for src in range(0, 24, 7):
+            for dst in range(24):
+                assert alg.ports(star4, src, dst) == star4.profitable_ports(src, dst)
+
+
+class TestOrderCandidates:
+    def test_adaptive_first_prefers_adaptive(self):
+        alg = EnhancedNbc(policy=SelectionPolicy.ADAPTIVE_FIRST)
+        cfg = VcConfig(num_adaptive=2, num_escape=4)
+        e = alg.eligible(cfg, 2, False, MessageRouteState())
+        rng = np.random.default_rng(0)
+        order = alg.order_candidates(e, free=(0, 1, 3), rng=rng)
+        assert set(order[:2]) == {0, 1}
+        assert order[-1] == 3
+
+    def test_lowest_escape_prefers_escape(self):
+        alg = Nbc(policy=SelectionPolicy.LOWEST_ESCAPE)
+        cfg = VcConfig(num_adaptive=0, num_escape=6)
+        e = alg.eligible(cfg, 2, False, MessageRouteState())
+        rng = np.random.default_rng(0)
+        order = alg.order_candidates(e, free=(2, 0, 4), rng=rng)
+        assert order == (2, 0, 4) or order[0] in (0, 2)
+
+    def test_random_policy_permutes(self):
+        alg = Nbc(policy=SelectionPolicy.RANDOM)
+        cfg = VcConfig(num_adaptive=0, num_escape=6)
+        e = alg.eligible(cfg, 2, False, MessageRouteState())
+        rng = np.random.default_rng(0)
+        seen = {alg.order_candidates(e, free=(0, 1, 2), rng=rng) for _ in range(32)}
+        assert len(seen) > 1

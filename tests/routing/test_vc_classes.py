@@ -1,0 +1,154 @@
+"""Tests for the shared virtual-channel class arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.routing.vc_classes import (
+    VcConfig,
+    escape_ceiling,
+    escape_eligible_count,
+    hop_is_negative,
+    minimal_floor,
+    negatives_in_hops,
+)
+from repro.topology import StarGraph
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestVcConfig:
+    def test_total_and_indices(self):
+        cfg = VcConfig(num_adaptive=2, num_escape=4)
+        assert cfg.total == 6
+        assert list(cfg.adaptive_indices()) == [0, 1]
+        assert cfg.escape_index(0) == 2
+        assert cfg.escape_index(3) == 5
+
+    def test_class_of_index(self):
+        cfg = VcConfig(num_adaptive=2, num_escape=4)
+        assert cfg.class_of_index(0) is None
+        assert cfg.class_of_index(1) is None
+        assert cfg.class_of_index(2) == 0
+        assert cfg.class_of_index(5) == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            VcConfig(num_adaptive=-1, num_escape=3)
+        with pytest.raises(ConfigurationError):
+            VcConfig(num_adaptive=0, num_escape=0)
+        cfg = VcConfig(num_adaptive=1, num_escape=2)
+        with pytest.raises(ConfigurationError):
+            cfg.escape_index(2)
+        with pytest.raises(ConfigurationError):
+            cfg.class_of_index(3)
+
+    def test_split_for_star(self):
+        g5 = StarGraph(5)
+        cfg = VcConfig.split_for(6, g5)
+        assert cfg.num_escape == 4  # floor(6/2) + 1
+        assert cfg.num_adaptive == 2
+        cfg12 = VcConfig.split_for(12, g5)
+        assert cfg12.num_escape == 4
+        assert cfg12.num_adaptive == 8
+
+    def test_split_too_small(self):
+        with pytest.raises(ConfigurationError):
+            VcConfig.split_for(3, StarGraph(5))
+
+
+class TestNegativesInHops:
+    def test_basic(self):
+        assert negatives_in_hops(0, True) == 0
+        assert negatives_in_hops(1, True) == 1
+        assert negatives_in_hops(1, False) == 0
+        assert negatives_in_hops(6, True) == 3
+        assert negatives_in_hops(6, False) == 3
+        assert negatives_in_hops(5, True) == 3
+        assert negatives_in_hops(5, False) == 2
+
+    def test_negative_raises(self):
+        with pytest.raises(ConfigurationError):
+            negatives_in_hops(-1, True)
+
+    @given(st.integers(0, 100))
+    def test_complementary_split(self, h):
+        """Negatives starting-negative + starting-positive == h."""
+        assert negatives_in_hops(h, True) + negatives_in_hops(h, False) == h
+
+
+class TestHopSign:
+    def test_even_source(self):
+        # colour 0 source: hops are +, -, +, -, ...
+        assert [hop_is_negative(k, 0) for k in range(1, 5)] == [False, True, False, True]
+
+    def test_odd_source(self):
+        assert [hop_is_negative(k, 1) for k in range(1, 5)] == [True, False, True, False]
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            hop_is_negative(0, 0)
+        with pytest.raises(ConfigurationError):
+            hop_is_negative(1, 2)
+
+    @given(st.integers(1, 50), st.integers(0, 1))
+    def test_floor_counts_signs(self, k, color):
+        assert minimal_floor(k, color) == sum(
+            hop_is_negative(j, color) for j in range(1, k)
+        )
+
+
+class TestEscapeCeiling:
+    def test_last_hop_unrestricted(self):
+        # d = 1: nothing after the current hop, all classes usable.
+        assert escape_ceiling(4, 1, True) == 3
+        assert escape_ceiling(4, 1, False) == 3
+
+    def test_worst_case_start(self):
+        # S5-like: V2 = 4, 6 hops starting with a negative hop:
+        # 3 negatives among the first 5 hops => only class 0 usable.
+        assert escape_ceiling(4, 6, True) == 0
+        # starting positive: 2 negatives among first 5 => classes 0..1.
+        assert escape_ceiling(4, 6, False) == 1
+
+    def test_invalid_distance(self):
+        with pytest.raises(ConfigurationError):
+            escape_ceiling(4, 0, True)
+
+    @given(st.integers(1, 8), st.integers(1, 14), st.booleans())
+    def test_ceiling_below_v2(self, v2, d, neg):
+        assert escape_ceiling(v2, d, neg) <= v2 - 1
+
+    @given(st.integers(1, 20), st.booleans(), st.integers(0, 1))
+    def test_minimal_route_always_has_one_class(self, h, unused, color):
+        """Walking a route at minimal classes never exhausts V2_min.
+
+        V2_min = floor(H/2) + 1 suffices: at every hop the minimal floor
+        stays within the ceiling — the deadlock-freedom sizing rule.
+        """
+        v2 = h // 2 + 1
+        floor = 0
+        for k in range(1, h + 1):
+            neg = hop_is_negative(k, color)
+            d_rem = h - k + 1
+            count = escape_eligible_count(v2, d_rem, neg, floor)
+            assert count >= 1, (h, color, k)
+            # take the minimal class
+            floor = floor + (1 if neg else 0)
+
+    @given(
+        st.integers(2, 12),
+        st.integers(0, 1),
+        st.integers(0, 6),
+        st.data(),
+    )
+    def test_bonus_spending_preserves_feasibility(self, h, color, extra, data):
+        """Any legal (possibly non-minimal) class choice stays feasible."""
+        v2 = h // 2 + 1 + extra
+        floor = 0
+        for k in range(1, h + 1):
+            neg = hop_is_negative(k, color)
+            d_rem = h - k + 1
+            hi = escape_ceiling(v2, d_rem, neg)
+            assert hi >= floor
+            chosen = data.draw(st.integers(floor, hi), label=f"class@hop{k}")
+            floor = chosen + (1 if neg else 0)

@@ -1,0 +1,53 @@
+"""Validation tests for SimulationConfig."""
+
+import pytest
+
+from repro.simulation import SimulationConfig
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = SimulationConfig()
+        assert cfg.total_vcs == 6
+        assert cfg.horizon == cfg.warmup_cycles + cfg.measure_cycles
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"message_length": 0},
+            {"generation_rate": -0.1},
+            {"generation_rate": 1.0},
+            {"total_vcs": 0},
+            {"buffer_depth": 0},
+            {"injection_slots": 0},
+            {"ejection_rate": 0},
+            {"measure_cycles": 0},
+            {"warmup_cycles": -1},
+            {"drain_cycles": -1},
+            {"batches": 0},
+            {"sample_interval": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(**kwargs)
+
+    def test_injection_slots_default_to_vcs(self):
+        assert SimulationConfig(total_vcs=9).effective_injection_slots() == 9
+        assert SimulationConfig(injection_slots=2).effective_injection_slots() == 2
+
+    def test_with_rate_copy(self):
+        cfg = SimulationConfig(generation_rate=0.001)
+        other = cfg.with_rate(0.005)
+        assert other.generation_rate == 0.005
+        assert cfg.generation_rate == 0.001
+        assert other.message_length == cfg.message_length
+
+    def test_with_seed_copy(self):
+        assert SimulationConfig(seed=1).with_seed(9).seed == 9
+
+    def test_frozen(self):
+        cfg = SimulationConfig()
+        with pytest.raises(Exception):
+            cfg.message_length = 64

@@ -1,0 +1,77 @@
+"""Tests for latency accumulators and the channel-load sampler."""
+
+import math
+
+import pytest
+
+from repro.simulation.metrics import ChannelLoadSampler, LatencyAccumulator
+
+
+class TestLatencyAccumulator:
+    def test_mean_and_std(self):
+        acc = LatencyAccumulator(batches=4, t_start=0, t_end=100)
+        for t, v in [(5, 10.0), (30, 20.0), (60, 30.0), (90, 40.0)]:
+            acc.add(t, v)
+        assert acc.count == 4
+        assert acc.mean == pytest.approx(25.0)
+        assert acc.std == pytest.approx(12.9099, rel=1e-3)
+
+    def test_empty_nan(self):
+        acc = LatencyAccumulator(batches=2, t_start=0, t_end=10)
+        assert math.isnan(acc.mean)
+        assert math.isnan(acc.std)
+        assert math.isnan(acc.ci_halfwidth())
+
+    def test_batches_by_generation_time(self):
+        acc = LatencyAccumulator(batches=2, t_start=0, t_end=10)
+        acc.add(1, 1.0)
+        acc.add(2, 3.0)
+        acc.add(8, 10.0)
+        assert acc.batch_means() == [2.0, 10.0]
+
+    def test_out_of_window_clamped(self):
+        acc = LatencyAccumulator(batches=2, t_start=10, t_end=20)
+        acc.add(5, 1.0)   # before window -> first batch
+        acc.add(25, 3.0)  # after window -> last batch
+        assert acc.batch_means() == [1.0, 3.0]
+
+    def test_ci_zero_for_identical_batches(self):
+        acc = LatencyAccumulator(batches=4, t_start=0, t_end=4)
+        for b in range(4):
+            acc.add(b + 0.5, 7.0)
+        assert acc.ci_halfwidth() == pytest.approx(0.0)
+
+    def test_ci_scales_with_spread(self):
+        tight = LatencyAccumulator(batches=4, t_start=0, t_end=4)
+        wide = LatencyAccumulator(batches=4, t_start=0, t_end=4)
+        for b in range(4):
+            tight.add(b + 0.5, 10.0 + 0.1 * b)
+            wide.add(b + 0.5, 10.0 + 10.0 * b)
+        assert wide.ci_halfwidth() > tight.ci_halfwidth()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyAccumulator(batches=0, t_start=0, t_end=1)
+        with pytest.raises(ValueError):
+            LatencyAccumulator(batches=2, t_start=5, t_end=5)
+
+
+class TestChannelLoadSampler:
+    def test_idle_network_multiplexing_one(self):
+        s = ChannelLoadSampler(num_channels=10)
+        s.sample([])
+        assert s.multiplexing_degree == 1.0
+        assert s.mean_busy_vcs == 0.0
+
+    def test_single_busy_vc(self):
+        s = ChannelLoadSampler(num_channels=4)
+        s.sample([1, 1])
+        assert s.multiplexing_degree == pytest.approx(1.0)
+        assert s.mean_busy_vcs == pytest.approx(0.5)
+
+    def test_matches_dally_formula(self):
+        s = ChannelLoadSampler(num_channels=3)
+        s.sample([1, 3])
+        s.sample([2])
+        # E[v^2]/E[v] over samples {1,3,2}: (1+9+4)/(1+3+2)
+        assert s.multiplexing_degree == pytest.approx(14 / 6)

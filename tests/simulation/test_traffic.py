@@ -1,0 +1,124 @@
+"""Tests for traffic patterns and the Poisson source."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.simulation.traffic import (
+    HotspotTraffic,
+    PermutationTraffic,
+    PoissonSource,
+    UniformTraffic,
+    make_traffic,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestPoissonSource:
+    def test_rate_recovered(self):
+        rng = np.random.default_rng(0)
+        src = PoissonSource(0.02, rng)
+        arrivals = src.arrivals_until(200_000)
+        rate = len(arrivals) / 200_000
+        assert rate == pytest.approx(0.02, rel=0.05)
+
+    def test_arrivals_sorted_and_consumed(self):
+        rng = np.random.default_rng(1)
+        src = PoissonSource(0.1, rng)
+        first = src.arrivals_until(1000)
+        assert first == sorted(first)
+        again = src.arrivals_until(1000)
+        assert again == []
+
+    def test_exponential_gaps(self):
+        rng = np.random.default_rng(2)
+        src = PoissonSource(0.05, rng)
+        arrivals = src.arrivals_until(400_000)
+        gaps = np.diff(arrivals)
+        assert gaps.mean() == pytest.approx(20.0, rel=0.05)
+        assert gaps.std() == pytest.approx(20.0, rel=0.1)  # exponential: std == mean
+
+    def test_zero_rate_never_fires(self):
+        src = PoissonSource(0.0, np.random.default_rng(0))
+        assert src.arrivals_until(1e12) == []
+        assert src.peek() == float("inf")
+
+    def test_pop_next_advances(self):
+        src = PoissonSource(0.5, np.random.default_rng(3))
+        a = src.pop_next()
+        b = src.pop_next()
+        assert b > a
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonSource(-1.0, np.random.default_rng(0))
+
+
+class TestUniformTraffic:
+    def test_never_self(self):
+        t = UniformTraffic(8)
+        rng = np.random.default_rng(0)
+        for src in range(8):
+            for _ in range(200):
+                assert t.destination(src, rng) != src
+
+    def test_roughly_uniform(self):
+        t = UniformTraffic(6)
+        rng = np.random.default_rng(1)
+        counts = collections.Counter(t.destination(2, rng) for _ in range(30_000))
+        assert set(counts) == {0, 1, 3, 4, 5}
+        for c in counts.values():
+            assert c == pytest.approx(6000, rel=0.1)
+
+    def test_tiny_network_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformTraffic(1)
+
+
+class TestHotspotTraffic:
+    def test_hotspot_mass(self):
+        t = HotspotTraffic(10, hotspot=3, fraction=0.5)
+        rng = np.random.default_rng(2)
+        counts = collections.Counter(t.destination(0, rng) for _ in range(20_000))
+        # ~50% direct + ~5.6% via the uniform branch
+        assert counts[3] / 20_000 == pytest.approx(0.5 + 0.5 / 9, rel=0.1)
+
+    def test_hotspot_source_falls_back_to_uniform(self):
+        t = HotspotTraffic(10, hotspot=3, fraction=1.0)
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            assert t.destination(3, rng) != 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HotspotTraffic(10, hotspot=10)
+        with pytest.raises(ConfigurationError):
+            HotspotTraffic(10, fraction=1.5)
+
+
+class TestPermutationTraffic:
+    def test_fixed_partner(self):
+        t = PermutationTraffic(12, seed=0)
+        rng = np.random.default_rng(0)
+        partners = {src: t.destination(src, rng) for src in range(12)}
+        for src, dst in partners.items():
+            assert dst != src
+            assert t.destination(src, rng) == dst  # deterministic
+
+    def test_is_permutation(self):
+        t = PermutationTraffic(9, seed=4)
+        rng = np.random.default_rng(0)
+        dsts = sorted(t.destination(s, rng) for s in range(9))
+        assert dsts == list(range(9))
+
+
+class TestFactory:
+    def test_make_by_name(self):
+        assert isinstance(make_traffic("uniform", 8), UniformTraffic)
+        assert isinstance(make_traffic("hotspot", 8), HotspotTraffic)
+        assert isinstance(make_traffic("permutation", 8), PermutationTraffic)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_traffic("tornado", 8)

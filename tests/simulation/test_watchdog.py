@@ -1,0 +1,78 @@
+"""Tests for the engine's no-progress watchdog and small-worm edge cases."""
+
+import pytest
+
+from repro.routing import EnhancedNbc
+from repro.simulation import SimulationConfig, WormholeSimulator, simulate
+from repro.simulation import engine as engine_mod
+from repro.topology import StarGraph
+from repro.utils.exceptions import SimulationError
+
+
+class TestWatchdog:
+    def test_raises_when_allocation_is_wedged(self, star4, monkeypatch):
+        """If no header can ever allocate, the watchdog must fire."""
+        cfg = SimulationConfig(
+            message_length=4,
+            generation_rate=0.05,
+            total_vcs=6,
+            warmup_cycles=10,
+            measure_cycles=100,
+            drain_cycles=100_000,
+            seed=0,
+        )
+        sim = WormholeSimulator(star4, EnhancedNbc(), cfg)
+        monkeypatch.setattr(engine_mod, "_WATCHDOG_GRACE", 200)
+        monkeypatch.setattr(sim, "_choose_vc", lambda msg: None)
+        with pytest.raises(SimulationError, match="no progress"):
+            sim.run()
+
+    def test_quiet_on_healthy_network(self, star4, monkeypatch):
+        monkeypatch.setattr(engine_mod, "_WATCHDOG_GRACE", 200)
+        cfg = SimulationConfig(
+            message_length=4,
+            generation_rate=0.01,
+            total_vcs=6,
+            warmup_cycles=100,
+            measure_cycles=1_000,
+            drain_cycles=1_000,
+            seed=0,
+        )
+        res = simulate(star4, EnhancedNbc(), cfg)
+        assert res.messages_completed > 0
+
+
+class TestSmallWorms:
+    def test_single_flit_messages(self, star4):
+        """M = 1: header == tail; latency ~ hops + ejection."""
+        cfg = SimulationConfig(
+            message_length=1,
+            generation_rate=0.002,
+            total_vcs=6,
+            warmup_cycles=200,
+            measure_cycles=4_000,
+            drain_cycles=2_000,
+            seed=5,
+        )
+        res = simulate(star4, EnhancedNbc(), cfg)
+        assert res.messages_measured > 0
+        floor = 1 + star4.average_distance()
+        assert res.mean_latency == pytest.approx(floor + 1.5, abs=1.5)
+
+    def test_adjacent_destination_single_hop(self, star4):
+        """Distance-1 worms traverse exactly one channel."""
+        cfg = SimulationConfig(
+            message_length=4,
+            generation_rate=0.001,
+            total_vcs=6,
+            warmup_cycles=100,
+            measure_cycles=2_000,
+            drain_cycles=1_000,
+            seed=9,
+            traffic="permutation",  # fixed partners, some adjacent
+        )
+        sim = WormholeSimulator(star4, EnhancedNbc(), cfg)
+        res = sim.run()
+        assert res.messages_completed > 0
+        # every completed hop allocation was recorded at hop index >= 1
+        assert sum(r["requests"] for r in res.hop_blocking.as_rows()) > 0

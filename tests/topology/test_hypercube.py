@@ -1,0 +1,72 @@
+"""Tests for the hypercube comparison topology."""
+
+import networkx as nx
+import pytest
+
+from repro.topology import Hypercube
+from repro.topology.hypercube import equivalent_hypercube_dimension
+from repro.utils.exceptions import TopologyError
+
+
+class TestConstruction:
+    def test_basic(self, cube4):
+        assert cube4.num_nodes == 16
+        assert cube4.degree == 4
+        assert cube4.diameter() == 4
+        assert cube4.name == "Q4"
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            Hypercube(0)
+        with pytest.raises(TopologyError):
+            Hypercube(21)
+
+
+class TestStructure:
+    def test_neighbors_flip_one_bit(self, cube4):
+        for u in range(16):
+            for p in range(4):
+                assert cube4.neighbor(u, p) == u ^ (1 << p)
+
+    def test_distance_is_hamming(self, cube4):
+        assert cube4.distance(0b0000, 0b1011) == 3
+        assert cube4.distance(5, 5) == 0
+
+    def test_bipartite_by_weight(self, cube4):
+        for u in range(16):
+            for p in range(4):
+                assert cube4.color(u) != cube4.color(cube4.neighbor(u, p))
+
+    def test_matches_networkx(self, cube4):
+        g = cube4.to_networkx()
+        ref = nx.hypercube_graph(4)
+        assert nx.is_isomorphic(g, ref)
+
+    def test_average_distance(self, cube4):
+        total = sum(cube4.distance(0, v) for v in range(16))
+        assert cube4.average_distance() == pytest.approx(total / 15)
+
+    def test_minimal_routing(self, cube4):
+        cube4.validate_minimal_routing()
+
+    def test_profitable_ports_are_differing_bits(self, cube4):
+        assert cube4.profitable_ports(0b0000, 0b0101) == (0, 2)
+        assert cube4.profitable_ports(3, 3) == ()
+
+    def test_escape_class_requirements(self):
+        assert Hypercube(4).min_escape_classes() == 3
+        assert Hypercube(5).min_escape_classes() == 3
+        assert Hypercube(7).max_negative_hops() == 4
+
+
+class TestEquivalentDimension:
+    def test_powers(self):
+        assert equivalent_hypercube_dimension(1) == 1
+        assert equivalent_hypercube_dimension(2) == 1
+        assert equivalent_hypercube_dimension(24) == 5
+        assert equivalent_hypercube_dimension(120) == 7
+        assert equivalent_hypercube_dimension(128) == 7
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            equivalent_hypercube_dimension(0)

@@ -1,0 +1,231 @@
+"""Unit and property tests for the permutation algebra."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import permutations as pm
+from repro.utils.exceptions import TopologyError
+
+perms = st.integers(2, 7).flatmap(
+    lambda n: st.permutations(list(range(1, n + 1))).map(tuple)
+)
+
+
+class TestIdentity:
+    def test_small(self):
+        assert pm.identity(1) == (1,)
+        assert pm.identity(4) == (1, 2, 3, 4)
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            pm.identity(0)
+
+
+class TestCompose:
+    def test_identity_neutral(self):
+        p = (3, 1, 2)
+        e = pm.identity(3)
+        assert pm.compose(p, e) == p
+        assert pm.compose(e, p) == p
+
+    def test_size_mismatch(self):
+        with pytest.raises(TopologyError):
+            pm.compose((1, 2), (1, 2, 3))
+
+    @given(perms)
+    def test_inverse_cancels(self, p):
+        e = pm.identity(len(p))
+        assert pm.compose(p, pm.invert(p)) == e
+        assert pm.compose(pm.invert(p), p) == e
+
+    @given(perms, st.data())
+    def test_associative(self, p, data):
+        n = len(p)
+        q = data.draw(st.permutations(list(range(1, n + 1))).map(tuple))
+        r = data.draw(st.permutations(list(range(1, n + 1))).map(tuple))
+        assert pm.compose(pm.compose(p, q), r) == pm.compose(p, pm.compose(q, r))
+
+
+class TestParity:
+    def test_identity_even(self):
+        assert pm.parity(pm.identity(5)) == 0
+
+    def test_transposition_odd(self):
+        assert pm.parity((2, 1, 3)) == 1
+
+    def test_three_cycle_even(self):
+        assert pm.parity((2, 3, 1)) == 0
+
+    @given(perms, st.integers(2, 7))
+    def test_star_move_flips_parity(self, p, dim):
+        n = len(p)
+        dim = 2 + (dim % (n - 1)) if n > 2 else 2
+        q = pm.star_neighbor(p, dim)
+        assert pm.parity(p) != pm.parity(q)
+
+    @given(perms)
+    def test_parity_of_inverse_equal(self, p):
+        assert pm.parity(p) == pm.parity(pm.invert(p))
+
+
+class TestCycles:
+    def test_identity_all_fixed(self):
+        cycles = pm.cycles_of(pm.identity(4))
+        assert all(len(c) == 1 for c in cycles)
+
+    def test_known_structure(self):
+        # 21435: cycles (12)(34), 5 fixed.
+        m, c, ell = pm.cycle_structure((2, 1, 4, 3, 5))
+        assert (m, c, ell) == (4, 2, 2)
+
+    def test_own_cycle_detected(self):
+        # 231: one 3-cycle containing position 1.
+        m, c, ell = pm.cycle_structure((2, 3, 1))
+        assert (m, c, ell) == (3, 1, 3)
+
+    def test_first_fixed(self):
+        # 132: position 1 home, cycle (23).
+        m, c, ell = pm.cycle_structure((1, 3, 2))
+        assert (m, c, ell) == (2, 1, 0)
+
+    @given(perms)
+    def test_cycles_partition_positions(self, p):
+        seen = sorted(pos for cyc in pm.cycles_of(p) for pos in cyc)
+        assert seen == list(range(1, len(p) + 1))
+
+
+class TestStarDistance:
+    def test_identity_zero(self):
+        assert pm.star_distance(pm.identity(5)) == 0
+
+    def test_hand_checked_s3(self):
+        expected = {
+            (1, 2, 3): 0,
+            (2, 1, 3): 1,
+            (3, 2, 1): 1,
+            (2, 3, 1): 2,
+            (3, 1, 2): 2,
+            (1, 3, 2): 3,
+        }
+        for p, d in expected.items():
+            assert pm.star_distance(p) == d, p
+
+    @given(perms)
+    def test_matches_bfs(self, p):
+        """The closed form equals true shortest-path distance (BFS)."""
+        n = len(p)
+        if n > 5:
+            return  # keep BFS cheap
+        from collections import deque
+
+        target = pm.identity(n)
+        dist = {p: 0}
+        frontier = deque([p])
+        while frontier:
+            cur = frontier.popleft()
+            if cur == target:
+                break
+            for dim in range(2, n + 1):
+                nxt = pm.star_neighbor(cur, dim)
+                if nxt not in dist:
+                    dist[nxt] = dist[cur] + 1
+                    frontier.append(nxt)
+        assert pm.star_distance(p) == dist[target if p != target else p]
+
+    @given(perms)
+    def test_neighbor_distance_changes_by_one(self, p):
+        n = len(p)
+        for dim in range(2, n + 1):
+            q = pm.star_neighbor(p, dim)
+            assert abs(pm.star_distance(p) - pm.star_distance(q)) == 1
+
+    def test_diameter_attained(self):
+        # max distance in S_n is floor(3(n-1)/2)
+        for n in range(2, 6):
+            best = max(
+                pm.star_distance(pm.permutation_unrank(r, n))
+                for r in range(math.factorial(n))
+            )
+            assert best == (3 * (n - 1)) // 2
+
+
+class TestStarNeighbor:
+    def test_swap_first_third(self):
+        assert pm.star_neighbor((1, 2, 3, 4), 3) == (3, 2, 1, 4)
+
+    def test_involution(self):
+        p = (4, 1, 3, 2)
+        for dim in range(2, 5):
+            assert pm.star_neighbor(pm.star_neighbor(p, dim), dim) == p
+
+    def test_invalid_dim(self):
+        with pytest.raises(TopologyError):
+            pm.star_neighbor((1, 2, 3), 1)
+        with pytest.raises(TopologyError):
+            pm.star_neighbor((1, 2, 3), 4)
+
+
+class TestRanking:
+    def test_identity_rank_zero(self):
+        for n in range(1, 7):
+            assert pm.permutation_rank(pm.identity(n)) == 0
+
+    def test_last_rank(self):
+        assert pm.permutation_rank((3, 2, 1)) == 5
+
+    def test_rank_unrank_roundtrip_exhaustive(self):
+        for n in (1, 2, 3, 4, 5):
+            for r in range(math.factorial(n)):
+                assert pm.permutation_rank(pm.permutation_unrank(r, n)) == r
+
+    def test_lexicographic_order(self):
+        ranked = [pm.permutation_unrank(r, 4) for r in range(24)]
+        assert ranked == sorted(ranked)
+
+    def test_unrank_out_of_range(self):
+        with pytest.raises(TopologyError):
+            pm.permutation_unrank(24, 4)
+        with pytest.raises(TopologyError):
+            pm.permutation_unrank(-1, 4)
+
+    @given(perms)
+    def test_roundtrip_property(self, p):
+        assert pm.permutation_unrank(pm.permutation_rank(p), len(p)) == p
+
+
+class TestRelativePermutation:
+    @given(perms)
+    def test_same_node_gives_identity(self, p):
+        assert pm.relative_permutation(p, p) == pm.identity(len(p))
+
+    @given(perms, st.data())
+    def test_commutes_with_moves(self, p, data):
+        """Applying a generator to the node applies it to the residual."""
+        n = len(p)
+        dst = data.draw(st.permutations(list(range(1, n + 1))).map(tuple))
+        rel = pm.relative_permutation(p, dst)
+        for dim in range(2, n + 1):
+            moved = pm.star_neighbor(p, dim)
+            assert pm.relative_permutation(moved, dst) == pm.star_neighbor(rel, dim)
+
+
+class TestMisc:
+    def test_random_permutation_valid(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert pm.is_permutation(pm.random_permutation(6, rng))
+
+    def test_all_permutations_count(self):
+        assert len(pm.all_permutations(4)) == 24
+        assert len(set(pm.all_permutations(4))) == 24
+
+    def test_apply_to(self):
+        assert pm.apply_to((2, 1, 3), ("a", "b", "c")) == ("b", "a", "c")
+
+    def test_apply_to_mismatch(self):
+        with pytest.raises(TopologyError):
+            pm.apply_to((1, 2), ("a",))

@@ -1,0 +1,56 @@
+"""Tests for the section-2 topology comparison."""
+
+import math
+
+import pytest
+
+from repro.topology.properties import (
+    comparison_table,
+    hypercube_row,
+    star_row,
+    verify_row,
+)
+
+
+class TestRows:
+    def test_star_row_values(self):
+        row = star_row(5)
+        assert row.nodes == 120
+        assert row.degree == 4
+        assert row.diameter == 6
+        assert row.average_distance == pytest.approx(3.714285714, abs=1e-8)
+
+    def test_hypercube_row_values(self):
+        row = hypercube_row(7)
+        assert row.nodes == 128
+        assert row.degree == 7
+        assert row.diameter == 7
+
+    def test_rows_verified_against_graphs(self):
+        for row in (star_row(4), star_row(5), hypercube_row(5), hypercube_row(7)):
+            assert verify_row(row)
+
+    def test_as_dict(self):
+        d = star_row(4).as_dict()
+        assert d["name"] == "S4"
+        assert d["nodes"] == 24
+
+
+class TestComparison:
+    def test_table_pairs_star_with_equivalent_cube(self):
+        rows = comparison_table((4, 5))
+        assert [r.name for r in rows] == ["S4", "Q5", "S5", "Q7"]
+        # equivalence: cube at least as many nodes as the star
+        assert rows[1].nodes >= rows[0].nodes
+        assert rows[3].nodes >= rows[2].nodes
+
+    def test_paper_claim_sublogarithmic_degree(self):
+        """S_n degree/diameter grow slower than the equivalent cube's."""
+        for star, cube in zip(*[iter(comparison_table((6, 7, 8, 9)))] * 2):
+            assert star.degree < cube.degree
+            assert star.diameter < cube.diameter
+
+    def test_star_average_distance_below_cube(self):
+        rows = comparison_table((7, 8, 9))
+        for star, cube in zip(rows[::2], rows[1::2]):
+            assert star.average_distance < cube.average_distance

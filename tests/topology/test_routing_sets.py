@@ -1,0 +1,200 @@
+"""Tests for cycle types, the path-set DAG and f(i, j, k) statistics."""
+
+import collections
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import permutations as pm
+from repro.topology.routing_sets import (
+    CycleType,
+    PathSetEnumerator,
+    all_cycle_types,
+    count_permutations_of_type,
+    cycle_type_of,
+    enumerate_minimal_paths,
+)
+from repro.topology.star import profitable_ports_of_relative, star_average_distance_closed_form
+from repro.utils.exceptions import TopologyError
+
+perms = st.integers(2, 6).flatmap(
+    lambda n: st.permutations(list(range(1, n + 1))).map(tuple)
+)
+
+
+class TestCycleType:
+    def test_identity(self):
+        t = cycle_type_of((1, 2, 3))
+        assert t.is_identity
+        assert t.distance == 0
+        assert t.f == 0
+
+    def test_known_types(self):
+        t = cycle_type_of((2, 1, 4, 3, 5))  # (12)(34)
+        assert t.ell == 2
+        assert t.others == (2,)
+        assert t.distance == 4
+        assert t.f == 1 + 2  # home-send + merge into the other 2-cycle
+
+    def test_first_home_type(self):
+        t = cycle_type_of((1, 3, 2))
+        assert t.ell == 0
+        assert t.others == (2,)
+        assert t.distance == 3
+        assert t.f == 2
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            CycleType(1, ())
+        with pytest.raises(TopologyError):
+            CycleType(0, (1,))
+        with pytest.raises(TopologyError):
+            CycleType(0, (3, 2))  # must be sorted ascending
+
+    @given(perms)
+    def test_distance_matches_permutation(self, p):
+        assert cycle_type_of(p).distance == pm.star_distance(p)
+
+    @given(perms)
+    def test_f_matches_profitable_ports(self, p):
+        assert cycle_type_of(p).f == len(profitable_ports_of_relative(p))
+
+    @given(perms)
+    def test_transitions_cover_all_moves(self, p):
+        """Type-level transition weights equal permutation-level counts."""
+        t = cycle_type_of(p)
+        if t.is_identity:
+            return
+        by_child = collections.Counter()
+        for port in profitable_ports_of_relative(p):
+            child = pm.star_neighbor(p, port + 2)
+            by_child[cycle_type_of(child)] += 1
+        expected = collections.Counter()
+        for child, w in t.transitions():
+            expected[child] += w
+        assert by_child == expected
+
+    def test_transitions_decrease_distance(self):
+        for t in all_cycle_types(6):
+            for child, w in t.transitions():
+                assert child.distance == t.distance - 1
+                assert w >= 1
+
+
+class TestTypeCounting:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_counts_sum_to_factorial(self, n):
+        total = sum(count_permutations_of_type(t, n) for t in all_cycle_types(n))
+        assert total == math.factorial(n)
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_counts_match_enumeration(self, n):
+        by_type = collections.Counter(
+            cycle_type_of(pm.permutation_unrank(r, n)) for r in range(math.factorial(n))
+        )
+        for t in all_cycle_types(n):
+            assert count_permutations_of_type(t, n) == by_type.get(t, 0), t
+
+    def test_type_too_big_for_n(self):
+        assert count_permutations_of_type(CycleType(4, (3,)), 5) == 0
+
+    def test_identity_counted_once(self):
+        assert count_permutations_of_type(CycleType(0, ()), 5) == 1
+
+
+class TestPathEnumeration:
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_all_paths_minimal_and_distinct(self, n):
+        for r in range(1, math.factorial(n)):
+            rel = pm.permutation_unrank(r, n)
+            h = pm.star_distance(rel)
+            paths = enumerate_minimal_paths(rel)
+            assert len({tuple(p) for p in paths}) == len(paths)
+            for path in paths:
+                assert len(path) == h + 1
+                assert path[0] == rel
+                assert path[-1] == pm.identity(n)
+                for a, b in zip(path, path[1:]):
+                    assert pm.star_distance(b) == pm.star_distance(a) - 1
+
+    def test_identity_single_trivial_path(self):
+        assert enumerate_minimal_paths((1, 2, 3)) == [[(1, 2, 3)]]
+
+
+class TestPathSetEnumerator:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7])
+    def test_destination_classes_cover_network(self, n):
+        enum = PathSetEnumerator(n)
+        classes = enum.destination_classes()
+        assert sum(c for _, c, _ in classes) == math.factorial(n) - 1
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7, 8])
+    def test_mean_distance_equals_closed_form(self, n):
+        enum = PathSetEnumerator(n)
+        assert enum.mean_distance() == pytest.approx(
+            star_average_distance_closed_form(n), abs=1e-9
+        )
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_num_paths_matches_brute_force(self, n):
+        enum = PathSetEnumerator(n)
+        for r in range(1, math.factorial(n)):
+            rel = pm.permutation_unrank(r, n)
+            assert enum.num_paths(cycle_type_of(rel)) == len(enumerate_minimal_paths(rel))
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_hop_f_distribution_matches_brute_force(self, n):
+        enum = PathSetEnumerator(n)
+        for r in range(1, math.factorial(n)):
+            rel = pm.permutation_unrank(r, n)
+            t = cycle_type_of(rel)
+            paths = enumerate_minimal_paths(rel)
+            stats = enum.hop_stats(t)
+            for k in range(1, t.distance + 1):
+                counted = collections.Counter(
+                    len(profitable_ports_of_relative(path[k - 1])) for path in paths
+                )
+                brute = {f: c / len(paths) for f, c in counted.items()}
+                assert set(brute) == set(stats.f_dist[k - 1])
+                for f, prob in brute.items():
+                    assert stats.f_dist[k - 1][f] == pytest.approx(prob, abs=1e-12)
+
+    def test_f_distributions_normalised(self):
+        enum = PathSetEnumerator(6)
+        for t, _, d in enum.destination_classes():
+            stats = enum.hop_stats(t)
+            assert stats.distance == d
+            for k in range(1, d + 1):
+                assert sum(stats.f_dist[k - 1].values()) == pytest.approx(1.0)
+
+    def test_last_hop_is_forced(self):
+        """At the final hop exactly one output channel remains (f = 1)."""
+        enum = PathSetEnumerator(5)
+        for t, _, d in enum.destination_classes():
+            stats = enum.hop_stats(t)
+            assert stats.f_dist[d - 1] == {1: pytest.approx(1.0)}
+
+    def test_mean_f_monotone_reasonable(self):
+        """Adaptivity never exceeds degree and first hop has f = type.f."""
+        enum = PathSetEnumerator(5)
+        for t, _, d in enum.destination_classes():
+            stats = enum.hop_stats(t)
+            assert stats.f_dist[0] == {t.f: pytest.approx(1.0)}
+            for k in range(1, d + 1):
+                assert 1 <= stats.mean_f(k) <= 4
+
+    def test_expect_pow_bounds(self):
+        enum = PathSetEnumerator(5)
+        t = enum.destination_classes()[-1][0]
+        stats = enum.hop_stats(t)
+        for k in range(1, stats.distance + 1):
+            assert stats.expect_pow(k, 0.0) == pytest.approx(0.0)
+            assert stats.expect_pow(k, 1.0) == pytest.approx(1.0)
+            mid = stats.expect_pow(k, 0.5)
+            assert 0.0 < mid < 1.0
+
+    def test_invalid_n(self):
+        with pytest.raises(TopologyError):
+            PathSetEnumerator(1)

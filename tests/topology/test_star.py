@@ -1,0 +1,168 @@
+"""Tests for the StarGraph topology."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import StarGraph
+from repro.topology.star import profitable_ports_of_relative, star_average_distance_closed_form
+from repro.utils.exceptions import TopologyError
+
+
+class TestConstruction:
+    def test_node_count(self, star4):
+        assert star4.num_nodes == 24
+        assert star4.degree == 3
+        assert star4.name == "S4"
+
+    def test_invalid_n(self):
+        with pytest.raises(TopologyError):
+            StarGraph(1)
+        with pytest.raises(TopologyError):
+            StarGraph(10)
+
+    def test_node_zero_is_identity(self, star5):
+        assert star5.permutation_of(0) == (1, 2, 3, 4, 5)
+
+    def test_node_of_roundtrip(self, star4):
+        for node in range(star4.num_nodes):
+            assert star4.node_of(star4.permutation_of(node)) == node
+
+    def test_node_of_rejects_garbage(self, star4):
+        with pytest.raises(TopologyError):
+            star4.node_of((1, 2, 3))
+
+
+class TestStructure:
+    def test_neighbors_symmetric(self, star4):
+        for u in range(star4.num_nodes):
+            for p in range(star4.degree):
+                v = star4.neighbor(u, p)
+                assert star4.neighbor(v, p) == u  # same dimension swaps back
+
+    def test_neighbor_table_matches(self, star4):
+        table = star4.neighbor_table
+        for u in range(star4.num_nodes):
+            for p in range(star4.degree):
+                assert table[u, p] == star4.neighbor(u, p)
+
+    def test_no_self_loops(self, star5):
+        for u in range(star5.num_nodes):
+            for p in range(star5.degree):
+                assert star5.neighbor(u, p) != u
+
+    def test_connected(self, star4):
+        g = star4.to_networkx()
+        assert nx.is_connected(g)
+        assert g.number_of_nodes() == 24
+        assert g.number_of_edges() == 24 * 3 // 2
+
+    def test_bipartite_by_parity(self, star4):
+        for u in range(star4.num_nodes):
+            for p in range(star4.degree):
+                assert star4.color(u) != star4.color(star4.neighbor(u, p))
+
+    def test_vertex_transitive_distance_profile(self, star4):
+        """Every node sees the same multiset of distances (Cayley graph)."""
+        def profile(src):
+            return sorted(star4.distance(src, d) for d in range(star4.num_nodes))
+
+        base = profile(0)
+        for src in (1, 7, 13, 23):
+            assert profile(src) == base
+
+    def test_invalid_queries(self, star4):
+        with pytest.raises(TopologyError):
+            star4.neighbor(24, 0)
+        with pytest.raises(TopologyError):
+            star4.neighbor(0, 3)
+        with pytest.raises(TopologyError):
+            star4.distance(-1, 0)
+
+
+class TestDistances:
+    def test_distance_vs_networkx_bfs(self, star4):
+        g = star4.to_networkx()
+        lengths = dict(nx.all_pairs_shortest_path_length(g))
+        for u in range(star4.num_nodes):
+            for v in range(star4.num_nodes):
+                assert star4.distance(u, v) == lengths[u][v]
+
+    def test_diameter_formula(self):
+        for n in (2, 3, 4, 5):
+            g = StarGraph(n)
+            explicit = max(
+                g.distance(0, v) for v in range(g.num_nodes)
+            )
+            assert g.diameter() == explicit == (3 * (n - 1)) // 2
+
+    def test_average_distance_closed_form_vs_enumeration(self):
+        for n in (2, 3, 4, 5, 6):
+            g = StarGraph(n)
+            assert g.average_distance() == pytest.approx(
+                g.exact_average_distance(), abs=1e-12
+            )
+
+    def test_closed_form_values(self):
+        # Hand-computed: S3 mean distance over 5 destinations = 9/5.
+        assert star_average_distance_closed_form(3) == pytest.approx(1.8)
+        assert star_average_distance_closed_form(5) == pytest.approx(3.714285714, abs=1e-8)
+
+    def test_closed_form_invalid(self):
+        with pytest.raises(TopologyError):
+            star_average_distance_closed_form(1)
+
+    def test_distance_histogram_sums(self, star5):
+        hist = star5.distance_histogram()
+        assert sum(hist.values()) == 120
+        assert hist[0] == 1
+        assert max(hist) == star5.diameter()
+
+    def test_distance_symmetry(self, star4):
+        for u in range(0, star4.num_nodes, 3):
+            for v in range(star4.num_nodes):
+                assert star4.distance(u, v) == star4.distance(v, u)
+
+
+class TestRouting:
+    def test_minimal_routing_validated(self, star4):
+        star4.validate_minimal_routing()
+
+    def test_minimal_routing_validated_s5(self, star5):
+        star5.validate_minimal_routing()
+
+    def test_profitable_empty_at_destination(self, star4):
+        assert star4.profitable_ports(5, 5) == ()
+
+    def test_profitable_counts_match_formula(self, star5):
+        """f = m when first symbol home, else 1 + (m - ell)."""
+        from repro.topology.permutations import cycle_structure, relative_permutation
+
+        for dst in range(0, star5.num_nodes, 7):
+            for cur in range(0, star5.num_nodes, 11):
+                if cur == dst:
+                    continue
+                rel = relative_permutation(
+                    star5.permutation_of(cur), star5.permutation_of(dst)
+                )
+                m, c, ell = cycle_structure(rel)
+                expected = m if rel[0] == 1 else 1 + (m - ell)
+                assert len(star5.profitable_ports(cur, dst)) == expected
+
+    def test_profitable_ports_of_relative_identity(self):
+        assert profitable_ports_of_relative((1, 2, 3, 4)) == ()
+
+    def test_escape_class_requirements(self):
+        assert StarGraph(4).min_escape_classes() == 3
+        assert StarGraph(5).min_escape_classes() == 4
+        assert StarGraph(5).max_negative_hops() == 3
+
+    def test_channel_indexing(self, star4):
+        seen = set()
+        for u in range(star4.num_nodes):
+            for p in range(star4.degree):
+                seen.add(star4.channel_index(u, p))
+        assert seen == set(range(star4.num_channels))

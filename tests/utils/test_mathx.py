@@ -1,0 +1,144 @@
+"""Unit and property tests for repro.utils.mathx."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.mathx import (
+    binomial,
+    clamp,
+    harmonic,
+    prob_busy_covers,
+    safe_div,
+    validate_probability,
+)
+
+
+class TestBinomial:
+    def test_matches_math_comb(self):
+        for n in range(12):
+            for k in range(n + 1):
+                assert binomial(n, k) == math.comb(n, k)
+
+    def test_out_of_range_is_zero(self):
+        assert binomial(5, -1) == 0
+        assert binomial(5, 6) == 0
+        assert binomial(-1, 0) == 0
+
+    def test_symmetry(self):
+        for n in range(2, 15):
+            for k in range(n + 1):
+                assert binomial(n, k) == binomial(n, n - k)
+
+    @given(st.integers(1, 30), st.integers(0, 30))
+    def test_pascal_rule(self, n, k):
+        assert binomial(n, k) == binomial(n - 1, k - 1) + binomial(n - 1, k)
+
+
+class TestHarmonic:
+    def test_base_cases(self):
+        assert harmonic(0) == 0.0
+        assert harmonic(1) == 1.0
+        assert harmonic(2) == pytest.approx(1.5)
+
+    def test_h5(self):
+        assert harmonic(5) == pytest.approx(137 / 60)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            harmonic(-1)
+
+    @given(st.integers(1, 200))
+    def test_monotone_increasing(self, n):
+        assert harmonic(n) > harmonic(n - 1)
+
+    def test_log_asymptotics(self):
+        # H_n = ln n + gamma + O(1/n)
+        n = 10_000
+        gamma = 0.5772156649
+        assert harmonic(n) == pytest.approx(math.log(n) + gamma, abs=1e-4)
+
+
+class TestProbBusyCovers:
+    def test_zero_eligible_always_blocked(self):
+        assert prob_busy_covers([0.5, 0.3, 0.2], 0) == 1.0
+        assert prob_busy_covers([1.0, 0.0], -3) == 1.0
+
+    def test_too_many_eligible_raises(self):
+        with pytest.raises(ValueError):
+            prob_busy_covers([0.5, 0.5], 2)  # V = 1 here
+
+    def test_all_busy_blocks_everything(self):
+        # V=3, always exactly 3 busy.
+        p = [0.0, 0.0, 0.0, 1.0]
+        for e in range(1, 4):
+            assert prob_busy_covers(p, e) == pytest.approx(1.0)
+
+    def test_never_busy_never_blocks(self):
+        p = [1.0, 0.0, 0.0, 0.0]
+        for e in range(1, 4):
+            assert prob_busy_covers(p, e) == pytest.approx(0.0)
+
+    def test_single_vc(self):
+        # V=1: blocked with the probability that the one VC is busy.
+        assert prob_busy_covers([0.7, 0.3], 1) == pytest.approx(0.3)
+
+    def test_uniform_two_of_three(self):
+        # V=3, always exactly 2 busy: P(covers a fixed single) = 2/3,
+        # P(covers a fixed pair) = C(2,2)/C(3,2) = 1/3.
+        p = [0.0, 0.0, 1.0, 0.0]
+        assert prob_busy_covers(p, 1) == pytest.approx(2 / 3)
+        assert prob_busy_covers(p, 2) == pytest.approx(1 / 3)
+        assert prob_busy_covers(p, 3) == pytest.approx(0.0)
+
+    @given(st.lists(st.floats(0.01, 1.0), min_size=3, max_size=9))
+    def test_monotone_decreasing_in_eligible(self, weights):
+        total = sum(weights)
+        p = [w / total for w in weights]
+        v = len(p) - 1
+        vals = [prob_busy_covers(p, e) for e in range(1, v + 1)]
+        for a, b in zip(vals, vals[1:]):
+            assert a >= b - 1e-12
+
+    @given(st.lists(st.floats(0.0, 1.0), min_size=2, max_size=8))
+    def test_result_is_probability(self, weights):
+        total = sum(weights) or 1.0
+        p = [w / total for w in weights]
+        for e in range(1, len(p)):
+            assert 0.0 <= prob_busy_covers(p, e) <= 1.0
+
+
+class TestSafeDiv:
+    def test_normal(self):
+        assert safe_div(6.0, 3.0) == 2.0
+
+    def test_zero_denominator(self):
+        assert safe_div(1.0, 0.0) == 0.0
+        assert safe_div(1.0, 0.0, default=9.0) == 9.0
+
+
+class TestValidateProbability:
+    def test_accepts_bounds(self):
+        assert validate_probability(0.0) == 0.0
+        assert validate_probability(1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            validate_probability(-0.01)
+        with pytest.raises(ValueError):
+            validate_probability(1.01, name="p_block")
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_outside(self):
+        assert clamp(-1.0, 0.0, 1.0) == 0.0
+        assert clamp(2.0, 0.0, 1.0) == 1.0
+
+    def test_empty_interval_raises(self):
+        with pytest.raises(ValueError):
+            clamp(0.5, 1.0, 0.0)

@@ -1,0 +1,48 @@
+"""Tests for model-vs-simulation curve comparison."""
+
+import math
+
+import pytest
+
+from repro.validation.compare import CurveComparison, OperatingPoint, compare_curves
+
+
+def point(rate, model, sim, msat=False, ssat=False):
+    return OperatingPoint(
+        generation_rate=rate,
+        model_latency=model,
+        sim_latency=sim,
+        model_saturated=msat,
+        sim_saturated=ssat,
+    )
+
+
+class TestOperatingPoint:
+    def test_relative_error(self):
+        assert point(0.01, 110.0, 100.0).relative_error == pytest.approx(0.1)
+
+    def test_saturated_point_excluded(self):
+        assert math.isnan(point(0.01, math.inf, 100.0, msat=True).relative_error)
+        assert math.isnan(point(0.01, 100.0, 900.0, ssat=True).relative_error)
+
+    def test_zero_sim_latency_is_nan(self):
+        assert math.isnan(point(0.01, 10.0, 0.0).relative_error)
+
+
+class TestCompareCurves:
+    def test_aggregates(self):
+        comp = compare_curves(
+            [point(0.01, 105, 100), point(0.02, 120, 100), point(0.03, 1, 1, msat=True)]
+        )
+        assert comp.stable_points == 2
+        assert comp.mean_relative_error == pytest.approx(0.125)
+        assert comp.max_relative_error == pytest.approx(0.2)
+
+    def test_all_saturated_gives_nan(self):
+        comp = compare_curves([point(0.01, 1, 1, msat=True)])
+        assert comp.stable_points == 0
+        assert math.isnan(comp.mean_relative_error)
+
+    def test_summary_renders(self):
+        comp = compare_curves([point(0.01, 105, 100)])
+        assert "stable points" in comp.summary()

@@ -1,0 +1,42 @@
+"""Tests for saturation-point extraction from curves."""
+
+import math
+
+import pytest
+
+from repro.utils.exceptions import ConfigurationError
+from repro.validation.saturation import estimate_saturation_rate
+
+
+class TestEstimateSaturationRate:
+    def test_no_blowup_is_inf(self):
+        rates = [0.001, 0.002, 0.003]
+        lats = [40.0, 42.0, 45.0]
+        assert math.isinf(estimate_saturation_rate(rates, lats))
+
+    def test_interpolates_crossing(self):
+        rates = [0.001, 0.01]
+        lats = [40.0, 720.0]  # threshold 8*40=320 crossed between samples
+        est = estimate_saturation_rate(rates, lats)
+        assert 0.001 < est < 0.01
+        # linear interpolation: 40 + frac*(680) = 320 => frac ~ 0.4118
+        assert est == pytest.approx(0.001 + 0.009 * (320 - 40) / 680, abs=1e-6)
+
+    def test_infinite_latency_handled(self):
+        rates = [0.001, 0.005, 0.01]
+        lats = [40.0, 60.0, math.inf]
+        est = estimate_saturation_rate(rates, lats)
+        assert 0.005 <= est <= 0.01
+
+    def test_unsorted_input_sorted_internally(self):
+        a = estimate_saturation_rate([0.01, 0.001], [720.0, 40.0])
+        b = estimate_saturation_rate([0.001, 0.01], [40.0, 720.0])
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            estimate_saturation_rate([0.001], [40.0])
+        with pytest.raises(ConfigurationError):
+            estimate_saturation_rate([0.001, 0.002], [40.0])
+        with pytest.raises(ConfigurationError):
+            estimate_saturation_rate([0.001, 0.002], [math.inf, 50.0])
