@@ -1,0 +1,73 @@
+"""CAMPAIGN — throughput of the campaign engine, serial vs. process pool.
+
+A 64-point model grid (S7, M = 32, V = 8, rates spanning 30-98% of the
+predicted saturation onset) runs once through the serial executor and
+once through a 4-worker process pool.  ``extra_info`` records
+points-per-second for both plus the speedup; on hosts with >= 4 CPUs the
+pool must deliver at least a 2x speedup (the ISSUE-1 acceptance gate —
+skipped where the hardware cannot express it).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.campaign.grid import GridSpec
+from repro.campaign.runner import run_campaign
+from repro.core.model import StarLatencyModel
+
+_ORDER, _M, _V = 7, 32, 8
+_POINTS = 64
+_POOL_WORKERS = 4
+
+
+def _campaign_grid() -> GridSpec:
+    model = StarLatencyModel(_ORDER, _M, _V)
+    sat = model.saturation_rate()
+    rates = tuple(
+        round((0.30 + 0.68 * i / (_POINTS - 1)) * sat, 9) for i in range(_POINTS)
+    )
+    return GridSpec(
+        kind="model",
+        axes=(("rate", rates),),
+        pinned=(("order", _ORDER), ("message_length", _M), ("total_vcs", _V)),
+    )
+
+
+def test_campaign_serial_throughput(benchmark, once):
+    grid = _campaign_grid()  # warm path statistics before the clock starts
+    result = once(run_campaign, grid.expand(), workers=1)
+    assert result.computed == _POINTS
+    assert all(not r.saturated for r in result.results[: _POINTS // 2])
+    benchmark.extra_info["points"] = _POINTS
+    benchmark.extra_info["points_per_second"] = round(result.units_per_second, 1)
+
+
+def test_campaign_parallel_speedup(benchmark, once):
+    grid = _campaign_grid()
+    units = grid.expand()
+
+    t0 = time.perf_counter()
+    serial = run_campaign(units, workers=1)
+    serial_s = time.perf_counter() - t0
+
+    pooled = once(run_campaign, units, workers=_POOL_WORKERS)
+    assert pooled.computed == _POINTS
+    # The pool must agree with the serial executor exactly.
+    assert pooled.results == serial.results
+
+    speedup = serial_s / pooled.elapsed_s if pooled.elapsed_s > 0 else 0.0
+    cpus = os.cpu_count() or 1
+    benchmark.extra_info["cpus"] = cpus
+    benchmark.extra_info["workers"] = _POOL_WORKERS
+    benchmark.extra_info["serial_points_per_second"] = round(_POINTS / serial_s, 1)
+    benchmark.extra_info["parallel_points_per_second"] = round(
+        pooled.units_per_second, 1
+    )
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    if cpus >= _POOL_WORKERS:
+        assert speedup >= 2.0, (
+            f"4-worker pool delivered only {speedup:.2f}x over serial "
+            f"({cpus} CPUs available)"
+        )

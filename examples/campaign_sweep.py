@@ -1,0 +1,47 @@
+"""Campaign-engine walkthrough: a resumable, parallel model sweep.
+
+Runs a 3 x 7 model grid (V x load) for the 120-node 5-star twice — the
+second pass resumes from the JSONL store and recomputes nothing — then
+fans the same grid out over a 2-worker process pool.
+
+Run with:  PYTHONPATH=src python examples/campaign_sweep.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.campaign import GridSpec, run_campaign
+
+grid = GridSpec.from_mapping(
+    {
+        "kind": "model",
+        "axes": {
+            "total_vcs": [6, 9, 12],
+            "rate": "0.002:0.014:7",
+        },
+        "pinned": {"order": 5, "message_length": 32},
+    }
+)
+print(f"grid: {grid.size} units\n")
+
+with tempfile.TemporaryDirectory() as tmp:
+    store = Path(tmp) / "results.jsonl"
+    cache = Path(tmp) / "stats-cache"
+
+    first = run_campaign(grid.expand(), store=store, cache_dir=cache)
+    print(f"first pass : {first.summary()}")
+
+    # An interrupted campaign rerun with resume=True skips all finished
+    # units — here everything, so nothing is recomputed.
+    second = run_campaign(grid.expand(), store=store, resume=True, cache_dir=cache)
+    print(f"resumed    : {second.summary()}")
+
+    pooled = run_campaign(grid.expand(), workers=2, cache_dir=cache)
+    print(f"2 workers  : {pooled.summary()}\n")
+
+    for unit, res in zip(first.units, first.results):
+        v, rate = unit.params["total_vcs"], unit.params["rate"]
+        latency = "saturated" if res.saturated else f"{res.latency:8.2f}"
+        print(f"  V={v:<2d} rate={rate:<7g} latency={latency}")

@@ -1,0 +1,108 @@
+"""On-disk cache for expensive path-set statistics.
+
+Building :class:`~repro.core.pathstats.StarPathStatistics` enumerates the
+cycle-type DAG — milliseconds for small n but seconds beyond S8, and every
+worker process of a parallel campaign would otherwise redo it.  This
+module adds a shared pickle layer under a cache directory: the first
+process to need S_n (or Q_k) statistics builds and persists them
+atomically; every other process — including workers spawned later and
+entirely separate campaign runs — loads the pickle.
+
+The cache directory is configured per process (the pool initializer in
+:mod:`repro.campaign.runner` propagates it to workers) or via the
+``STARNET_CACHE_DIR`` environment variable; with neither set, the loaders
+fall back to the in-memory builders and nothing touches disk.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from repro.core.hypercube_model import cached_hypercube_statistics
+from repro.core.pathstats import cached_path_statistics
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["configure", "configured_dir", "path_statistics"]
+
+_ENV_VAR = "STARNET_CACHE_DIR"
+_cache_dir: Path | None = None
+#: Per-process pickle-load counter (observable in tests).
+disk_hits = 0
+
+_BUILDERS = {
+    "star": cached_path_statistics,
+    "hypercube": cached_hypercube_statistics,
+}
+#: Per-process memo of disk-backed loads (the core LRUs cannot be probed
+#: without triggering a build).
+_memory: dict[tuple[str, int], object] = {}
+
+
+def configure(cache_dir: str | Path | None) -> None:
+    """Set (or clear, with None) this process's cache directory."""
+    global _cache_dir
+    _cache_dir = None if cache_dir is None else Path(cache_dir)
+
+
+def configured_dir() -> Path | None:
+    """Effective cache directory: explicit configure() beats the env var."""
+    if _cache_dir is not None:
+        return _cache_dir
+    env = os.environ.get(_ENV_VAR)
+    return Path(env) if env else None
+
+
+def _pickle_path(directory: Path, topology: str, order: int) -> Path:
+    return directory / f"pathstats-{topology}-{order}.pkl"
+
+
+def path_statistics(topology: str, order: int, cache_dir: str | Path | None = None):
+    """Destination-class statistics for ``topology`` of ``order``.
+
+    Resolution order: in-memory LRU (free) -> disk pickle (cheap) ->
+    exact build, persisted for every later process.  Corrupt or
+    unreadable pickles fall back to a rebuild.
+    """
+    global disk_hits
+    try:
+        builder = _BUILDERS[topology]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown topology {topology!r}; expected one of {sorted(_BUILDERS)}"
+        ) from None
+    directory = Path(cache_dir) if cache_dir is not None else configured_dir()
+    if directory is None:
+        return builder(order)
+    memo_key = (topology, order)
+    if memo_key in _memory:
+        return _memory[memo_key]
+    path = _pickle_path(directory, topology, order)
+    if path.exists():
+        try:
+            with path.open("rb") as fh:
+                stats = pickle.load(fh)
+            disk_hits += 1
+            _memory[memo_key] = stats
+            return stats
+        except Exception:
+            pass  # unreadable cache entry: rebuild below and rewrite
+    stats = builder(order)
+    _memory[memo_key] = stats
+    directory.mkdir(parents=True, exist_ok=True)
+    # Atomic publish: concurrent workers may race to build the same entry;
+    # each writes a private temp file and the final rename is atomic, so
+    # readers never observe a half-written pickle.
+    fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(stats, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_name, path)
+    except OSError:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+    return stats

@@ -1,0 +1,277 @@
+"""Declarative parameter grids and content-addressed work units.
+
+A campaign is a cartesian product of named axes (plus pinned scalar
+parameters) expanded into :class:`WorkUnit` records.  Each unit carries a
+``kind`` (which executor function runs it — see
+:mod:`repro.campaign.kinds`) and a plain-dict parameter set, and is
+identified by a deterministic content hash of both, so a result store can
+recognise work it has already done regardless of expansion order,
+process, or host.
+
+Grid specifications can be built in code, from a plain mapping, or from a
+small TOML/JSON file::
+
+    kind = "model"
+    seeds = 3                 # optional: adds a "seed" axis 0..2
+
+    [axes]
+    order = [4, 5]
+    rate = "0.002:0.016:8"    # linspace shorthand lo:hi:count
+
+    [pinned]
+    message_length = 32
+    total_vcs = 6
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = [
+    "WorkUnit",
+    "GridSpec",
+    "canonical_key",
+    "parse_scalar",
+    "parse_axis_values",
+]
+
+
+def _canonical(value: Any) -> Any:
+    """Normalise a parameter value into canonical JSON-safe form."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if math.isinf(value) or math.isnan(value):
+            raise ConfigurationError(f"non-finite parameter value {value!r} cannot be keyed")
+        return value
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    raise ConfigurationError(f"parameter value {value!r} is not JSON-representable")
+
+
+def canonical_key(kind: str, params: Mapping[str, Any]) -> str:
+    """Deterministic content hash of a (kind, params) pair.
+
+    Key stability is load-bearing for resume: the hash is computed over a
+    compact, key-sorted JSON document, so axis declaration order, dict
+    insertion order, and the process that produced the unit are all
+    irrelevant.
+    """
+    doc = {"kind": kind, "params": _canonical(dict(params))}
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One evaluable point of a campaign."""
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def key(self) -> str:
+        """Content-hash identity of this unit (see :func:`canonical_key`)."""
+        return canonical_key(self.kind, self.params)
+
+
+def parse_scalar(token: str):
+    """Parse a CLI/spec token into bool, int, float or str."""
+    text = token.strip()
+    low = text.lower()
+    if low in ("true", "yes"):
+        return True
+    if low in ("false", "no"):
+        return False
+    if low in ("none", "null"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _linspace(lo: float, hi: float, count: int) -> tuple[float, ...]:
+    if count < 2:
+        raise ConfigurationError(f"linspace axis needs count >= 2, got {count}")
+    step = (hi - lo) / (count - 1)
+    # Round away float-noise so keys stay stable across platforms.
+    return tuple(round(lo + i * step, 12) for i in range(count))
+
+
+def parse_axis_values(value) -> tuple:
+    """Interpret an axis declaration into a concrete value tuple.
+
+    Accepts a list/tuple of values, a ``"lo:hi:count"`` linspace string,
+    or a comma-separated string of scalars.
+    """
+    if isinstance(value, (list, tuple)):
+        if not value:
+            raise ConfigurationError("axis value list must not be empty")
+        return tuple(value)
+    if isinstance(value, str):
+        if ":" in value:
+            parts = value.split(":")
+            if len(parts) != 3:
+                raise ConfigurationError(
+                    f"linspace axis must be lo:hi:count, got {value!r}"
+                )
+            try:
+                lo, hi, count = float(parts[0]), float(parts[1]), int(parts[2])
+            except ValueError:
+                raise ConfigurationError(
+                    f"linspace axis must be numeric lo:hi:count, got {value!r}"
+                ) from None
+            return _linspace(lo, hi, count)
+        return tuple(parse_scalar(tok) for tok in value.split(","))
+    return (value,)
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A declarative campaign: kind, swept axes, pinned parameters.
+
+    Attributes
+    ----------
+    kind:
+        Work-unit kind every expanded unit carries (see
+        :mod:`repro.campaign.kinds`).
+    axes:
+        Ordered ``(name, values)`` pairs; the cartesian product is
+        enumerated with the *last* axis varying fastest.
+    pinned:
+        Scalar parameters shared by every unit.
+    seeds:
+        Optional replication count; adds a ``seed`` axis ``0..seeds-1``
+        as the innermost axis (multi-seed simulation replication).
+    """
+
+    kind: str
+    axes: tuple[tuple[str, tuple], ...] = ()
+    pinned: tuple[tuple[str, Any], ...] = ()
+    seeds: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ConfigurationError("GridSpec requires a work-unit kind")
+        names = [name for name, _ in self.axes]
+        clash = set(names) & {name for name, _ in self.pinned}
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate axis names in {names}")
+        if clash:
+            raise ConfigurationError(f"parameters both pinned and swept: {sorted(clash)}")
+        if self.seeds is not None:
+            if isinstance(self.seeds, bool) or not isinstance(self.seeds, int):
+                raise ConfigurationError(
+                    f"seeds must be an integer, got {self.seeds!r}"
+                )
+            if self.seeds < 1:
+                raise ConfigurationError(f"seeds must be >= 1, got {self.seeds}")
+
+    @property
+    def effective_axes(self) -> tuple[tuple[str, tuple], ...]:
+        """Declared axes plus the implicit seed-replication axis."""
+        axes = self.axes
+        if self.seeds is not None:
+            axes = axes + (("seed", tuple(range(self.seeds))),)
+        return axes
+
+    @property
+    def size(self) -> int:
+        """Number of work units the grid expands into."""
+        total = 1
+        for _, values in self.effective_axes:
+            total *= len(values)
+        return total
+
+    def units(self) -> Iterator[WorkUnit]:
+        """Expand the grid into work units (deterministic order)."""
+        base = dict(self.pinned)
+        axes = self.effective_axes
+        names = [name for name, _ in axes]
+        for combo in itertools.product(*(values for _, values in axes)):
+            params = dict(base)
+            params.update(zip(names, combo))
+            yield WorkUnit(kind=self.kind, params=params)
+
+    def expand(self) -> list[WorkUnit]:
+        """All units as a list (convenience for small grids)."""
+        return list(self.units())
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "GridSpec":
+        """Build from a plain dict (the TOML/JSON document shape)."""
+        unknown = set(mapping) - {"kind", "axes", "pinned", "seeds"}
+        if unknown:
+            raise ConfigurationError(f"unknown grid-spec keys: {sorted(unknown)}")
+        if "kind" not in mapping:
+            raise ConfigurationError("grid spec must declare a kind")
+        axes_map = mapping.get("axes", {})
+        if not isinstance(axes_map, Mapping):
+            raise ConfigurationError("axes must be a table/object of name -> values")
+        axes = tuple((name, parse_axis_values(v)) for name, v in axes_map.items())
+        pinned_map = mapping.get("pinned", {})
+        if not isinstance(pinned_map, Mapping):
+            raise ConfigurationError("pinned must be a table/object of name -> value")
+        return cls(
+            kind=str(mapping["kind"]),
+            axes=axes,
+            pinned=tuple(pinned_map.items()),
+            seeds=mapping.get("seeds"),
+        )
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "GridSpec":
+        """Load a grid spec from a ``.toml`` or ``.json`` file."""
+        path = Path(path)
+        text = path.read_text()
+        if path.suffix.lower() == ".toml":
+            import tomllib
+
+            data = tomllib.loads(text)
+        else:
+            data = json.loads(text)
+        return cls.from_mapping(data)
+
+    @classmethod
+    def from_cli(
+        cls,
+        kind: str,
+        axis_args: Sequence[str] = (),
+        pinned_args: Sequence[str] = (),
+        seeds: int | None = None,
+    ) -> "GridSpec":
+        """Build from ``--axis name=v1,v2`` / ``--set name=value`` flags."""
+        axes = []
+        for arg in axis_args:
+            name, _, values = arg.partition("=")
+            if not name or not values:
+                raise ConfigurationError(f"--axis must be NAME=VALUES, got {arg!r}")
+            axes.append((name, parse_axis_values(values)))
+        pinned = []
+        for arg in pinned_args:
+            name, _, value = arg.partition("=")
+            if not name or not value:
+                raise ConfigurationError(f"--set must be NAME=VALUE, got {arg!r}")
+            pinned.append((name, parse_scalar(value)))
+        return cls(kind=kind, axes=tuple(axes), pinned=tuple(pinned), seeds=seeds)

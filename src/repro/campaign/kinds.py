@@ -1,0 +1,140 @@
+"""Built-in work-unit kinds: the functions a campaign can execute.
+
+Each kind maps a plain params dict to a result object.  Kinds live at
+module top level so :mod:`concurrent.futures` workers can pickle units by
+reference regardless of the start method; custom kinds register through
+:func:`register_kind` (the defining module must be importable in worker
+processes).
+
+Built-ins
+---------
+``model``
+    Evaluate a latency model at one generation rate -> ``ModelResult``.
+``saturation``
+    Bracket-expanding saturation search -> ``SaturationSearch``.
+``sim``
+    One flit-level simulation run -> ``SimulationResult``.
+``scale_point``
+    One row of the large-n scale study (distance stats, saturation,
+    half-load latency, solve time) -> dict.
+``vc_split_point``
+    One row of the VC-split ablation (latency at a fixed rate plus the
+    split's saturation rate) -> dict.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Callable, Mapping
+
+from repro.campaign import cache
+from repro.core.spec import ModelSpec
+from repro.simulation.spec import SimSpec
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["KINDS", "register_kind", "lookup", "available_kinds"]
+
+KINDS: dict[str, Callable[[Mapping[str, Any]], Any]] = {}
+
+
+def register_kind(name: str):
+    """Decorator registering an executor under ``name``."""
+
+    def _register(fn):
+        if name in KINDS:
+            raise ConfigurationError(f"work-unit kind {name!r} already registered")
+        KINDS[name] = fn
+        return fn
+
+    return _register
+
+
+def available_kinds() -> tuple[str, ...]:
+    """Registered kind names, alphabetical."""
+    return tuple(sorted(KINDS))
+
+
+def lookup(name: str) -> Callable[[Mapping[str, Any]], Any]:
+    """Resolve a kind name to its executor."""
+    try:
+        return KINDS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown work-unit kind {name!r}; available: {', '.join(available_kinds())}"
+        ) from None
+
+
+def _build_model(params: Mapping[str, Any], drop: tuple[str, ...] = ()):
+    spec_params = {k: v for k, v in params.items() if k not in drop}
+    spec = ModelSpec.from_params(spec_params)
+    stats = cache.path_statistics(spec.topology, spec.order)
+    return spec.build(stats=stats)
+
+
+@register_kind("model")
+def model_point(params: Mapping[str, Any]):
+    """Evaluate the model at ``rate`` (all other params feed ModelSpec)."""
+    if "rate" not in params:
+        raise ConfigurationError("kind 'model' requires a 'rate' parameter")
+    model = _build_model(params, drop=("rate",))
+    return model.evaluate(float(params["rate"]))
+
+
+@register_kind("saturation")
+def saturation_point(params: Mapping[str, Any]):
+    """Saturation search; optional 'lo'/'hi'/'tol' override the bracket."""
+    extras = ("lo", "hi", "tol")
+    model = _build_model(params, drop=extras)
+    kwargs = {k: float(params[k]) for k in extras if k in params}
+    return model.saturation_search(**kwargs)
+
+
+@register_kind("sim")
+def sim_point(params: Mapping[str, Any]):
+    """One simulation run described by the flat SimSpec dict."""
+    return SimSpec.from_params(params).run()
+
+
+@register_kind("scale_point")
+def scale_point(params: Mapping[str, Any]):
+    """One row of the scale study for star order ``n``."""
+    n = int(params["n"])
+    message_length = int(params.get("message_length", 32))
+    extra_adaptive = int(params.get("extra_adaptive", 2))
+    diameter = (3 * (n - 1)) // 2
+    total_vcs = diameter // 2 + 1 + extra_adaptive
+    t0 = time.perf_counter()
+    spec = ModelSpec(
+        topology="star", order=n, message_length=message_length, total_vcs=total_vcs
+    )
+    model = spec.build(stats=cache.path_statistics("star", n))
+    sat = model.saturation_rate()
+    mid = model.evaluate(0.5 * sat if math.isfinite(sat) else 0.01)
+    solve_ms = (time.perf_counter() - t0) * 1e3
+    return {
+        "n": n,
+        "nodes": math.factorial(n),
+        "degree": n - 1,
+        "diameter": diameter,
+        "total_vcs": total_vcs,
+        "mean_distance": round(model.mean_distance(), 4),
+        "zero_load_latency": round(model.zero_load_latency(), 2),
+        "half_load_latency": mid.latency,
+        "saturation_rate": sat,
+        "solve_ms": round(solve_ms, 2),
+    }
+
+
+@register_kind("vc_split_point")
+def vc_split_point(params: Mapping[str, Any]):
+    """One row of the VC-split ablation (explicit split required)."""
+    model = _build_model(params, drop=("rate",))
+    res = model.evaluate(float(params["rate"]))
+    return {
+        "num_adaptive": model.vc.num_adaptive,
+        "num_escape": model.vc.num_escape,
+        "latency": res.latency,
+        "saturated": res.saturated,
+        "saturation_rate": model.saturation_rate(),
+    }

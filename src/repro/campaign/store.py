@@ -1,0 +1,93 @@
+"""Append-only JSONL result store keyed by work-unit content hashes.
+
+Every completed unit is appended as one JSON line::
+
+    {"key": "<sha256>", "kind": "model", "params": {...},
+     "result": {...}, "elapsed_s": 0.0021}
+
+Append-only JSONL makes interruption safe by construction: a campaign
+killed mid-write loses at most its final partial line, which
+:meth:`ResultStore.load` tolerates, so a ``--resume`` run recomputes
+nothing that finished.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """JSONL persistence for campaign results with hit/append counters."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._handle = None
+        #: Units satisfied from disk instead of recomputed (resume hits).
+        self.hits = 0
+        #: Records appended by this process.
+        self.appended = 0
+
+    # -- reading --------------------------------------------------------
+
+    def load(self) -> dict[str, dict]:
+        """Read every complete record, keyed by unit hash (last wins).
+
+        A truncated trailing line — the signature of a killed campaign —
+        is ignored rather than treated as corruption.
+        """
+        records: dict[str, dict] = {}
+        if not self.path.exists():
+            return records
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                key = record.get("key")
+                if key:
+                    records[key] = record
+        return records
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    # -- writing --------------------------------------------------------
+
+    def append(
+        self,
+        key: str,
+        kind: str,
+        params: Mapping[str, Any],
+        result: Any,
+        elapsed_s: float | None = None,
+    ) -> None:
+        """Append one completed unit and flush it to disk immediately."""
+        record = {"key": key, "kind": kind, "params": dict(params), "result": result}
+        if elapsed_s is not None:
+            record["elapsed_s"] = round(elapsed_s, 6)
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(json.dumps(record, default=str) + "\n")
+        self._handle.flush()
+        self.appended += 1
+
+    def close(self) -> None:
+        """Release the append handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

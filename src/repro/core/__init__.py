@@ -9,17 +9,25 @@ the paper describes for resolving their inter-dependencies.
 
 from repro.core.blocking import BlockingModel, BlockingVariant
 from repro.core.hypercube_model import HypercubePathStatistics
-from repro.core.model import HypercubeLatencyModel, ModelResult, StarLatencyModel
+from repro.core.model import (
+    HypercubeLatencyModel,
+    ModelResult,
+    SaturationSearch,
+    StarLatencyModel,
+)
 from repro.core.occupancy import multiplexing_degree, vc_occupancy
 from repro.core.pathstats import DestinationClass, StarPathStatistics
 from repro.core.queueing import channel_waiting_time, source_waiting_time
 from repro.core.solver import FixedPointSolver, SolverSettings
+from repro.core.spec import ModelSpec
 
 __all__ = [
     "StarLatencyModel",
     "HypercubeLatencyModel",
     "HypercubePathStatistics",
     "ModelResult",
+    "ModelSpec",
+    "SaturationSearch",
     "BlockingModel",
     "BlockingVariant",
     "StarPathStatistics",

@@ -20,7 +20,7 @@ the "large systems infeasible to simulate" use-case the paper motivates.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.blocking import BlockingModel, BlockingVariant
 from repro.core.occupancy import multiplexing_degree, vc_occupancy
@@ -30,7 +30,12 @@ from repro.core.solver import FixedPointSolver, SolverSettings
 from repro.routing.vc_classes import VcConfig
 from repro.utils.exceptions import ConfigurationError
 
-__all__ = ["ModelResult", "StarLatencyModel", "HypercubeLatencyModel"]
+__all__ = [
+    "ModelResult",
+    "SaturationSearch",
+    "StarLatencyModel",
+    "HypercubeLatencyModel",
+]
 
 
 @dataclass(frozen=True)
@@ -65,6 +70,33 @@ class ModelResult:
             "saturated": self.saturated,
             "iterations": self.iterations,
         }
+
+
+@dataclass(frozen=True)
+class SaturationSearch:
+    """Outcome of a bracket-expanding saturation search.
+
+    Attributes
+    ----------
+    rate:
+        Smallest generation rate at which the model saturates (``inf``
+        if no saturated rate was found within the expansion cap).
+    bracket:
+        The ``(lo, hi)`` bracket actually handed to bisection — ``hi``
+        saturated, ``lo`` did not (or is the search floor).
+    expansions:
+        Geometric doublings applied before a saturating ``hi`` appeared.
+    evaluations:
+        Total model evaluations spent (expansion + bisection).
+    converged:
+        False only when the expansion cap was hit without bracketing.
+    """
+
+    rate: float
+    bracket: tuple[float, float]
+    expansions: int
+    evaluations: int
+    converged: bool
 
 
 class _WormholeLatencyModel:
@@ -195,18 +227,109 @@ class _WormholeLatencyModel:
         """Evaluate a sequence of generation rates."""
         return [self.evaluate(r) for r in rates]
 
-    def saturation_rate(self, lo: float = 0.0, hi: float = 0.2, tol: float = 1e-5) -> float:
-        """Smallest generation rate at which the model saturates (bisection)."""
-        if self.evaluate(hi).saturated is False:
-            return math.inf
+    def sweep_parallel(
+        self,
+        rates,
+        *,
+        workers: int = 1,
+        cache_dir=None,
+    ) -> list[ModelResult]:
+        """Evaluate rates through the campaign executor (process pool).
+
+        Equivalent to :meth:`sweep` but fanned out over ``workers``
+        processes; with ``workers=1`` it runs serially through the same
+        code path.  Results come back in rate order.
+        """
+        from repro.campaign.grid import WorkUnit
+        from repro.campaign.runner import run_campaign
+
+        base = self.spec().to_params()
+        units = [
+            WorkUnit(kind="model", params={**base, "rate": float(r)}) for r in rates
+        ]
+        return list(
+            run_campaign(units, workers=workers, cache_dir=cache_dir).results
+        )
+
+    def spec(self):
+        """Plain-data :class:`~repro.core.spec.ModelSpec` rebuilding this model."""
+        from repro.core.spec import ModelSpec
+
+        s = self.solver.settings
+        # A split matching the minimum-escape rule is left implicit so the
+        # spec keys identically to one that never pinned the split — unit
+        # content hashes must agree across every construction path.
+        num_adaptive: int | None = self.vc.num_adaptive
+        num_escape: int | None = self.vc.num_escape
+        if num_escape == self.stats.diameter // 2 + 1:
+            num_adaptive = num_escape = None
+        return ModelSpec(
+            topology=self._spec_topology,
+            order=self._spec_order,
+            message_length=self.message_length,
+            total_vcs=self.vc.total,
+            variant=self.blocking.variant.value,
+            num_adaptive=num_adaptive,
+            num_escape=num_escape,
+            damping=s.damping,
+            tolerance=s.tolerance,
+            max_iterations=s.max_iterations,
+            divergence_threshold=s.divergence_threshold,
+        )
+
+    def saturation_search(
+        self,
+        lo: float = 0.0,
+        hi: float = 0.2,
+        tol: float = 1e-5,
+        max_expansions: int = 10,
+    ) -> SaturationSearch:
+        """Locate the saturation onset, auto-expanding the bracket.
+
+        The initial ``hi`` is only a guess; when the model is still
+        stable there, the bracket is geometrically doubled (up to
+        ``max_expansions`` times) until a saturated rate is found, then
+        bisected to ``tol``.  Short messages or many VCs push saturation
+        well past the historical hard-coded ``hi=0.2``, which previously
+        made the search return ``inf`` silently.
+        """
+        evaluations = 0
+        expansions = 0
         lo_rate, hi_rate = lo, hi
+        while True:
+            evaluations += 1
+            if self.evaluate(hi_rate).saturated:
+                break
+            if expansions >= max_expansions:
+                return SaturationSearch(
+                    rate=math.inf,
+                    bracket=(lo_rate, hi_rate),
+                    expansions=expansions,
+                    evaluations=evaluations,
+                    converged=False,
+                )
+            lo_rate = hi_rate
+            hi_rate *= 2.0
+            expansions += 1
+        bracket = (lo_rate, hi_rate)
         while hi_rate - lo_rate > tol:
             mid = 0.5 * (lo_rate + hi_rate)
+            evaluations += 1
             if self.evaluate(mid).saturated:
                 hi_rate = mid
             else:
                 lo_rate = mid
-        return hi_rate
+        return SaturationSearch(
+            rate=hi_rate,
+            bracket=bracket,
+            expansions=expansions,
+            evaluations=evaluations,
+            converged=True,
+        )
+
+    def saturation_rate(self, lo: float = 0.0, hi: float = 0.2, tol: float = 1e-5) -> float:
+        """Smallest generation rate at which the model saturates."""
+        return self.saturation_search(lo=lo, hi=hi, tol=tol).rate
 
 
 class StarLatencyModel(_WormholeLatencyModel):
@@ -232,9 +355,19 @@ class StarLatencyModel(_WormholeLatencyModel):
         saturation for the paper's configurations.
     """
 
-    def __init__(self, n: int, message_length: int, total_vcs: int, **kwargs):
+    _spec_topology = "star"
+
+    def __init__(
+        self, n: int, message_length: int, total_vcs: int, *, stats=None, **kwargs
+    ):
         self.n = n
-        super().__init__(cached_path_statistics(n), message_length, total_vcs, **kwargs)
+        if stats is None:
+            stats = cached_path_statistics(n)
+        super().__init__(stats, message_length, total_vcs, **kwargs)
+
+    @property
+    def _spec_order(self) -> int:
+        return self.n
 
 
 class HypercubeLatencyModel(_WormholeLatencyModel):
@@ -246,10 +379,18 @@ class HypercubeLatencyModel(_WormholeLatencyModel):
     (``f = remaining distance`` on every minimal path).
     """
 
-    def __init__(self, k: int, message_length: int, total_vcs: int, **kwargs):
+    _spec_topology = "hypercube"
+
+    def __init__(
+        self, k: int, message_length: int, total_vcs: int, *, stats=None, **kwargs
+    ):
         from repro.core.hypercube_model import cached_hypercube_statistics
 
         self.k = k
-        super().__init__(
-            cached_hypercube_statistics(k), message_length, total_vcs, **kwargs
-        )
+        if stats is None:
+            stats = cached_hypercube_statistics(k)
+        super().__init__(stats, message_length, total_vcs, **kwargs)
+
+    @property
+    def _spec_order(self) -> int:
+        return self.k

@@ -1,0 +1,123 @@
+"""Plain-data model specifications for batch and cross-process execution.
+
+:class:`~repro.core.model.StarLatencyModel` holds path statistics,
+blocking tables and a solver — cheap to rebuild but awkward to ship
+between processes.  :class:`ModelSpec` is the picklable essence: a frozen
+dataclass of plain scalars that round-trips through ``to_params`` /
+``from_params`` dicts (the campaign layer's work-unit currency) and
+rebuilds the full model on demand with :meth:`build`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Mapping
+
+from repro.core.solver import SolverSettings
+from repro.routing.vc_classes import VcConfig
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["ModelSpec"]
+
+_DEFAULT_SOLVER = SolverSettings()
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Constructor arguments of a latency model, as plain data.
+
+    Attributes
+    ----------
+    topology:
+        ``"star"`` (order = n, the star dimension) or ``"hypercube"``
+        (order = k, the cube dimension).
+    order:
+        Network order parameter (S_n has n! nodes, Q_k has 2**k).
+    message_length / total_vcs / variant:
+        The model knobs of the paper: M, V and the blocking arithmetic.
+    num_adaptive / num_escape:
+        Optional explicit VC split; both-or-neither.  When omitted the
+        model applies the paper's minimum-escape rule.
+    damping / tolerance / max_iterations / divergence_threshold:
+        Fixed-point solver settings (defaults match
+        :class:`~repro.core.solver.SolverSettings`).
+    """
+
+    topology: str = "star"
+    order: int = 5
+    message_length: int = 32
+    total_vcs: int = 6
+    variant: str = "exact"
+    num_adaptive: int | None = None
+    num_escape: int | None = None
+    damping: float = _DEFAULT_SOLVER.damping
+    tolerance: float = _DEFAULT_SOLVER.tolerance
+    max_iterations: int = _DEFAULT_SOLVER.max_iterations
+    divergence_threshold: float = _DEFAULT_SOLVER.divergence_threshold
+
+    def __post_init__(self) -> None:
+        if self.topology not in ("star", "hypercube"):
+            raise ConfigurationError(
+                f"topology must be 'star' or 'hypercube', got {self.topology!r}"
+            )
+        if (self.num_adaptive is None) != (self.num_escape is None):
+            raise ConfigurationError(
+                "num_adaptive and num_escape must be given together or not at all"
+            )
+
+    # -- plain-dict round trip ------------------------------------------
+
+    def to_params(self) -> dict[str, Any]:
+        """Compact plain-dict form: defaulted fields are omitted.
+
+        Omitting defaults keeps campaign content-hash keys small and
+        stable — a spec built with explicit defaults keys identically to
+        one that never mentioned them.
+        """
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value != f.default:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, Any]) -> "ModelSpec":
+        """Rebuild from a plain dict, rejecting unknown keys."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(params) - known
+        if unknown:
+            raise ConfigurationError(f"unknown ModelSpec parameters: {sorted(unknown)}")
+        return cls(**dict(params))
+
+    # -- materialisation -------------------------------------------------
+
+    def solver_settings(self) -> SolverSettings:
+        """The spec's fixed-point solver configuration."""
+        return SolverSettings(
+            damping=self.damping,
+            tolerance=self.tolerance,
+            max_iterations=self.max_iterations,
+            divergence_threshold=self.divergence_threshold,
+        )
+
+    def vc_config(self) -> VcConfig | None:
+        """Explicit VC split, or None for the minimum-escape default."""
+        if self.num_adaptive is None:
+            return None
+        return VcConfig(num_adaptive=self.num_adaptive, num_escape=self.num_escape)
+
+    def build(self, stats=None):
+        """Construct the live model (optionally reusing shared ``stats``)."""
+        from repro.core.model import HypercubeLatencyModel, StarLatencyModel
+
+        cls = StarLatencyModel if self.topology == "star" else HypercubeLatencyModel
+        return cls(
+            self.order,
+            self.message_length,
+            self.total_vcs,
+            vc_config=self.vc_config(),
+            variant=self.variant,
+            solver=self.solver_settings(),
+            stats=stats,
+        )

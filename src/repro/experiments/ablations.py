@@ -14,20 +14,26 @@ These are the supporting experiments DESIGN.md commits to:
   per-node wiring budget;
 * **blocking profile** — per-hop measured blocking vs. the model's
   Eq. (6) terms.
+
+Every study expands its operating points into campaign work units and
+executes them through :func:`repro.campaign.runner.run_campaign` — the
+one code path shared with ``figure1``, ``scale`` and the ``starnet
+campaign`` CLI — so each accepts ``workers`` for process-pool fan-out.
 """
 
 from __future__ import annotations
 
 import math
 
+from repro.campaign.grid import WorkUnit
+from repro.campaign.runner import run_campaign
 from repro.core.blocking import BlockingVariant
 from repro.core.model import HypercubeLatencyModel, StarLatencyModel
+from repro.core.spec import ModelSpec
 from repro.experiments.records import ExperimentRecord
-from repro.routing import EnhancedNbc, make_algorithm
 from repro.routing.vc_classes import VcConfig
-from repro.simulation import SimulationConfig, simulate
-from repro.topology import Hypercube, StarGraph
-from repro.topology.hypercube import equivalent_hypercube_dimension
+from repro.simulation import SimSpec, SimulationConfig
+from repro.topology.hypercube import Hypercube, equivalent_hypercube_dimension
 
 __all__ = [
     "blocking_variant_study",
@@ -39,21 +45,64 @@ __all__ = [
 ]
 
 
+def _sim_unit(
+    *,
+    topology: str,
+    order: int,
+    algorithm: str,
+    message_length: int,
+    generation_rate: float,
+    total_vcs: int,
+    quality_windows,
+    seed: int,
+) -> WorkUnit:
+    warmup, measure, drain = quality_windows
+    spec = SimSpec(
+        topology=topology,
+        order=order,
+        algorithm=algorithm,
+        config=SimulationConfig(
+            message_length=message_length,
+            generation_rate=generation_rate,
+            total_vcs=total_vcs,
+            warmup_cycles=warmup,
+            measure_cycles=measure,
+            drain_cycles=drain,
+            seed=seed,
+        ),
+    )
+    return WorkUnit(kind="sim", params=spec.to_params())
+
+
 def blocking_variant_study(
-    n: int = 5, total_vcs: int = 6, message_length: int = 32, rates=None
+    n: int = 5,
+    total_vcs: int = 6,
+    message_length: int = 32,
+    rates=None,
+    workers: int = 1,
 ) -> ExperimentRecord:
     """Model latency under both blocking arithmetics (no simulation)."""
     rec = ExperimentRecord(
         name="ablation_blocking_variant",
         params={"n": n, "total_vcs": total_vcs, "message_length": message_length},
     )
-    exact = StarLatencyModel(n, message_length, total_vcs, variant=BlockingVariant.EXACT)
-    paper = StarLatencyModel(n, message_length, total_vcs, variant=BlockingVariant.PAPER)
     if rates is None:
+        exact = StarLatencyModel(n, message_length, total_vcs, variant=BlockingVariant.EXACT)
         sat = exact.saturation_rate()
         rates = [round(f * sat, 6) for f in (0.2, 0.4, 0.6, 0.8, 0.9)]
+    units = []
     for r in rates:
-        re_, rp = exact.evaluate(r), paper.evaluate(r)
+        for variant in ("exact", "paper"):
+            spec = ModelSpec(
+                order=n,
+                message_length=message_length,
+                total_vcs=total_vcs,
+                variant=variant,
+            )
+            units.append(WorkUnit(kind="model", params={**spec.to_params(), "rate": r}))
+    results = run_campaign(units, workers=workers).results
+    for i, r in enumerate(rates):
+        re_, rp = results[2 * i], results[2 * i + 1]
         rec.add_row(
             rate=r,
             exact_latency=re_.latency,
@@ -71,27 +120,34 @@ def routing_comparison(
     rates=(0.005, 0.010, 0.015, 0.020),
     quality_windows=(1_500, 6_000, 8_000),
     seed: int = 0,
+    workers: int = 1,
 ) -> ExperimentRecord:
     """Simulated latency of all four routing algorithms on S_n."""
-    warmup, measure, drain = quality_windows
-    topo = StarGraph(n)
+    algorithms = ("greedy", "nhop", "nbc", "enhanced_nbc")
     rec = ExperimentRecord(
         name="ablation_routing_comparison",
         params={"n": n, "total_vcs": total_vcs, "message_length": message_length},
     )
+    units = [
+        _sim_unit(
+            topology="star",
+            order=n,
+            algorithm=name,
+            message_length=message_length,
+            generation_rate=rate,
+            total_vcs=total_vcs,
+            quality_windows=quality_windows,
+            seed=seed,
+        )
+        for rate in rates
+        for name in algorithms
+    ]
+    results = run_campaign(units, workers=workers).results
+    it = iter(results)
     for rate in rates:
         row: dict = {"rate": rate}
-        for name in ("greedy", "nhop", "nbc", "enhanced_nbc"):
-            cfg = SimulationConfig(
-                message_length=message_length,
-                generation_rate=rate,
-                total_vcs=total_vcs,
-                warmup_cycles=warmup,
-                measure_cycles=measure,
-                drain_cycles=drain,
-                seed=seed,
-            )
-            res = simulate(topo, make_algorithm(name), cfg)
+        for name in algorithms:
+            res = next(it)
             row[f"{name}_latency"] = res.mean_latency
             row[f"{name}_saturated"] = res.saturated
         rec.add_row(**row)
@@ -103,6 +159,7 @@ def vc_split_study(
     total_vcs: int = 9,
     message_length: int = 32,
     rate: float = 0.012,
+    workers: int = 1,
 ) -> ExperimentRecord:
     """Model latency as a function of the class-a/class-b split of V.
 
@@ -121,17 +178,21 @@ def vc_split_study(
     )
     diameter = (3 * (n - 1)) // 2
     min_escape = diameter // 2 + 1
+    units = []
     for escape in range(min_escape, total_vcs + 1):
         cfg = VcConfig(num_adaptive=total_vcs - escape, num_escape=escape)
-        model = StarLatencyModel(n, message_length, total_vcs, vc_config=cfg)
-        res = model.evaluate(rate)
-        rec.add_row(
+        spec = ModelSpec(
+            order=n,
+            message_length=message_length,
+            total_vcs=total_vcs,
             num_adaptive=cfg.num_adaptive,
             num_escape=cfg.num_escape,
-            latency=res.latency,
-            saturated=res.saturated,
-            saturation_rate=model.saturation_rate(),
         )
+        units.append(
+            WorkUnit(kind="vc_split_point", params={**spec.to_params(), "rate": rate})
+        )
+    for row in run_campaign(units, workers=workers).results:
+        rec.add_row(**row)
     return rec
 
 
@@ -142,6 +203,7 @@ def star_vs_hypercube(
     rates=(0.005, 0.010, 0.015, 0.020),
     quality_windows=(1_500, 6_000, 8_000),
     seed: int = 0,
+    workers: int = 1,
 ) -> ExperimentRecord:
     """Simulated star vs. equivalent hypercube (paper's future work).
 
@@ -149,33 +211,41 @@ def star_vs_hypercube(
     Enhanced-Nbc machinery (Q_k is bipartite, so negative-hop routing
     carries over unchanged).
     """
-    warmup, measure, drain = quality_windows
-    star = StarGraph(n)
-    cube = Hypercube(equivalent_hypercube_dimension(star.num_nodes))
+    star_nodes = math.factorial(n)
+    k = equivalent_hypercube_dimension(star_nodes)
+    star_name, cube_name = f"S{n}", f"Q{k}"
     rec = ExperimentRecord(
         name="ablation_star_vs_hypercube",
         params={
-            "star": star.name,
-            "hypercube": cube.name,
+            "star": star_name,
+            "hypercube": cube_name,
             "total_vcs": total_vcs,
             "message_length": message_length,
         },
     )
+    topologies = (("star", n, star_name), ("hypercube", k, cube_name))
+    units = [
+        _sim_unit(
+            topology=topology,
+            order=order,
+            algorithm="enhanced_nbc",
+            message_length=message_length,
+            generation_rate=rate,
+            total_vcs=total_vcs,
+            quality_windows=quality_windows,
+            seed=seed,
+        )
+        for rate in rates
+        for topology, order, _ in topologies
+    ]
+    results = run_campaign(units, workers=workers).results
+    it = iter(results)
     for rate in rates:
         row: dict = {"rate": rate}
-        for topo in (star, cube):
-            cfg = SimulationConfig(
-                message_length=message_length,
-                generation_rate=rate,
-                total_vcs=total_vcs,
-                warmup_cycles=warmup,
-                measure_cycles=measure,
-                drain_cycles=drain,
-                seed=seed,
-            )
-            res = simulate(topo, EnhancedNbc(), cfg)
-            row[f"{topo.name}_latency"] = res.mean_latency
-            row[f"{topo.name}_saturated"] = res.saturated
+        for _, _, name in topologies:
+            res = next(it)
+            row[f"{name}_latency"] = res.mean_latency
+            row[f"{name}_saturated"] = res.saturated
         rec.add_row(**row)
     return rec
 
@@ -184,6 +254,7 @@ def star_vs_hypercube_model(
     n: int = 5,
     message_length: int = 32,
     pin_budget: int | None = None,
+    workers: int = 1,
 ) -> ExperimentRecord:
     """Model-level star vs. equivalent hypercube under a fair constraint.
 
@@ -216,10 +287,22 @@ def star_vs_hypercube_model(
     cube_sat = cube_model.saturation_rate()
     rec.params["star_saturation"] = star_sat
     rec.params["cube_saturation"] = cube_sat
-    for frac in (0.2, 0.4, 0.6, 0.8):
-        rate = round(frac * min(star_sat, cube_sat), 6)
-        s = star_model.evaluate(rate)
-        c = cube_model.evaluate(rate)
+    star_base = ModelSpec(
+        topology="star", order=n, message_length=message_length, total_vcs=star_vcs
+    ).to_params()
+    cube_base = ModelSpec(
+        topology="hypercube", order=k, message_length=message_length, total_vcs=cube_vcs
+    ).to_params()
+    rates = [
+        round(frac * min(star_sat, cube_sat), 6) for frac in (0.2, 0.4, 0.6, 0.8)
+    ]
+    units = []
+    for rate in rates:
+        units.append(WorkUnit(kind="model", params={**star_base, "rate": rate}))
+        units.append(WorkUnit(kind="model", params={**cube_base, "rate": rate}))
+    results = run_campaign(units, workers=workers).results
+    for i, rate in enumerate(rates):
+        s, c = results[2 * i], results[2 * i + 1]
         rec.add_row(
             rate=rate,
             star_latency=s.latency,
@@ -237,6 +320,7 @@ def blocking_profile_study(
     rate: float = 0.010,
     quality_windows=(2_000, 10_000, 12_000),
     seed: int = 0,
+    workers: int = 1,
 ) -> ExperimentRecord:
     """Per-hop blocking: model P_block(k)*w vs. measured (Eq. 6 check).
 
@@ -245,18 +329,17 @@ def blocking_profile_study(
     the model's network-average prediction for the dominant (diameter-
     distance) destination class.
     """
-    warmup, measure, drain = quality_windows
-    topo = StarGraph(n)
-    cfg = SimulationConfig(
+    unit = _sim_unit(
+        topology="star",
+        order=n,
+        algorithm="enhanced_nbc",
         message_length=message_length,
         generation_rate=rate,
         total_vcs=total_vcs,
-        warmup_cycles=warmup,
-        measure_cycles=measure,
-        drain_cycles=drain,
+        quality_windows=quality_windows,
         seed=seed,
     )
-    sim = simulate(topo, EnhancedNbc(), cfg)
+    sim = run_campaign([unit], workers=workers).results[0]
     model = StarLatencyModel(n, message_length, total_vcs)
     pred = model.evaluate(rate)
     from repro.core.occupancy import vc_occupancy

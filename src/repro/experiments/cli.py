@@ -7,6 +7,8 @@ properties   Section-2 topology comparison table (star vs. hypercube).
 scale        Large-n model-only study.
 ablation     Run one of the named ablation studies.
 distance     Average-distance table (Eq. 2 vs. exact enumeration).
+campaign     Run a declarative parameter-grid campaign (parallel,
+             resumable, cache-backed).
 """
 
 from __future__ import annotations
@@ -14,12 +16,16 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.campaign.grid import GridSpec
+from repro.campaign.kinds import available_kinds
+from repro.campaign.runner import run_campaign, to_payload
 from repro.experiments import ablations
 from repro.experiments.figure1 import FIGURE1_PANELS, panel_record, render_panel, reproduce_panel
 from repro.experiments.scale import scale_study
 from repro.experiments.tables import render_table
 from repro.topology.properties import comparison_table
 from repro.topology.star import StarGraph, star_average_distance_closed_form
+from repro.utils.exceptions import ConfigurationError
 
 __all__ = ["main", "build_parser"]
 
@@ -37,11 +43,13 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--no-sim", action="store_true", help="model curves only")
     fig.add_argument("--seed", type=int, default=0)
     fig.add_argument("--save", metavar="DIR", help="write a JSON record to DIR")
+    fig.add_argument("--workers", type=int, default=1, help="process-pool width")
 
     sub.add_parser("properties", help="topology comparison table (section 2)")
 
     sc = sub.add_parser("scale", help="large-n model study")
     sc.add_argument("--max-n", type=int, default=9)
+    sc.add_argument("--workers", type=int, default=1, help="process-pool width")
 
     ab = sub.add_parser("ablation", help="run a named ablation")
     ab.add_argument(
@@ -55,9 +63,55 @@ def build_parser() -> argparse.ArgumentParser:
             "blocking-profile",
         ),
     )
+    ab.add_argument("--workers", type=int, default=1, help="process-pool width")
 
     dist = sub.add_parser("distance", help="average-distance table (Eq. 2)")
     dist.add_argument("--max-n", type=int, default=7)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="run a declarative parameter-grid campaign",
+        description=(
+            "Expand a parameter grid into content-hashed work units and run "
+            "them through the campaign engine.  The grid comes from a "
+            "TOML/JSON spec file (--spec) or from --kind/--axis/--set flags; "
+            "with --out the results stream to a JSONL store that --resume "
+            "reads back to skip completed units."
+        ),
+    )
+    camp.add_argument("--spec", metavar="FILE", help="TOML/JSON grid-spec file")
+    camp.add_argument("--kind", choices=available_kinds(), help="work-unit kind")
+    camp.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="NAME=VALUES",
+        help="swept axis: comma list (a,b,c) or linspace (lo:hi:count); repeatable",
+    )
+    camp.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        dest="pinned",
+        metavar="NAME=VALUE",
+        help="pinned parameter shared by every unit; repeatable",
+    )
+    camp.add_argument(
+        "--seeds", type=int, help="replication: adds a seed axis 0..N-1"
+    )
+    camp.add_argument("--workers", type=int, default=1, help="process-pool width")
+    camp.add_argument("--out", metavar="FILE", help="JSONL result store")
+    camp.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip units already present in --out",
+    )
+    camp.add_argument(
+        "--cache-dir", metavar="DIR", help="shared path-statistics disk cache"
+    )
+    camp.add_argument(
+        "--no-table", action="store_true", help="print only the run summary"
+    )
     return parser
 
 
@@ -69,6 +123,64 @@ def _record_table(rec) -> str:
     return render_table(headers, rows)
 
 
+def _campaign_grid(args) -> GridSpec:
+    if args.spec:
+        grid = GridSpec.from_file(args.spec)
+        if args.kind or args.axis or args.pinned or args.seeds is not None:
+            raise ConfigurationError(
+                "--spec cannot be combined with --kind/--axis/--set/--seeds"
+            )
+        return grid
+    if not args.kind:
+        raise ConfigurationError("campaign needs either --spec or --kind")
+    return GridSpec.from_cli(args.kind, args.axis, args.pinned, args.seeds)
+
+
+def _campaign_table(result) -> str:
+    """Flatten params + payload of every unit into one aligned table."""
+    flat_rows = []
+    headers: list[str] = []
+    for unit, res in zip(result.units, result.results):
+        payload = to_payload(res)
+        row = dict(unit.params)
+        if isinstance(payload, dict):
+            for k, v in payload.items():
+                row.setdefault(k, v)
+        else:
+            row["result"] = payload
+        for key in row:
+            if key not in headers:
+                headers.append(key)
+        flat_rows.append(row)
+    table = [[row.get(h, "") for h in headers] for row in flat_rows]
+    return render_table(headers, table)
+
+
+def _run_campaign_command(args) -> int:
+    try:
+        if args.resume and not args.out:
+            raise ConfigurationError("--resume requires --out (the store to resume from)")
+        grid = _campaign_grid(args)
+    except ConfigurationError as exc:
+        print(f"starnet campaign: error: {exc}", file=sys.stderr)
+        return 2
+    units = grid.expand()
+    result = run_campaign(
+        units,
+        workers=args.workers,
+        store=args.out,
+        resume=args.resume,
+        cache_dir=args.cache_dir,
+    )
+    print(f"campaign[{grid.kind}]: {result.summary()}")
+    if result.store_path is not None:
+        print(f"store: {result.store_path}")
+    if not args.no_table:
+        print()
+        print(_campaign_table(result))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "figure1":
@@ -77,6 +189,7 @@ def main(argv: list[str] | None = None) -> int:
             include_sim=not args.no_sim,
             quality=args.quality,
             seed=args.seed,
+            workers=args.workers,
         )
         print(render_panel(series))
         if args.save:
@@ -94,7 +207,7 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
     elif args.command == "scale":
-        rec = scale_study(n_values=tuple(range(4, args.max_n + 1)))
+        rec = scale_study(n_values=tuple(range(4, args.max_n + 1)), workers=args.workers)
         print(_record_table(rec))
     elif args.command == "ablation":
         runner = {
@@ -105,7 +218,7 @@ def main(argv: list[str] | None = None) -> int:
             "hypercube-model": ablations.star_vs_hypercube_model,
             "blocking-profile": ablations.blocking_profile_study,
         }[args.name]
-        print(_record_table(runner()))
+        print(_record_table(runner(workers=args.workers)))
     elif args.command == "distance":
         rows = []
         for n in range(3, args.max_n + 1):
@@ -113,6 +226,8 @@ def main(argv: list[str] | None = None) -> int:
             exact = StarGraph(n).exact_average_distance() if n <= 7 else float("nan")
             rows.append([f"S{n}", closed, exact, abs(closed - exact)])
         print(render_table(["network", "Eq. (2)", "enumeration", "|diff|"], rows))
+    elif args.command == "campaign":
+        return _run_campaign_command(args)
     return 0
 
 

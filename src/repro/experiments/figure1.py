@@ -19,12 +19,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.campaign.grid import WorkUnit
+from repro.campaign.runner import run_campaign
 from repro.core.model import ModelResult, StarLatencyModel
+from repro.core.spec import ModelSpec
 from repro.experiments.records import ExperimentRecord
 from repro.experiments.tables import render_table
-from repro.routing import EnhancedNbc
-from repro.simulation import SimulationConfig, SimulationResult, simulate
-from repro.topology import StarGraph
+from repro.simulation import SimSpec, SimulationConfig, SimulationResult
 from repro.utils.exceptions import ConfigurationError
 from repro.validation.compare import CurveComparison, OperatingPoint, compare_curves
 
@@ -33,6 +34,7 @@ __all__ = [
     "FIGURE1_PANELS",
     "PanelSeries",
     "sim_quality_config",
+    "panel_units",
     "reproduce_panel",
     "render_panel",
 ]
@@ -126,26 +128,28 @@ def load_grid(panel: Figure1Panel, message_length: int = 32) -> tuple[float, ...
     return tuple(round(frac * sat, 6) for frac in _LOAD_FRACTIONS)
 
 
-def reproduce_panel(
-    label: str,
+def panel_units(
+    panel: Figure1Panel,
+    rates: tuple[float, ...],
     *,
     include_sim: bool = True,
     quality: str = "quick",
     seed: int = 0,
-) -> list[PanelSeries]:
-    """Regenerate one Figure-1 panel (both message lengths)."""
-    panel = FIGURE1_PANELS[label]
-    out: list[PanelSeries] = []
-    topology = StarGraph(panel.n) if include_sim else None
+) -> list[WorkUnit]:
+    """Campaign work units for one panel, in presentation order."""
+    units: list[WorkUnit] = []
     for m in panel.message_lengths:
-        # The paper sweeps each message length over the same axis; we
-        # anchor the grid to the M=32 saturation (the panel's x-range).
-        rates = load_grid(panel, message_length=panel.message_lengths[0])
-        model = StarLatencyModel(panel.n, m, panel.total_vcs)
-        model_results = tuple(model.evaluate(r) for r in rates)
-        sim_results = None
+        spec = ModelSpec(
+            topology="star",
+            order=panel.n,
+            message_length=m,
+            total_vcs=panel.total_vcs,
+        )
+        base = spec.to_params()
+        units.extend(
+            WorkUnit(kind="model", params={**base, "rate": r}) for r in rates
+        )
         if include_sim:
-            runs = []
             for r in rates:
                 cfg = sim_quality_config(
                     quality,
@@ -154,8 +158,45 @@ def reproduce_panel(
                     total_vcs=panel.total_vcs,
                     seed=seed,
                 )
-                runs.append(simulate(topology, EnhancedNbc(), cfg))
-            sim_results = tuple(runs)
+                sim_spec = SimSpec(
+                    topology="star",
+                    order=panel.n,
+                    algorithm="enhanced_nbc",
+                    config=cfg,
+                )
+                units.append(WorkUnit(kind="sim", params=sim_spec.to_params()))
+    return units
+
+
+def reproduce_panel(
+    label: str,
+    *,
+    include_sim: bool = True,
+    quality: str = "quick",
+    seed: int = 0,
+    workers: int = 1,
+) -> list[PanelSeries]:
+    """Regenerate one Figure-1 panel (both message lengths).
+
+    All operating points — model and simulation, both message lengths —
+    are expanded into campaign work units and executed through
+    :func:`repro.campaign.runner.run_campaign`; ``workers > 1`` fans the
+    panel out over a process pool.
+    """
+    panel = FIGURE1_PANELS[label]
+    # The paper sweeps each message length over the same axis; we anchor
+    # the grid to the M=32 saturation (the panel's x-range).
+    rates = load_grid(panel, message_length=panel.message_lengths[0])
+    units = panel_units(
+        panel, rates, include_sim=include_sim, quality=quality, seed=seed
+    )
+    results = run_campaign(units, workers=workers).results
+    out: list[PanelSeries] = []
+    per_m = len(rates) * (2 if include_sim else 1)
+    for idx, m in enumerate(panel.message_lengths):
+        block = results[idx * per_m : (idx + 1) * per_m]
+        model_results = tuple(block[: len(rates)])
+        sim_results = tuple(block[len(rates) :]) if include_sim else None
         out.append(
             PanelSeries(
                 panel=panel,

@@ -6,14 +6,16 @@ conventional computers".  Thanks to the cycle-type collapse of the
 path-set DAG the model runs in milliseconds for stars far beyond
 simulation reach (S9 has 362,880 nodes); this study tabulates the model's
 predictions across n.
+
+Each n is one ``scale_point`` campaign work unit, so the study runs on
+the same engine as every other sweep and parallelises across n with
+``workers > 1``.
 """
 
 from __future__ import annotations
 
-import math
-import time
-
-from repro.core.model import StarLatencyModel
+from repro.campaign.grid import GridSpec
+from repro.campaign.runner import run_campaign
 from repro.experiments.records import ExperimentRecord
 
 __all__ = ["scale_study"]
@@ -23,6 +25,7 @@ def scale_study(
     n_values=(4, 5, 6, 7, 8, 9),
     message_length: int = 32,
     extra_adaptive: int = 2,
+    workers: int = 1,
 ) -> ExperimentRecord:
     """Model predictions for S_n with V = min_escape + ``extra_adaptive``.
 
@@ -34,24 +37,14 @@ def scale_study(
         name="scale_study",
         params={"message_length": message_length, "extra_adaptive": extra_adaptive},
     )
-    for n in n_values:
-        diameter = (3 * (n - 1)) // 2
-        total_vcs = diameter // 2 + 1 + extra_adaptive
-        t0 = time.perf_counter()
-        model = StarLatencyModel(n, message_length, total_vcs)
-        sat = model.saturation_rate()
-        mid = model.evaluate(0.5 * sat if math.isfinite(sat) else 0.01)
-        solve_ms = (time.perf_counter() - t0) * 1e3
-        rec.add_row(
-            n=n,
-            nodes=math.factorial(n),
-            degree=n - 1,
-            diameter=diameter,
-            total_vcs=total_vcs,
-            mean_distance=round(model.mean_distance(), 4),
-            zero_load_latency=round(model.zero_load_latency(), 2),
-            half_load_latency=mid.latency,
-            saturation_rate=sat,
-            solve_ms=round(solve_ms, 2),
-        )
+    grid = GridSpec(
+        kind="scale_point",
+        axes=(("n", tuple(n_values)),),
+        pinned=(
+            ("message_length", message_length),
+            ("extra_adaptive", extra_adaptive),
+        ),
+    )
+    for row in run_campaign(grid.expand(), workers=workers).results:
+        rec.add_row(**row)
     return rec

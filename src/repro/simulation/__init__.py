@@ -16,6 +16,7 @@ from repro.simulation.metrics import (
     LatencyAccumulator,
     SimulationResult,
 )
+from repro.simulation.spec import SimSpec
 from repro.simulation.traffic import (
     HotspotTraffic,
     PermutationTraffic,
@@ -26,6 +27,7 @@ from repro.simulation.traffic import (
 
 __all__ = [
     "SimulationConfig",
+    "SimSpec",
     "WormholeSimulator",
     "simulate",
     "SimulationResult",

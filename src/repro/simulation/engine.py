@@ -45,7 +45,8 @@ from repro.utils.rng import RngStreams
 
 __all__ = ["WormholeSimulator", "simulate"]
 
-#: Cycles without any flit movement/allocation before declaring deadlock.
+#: Default cycles without any flit movement/allocation before declaring
+#: deadlock; override per run with ``SimulationConfig.watchdog_grace``.
 _WATCHDOG_GRACE = 20_000
 
 
@@ -77,7 +78,11 @@ class WormholeSimulator:
             for u in range(n)
             for p in range(deg)
         ]
-        self._busy_channels: set[PhysicalChannel] = set()
+        # Insertion-ordered on purpose: channels hash by identity, so a
+        # plain set's iteration order would depend on heap layout and
+        # make runs irreproducible across (or even within) processes.
+        # A dict keeps transfer arbitration a pure function of the seed.
+        self._busy_channels: dict[PhysicalChannel, None] = {}
 
         self._rng = RngStreams(config.seed)
         self._alloc_rng = self._rng.allocator()
@@ -153,8 +158,13 @@ class WormholeSimulator:
             self._apply_ejections(ejections, cycle)
         if progressed:
             self._last_progress = cycle
-        elif self._in_flight > 0 and cycle - self._last_progress > _WATCHDOG_GRACE:
-            self._deadlock_dump(cycle)
+        else:
+            # Module default resolved late so tests can monkeypatch it.
+            grace = self.config.watchdog_grace
+            if grace is None:
+                grace = _WATCHDOG_GRACE
+            if self._in_flight > 0 and cycle - self._last_progress > grace:
+                self._deadlock_dump(cycle, grace)
         if cycle % self.config.sample_interval == 0 and cycle >= self.config.warmup_cycles:
             self._sampler.sample([ch.busy_count for ch in self._busy_channels])
         self.cycle = cycle + 1
@@ -285,7 +295,7 @@ class WormholeSimulator:
         ch = vc.channel
         hop_negative = self.topology.color(ch.src) == 1
         if ch.busy_count == 0:
-            self._busy_channels.add(ch)
+            self._busy_channels[ch] = None
         vc.acquire(msg)
         self.algorithm.advance_floor(self.vc_config, msg.route_state, vc.index, hop_negative)
         msg.header_node = ch.dst
@@ -353,7 +363,7 @@ class WormholeSimulator:
         ch = vc.channel
         vc.release()
         if ch.busy_count == 0:
-            self._busy_channels.discard(ch)
+            self._busy_channels.pop(ch, None)
 
     def _complete(self, msg: Message, cycle: int) -> None:
         msg.t_done = cycle + 1.0  # last flit lands at the end of this cycle
@@ -372,11 +382,11 @@ class WormholeSimulator:
     # Diagnostics & results
     # ------------------------------------------------------------------
 
-    def _deadlock_dump(self, cycle: int) -> None:
+    def _deadlock_dump(self, cycle: int, grace: int) -> None:
         holders = [m for m in self._need_route if m.chain] + self._ejecting
         detail = "; ".join(repr(m) for m in holders[:8])
         raise SimulationError(
-            f"no progress for {_WATCHDOG_GRACE} cycles at cycle {cycle} with "
+            f"no progress for {grace} cycles at cycle {cycle} with "
             f"{self._in_flight} messages in flight — routing deadlock? ({detail})"
         )
 

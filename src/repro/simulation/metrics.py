@@ -15,7 +15,7 @@ window (messages are assigned to batches by generation time).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "LatencyAccumulator",

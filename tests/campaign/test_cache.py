@@ -1,0 +1,69 @@
+"""Path-statistics disk cache: persistence, reload, corruption fallback."""
+
+import pytest
+
+from repro.campaign import cache
+from repro.core.pathstats import cached_path_statistics
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(monkeypatch):
+    """Each test starts with no configured dir and an empty memo."""
+    monkeypatch.setattr(cache, "_cache_dir", None)
+    monkeypatch.setattr(cache, "_memory", {})
+    monkeypatch.delenv("STARNET_CACHE_DIR", raising=False)
+
+
+class TestConfiguration:
+    def test_unconfigured_falls_back_to_builders(self):
+        stats = cache.path_statistics("star", 4)
+        assert stats is cached_path_statistics(4)
+
+    def test_env_var_is_honoured(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("STARNET_CACHE_DIR", str(tmp_path))
+        cache.path_statistics("star", 4)
+        assert (tmp_path / "pathstats-star-4.pkl").exists()
+
+    def test_configure_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("STARNET_CACHE_DIR", str(tmp_path / "env"))
+        cache.configure(tmp_path / "explicit")
+        assert cache.configured_dir() == tmp_path / "explicit"
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown topology"):
+            cache.path_statistics("torus", 4)
+
+
+class TestDiskRoundtrip:
+    def test_build_then_reload_from_pickle(self, tmp_path, monkeypatch):
+        cache.configure(tmp_path)
+        built = cache.path_statistics("star", 4)
+        assert (tmp_path / "pathstats-star-4.pkl").exists()
+        # A "new process": clear the memo so the pickle must be used.
+        monkeypatch.setattr(cache, "_memory", {})
+        before = cache.disk_hits
+        loaded = cache.path_statistics("star", 4)
+        assert cache.disk_hits == before + 1
+        assert loaded.mean_distance() == built.mean_distance()
+        assert loaded.total_destinations == built.total_destinations
+
+    def test_memo_avoids_repeated_disk_reads(self, tmp_path):
+        cache.configure(tmp_path)
+        first = cache.path_statistics("star", 4)
+        before = cache.disk_hits
+        assert cache.path_statistics("star", 4) is first
+        assert cache.disk_hits == before
+
+    def test_corrupt_pickle_triggers_rebuild(self, tmp_path):
+        cache.configure(tmp_path)
+        path = tmp_path / "pathstats-star-4.pkl"
+        path.write_bytes(b"not a pickle")
+        stats = cache.path_statistics("star", 4)
+        assert stats.total_destinations == 23  # 4! - 1
+
+    def test_hypercube_statistics_cached_too(self, tmp_path):
+        cache.configure(tmp_path)
+        stats = cache.path_statistics("hypercube", 4)
+        assert (tmp_path / "pathstats-hypercube-4.pkl").exists()
+        assert stats.total_destinations == 15

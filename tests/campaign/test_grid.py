@@ -1,0 +1,141 @@
+"""Grid expansion, axis parsing, and content-hash key determinism."""
+
+import json
+
+import pytest
+
+from repro.campaign.grid import (
+    GridSpec,
+    WorkUnit,
+    canonical_key,
+    parse_axis_values,
+    parse_scalar,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestParsing:
+    def test_scalars(self):
+        assert parse_scalar("3") == 3
+        assert parse_scalar("0.5") == 0.5
+        assert parse_scalar("true") is True
+        assert parse_scalar("no") is False
+        assert parse_scalar("none") is None
+        assert parse_scalar("star") == "star"
+
+    def test_comma_list(self):
+        assert parse_axis_values("4,5,6") == (4, 5, 6)
+        assert parse_axis_values("star,hypercube") == ("star", "hypercube")
+
+    def test_linspace(self):
+        values = parse_axis_values("0.0:1.0:5")
+        assert values == (0.0, 0.25, 0.5, 0.75, 1.0)
+
+    def test_linspace_needs_three_parts(self):
+        with pytest.raises(ConfigurationError, match="lo:hi:count"):
+            parse_axis_values("0.0:1.0")
+
+    def test_linspace_rejects_non_numeric_parts(self):
+        with pytest.raises(ConfigurationError, match="numeric lo:hi:count"):
+            parse_axis_values("0.1:0.2:abc")
+        with pytest.raises(ConfigurationError, match="numeric lo:hi:count"):
+            parse_axis_values("x:0.2:3")
+
+    def test_list_passthrough(self):
+        assert parse_axis_values([1, 2]) == (1, 2)
+        with pytest.raises(ConfigurationError, match="empty"):
+            parse_axis_values([])
+
+
+class TestExpansion:
+    def test_cartesian_product_with_pinned(self):
+        grid = GridSpec(
+            kind="model",
+            axes=(("a", (1, 2)), ("b", (10, 20, 30))),
+            pinned=(("c", "x"),),
+        )
+        units = grid.expand()
+        assert grid.size == 6 == len(units)
+        assert all(u.kind == "model" for u in units)
+        assert all(u.params["c"] == "x" for u in units)
+        # last axis varies fastest
+        assert [(u.params["a"], u.params["b"]) for u in units[:4]] == [
+            (1, 10), (1, 20), (1, 30), (2, 10),
+        ]
+
+    def test_seed_axis_is_innermost(self):
+        grid = GridSpec(kind="sim", axes=(("rate", (0.1, 0.2)),), seeds=3)
+        units = grid.expand()
+        assert grid.size == 6
+        assert [u.params["seed"] for u in units] == [0, 1, 2, 0, 1, 2]
+
+    def test_pinned_axis_clash_rejected(self):
+        with pytest.raises(ConfigurationError, match="pinned and swept"):
+            GridSpec(kind="model", axes=(("a", (1,)),), pinned=(("a", 2),))
+
+    def test_duplicate_axes_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            GridSpec(kind="model", axes=(("a", (1,)), ("a", (2,))))
+
+    def test_non_integer_seeds_rejected(self):
+        with pytest.raises(ConfigurationError, match="seeds must be an integer"):
+            GridSpec.from_mapping({"kind": "model", "seeds": "3"})
+        with pytest.raises(ConfigurationError, match="seeds must be an integer"):
+            GridSpec(kind="model", seeds=2.5)
+
+
+class TestKeys:
+    def test_key_is_deterministic_and_order_free(self):
+        a = canonical_key("model", {"x": 1, "y": 0.5})
+        b = canonical_key("model", {"y": 0.5, "x": 1})
+        assert a == b
+        assert len(a) == 64
+
+    def test_key_distinguishes_kind_and_params(self):
+        base = WorkUnit("model", {"x": 1}).key()
+        assert WorkUnit("sim", {"x": 1}).key() != base
+        assert WorkUnit("model", {"x": 2}).key() != base
+
+    def test_axis_declaration_order_does_not_change_keys(self):
+        g1 = GridSpec(kind="model", axes=(("a", (1, 2)), ("b", (3, 4))))
+        g2 = GridSpec(kind="model", axes=(("b", (3, 4)), ("a", (1, 2))))
+        assert {u.key() for u in g1.units()} == {u.key() for u in g2.units()}
+
+    def test_non_finite_params_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-finite"):
+            WorkUnit("model", {"rate": float("inf")}).key()
+
+
+class TestSpecFiles:
+    def test_from_mapping_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="unknown grid-spec"):
+            GridSpec.from_mapping({"kind": "model", "bogus": 1})
+
+    def test_from_json_file(self, tmp_path):
+        doc = {
+            "kind": "model",
+            "axes": {"rate": "0.002:0.006:3", "total_vcs": [6, 9]},
+            "pinned": {"order": 4},
+        }
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps(doc))
+        grid = GridSpec.from_file(path)
+        assert grid.size == 6
+        assert dict(grid.pinned) == {"order": 4}
+
+    def test_from_toml_file(self, tmp_path):
+        path = tmp_path / "grid.toml"
+        path.write_text(
+            'kind = "sim"\nseeds = 2\n\n[axes]\nrate = [0.01, 0.02]\n\n'
+            "[pinned]\norder = 4\n"
+        )
+        grid = GridSpec.from_file(path)
+        assert grid.kind == "sim"
+        assert grid.size == 4
+
+    def test_from_cli_flags(self):
+        grid = GridSpec.from_cli(
+            "model", ["rate=0.01,0.02"], ["order=4", "variant=paper"]
+        )
+        assert grid.size == 2
+        assert dict(grid.pinned) == {"order": 4, "variant": "paper"}

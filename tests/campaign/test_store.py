@@ -1,0 +1,49 @@
+"""JSONL result store: append, reload, interruption tolerance."""
+
+from repro.campaign.store import ResultStore
+
+
+class TestResultStore:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with ResultStore(path) as store:
+            store.append("k1", "model", {"rate": 0.01}, {"latency": 20.0}, 0.001)
+            store.append("k2", "model", {"rate": 0.02}, {"latency": 25.0})
+        loaded = ResultStore(path).load()
+        assert set(loaded) == {"k1", "k2"}
+        assert loaded["k1"]["result"]["latency"] == 20.0
+        assert loaded["k1"]["params"] == {"rate": 0.01}
+        assert loaded["k2"]["kind"] == "model"
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert ResultStore(tmp_path / "absent.jsonl").load() == {}
+
+    def test_truncated_last_line_is_ignored(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with ResultStore(path) as store:
+            store.append("k1", "model", {}, {"latency": 1.0})
+        # Simulate a campaign killed mid-write.
+        with path.open("a") as fh:
+            fh.write('{"key": "k2", "result": {"lat')
+        loaded = ResultStore(path).load()
+        assert set(loaded) == {"k1"}
+
+    def test_last_record_wins_on_duplicate_keys(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with ResultStore(path) as store:
+            store.append("k1", "model", {}, {"v": 1})
+            store.append("k1", "model", {}, {"v": 2})
+        assert ResultStore(path).load()["k1"]["result"]["v"] == 2
+
+    def test_counters(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        assert store.appended == 0 and store.hits == 0
+        store.append("k1", "model", {}, {})
+        store.close()
+        assert store.appended == 1
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "results.jsonl"
+        with ResultStore(path) as store:
+            store.append("k1", "model", {}, {})
+        assert path.exists()

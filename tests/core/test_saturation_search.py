@@ -1,0 +1,53 @@
+"""Bracket-expanding saturation search (the old hard-coded hi=0.2 bug)."""
+
+import math
+
+import pytest
+
+from repro.core.model import StarLatencyModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return StarLatencyModel(4, 16, 6)
+
+
+class TestBracketExpansion:
+    def test_default_bracket_when_hi_already_saturates(self, model):
+        search = model.saturation_search()
+        assert search.converged
+        assert search.bracket == (0.0, 0.2)
+        assert search.expansions == 0
+        assert search.rate == model.saturation_rate()
+
+    def test_low_hi_expands_instead_of_returning_inf(self, model):
+        """With the old code a stable ``hi`` silently meant ``inf``."""
+        reference = model.saturation_search().rate
+        search = model.saturation_search(hi=0.005)
+        assert search.converged
+        assert search.expansions > 0
+        assert search.bracket[0] > 0.0  # lo advanced during expansion
+        assert search.bracket[1] == pytest.approx(0.005 * 2**search.expansions)
+        # the found onset agrees with the default search to bisection tol
+        assert search.rate == pytest.approx(reference, abs=1e-3)
+
+    def test_bracket_brackets_the_rate(self, model):
+        search = model.saturation_search(hi=0.01)
+        lo, hi = search.bracket
+        assert lo < search.rate <= hi
+        assert model.evaluate(hi).saturated
+        assert not model.evaluate(lo).saturated
+
+    def test_expansion_cap_reports_non_convergence(self, model):
+        search = model.saturation_search(hi=1e-4, max_expansions=2)
+        assert not search.converged
+        assert math.isinf(search.rate)
+        assert search.expansions == 2
+        assert search.bracket == (2e-4, 4e-4)
+
+    def test_evaluation_count_is_tracked(self, model):
+        search = model.saturation_search()
+        assert search.evaluations > 1
+
+    def test_saturation_rate_delegates(self, model):
+        assert model.saturation_rate(hi=0.01) == model.saturation_search(hi=0.01).rate

@@ -55,3 +55,51 @@ class TestCommands:
     def test_ablation_rejects_unknown(self):
         with pytest.raises(SystemExit):
             main(["ablation", "nonsense"])
+
+
+class TestCampaignCommand:
+    _FLAGS = [
+        "campaign",
+        "--kind", "model",
+        "--axis", "rate=0.002,0.004",
+        "--set", "order=4",
+        "--set", "message_length=8",
+    ]
+
+    def test_inline_grid_runs_and_prints_table(self, capsys):
+        assert main(self._FLAGS) == 0
+        out = capsys.readouterr().out
+        assert "campaign[model]: 2 units, 2 computed" in out
+        assert "latency" in out
+
+    def test_store_and_resume_skip_completed_units(self, tmp_path, capsys):
+        store = str(tmp_path / "results.jsonl")
+        assert main(self._FLAGS + ["--out", store]) == 0
+        capsys.readouterr()
+        assert main(self._FLAGS + ["--out", store, "--resume", "--no-table"]) == 0
+        out = capsys.readouterr().out
+        assert "0 computed, 2 resumed from store" in out
+
+    def test_spec_file_grid(self, tmp_path, capsys):
+        spec = tmp_path / "grid.toml"
+        spec.write_text(
+            'kind = "model"\n\n[axes]\nrate = [0.002, 0.004]\n\n'
+            "[pinned]\norder = 4\nmessage_length = 8\n"
+        )
+        assert main(["campaign", "--spec", str(spec), "--no-table"]) == 0
+        out = capsys.readouterr().out
+        assert "2 units, 2 computed" in out
+
+    def test_spec_file_conflicts_with_inline_flags(self, tmp_path, capsys):
+        spec = tmp_path / "grid.json"
+        spec.write_text('{"kind": "model"}')
+        assert main(["campaign", "--spec", str(spec), "--kind", "model"]) == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_kind_or_spec_required(self, capsys):
+        assert main(["campaign", "--axis", "rate=0.002"]) == 2
+        assert "either --spec or --kind" in capsys.readouterr().err
+
+    def test_resume_requires_out(self, capsys):
+        assert main(self._FLAGS + ["--resume"]) == 2
+        assert "--resume requires --out" in capsys.readouterr().err

@@ -84,6 +84,28 @@ class TestDeterminism:
         b = simulate(star4, EnhancedNbc(), tiny_config(seed=6))
         assert a.mean_latency != b.mean_latency
 
+    def test_deterministic_under_heavy_contention(self, star4):
+        """Transfer arbitration must not depend on heap layout.
+
+        Near saturation many channels are busy at once; if their
+        iteration order ever depends on object identity (e.g. a plain
+        set), results drift between runs even with identical seeds —
+        which would poison the campaign store's content-hash caching.
+        """
+        cfg = tiny_config(
+            generation_rate=0.03,
+            message_length=16,
+            measure_cycles=2_000,
+            drain_cycles=6_000,
+        )
+        garbage = [object() for _ in range(10_000)]  # perturb the heap
+        a = simulate(star4, EnhancedNbc(), cfg)
+        del garbage
+        b = simulate(star4, EnhancedNbc(), cfg)
+        assert a.mean_latency == b.mean_latency
+        assert a.channel_utilization == b.channel_utilization
+        assert a.backlog == b.backlog
+
 
 class TestAllAlgorithmsRun:
     @pytest.mark.parametrize("name", ["greedy", "nhop", "nbc", "enhanced_nbc"])

@@ -42,6 +42,62 @@ class TestWatchdog:
         assert res.messages_completed > 0
 
 
+class TestConfigurableGrace:
+    def test_config_field_overrides_module_default(self, star4):
+        """A small configured grace trips without touching the module global."""
+        cfg = SimulationConfig(
+            message_length=4,
+            generation_rate=0.05,
+            total_vcs=6,
+            warmup_cycles=10,
+            measure_cycles=100,
+            drain_cycles=100_000,
+            seed=0,
+            watchdog_grace=150,
+        )
+        sim = WormholeSimulator(star4, EnhancedNbc(), cfg)
+        sim._choose_vc = lambda msg: None  # wedge allocation
+        with pytest.raises(SimulationError, match="no progress for 150 cycles"):
+            sim.run()
+
+    def test_none_falls_back_to_module_default(self, star4, monkeypatch):
+        monkeypatch.setattr(engine_mod, "_WATCHDOG_GRACE", 150)
+        cfg = SimulationConfig(
+            message_length=4,
+            generation_rate=0.05,
+            total_vcs=6,
+            warmup_cycles=10,
+            measure_cycles=100,
+            drain_cycles=100_000,
+            seed=0,
+        )
+        sim = WormholeSimulator(star4, EnhancedNbc(), cfg)
+        sim._choose_vc = lambda msg: None
+        with pytest.raises(SimulationError, match="no progress for 150 cycles"):
+            sim.run()
+
+    def test_large_grace_survives_a_long_stall(self, star4):
+        """A grace above the stall length lets the run finish normally."""
+        cfg = SimulationConfig(
+            message_length=4,
+            generation_rate=0.01,
+            total_vcs=6,
+            warmup_cycles=100,
+            measure_cycles=1_000,
+            drain_cycles=1_000,
+            seed=0,
+            watchdog_grace=1_000_000,
+        )
+        res = simulate(star4, EnhancedNbc(), cfg)
+        assert res.messages_completed > 0
+
+    def test_invalid_grace_rejected(self):
+        from repro.utils.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="watchdog_grace"):
+            SimulationConfig(watchdog_grace=0)
+
+
 class TestSmallWorms:
     def test_single_flit_messages(self, star4):
         """M = 1: header == tail; latency ~ hops + ejection."""
