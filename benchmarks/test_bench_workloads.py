@@ -1,0 +1,49 @@
+"""Benchmarks for the workload subsystem and the non-uniform model.
+
+Timed artefacts: the flow propagation that turns a spatial pattern into
+per-channel rates (the non-uniform model's setup cost), one non-uniform
+model evaluation, and a small per-workload validation sweep (model + sim
+through the campaign engine).
+"""
+
+from repro.core.nonuniform import NonUniformLatencyModel
+from repro.validation.workloads import validate_workloads
+from repro.workloads.flows import cached_flow_profile, flow_profile
+
+
+def test_bench_flow_propagation_s5(benchmark):
+    """Hotspot flow propagation over the 120-node star (uncached)."""
+    from repro.topology.star import StarGraph
+    from repro.workloads.spatial import make_spatial
+
+    topology = StarGraph(5)
+    spatial = make_spatial("hotspot", topology=topology, params={"fraction": 0.2})
+    profile = benchmark(flow_profile, topology, spatial)
+    assert profile.peak_channel_rate > profile.mean_channel_rate
+    benchmark.extra_info["peak_over_mean"] = round(
+        profile.peak_channel_rate / profile.mean_channel_rate, 3
+    )
+
+
+def test_bench_nonuniform_evaluate(benchmark):
+    """One hotspot model evaluation at half saturation (profile cached)."""
+    cached_flow_profile(5, "hotspot(fraction=0.1)")  # warm the cache
+    model = NonUniformLatencyModel(5, 32, 6, workload="hotspot(fraction=0.1)")
+    rate = 0.5 * model.saturation_rate()
+    result = benchmark(model.evaluate, rate)
+    assert not result.saturated
+    benchmark.extra_info["latency"] = round(result.latency, 2)
+
+
+def test_bench_workload_validation(once):
+    """Model-vs-sim sweep for two workloads on S4 (smoke windows)."""
+    records = once(
+        validate_workloads,
+        ("hotspot(fraction=0.1)", "uniform+onoff(duty=0.5,burst=4)"),
+        order=4,
+        message_length=16,
+        total_vcs=5,
+        load_fractions=(0.3, 0.5),
+        quality="smoke",
+    )
+    assert all(r.comparison.stable_points == 2 for r in records)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Workload study: how non-uniform and bursty traffic reshape latency.
+
+The paper's entire evaluation assumes uniform destinations and Poisson
+sources.  This walkthrough uses the workload subsystem to ask what the
+same 24-node 4-star does under a hotspot, a permutation, and a bursty
+on-off workload — first analytically (the non-uniform model extension),
+then validated against the flit-level simulator at one operating point
+per workload.
+
+Run:  python examples/workloads_study.py
+"""
+
+from repro import NonUniformLatencyModel, SimulationConfig, WorkloadSpec
+from repro.simulation import SimSpec
+
+ORDER, MESSAGE_LENGTH, TOTAL_VCS = 4, 16, 5
+
+WORKLOADS = [
+    "uniform",
+    "hotspot(fraction=0.1)",
+    "hotspot(fraction=0.3)",
+    "permutation(seed=1)",
+    "uniform+onoff(duty=0.25,burst=8)",
+    "uniform+deterministic",
+]
+
+
+def main() -> None:
+    print(f"S{ORDER} (24 nodes), M={MESSAGE_LENGTH} flits, V={TOTAL_VCS} VCs\n")
+
+    # --- analytical: saturation and half-load latency per workload -----
+    print(f"{'workload':44s} {'saturation':>10s} {'latency@half':>12s} {'peak/mean':>9s}")
+    models: dict[str, NonUniformLatencyModel] = {}
+    for workload in WORKLOADS:
+        model = NonUniformLatencyModel(
+            ORDER, MESSAGE_LENGTH, TOTAL_VCS, workload=workload
+        )
+        models[workload] = model
+        sat = model.saturation_rate()
+        half = model.evaluate(0.5 * sat)
+        skew = model.peak_channel_rate(1.0) / model.channel_rate(1.0)
+        print(
+            f"{WorkloadSpec.parse(workload).canonical:44s} {sat:10.5f} "
+            f"{half.latency:12.2f} {skew:9.2f}"
+        )
+
+    # --- validation: model vs simulator at 40% of each saturation ------
+    print("\nmodel vs simulator at 40% of each workload's saturation:")
+    for workload, model in models.items():
+        rate = round(0.4 * model.saturation_rate(), 6)
+        predicted = model.evaluate(rate)
+        config = SimulationConfig(
+            message_length=MESSAGE_LENGTH,
+            generation_rate=rate,
+            total_vcs=TOTAL_VCS,
+            warmup_cycles=2_000,
+            measure_cycles=8_000,
+            drain_cycles=10_000,
+            workload=workload,
+            seed=0,
+        )
+        sim = SimSpec(topology="star", order=ORDER, config=config).run()
+        err = abs(predicted.latency - sim.mean_latency) / sim.mean_latency
+        print(
+            f"  {WorkloadSpec.parse(workload).canonical:42s} rate={rate:<9g} "
+            f"model={predicted.latency:7.2f}  sim={sim.mean_latency:7.2f}  "
+            f"err={100 * err:5.1f}%"
+        )
+
+    print(
+        "\nTakeaways: the hotspot's hot channels saturate the network several\n"
+        "times earlier than uniform traffic (peak/mean channel-rate skew);\n"
+        "bursty on-off sources at the *same mean load* pay extra queueing in\n"
+        "proportion to their inter-arrival SCV; deterministic clocking is the\n"
+        "only workload that beats Poisson."
+    )
+
+
+if __name__ == "__main__":
+    main()

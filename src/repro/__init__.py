@@ -10,15 +10,18 @@ Public entry points:
 * :mod:`repro.experiments` — regenerates every figure/table of the paper.
 """
 
-from repro.core import ModelResult, StarLatencyModel
+from repro.core import ModelResult, NonUniformLatencyModel, StarLatencyModel
 from repro.routing import EnhancedNbc, GreedyDeterministic, Nbc, NegativeHop, make_algorithm
 from repro.simulation import SimulationConfig, SimulationResult, simulate
 from repro.topology import Hypercube, StarGraph
+from repro.workloads import WorkloadSpec
 
 __version__ = "1.0.0"
 
 __all__ = [
     "StarLatencyModel",
+    "NonUniformLatencyModel",
+    "WorkloadSpec",
     "ModelResult",
     "SimulationConfig",
     "SimulationResult",

@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Any, Iterator, Mapping, Sequence
 
 from repro.utils.exceptions import ConfigurationError
+from repro.utils.text import split_outside_parens
 
 __all__ = [
     "WorkUnit",
@@ -121,14 +122,16 @@ def parse_axis_values(value) -> tuple:
     """Interpret an axis declaration into a concrete value tuple.
 
     Accepts a list/tuple of values, a ``"lo:hi:count"`` linspace string,
-    or a comma-separated string of scalars.
+    or a comma-separated string of scalars.  Commas inside parentheses do
+    not split (workload axis values carry parameter lists), and strings
+    containing parentheses are never mistaken for linspace declarations.
     """
     if isinstance(value, (list, tuple)):
         if not value:
             raise ConfigurationError("axis value list must not be empty")
         return tuple(value)
     if isinstance(value, str):
-        if ":" in value:
+        if ":" in value and "(" not in value:
             parts = value.split(":")
             if len(parts) != 3:
                 raise ConfigurationError(
@@ -141,7 +144,7 @@ def parse_axis_values(value) -> tuple:
                     f"linspace axis must be numeric lo:hi:count, got {value!r}"
                 ) from None
             return _linspace(lo, hi, count)
-        return tuple(parse_scalar(tok) for tok in value.split(","))
+        return tuple(parse_scalar(tok) for tok in split_outside_parens(value, ","))
     return (value,)
 
 

@@ -15,15 +15,22 @@ from repro.core.model import (
     SaturationSearch,
     StarLatencyModel,
 )
+from repro.core.nonuniform import NonUniformLatencyModel
 from repro.core.occupancy import multiplexing_degree, vc_occupancy
 from repro.core.pathstats import DestinationClass, StarPathStatistics
-from repro.core.queueing import channel_waiting_time, source_waiting_time
+from repro.core.queueing import (
+    burstiness_factor,
+    channel_waiting_time,
+    gg1_waiting_time,
+    source_waiting_time,
+)
 from repro.core.solver import FixedPointSolver, SolverSettings
 from repro.core.spec import ModelSpec
 
 __all__ = [
     "StarLatencyModel",
     "HypercubeLatencyModel",
+    "NonUniformLatencyModel",
     "HypercubePathStatistics",
     "ModelResult",
     "ModelSpec",
@@ -36,6 +43,8 @@ __all__ = [
     "multiplexing_degree",
     "channel_waiting_time",
     "source_waiting_time",
+    "gg1_waiting_time",
+    "burstiness_factor",
     "FixedPointSolver",
     "SolverSettings",
 ]

@@ -109,6 +109,10 @@ class _WormholeLatencyModel:
     paper's pipeline verbatim.
     """
 
+    #: Canonical workload string carried into :meth:`spec`; None means the
+    #: paper's uniform/Poisson workload (subclasses override per instance).
+    _spec_workload: str | None = None
+
     def __init__(
         self,
         stats,
@@ -271,6 +275,7 @@ class _WormholeLatencyModel:
             variant=self.blocking.variant.value,
             num_adaptive=num_adaptive,
             num_escape=num_escape,
+            workload=self._spec_workload,
             damping=s.damping,
             tolerance=s.tolerance,
             max_iterations=s.max_iterations,

@@ -1,0 +1,202 @@
+"""Non-uniform / bursty extension of the analytical latency model.
+
+The paper's pipeline collapses the network to one scalar channel rate
+(Eq. 3) because assumption (a) — uniform destinations — makes every
+channel statistically identical.  This module lifts that restriction:
+
+1. the workload's spatial pattern is propagated over the minimal-path
+   DAG of the *explicit* star graph (:mod:`repro.workloads.flows`),
+   yielding the arrival rate of every directed channel and the share of
+   traffic in every destination class;
+2. each channel keeps its own M/G/1 wait and birth-death VC occupancy
+   (Eqs. 12-15 and 18 evaluated per channel);
+3. what a routing header experiences is approximated by the
+   *flow-weighted* average of those per-channel quantities — a message
+   meets a channel in proportion to the traffic it carries — which then
+   feeds the unchanged per-hop blocking machinery (Eqs. 6-11) and the
+   same damped fixed point over the mean network latency;
+4. non-Poisson temporal processes enter through the Allen-Cunneen G/G/1
+   factor applied to channel and source waits, driven by the process's
+   inter-arrival SCV (:func:`repro.core.queueing.burstiness_factor`).
+
+For the uniform Poisson workload every channel carries Eq. (3)'s rate,
+the class weights equal the destination-class counts, and the SCV is 1 —
+all three corrections vanish and the pipeline reduces to the published
+model (verified to ~1e-9 relative in the test-suite; the residual is
+float summation noise in the flow propagation).
+
+Saturation is declared when the *hottest* channel reaches unit
+utilisation — for hotspot workloads this is the channel feeding the hot
+node, which saturates long before the network-average rate does.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.model import ModelResult, StarLatencyModel
+from repro.core.occupancy import multiplexing_degree
+from repro.core.queueing import burstiness_factor, gg1_waiting_time
+from repro.utils.exceptions import ConfigurationError
+from repro.workloads.flows import cached_flow_profile
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["NonUniformLatencyModel"]
+
+
+class NonUniformLatencyModel(StarLatencyModel):
+    """Mean message latency in S_n under an arbitrary workload.
+
+    Parameters
+    ----------
+    n:
+        Star order; the explicit flow propagation needs
+        ``n <= repro.workloads.flows.MAX_FLOW_ORDER``.
+    message_length / total_vcs / vc_config / variant / solver:
+        As for :class:`~repro.core.model.StarLatencyModel`.
+    workload:
+        A :class:`~repro.workloads.spec.WorkloadSpec`, grammar string, or
+        mapping.  The spatial part shapes per-channel rates and class
+        weights; the temporal part contributes the burstiness factor.
+    stats:
+        Optional shared :class:`~repro.core.pathstats.StarPathStatistics`.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        message_length: int,
+        total_vcs: int,
+        *,
+        workload: WorkloadSpec | str | None = None,
+        stats=None,
+        **kwargs,
+    ):
+        super().__init__(n, message_length, total_vcs, stats=stats, **kwargs)
+        self.workload = WorkloadSpec.coerce(workload)
+        self._spec_workload = self.workload.canonical
+        self._scv = self.workload.interarrival_scv()
+        profile = cached_flow_profile(n, self.workload.spatial_canonical)
+        self._profile = profile
+        rates = profile.unit_channel_rates
+        self._unit_rates = rates[rates > 0.0]
+        by_ctype = {cls.ctype: cls for cls in self.stats.classes}
+        weighted = []
+        for ctype, weight in profile.class_weights:
+            cls = by_ctype.get(ctype)
+            if cls is None:
+                raise ConfigurationError(
+                    f"workload routes to cycle type {ctype} unknown to the "
+                    f"S{n} path statistics"
+                )
+            weighted.append((weight, cls))
+        self._weighted_classes = tuple(weighted)
+
+    # -- workload-aware statistics --------------------------------------
+
+    def mean_distance(self) -> float:
+        """Flow-weighted mean message distance (replaces Eq. 2)."""
+        return self._profile.mean_distance
+
+    def peak_channel_rate(self, generation_rate: float) -> float:
+        """Arrival rate of the hottest channel at ``generation_rate``."""
+        if generation_rate < 0:
+            raise ConfigurationError(f"generation rate must be >= 0, got {generation_rate}")
+        return generation_rate * self._profile.peak_channel_rate
+
+    # -- flow-weighted pipeline -----------------------------------------
+
+    def _weighted_occupancy(self, rates: np.ndarray, rho: np.ndarray) -> list[float]:
+        """Flow-weighted busy-VC distribution (Eq. 18 averaged over channels)."""
+        num_vcs = self.vc.total
+        weight = rates.sum()
+        powers = rho[None, :] ** np.arange(num_vcs + 1)[:, None]
+        occ = [
+            float((rates * powers[v] * (1.0 - rho)).sum() / weight)
+            for v in range(num_vcs)
+        ]
+        occ.append(float((rates * powers[num_vcs]).sum() / weight))
+        return occ
+
+    def _weighted_channel_wait(self, rates: np.ndarray, rho: np.ndarray, s_bar: float) -> float:
+        """Flow-weighted mean wait over channels (Eq. 15 per channel, G/G/1)."""
+        m = float(self.message_length)
+        variance = (s_bar - m) ** 2
+        waits = rates * (s_bar * s_bar + variance) / (2.0 * (1.0 - rho))
+        factor = burstiness_factor(self._scv, s_bar, m)
+        return float((rates * waits).sum() / rates.sum()) * factor
+
+    def _network_latency_map_nonuniform(self, generation_rate: float):
+        """The scalar map S -> F(S) with per-channel rates behind it."""
+        m = float(self.message_length)
+        rates = generation_rate * self._unit_rates
+        classes = self._weighted_classes
+
+        def f(s_bar: float) -> float:
+            if generation_rate == 0.0:
+                return sum(w * (m + cls.distance) for w, cls in classes)
+            rho = rates * s_bar
+            if float(rho.max()) >= 1.0:
+                return math.inf
+            w_mean = self._weighted_channel_wait(rates, rho, s_bar)
+            occ = self._weighted_occupancy(rates, rho)
+            acc = 0.0
+            for weight, cls in classes:
+                blocking_sum = self.blocking.class_blocking_sum(occ, cls)
+                acc += weight * (m + cls.distance + w_mean * blocking_sum)
+            return acc  # class weights sum to one
+
+        return f
+
+    # -- public evaluation ----------------------------------------------
+
+    def evaluate(self, generation_rate: float) -> ModelResult:
+        """Predict the mean message latency at ``generation_rate``."""
+        lambda_c = self.channel_rate(generation_rate)  # mean rate, reporting
+        fp = self.solver.solve(
+            self._network_latency_map_nonuniform(generation_rate),
+            self.zero_load_latency(),
+        )
+        if fp.saturated:
+            return ModelResult(
+                generation_rate=generation_rate,
+                latency=math.inf,
+                network_latency=math.inf,
+                source_wait=math.inf,
+                channel_wait=math.inf,
+                multiplexing=math.nan,
+                channel_rate=lambda_c,
+                rho=math.inf,
+                saturated=True,
+                iterations=fp.iterations,
+            )
+        s_bar = fp.value
+        peak_rho = self.peak_channel_rate(generation_rate) * s_bar
+        if generation_rate > 0.0:
+            rates = generation_rate * self._unit_rates
+            rho = rates * s_bar
+            occ = self._weighted_occupancy(rates, rho)
+            w = self._weighted_channel_wait(rates, rho, s_bar)
+        else:
+            occ = [1.0] + [0.0] * self.vc.total
+            w = 0.0
+        w_s = gg1_waiting_time(
+            generation_rate / self.vc.total, s_bar, self.message_length, self._scv
+        )
+        v_bar = multiplexing_degree(occ)
+        saturated = not math.isfinite(w_s)
+        latency = (s_bar + w_s) * v_bar if not saturated else math.inf
+        return ModelResult(
+            generation_rate=generation_rate,
+            latency=latency,
+            network_latency=s_bar,
+            source_wait=w_s,
+            channel_wait=w,
+            multiplexing=v_bar,
+            channel_rate=lambda_c,
+            rho=peak_rho,
+            saturated=saturated,
+            iterations=fp.iterations,
+        )

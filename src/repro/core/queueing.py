@@ -13,7 +13,13 @@ import math
 
 from repro.utils.exceptions import ConfigurationError
 
-__all__ = ["mg1_waiting_time", "channel_waiting_time", "source_waiting_time"]
+__all__ = [
+    "mg1_waiting_time",
+    "gg1_waiting_time",
+    "burstiness_factor",
+    "channel_waiting_time",
+    "source_waiting_time",
+]
 
 
 def mg1_waiting_time(arrival_rate: float, service_time: float, message_length: float) -> float:
@@ -37,6 +43,37 @@ def mg1_waiting_time(arrival_rate: float, service_time: float, message_length: f
         return 0.0
     variance = (service_time - message_length) ** 2
     return arrival_rate * (service_time**2 + variance) / (2.0 * (1.0 - rho))
+
+
+def burstiness_factor(scv_arrivals: float, service_time: float, message_length: float) -> float:
+    """Allen-Cunneen G/G/1 correction relative to the M/G/1 wait.
+
+        W_GG1 ~= W_MG1 * (C_a^2 + C_s^2) / (1 + C_s^2)
+
+    with ``C_s^2`` the squared service-time coefficient of variation under
+    the paper's variance approximation ``sigma_S = S - M``.  Poisson
+    arrivals (``C_a^2 = 1``) give a factor of exactly 1, so the corrected
+    wait reduces to the paper's Eq. (15) for the default workload.
+    """
+    if scv_arrivals < 0:
+        raise ConfigurationError(f"arrival SCV must be >= 0, got {scv_arrivals}")
+    if service_time <= 0:
+        return 1.0
+    cs2 = ((service_time - message_length) / service_time) ** 2
+    return (scv_arrivals + cs2) / (1.0 + cs2)
+
+
+def gg1_waiting_time(
+    arrival_rate: float,
+    service_time: float,
+    message_length: float,
+    scv_arrivals: float = 1.0,
+) -> float:
+    """Mean G/G/1 wait: the paper's M/G/1 formula scaled for bursty input."""
+    base = mg1_waiting_time(arrival_rate, service_time, message_length)
+    if not math.isfinite(base):
+        return base
+    return base * burstiness_factor(scv_arrivals, service_time, message_length)
 
 
 def channel_waiting_time(lambda_c: float, service_time: float, message_length: float) -> float:

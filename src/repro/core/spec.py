@@ -38,6 +38,14 @@ class ModelSpec:
     num_adaptive / num_escape:
         Optional explicit VC split; both-or-neither.  When omitted the
         model applies the paper's minimum-escape rule.
+    workload:
+        Optional workload string (``spatial[+temporal]`` grammar, see
+        :mod:`repro.workloads.spec`).  ``None`` — the paper's uniform
+        Poisson workload — selects the published closed-form pipeline;
+        anything else builds the non-uniform extension
+        (:class:`~repro.core.nonuniform.NonUniformLatencyModel`, star
+        topology only).  The value is normalised to canonical form so
+        equivalent spellings produce identical campaign keys.
     damping / tolerance / max_iterations / divergence_threshold:
         Fixed-point solver settings (defaults match
         :class:`~repro.core.solver.SolverSettings`).
@@ -50,6 +58,7 @@ class ModelSpec:
     variant: str = "exact"
     num_adaptive: int | None = None
     num_escape: int | None = None
+    workload: str | None = None
     damping: float = _DEFAULT_SOLVER.damping
     tolerance: float = _DEFAULT_SOLVER.tolerance
     max_iterations: int = _DEFAULT_SOLVER.max_iterations
@@ -64,6 +73,16 @@ class ModelSpec:
             raise ConfigurationError(
                 "num_adaptive and num_escape must be given together or not at all"
             )
+        if self.workload is not None:
+            from repro.workloads.spec import WorkloadSpec
+
+            if self.topology != "star":
+                raise ConfigurationError(
+                    "non-uniform workload modelling is star-only; "
+                    f"got topology {self.topology!r}"
+                )
+            canonical = WorkloadSpec.coerce(self.workload).canonical
+            object.__setattr__(self, "workload", canonical)
 
     # -- plain-dict round trip ------------------------------------------
 
@@ -108,7 +127,24 @@ class ModelSpec:
         return VcConfig(num_adaptive=self.num_adaptive, num_escape=self.num_escape)
 
     def build(self, stats=None):
-        """Construct the live model (optionally reusing shared ``stats``)."""
+        """Construct the live model (optionally reusing shared ``stats``).
+
+        A non-None ``workload`` selects the non-uniform extension; the
+        default builds the paper's closed-form pipeline unchanged.
+        """
+        if self.workload is not None:
+            from repro.core.nonuniform import NonUniformLatencyModel
+
+            return NonUniformLatencyModel(
+                self.order,
+                self.message_length,
+                self.total_vcs,
+                workload=self.workload,
+                vc_config=self.vc_config(),
+                variant=self.variant,
+                solver=self.solver_settings(),
+                stats=stats,
+            )
         from repro.core.model import HypercubeLatencyModel, StarLatencyModel
 
         cls = StarLatencyModel if self.topology == "star" else HypercubeLatencyModel

@@ -9,12 +9,15 @@ ablation     Run one of the named ablation studies.
 distance     Average-distance table (Eq. 2 vs. exact enumeration).
 campaign     Run a declarative parameter-grid campaign (parallel,
              resumable, cache-backed).
+sim          Run one flit-level simulation with full workload control.
+validate     Model-vs-sim accuracy per workload (campaign-backed).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 
 from repro.campaign.grid import GridSpec
 from repro.campaign.kinds import available_kinds
@@ -112,6 +115,62 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument(
         "--no-table", action="store_true", help="print only the run summary"
     )
+
+    sim = sub.add_parser(
+        "sim",
+        help="run one flit-level simulation",
+        description=(
+            "Run a single wormhole simulation with full workload control.  "
+            "The workload string follows the spatial[+temporal] grammar, e.g. "
+            "'hotspot(fraction=0.2)+onoff(duty=0.25,burst=8)'."
+        ),
+    )
+    sim.add_argument("--topology", choices=("star", "hypercube"), default="star")
+    sim.add_argument("--order", type=int, default=5, help="star n / hypercube k")
+    sim.add_argument("--algorithm", default="enhanced_nbc", help="routing-registry name")
+    sim.add_argument("--rate", type=float, default=0.001, help="lambda_g, messages/cycle/node")
+    sim.add_argument("--message-length", type=int, default=32, help="M, flits")
+    sim.add_argument("--vcs", type=int, default=6, help="V, virtual channels per channel")
+    sim.add_argument("--workload", default="uniform", help="spatial[+temporal] workload string")
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--quality", choices=("smoke", "quick", "full"), default="quick")
+    sim.add_argument("--warmup", type=int, help="override the quality preset's warmup cycles")
+    sim.add_argument("--measure", type=int, help="override the measurement window")
+    sim.add_argument("--drain", type=int, help="override the drain window")
+    sim.add_argument("--hops", action="store_true", help="also print per-hop blocking")
+
+    val = sub.add_parser(
+        "validate",
+        help="model-vs-sim accuracy per workload",
+        description=(
+            "Sweep model and simulator over a shared rate ladder for each "
+            "workload (a campaign grid with a workload axis) and report the "
+            "per-workload accuracy in the mutually stable region."
+        ),
+    )
+    val.add_argument(
+        "--workload",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="workload to validate (repeatable); default: a 3-workload suite",
+    )
+    val.add_argument("--order", type=int, default=4, help="star order n")
+    val.add_argument("--message-length", type=int, default=16)
+    val.add_argument("--vcs", type=int, default=5)
+    val.add_argument(
+        "--fractions",
+        default="0.2,0.4,0.6",
+        help="load points as fractions of the binding saturation rate",
+    )
+    val.add_argument("--quality", choices=("smoke", "quick", "full"), default="quick")
+    val.add_argument("--seed", type=int, default=0)
+    val.add_argument("--workers", type=int, default=1, help="process-pool width")
+    val.add_argument(
+        "--tolerance",
+        type=float,
+        help="fail (exit 1) when a workload's mean relative error exceeds this",
+    )
     return parser
 
 
@@ -181,6 +240,92 @@ def _run_campaign_command(args) -> int:
     return 0
 
 
+def _run_sim_command(args) -> int:
+    from repro.experiments.figure1 import sim_quality_config
+    from repro.simulation import SimSpec
+
+    try:
+        config = sim_quality_config(
+            args.quality,
+            message_length=args.message_length,
+            generation_rate=args.rate,
+            total_vcs=args.vcs,
+            seed=args.seed,
+        )
+        overrides = {
+            "workload": args.workload,
+            **{
+                key: value
+                for key, value in (
+                    ("warmup_cycles", args.warmup),
+                    ("measure_cycles", args.measure),
+                    ("drain_cycles", args.drain),
+                )
+                if value is not None
+            },
+        }
+        config = replace(config, **overrides)
+        spec = SimSpec(
+            topology=args.topology,
+            order=args.order,
+            algorithm=args.algorithm,
+            config=config,
+        )
+        # Topology/algorithm names only resolve when the spec is built,
+        # so run() failures are configuration errors too.
+        result = spec.run()
+    except ConfigurationError as exc:
+        print(f"starnet sim: error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"sim[{args.topology} order={args.order} {args.algorithm}] "
+        f"workload={config.workload_spec().canonical} rate={args.rate} "
+        f"M={args.message_length} V={args.vcs} seed={args.seed}"
+    )
+    rows = [[key, value] for key, value in result.as_dict().items()]
+    print(render_table(["metric", "value"], rows))
+    if args.hops and result.hop_blocking is not None:
+        hop_rows = result.hop_blocking.as_rows()
+        if hop_rows:
+            headers = list(hop_rows[0].keys())
+            print()
+            print(render_table(headers, [[row[h] for h in headers] for row in hop_rows]))
+    return 0
+
+
+def _run_validate_command(args) -> int:
+    from repro.validation.workloads import DEFAULT_WORKLOADS, validate_workloads
+
+    try:
+        fractions = tuple(float(tok) for tok in args.fractions.split(","))
+        results = validate_workloads(
+            tuple(args.workload) if args.workload else DEFAULT_WORKLOADS,
+            order=args.order,
+            message_length=args.message_length,
+            total_vcs=args.vcs,
+            load_fractions=fractions,
+            quality=args.quality,
+            seed=args.seed,
+            workers=args.workers,
+            tolerance=args.tolerance,
+        )
+    except (ConfigurationError, ValueError) as exc:
+        print(f"starnet validate: error: {exc}", file=sys.stderr)
+        return 2
+    failed = False
+    for record in results:
+        print(record.summary())
+        for p in record.comparison.points:
+            print(
+                f"  rate={p.generation_rate:<10g} model={p.model_latency:<10.3f} "
+                f"sim={p.sim_latency:<10.3f} err="
+                + ("n/a" if p.relative_error != p.relative_error else f"{100 * p.relative_error:.1f}%")
+            )
+        if record.passed is False:
+            failed = True
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "figure1":
@@ -228,6 +373,10 @@ def main(argv: list[str] | None = None) -> int:
         print(render_table(["network", "Eq. (2)", "enumeration", "|diff|"], rows))
     elif args.command == "campaign":
         return _run_campaign_command(args)
+    elif args.command == "sim":
+        return _run_sim_command(args)
+    elif args.command == "validate":
+        return _run_validate_command(args)
     return 0
 
 

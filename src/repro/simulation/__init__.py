@@ -24,8 +24,10 @@ from repro.simulation.traffic import (
     UniformTraffic,
     make_traffic,
 )
+from repro.workloads import WorkloadSpec
 
 __all__ = [
+    "WorkloadSpec",
     "SimulationConfig",
     "SimSpec",
     "WormholeSimulator",

@@ -38,7 +38,6 @@ from repro.simulation.metrics import (
     LatencyAccumulator,
     SimulationResult,
 )
-from repro.simulation.traffic import PoissonSource, make_traffic
 from repro.topology.base import Topology
 from repro.utils.exceptions import SimulationError
 from repro.utils.rng import RngStreams
@@ -86,9 +85,16 @@ class WormholeSimulator:
 
         self._rng = RngStreams(config.seed)
         self._alloc_rng = self._rng.allocator()
-        self.traffic = make_traffic(config.traffic, n)
+        # Both workload halves come from the shared WorkloadSpec: the
+        # spatial pattern picks destinations, the temporal process clocks
+        # arrivals.  Each node's process shares that node's traffic RNG
+        # stream with its destination draws (the historical layout, so
+        # uniform/Poisson runs reproduce seed-for-seed).
+        self.workload = config.workload_spec()
+        self.traffic = self.workload.build_spatial(topology=topology)
         self._sources = [
-            PoissonSource(config.generation_rate, self._rng.traffic(u)) for u in range(n)
+            self.workload.build_temporal(config.generation_rate, self._rng.traffic(u))
+            for u in range(n)
         ]
         self._queues: list[deque[Message]] = [deque() for _ in range(n)]
         self._active_injections = [0] * n

@@ -1,19 +1,33 @@
-"""Traffic generation: Poisson arrival processes and destination patterns.
+"""Traffic generation — thin adapters over :mod:`repro.workloads`.
 
-The paper's workload is assumption (a)/(b): independent Poisson sources of
-rate lambda_g messages/cycle with destinations uniform over the other
-nodes.  Hotspot and fixed-permutation patterns are provided for the
-ablation studies (they stress the model's uniformity assumption).
+Historically this module owned the Poisson source and the three built-in
+destination patterns; those now live in the workload subsystem
+(:mod:`repro.workloads.spatial` / :mod:`repro.workloads.temporal`) where
+the analytical model consumes the *same* objects.  The names below are
+kept as aliases so existing imports and isinstance checks keep working:
+
+* :class:`PoissonSource` is :class:`~repro.workloads.temporal.PoissonProcess`;
+* :class:`UniformTraffic` / :class:`HotspotTraffic` /
+  :class:`PermutationTraffic` are the matching spatial patterns;
+* :func:`make_traffic` builds a spatial pattern by name and — unlike the
+  historical version — rejects unknown keyword arguments for *every*
+  pattern with :class:`~repro.utils.exceptions.ConfigurationError`.
+
+New code should prefer :class:`repro.workloads.WorkloadSpec` (see
+``docs/workloads.md``), which also covers temporal processes and
+topology-aware patterns such as ``locality``.
 """
 
 from __future__ import annotations
 
-import abc
-import math
-
-import numpy as np
-
-from repro.utils.exceptions import ConfigurationError
+from repro.workloads.spatial import (
+    HotspotSpatial,
+    PermutationSpatial,
+    SpatialPattern,
+    UniformSpatial,
+    make_spatial,
+)
+from repro.workloads.temporal import PoissonProcess
 
 __all__ = [
     "PoissonSource",
@@ -24,124 +38,20 @@ __all__ = [
     "make_traffic",
 ]
 
-
-class PoissonSource:
-    """Exponential inter-arrival clock for one node."""
-
-    __slots__ = ("rate", "_rng", "_next")
-
-    def __init__(self, rate: float, rng: np.random.Generator):
-        if rate < 0:
-            raise ConfigurationError(f"arrival rate must be >= 0, got {rate}")
-        self.rate = rate
-        self._rng = rng
-        self._next = math.inf if rate == 0 else rng.exponential(1.0 / rate)
-
-    def arrivals_until(self, t: float) -> list[float]:
-        """Arrival instants with time <= ``t`` (consumed)."""
-        out: list[float] = []
-        while self._next <= t:
-            out.append(self._next)
-            self._next += self._rng.exponential(1.0 / self.rate)
-        return out
-
-    def pop_next(self) -> float:
-        """Consume and return the next arrival instant."""
-        t = self._next
-        self._next += self._rng.exponential(1.0 / self.rate)
-        return t
-
-    def peek(self) -> float:
-        """Time of the next arrival (not consumed)."""
-        return self._next
+#: Historical names, now backed by the workload subsystem.
+PoissonSource = PoissonProcess
+TrafficPattern = SpatialPattern
+UniformTraffic = UniformSpatial
+HotspotTraffic = HotspotSpatial
+PermutationTraffic = PermutationSpatial
 
 
-class TrafficPattern(abc.ABC):
-    """Chooses a destination for each generated message."""
+def make_traffic(name: str, num_nodes: int, **kwargs) -> SpatialPattern:
+    """Build a traffic pattern by name (any registered spatial pattern).
 
-    name: str = "abstract"
-
-    @abc.abstractmethod
-    def destination(self, src: int, rng: np.random.Generator) -> int:
-        """A destination node, guaranteed different from ``src``."""
-
-
-class UniformTraffic(TrafficPattern):
-    """Uniform over the other N-1 nodes — the paper's assumption (a)."""
-
-    name = "uniform"
-
-    def __init__(self, num_nodes: int):
-        if num_nodes < 2:
-            raise ConfigurationError("uniform traffic needs >= 2 nodes")
-        self._n = num_nodes
-
-    def destination(self, src: int, rng: np.random.Generator) -> int:
-        d = int(rng.integers(self._n - 1))
-        return d if d < src else d + 1
-
-
-class HotspotTraffic(TrafficPattern):
-    """Uniform traffic with an extra probability mass on one hot node.
-
-    With probability ``fraction`` the destination is ``hotspot`` (unless
-    the source is the hotspot itself); otherwise uniform.
+    Unknown pattern names *and* unknown parameters raise
+    :class:`ConfigurationError`; see :func:`repro.workloads.spatial.
+    available_spatial` for the registry (patterns needing the topology,
+    e.g. ``locality``, must go through ``make_spatial`` instead).
     """
-
-    name = "hotspot"
-
-    def __init__(self, num_nodes: int, hotspot: int = 0, fraction: float = 0.1):
-        if num_nodes < 2:
-            raise ConfigurationError("hotspot traffic needs >= 2 nodes")
-        if not (0 <= hotspot < num_nodes):
-            raise ConfigurationError(f"hotspot node {hotspot} out of range")
-        if not (0.0 <= fraction <= 1.0):
-            raise ConfigurationError(f"hotspot fraction must be in [0,1], got {fraction}")
-        self._uniform = UniformTraffic(num_nodes)
-        self.hotspot = hotspot
-        self.fraction = fraction
-
-    def destination(self, src: int, rng: np.random.Generator) -> int:
-        if src != self.hotspot and rng.random() < self.fraction:
-            return self.hotspot
-        return self._uniform.destination(src, rng)
-
-
-class PermutationTraffic(TrafficPattern):
-    """Each node sends all traffic to one fixed partner (derangement).
-
-    A seeded random derangement of the nodes; the adversarial pattern for
-    adaptive routing studies (no destination spreading at all).
-    """
-
-    name = "permutation"
-
-    def __init__(self, num_nodes: int, seed: int = 0):
-        if num_nodes < 2:
-            raise ConfigurationError("permutation traffic needs >= 2 nodes")
-        rng = np.random.default_rng(seed)
-        perm = self._derangement(num_nodes, rng)
-        self._partner = perm
-
-    @staticmethod
-    def _derangement(n: int, rng: np.random.Generator) -> np.ndarray:
-        while True:
-            p = rng.permutation(n)
-            if not np.any(p == np.arange(n)):
-                return p
-
-    def destination(self, src: int, rng: np.random.Generator) -> int:
-        return int(self._partner[src])
-
-
-def make_traffic(name: str, num_nodes: int, **kwargs) -> TrafficPattern:
-    """Build a traffic pattern by name (``uniform``/``hotspot``/``permutation``)."""
-    if name == "uniform":
-        return UniformTraffic(num_nodes)
-    if name == "hotspot":
-        return HotspotTraffic(num_nodes, **kwargs)
-    if name == "permutation":
-        return PermutationTraffic(num_nodes, **kwargs)
-    raise ConfigurationError(
-        f"unknown traffic pattern {name!r}; expected uniform, hotspot or permutation"
-    )
+    return make_spatial(name, num_nodes=num_nodes, params=kwargs)

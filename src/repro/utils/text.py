@@ -1,0 +1,35 @@
+"""Small text-parsing helpers shared by the workload and campaign grammars."""
+
+from __future__ import annotations
+
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["split_outside_parens"]
+
+
+def split_outside_parens(text: str, sep: str) -> list[str]:
+    """Split ``text`` on ``sep`` characters not nested inside parentheses.
+
+    Lets structured tokens — e.g. workload strings like
+    ``hotspot(fraction=0.2,nodes=2)`` — survive comma-separated lists.
+    Unbalanced parentheses raise :class:`ConfigurationError`.
+    """
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise ConfigurationError(f"unbalanced parentheses in {text!r}")
+        if ch == sep and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise ConfigurationError(f"unbalanced parentheses in {text!r}")
+    parts.append("".join(current))
+    return parts

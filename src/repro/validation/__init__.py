@@ -2,10 +2,20 @@
 
 from repro.validation.compare import CurveComparison, OperatingPoint, compare_curves
 from repro.validation.saturation import estimate_saturation_rate
+from repro.validation.workloads import (
+    DEFAULT_WORKLOADS,
+    WorkloadValidation,
+    validate_workloads,
+    validation_grids,
+)
 
 __all__ = [
     "OperatingPoint",
     "CurveComparison",
     "compare_curves",
     "estimate_saturation_rate",
+    "DEFAULT_WORKLOADS",
+    "WorkloadValidation",
+    "validate_workloads",
+    "validation_grids",
 ]

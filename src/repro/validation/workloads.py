@@ -1,0 +1,218 @@
+"""Per-workload model-vs-sim validation, driven by the campaign engine.
+
+The paper validates the model against simulation for one workload only
+(uniform destinations, Poisson sources).  This module generalises that
+check to any set of :mod:`repro.workloads` specifications: a campaign
+grid with a ``workload`` axis sweeps both the analytical model (kind
+``model``) and the flit-level simulator (kind ``sim``) over a shared
+rate ladder, and each workload gets its own
+:class:`~repro.validation.compare.CurveComparison`.
+
+The rate ladder is anchored to the *most constrained* workload's model
+saturation point so every operating point is below saturation for every
+workload (the regime in which the model claims accuracy; e.g. a hotspot
+workload saturates several times earlier than uniform).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.campaign.grid import GridSpec
+from repro.campaign.runner import run_campaign
+from repro.core.spec import ModelSpec
+from repro.utils.exceptions import ConfigurationError
+from repro.validation.compare import CurveComparison, OperatingPoint, compare_curves
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = [
+    "DEFAULT_WORKLOADS",
+    "WorkloadValidation",
+    "validation_grids",
+    "validate_workloads",
+]
+
+#: A small representative suite: the paper's workload, a non-uniform
+#: spatial pattern, and a bursty temporal process.
+DEFAULT_WORKLOADS = (
+    "uniform",
+    "hotspot(fraction=0.1)",
+    "uniform+onoff(duty=0.5,burst=4)",
+)
+
+
+@dataclass(frozen=True)
+class WorkloadValidation:
+    """Model-vs-sim accuracy of one workload over the shared rate ladder."""
+
+    workload: str
+    rates: tuple[float, ...]
+    comparison: CurveComparison
+    tolerance: float | None
+
+    @property
+    def passed(self) -> bool | None:
+        """Tolerance verdict (None when no tolerance was requested)."""
+        if self.tolerance is None:
+            return None
+        if self.comparison.stable_points == 0:
+            return False
+        return self.comparison.mean_relative_error <= self.tolerance
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        text = f"{self.workload}: {self.comparison.summary()}"
+        if self.tolerance is not None:
+            verdict = "PASS" if self.passed else "FAIL"
+            text += f" [{verdict} @ {100 * self.tolerance:.0f}%]"
+        return text
+
+
+def validation_grids(
+    workloads: tuple[str, ...],
+    rates: tuple[float, ...],
+    *,
+    order: int,
+    message_length: int,
+    total_vcs: int,
+    quality: str = "quick",
+    seed: int = 0,
+) -> tuple[GridSpec, GridSpec]:
+    """The (model, sim) campaign grids sharing a ``workload`` axis."""
+    # Imported lazily: figure1 itself depends on validation.compare.
+    from repro.experiments.figure1 import sim_quality_config
+
+    window = sim_quality_config(
+        quality,
+        message_length=message_length,
+        generation_rate=rates[0],
+        total_vcs=total_vcs,
+        seed=seed,
+    )
+    model_grid = GridSpec(
+        kind="model",
+        axes=(("workload", tuple(workloads)), ("rate", tuple(rates))),
+        pinned=(
+            ("topology", "star"),
+            ("order", order),
+            ("message_length", message_length),
+            ("total_vcs", total_vcs),
+        ),
+    )
+    sim_grid = GridSpec(
+        kind="sim",
+        axes=(("workload", tuple(workloads)), ("generation_rate", tuple(rates))),
+        pinned=(
+            ("topology", "star"),
+            ("order", order),
+            ("message_length", message_length),
+            ("total_vcs", total_vcs),
+            ("warmup_cycles", window.warmup_cycles),
+            ("measure_cycles", window.measure_cycles),
+            ("drain_cycles", window.drain_cycles),
+            ("seed", seed),
+        ),
+    )
+    return model_grid, sim_grid
+
+
+def _shared_rate_ladder(
+    workloads: tuple[str, ...],
+    fractions: tuple[float, ...],
+    *,
+    order: int,
+    message_length: int,
+    total_vcs: int,
+) -> tuple[float, ...]:
+    """Load points anchored to the most constrained workload's saturation."""
+    sat = math.inf
+    for workload in workloads:
+        model = ModelSpec(
+            topology="star",
+            order=order,
+            message_length=message_length,
+            total_vcs=total_vcs,
+            workload=workload,
+        ).build()
+        sat = min(sat, model.saturation_rate())
+    if not math.isfinite(sat):
+        raise ConfigurationError(
+            "no workload in the suite saturates the model; cannot anchor the rate ladder"
+        )
+    return tuple(round(f * sat, 6) for f in fractions)
+
+
+def validate_workloads(
+    workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
+    *,
+    order: int = 4,
+    message_length: int = 16,
+    total_vcs: int = 5,
+    load_fractions: tuple[float, ...] = (0.2, 0.4, 0.6),
+    quality: str = "quick",
+    seed: int = 0,
+    workers: int = 1,
+    tolerance: float | None = None,
+    cache_dir=None,
+) -> list[WorkloadValidation]:
+    """Compare model and simulator per workload below saturation.
+
+    Every (workload, rate) pair expands into one ``model`` and one
+    ``sim`` campaign work unit; both grids run through
+    :func:`repro.campaign.runner.run_campaign` (``workers > 1`` fans out
+    over a process pool).  Returns one validation record per workload, in
+    input order.
+    """
+    workloads = tuple(WorkloadSpec.coerce(w).canonical for w in workloads)
+    if len(set(workloads)) != len(workloads):
+        raise ConfigurationError(f"duplicate workloads in validation suite: {workloads}")
+    rates = _shared_rate_ladder(
+        workloads,
+        tuple(load_fractions),
+        order=order,
+        message_length=message_length,
+        total_vcs=total_vcs,
+    )
+    model_grid, sim_grid = validation_grids(
+        workloads,
+        rates,
+        order=order,
+        message_length=message_length,
+        total_vcs=total_vcs,
+        quality=quality,
+        seed=seed,
+    )
+    model_units = model_grid.expand()
+    sim_units = sim_grid.expand()
+    result = run_campaign(
+        model_units + sim_units, workers=workers, cache_dir=cache_dir
+    )
+    model_results = result.results[: len(model_units)]
+    sim_results = result.results[len(model_units) :]
+
+    out: list[WorkloadValidation] = []
+    n_rates = len(rates)
+    for w_idx, workload in enumerate(workloads):
+        points = []
+        for r_idx, rate in enumerate(rates):
+            model = model_results[w_idx * n_rates + r_idx]
+            sim = sim_results[w_idx * n_rates + r_idx]
+            points.append(
+                OperatingPoint(
+                    generation_rate=rate,
+                    model_latency=model.latency,
+                    sim_latency=sim.mean_latency,
+                    model_saturated=model.saturated,
+                    sim_saturated=sim.saturated,
+                )
+            )
+        out.append(
+            WorkloadValidation(
+                workload=workload,
+                rates=rates,
+                comparison=compare_curves(points),
+                tolerance=tolerance,
+            )
+        )
+    return out

@@ -1,0 +1,66 @@
+"""Unified workload layer: spatial patterns × temporal processes.
+
+The paper evaluates exactly one workload — independent Poisson sources
+with uniformly distributed destinations (assumptions (a)/(b)).  This
+package generalises both axes behind one :class:`WorkloadSpec` that the
+flit-level simulator and the analytical model consume from the same
+source of truth:
+
+* :mod:`repro.workloads.spatial` — per-source destination distributions
+  (uniform, hotspot, locality decay, permutation families, trace replay);
+* :mod:`repro.workloads.temporal` — arrival processes (Poisson, bursty
+  on-off/MMPP, deterministic, batch);
+* :mod:`repro.workloads.flows` — per-channel arrival rates of a workload
+  on the explicit star graph, feeding the model's non-uniform extension;
+* :mod:`repro.workloads.spec` — the compact ``spatial[+temporal]``
+  string grammar used by configs, CLIs and campaign axes.
+"""
+
+from repro.workloads.flows import FlowProfile, cached_flow_profile, flow_profile
+from repro.workloads.spatial import (
+    HotspotSpatial,
+    LocalitySpatial,
+    PermutationSpatial,
+    ShiftSpatial,
+    SpatialPattern,
+    TraceSpatial,
+    UniformSpatial,
+    available_spatial,
+    make_spatial,
+)
+from repro.workloads.spec import WorkloadSpec, parse_workload
+from repro.workloads.temporal import (
+    ArrivalProcess,
+    BatchProcess,
+    DeterministicProcess,
+    OnOffProcess,
+    PoissonProcess,
+    available_temporal,
+    make_temporal,
+    temporal_scv,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "parse_workload",
+    "SpatialPattern",
+    "UniformSpatial",
+    "HotspotSpatial",
+    "LocalitySpatial",
+    "PermutationSpatial",
+    "ShiftSpatial",
+    "TraceSpatial",
+    "make_spatial",
+    "available_spatial",
+    "ArrivalProcess",
+    "PoissonProcess",
+    "OnOffProcess",
+    "DeterministicProcess",
+    "BatchProcess",
+    "make_temporal",
+    "available_temporal",
+    "temporal_scv",
+    "FlowProfile",
+    "flow_profile",
+    "cached_flow_profile",
+]

@@ -1,0 +1,252 @@
+"""Per-channel arrival rates of a workload on the explicit star graph.
+
+The analytical model's non-uniform extension needs, for a given spatial
+pattern, (1) the arrival rate on every directed physical channel and
+(2) how the offered traffic distributes over the paper's destination
+classes (residual cycle types, which carry the exact per-hop adaptivity
+distributions).  Both are computed here by propagating each source's
+destination-probability row over the minimal-path DAG: at every
+intermediate node the in-transit flow splits evenly over the profitable
+ports — the maximally adaptive routing the model assumes.
+
+Flows are computed for *unit* generation rate (1 message/cycle/node) and
+scaled by ``lambda_g`` at evaluation time, so one propagation per
+(order, spatial pattern) pair serves every operating point; results are
+cached process-wide.
+
+For the uniform pattern the star graph's symmetry makes every channel
+carry exactly ``d_bar / (n-1)`` — equation (3) of the paper — which is
+how the non-uniform pipeline reduces to the published model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+
+from repro.topology import permutations as pm
+from repro.topology.routing_sets import CycleType, cycle_type_of
+from repro.topology.star import StarGraph, profitable_ports_of_relative
+from repro.utils.exceptions import ConfigurationError
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["FlowProfile", "flow_profile", "cached_flow_profile", "MAX_FLOW_ORDER"]
+
+#: Largest star order for which explicit flow propagation is attempted;
+#: the DAG walk is O(N^2 * n) with N = n!, so S_8 and beyond must stay on
+#: the uniform closed-form pipeline.
+MAX_FLOW_ORDER = 7
+
+
+@dataclass(frozen=True)
+class FlowProfile:
+    """Workload flows on one star graph, per unit generation rate.
+
+    Attributes
+    ----------
+    order:
+        Star order n (the network has n! nodes).
+    spatial:
+        Canonical spatial-pattern string the profile was computed for.
+    unit_channel_rates:
+        Arrival rate of every directed channel (indexed ``u * (n-1) + port``)
+        when every node generates 1 message/cycle; multiply by lambda_g.
+    class_weights:
+        ``(cycle_type, weight)`` pairs: the fraction of all offered
+        traffic whose residual cycle type is ``cycle_type`` (weights sum
+        to 1).  Replaces the uniform model's destination-class counts.
+    mean_distance:
+        Flow-weighted mean message distance (the workload's d-bar).
+    """
+
+    order: int
+    spatial: str
+    unit_channel_rates: np.ndarray
+    class_weights: tuple[tuple[CycleType, float], ...]
+    mean_distance: float
+
+    @property
+    def mean_channel_rate(self) -> float:
+        """Mean per-channel rate; equals Eq. (3)'s lambda_c at unit rate."""
+        return float(self.unit_channel_rates.mean())
+
+    @property
+    def peak_channel_rate(self) -> float:
+        """Hottest channel's rate — the binding saturation constraint."""
+        return float(self.unit_channel_rates.max())
+
+
+@lru_cache(maxsize=8)
+def _star(order: int) -> StarGraph:
+    return StarGraph(order)
+
+
+def flow_profile(topology: StarGraph, spatial) -> FlowProfile:
+    """Propagate ``spatial``'s rate matrix over minimal paths of ``topology``.
+
+    ``spatial`` is a :class:`~repro.workloads.spatial.SpatialPattern`
+    bound to the same node count as ``topology``.
+    """
+    n = topology.n
+    num_nodes = topology.num_nodes
+    if spatial.num_nodes != num_nodes:
+        raise ConfigurationError(
+            f"spatial pattern sized for {spatial.num_nodes} nodes cannot drive "
+            f"{topology.name} ({num_nodes} nodes)"
+        )
+    deg = topology.degree
+    nbr = topology.neighbor_table
+    perms = [topology.permutation_of(u) for u in range(num_nodes)]
+    dmax = topology.diameter()
+
+    channel = np.zeros(num_nodes * deg)
+    weights: dict[CycleType, float] = {}
+    dist_acc = 0.0
+    total = 0.0
+
+    # One probs() row per source (not per (source, destination) pair —
+    # that would make setup cubic in the node count).
+    rate_matrix = np.vstack([spatial.probs(s) for s in range(num_nodes)])
+
+    for t in range(num_nodes):
+        perm_t = perms[t]
+        column = rate_matrix[:, t]
+        # Injected flow toward t, bucketed by remaining distance.  Minimal
+        # routing decreases the distance by exactly one per hop, so
+        # processing buckets from far to near sees each node's full
+        # in-flow (injected + pass-through) before splitting it.
+        buckets: list[dict[int, float]] = [dict() for _ in range(dmax + 1)]
+        rels: dict[int, pm.Perm] = {}
+        for s in np.nonzero(column > 0.0)[0]:
+            s = int(s)
+            if s == t:
+                continue
+            p = column[s]
+            rel = pm.relative_permutation(perms[s], perm_t)
+            rels[s] = rel
+            d = pm.star_distance(rel)
+            buckets[d][s] = buckets[d].get(s, 0.0) + float(p)
+            ctype = cycle_type_of(rel)
+            weights[ctype] = weights.get(ctype, 0.0) + float(p)
+            dist_acc += float(p) * d
+            total += float(p)
+        for d in range(dmax, 0, -1):
+            nearer = buckets[d - 1]
+            for u, flow in buckets[d].items():
+                rel = rels.get(u)
+                if rel is None:
+                    rel = pm.relative_permutation(perms[u], perm_t)
+                    rels[u] = rel
+                ports = profitable_ports_of_relative(rel)
+                share = flow / len(ports)
+                base = u * deg
+                for port in ports:
+                    channel[base + port] += share
+                    v = int(nbr[u, port])
+                    nearer[v] = nearer.get(v, 0.0) + share
+
+    if total <= 0.0:
+        raise ConfigurationError(
+            f"spatial pattern {getattr(spatial, 'name', spatial)!r} offers no traffic"
+        )
+    norm = tuple(
+        (ctype, w / total)
+        for ctype, w in sorted(weights.items(), key=lambda kv: (kv[0].ell, kv[0].others))
+    )
+    # Every probs row sums to one, so ``total`` is the node count and the
+    # accumulated flows are already per-unit-lambda_g rates; the rescale
+    # only guards patterns whose rows are not exactly normalised.
+    return FlowProfile(
+        order=n,
+        spatial=getattr(spatial, "name", "custom"),
+        unit_channel_rates=channel * (num_nodes / total),
+        class_weights=norm,
+        mean_distance=dist_acc / total,
+    )
+
+
+#: Per-process count of profiles loaded from the disk cache (for tests).
+disk_hits = 0
+
+
+def _cache_directory() -> Path | None:
+    """The campaign layer's shared cache directory, if one is configured.
+
+    Imported lazily so the workload layer keeps no import-time dependency
+    on the campaign layer; falls back to the ``STARNET_CACHE_DIR``
+    environment variable handling inside ``configured_dir``.
+    """
+    try:
+        from repro.campaign.cache import configured_dir
+    except ImportError:  # pragma: no cover - campaign layer always ships
+        return None
+    return configured_dir()
+
+
+def _disk_path(directory: Path, order: int, spatial_canonical: str) -> Path:
+    digest = hashlib.sha256(spatial_canonical.encode("utf-8")).hexdigest()[:16]
+    return directory / f"flows-star-{order}-{digest}.pkl"
+
+
+@lru_cache(maxsize=32)
+def cached_flow_profile(order: int, spatial_canonical: str) -> FlowProfile:
+    """Shared per-(order, spatial) profile (pure function of its key).
+
+    Propagation is seconds at S_6 and minutes at S_7, so on top of the
+    in-memory LRU the profile persists as a pickle under the campaign
+    cache directory (when one is configured): parallel campaign workers
+    and later runs load instead of re-propagating, exactly like the
+    path-statistics cache.  Corrupt entries fall back to a rebuild.
+    """
+    global disk_hits
+    if order > MAX_FLOW_ORDER:
+        raise ConfigurationError(
+            f"explicit workload flows need order <= {MAX_FLOW_ORDER} "
+            f"(S_{order} has {order}! nodes); non-uniform modelling beyond "
+            "that requires the uniform closed-form pipeline"
+        )
+    directory = _cache_directory()
+    if directory is not None:
+        path = _disk_path(directory, order, spatial_canonical)
+        if path.exists():
+            try:
+                with path.open("rb") as fh:
+                    profile = pickle.load(fh)
+                disk_hits += 1
+                return profile
+            except Exception:
+                pass  # unreadable cache entry: rebuild below and rewrite
+    topology = _star(order)
+    spec = WorkloadSpec.parse(spatial_canonical)
+    spatial = spec.build_spatial(topology=topology)
+    built = flow_profile(topology, spatial)
+    profile = FlowProfile(
+        order=built.order,
+        spatial=spatial_canonical,
+        unit_channel_rates=built.unit_channel_rates,
+        class_weights=built.class_weights,
+        mean_distance=built.mean_distance,
+    )
+    if directory is not None:
+        directory.mkdir(parents=True, exist_ok=True)
+        # Atomic publish, as in repro.campaign.cache: racing workers each
+        # write a private temp file; the rename is atomic so readers never
+        # observe a half-written pickle.
+        fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(profile, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+    return profile

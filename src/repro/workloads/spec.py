@@ -1,0 +1,237 @@
+"""The unified workload specification shared by model and simulator.
+
+A workload is one spatial pattern (where messages go) combined with one
+temporal process (when they are generated).  :class:`WorkloadSpec` is
+plain frozen data with a compact string grammar so a whole workload fits
+in one campaign-axis value or CLI flag::
+
+    uniform
+    hotspot(fraction=0.2)
+    hotspot(fraction=0.1,nodes=2)+onoff(duty=0.25,burst=8)
+    permutation(seed=3)+batch(size=4)
+    uniform+deterministic
+
+Grammar: ``spatial[+temporal]`` where each part is ``name`` or
+``name(key=value,...)``.  Parsing is strict — unknown pattern, process or
+parameter names raise :class:`ConfigurationError` — and the canonical
+form (parameters sorted by key, the ``+poisson`` suffix elided) is what
+campaign content hashes and config dicts carry, so equivalent spellings
+of the same expression key identically.  Explicitly spelled
+default-valued parameters are kept (``hotspot`` and
+``hotspot(fraction=0.1)`` key differently): spell a workload the same
+way throughout a campaign.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.text import split_outside_parens
+from repro.workloads.spatial import (
+    SpatialPattern,
+    make_spatial,
+    spatial_param_names,
+)
+from repro.workloads.temporal import (
+    ArrivalProcess,
+    make_temporal,
+    temporal_param_names,
+    temporal_scv,
+)
+
+__all__ = ["WorkloadSpec", "parse_workload"]
+
+_PART_RE = re.compile(r"^([a-z_][a-z0-9_]*)(?:\((.*)\))?$")
+#: Characters with grammar meaning; forbidden inside parameter values.
+_RESERVED = set("()+=,")
+
+
+def _parse_value(token: str) -> Any:
+    text = token.strip()
+    low = text.lower()
+    if low == "true":
+        return True
+    if low == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    text = str(value)
+    if not text or _RESERVED & set(text):
+        raise ConfigurationError(
+            f"workload parameter value {value!r} contains reserved characters"
+        )
+    return text
+
+
+def _parse_part(text: str, kind: str) -> tuple[str, tuple[tuple[str, Any], ...]]:
+    match = _PART_RE.match(text.strip())
+    if match is None:
+        raise ConfigurationError(
+            f"malformed workload {kind} {text!r}; expected name or name(key=value,...)"
+        )
+    name, arglist = match.group(1), match.group(2)
+    params: dict[str, Any] = {}
+    if arglist is not None:
+        if not arglist.strip():
+            raise ConfigurationError(f"empty parameter list in workload {kind} {text!r}")
+        for item in arglist.split(","):
+            key, eq, value = item.partition("=")
+            key = key.strip()
+            if not eq or not key or not value.strip():
+                raise ConfigurationError(
+                    f"workload {kind} parameters must be key=value, got {item!r}"
+                )
+            if key in params:
+                raise ConfigurationError(f"duplicate parameter {key!r} in {text!r}")
+            params[key] = _parse_value(value)
+    return name, tuple(sorted(params.items()))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One workload as plain data: spatial pattern + temporal process.
+
+    Parameters are stored as sorted ``(key, value)`` tuples so specs are
+    hashable, picklable and canonically ordered.  Use :meth:`parse` /
+    :meth:`coerce` to build from the string grammar and :attr:`canonical`
+    to serialise back.
+    """
+
+    spatial: str = "uniform"
+    spatial_params: tuple[tuple[str, Any], ...] = ()
+    temporal: str = "poisson"
+    temporal_params: tuple[tuple[str, Any], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        for name, params, names_of in (
+            (self.spatial, self.spatial_params, spatial_param_names),
+            (self.temporal, self.temporal_params, temporal_param_names),
+        ):
+            allowed = names_of(name)  # raises on unknown pattern/process
+            unknown = {k for k, _ in params} - allowed
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown parameters for workload part {name!r}: "
+                    f"{sorted(unknown)}; allowed: {sorted(allowed) or '(none)'}"
+                )
+            for _, value in params:
+                _format_value(value)  # reject unrepresentable values eagerly
+        object.__setattr__(self, "spatial_params", tuple(sorted(self.spatial_params)))
+        object.__setattr__(self, "temporal_params", tuple(sorted(self.temporal_params)))
+        temporal_scv(self.temporal, dict(self.temporal_params))  # validate values
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "WorkloadSpec":
+        """Parse the ``spatial[+temporal]`` string grammar."""
+        if not isinstance(text, str) or not text.strip():
+            raise ConfigurationError(f"workload must be a non-empty string, got {text!r}")
+        parts = split_outside_parens(text.strip(), "+")
+        if len(parts) > 2:
+            raise ConfigurationError(
+                f"workload {text!r} has more than two parts; expected spatial[+temporal]"
+            )
+        spatial, spatial_params = _parse_part(parts[0], "spatial pattern")
+        temporal, temporal_params = "poisson", ()
+        if len(parts) == 2:
+            temporal, temporal_params = _parse_part(parts[1], "temporal process")
+        return cls(
+            spatial=spatial,
+            spatial_params=spatial_params,
+            temporal=temporal,
+            temporal_params=temporal_params,
+        )
+
+    @classmethod
+    def coerce(cls, value: "WorkloadSpec | str | Mapping | None") -> "WorkloadSpec":
+        """Accept a spec, grammar string, mapping, or None (the default)."""
+        if value is None:
+            return cls()
+        if isinstance(value, WorkloadSpec):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        if isinstance(value, Mapping):
+            known = {"spatial", "spatial_params", "temporal", "temporal_params"}
+            unknown = set(value) - known
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown workload mapping keys: {sorted(unknown)}; "
+                    f"expected a subset of {sorted(known)}"
+                )
+            return cls(
+                spatial=value.get("spatial", "uniform"),
+                spatial_params=tuple(sorted(dict(value.get("spatial_params", {})).items())),
+                temporal=value.get("temporal", "poisson"),
+                temporal_params=tuple(sorted(dict(value.get("temporal_params", {})).items())),
+            )
+        raise ConfigurationError(f"cannot interpret {value!r} as a workload")
+
+    # -- canonical string form -------------------------------------------
+
+    @staticmethod
+    def _render(name: str, params: tuple[tuple[str, Any], ...]) -> str:
+        if not params:
+            return name
+        inner = ",".join(f"{k}={_format_value(v)}" for k, v in params)
+        return f"{name}({inner})"
+
+    @property
+    def spatial_canonical(self) -> str:
+        """Canonical string of the spatial part alone (flow-cache key)."""
+        return self._render(self.spatial, self.spatial_params)
+
+    @property
+    def canonical(self) -> str:
+        """Canonical round-trippable string (``+poisson`` elided)."""
+        text = self.spatial_canonical
+        if self.temporal != "poisson" or self.temporal_params:
+            text += "+" + self._render(self.temporal, self.temporal_params)
+        return text
+
+    @property
+    def is_default(self) -> bool:
+        """True for the paper's workload: uniform destinations, Poisson."""
+        return self.canonical == "uniform"
+
+    # -- materialisation -------------------------------------------------
+
+    def build_spatial(self, topology=None, num_nodes: int | None = None) -> SpatialPattern:
+        """The spatial pattern instance for a concrete network."""
+        return make_spatial(
+            self.spatial,
+            num_nodes=num_nodes,
+            topology=topology,
+            params=dict(self.spatial_params),
+        )
+
+    def build_temporal(self, rate: float, rng) -> ArrivalProcess:
+        """One node's arrival process at mean ``rate`` messages/cycle."""
+        return make_temporal(self.temporal, rate, rng, dict(self.temporal_params))
+
+    def interarrival_scv(self) -> float:
+        """Squared coefficient of variation of inter-arrival times."""
+        return temporal_scv(self.temporal, dict(self.temporal_params))
+
+
+def parse_workload(text: "WorkloadSpec | str | Mapping | None") -> WorkloadSpec:
+    """Module-level alias of :meth:`WorkloadSpec.coerce` (convenience)."""
+    return WorkloadSpec.coerce(text)

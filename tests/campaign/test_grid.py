@@ -46,6 +46,26 @@ class TestParsing:
         with pytest.raises(ConfigurationError, match="empty"):
             parse_axis_values([])
 
+    def test_workload_values_keep_parenthesised_commas(self):
+        """A workload axis value like hotspot(fraction=0.2,nodes=2) is one token."""
+        values = parse_axis_values("uniform,hotspot(fraction=0.2,nodes=2)")
+        assert values == ("uniform", "hotspot(fraction=0.2,nodes=2)")
+
+    def test_workload_values_are_not_linspace(self):
+        """Colon-free detection must not fire on parenthesised strings."""
+        values = parse_axis_values("hotspot(fraction=0.1)+onoff(duty=0.25,burst=8)")
+        assert values == ("hotspot(fraction=0.1)+onoff(duty=0.25,burst=8)",)
+
+    def test_mixed_plain_and_parenthesised(self):
+        values = parse_axis_values("uniform,shift(offset=5),permutation(seed=1)")
+        assert values == ("uniform", "shift(offset=5)", "permutation(seed=1)")
+
+    def test_unbalanced_parentheses_rejected(self):
+        with pytest.raises(ConfigurationError, match="unbalanced"):
+            parse_axis_values("hotspot(fraction=0.2))")
+        with pytest.raises(ConfigurationError, match="unbalanced"):
+            parse_axis_values("hotspot(fraction=0.2")
+
 
 class TestExpansion:
     def test_cartesian_product_with_pinned(self):

@@ -1,0 +1,176 @@
+"""Tests for the non-uniform / bursty analytical model extension."""
+
+import math
+
+import pytest
+
+from repro.core import ModelSpec, NonUniformLatencyModel, StarLatencyModel
+from repro.core.queueing import burstiness_factor, gg1_waiting_time, mg1_waiting_time
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestUniformReduction:
+    """The extension must reduce to the paper's pipeline for uniform/Poisson."""
+
+    @pytest.mark.parametrize("rate_frac", [0.0, 0.2, 0.5, 0.8])
+    def test_latency_matches_scalar_pipeline(self, rate_frac):
+        base = StarLatencyModel(5, 32, 6)
+        nonuniform = NonUniformLatencyModel(5, 32, 6, workload="uniform")
+        rate = rate_frac * base.saturation_rate()
+        a = base.evaluate(rate)
+        b = nonuniform.evaluate(rate)
+        assert b.latency == pytest.approx(a.latency, rel=1e-9)
+        assert b.network_latency == pytest.approx(a.network_latency, rel=1e-9)
+        assert b.source_wait == pytest.approx(a.source_wait, rel=1e-9, abs=1e-12)
+        assert b.multiplexing == pytest.approx(a.multiplexing, rel=1e-9)
+
+    def test_saturation_rate_matches(self):
+        base = StarLatencyModel(4, 16, 5)
+        nonuniform = NonUniformLatencyModel(4, 16, 5, workload="uniform")
+        assert nonuniform.saturation_rate() == pytest.approx(
+            base.saturation_rate(), rel=1e-6
+        )
+
+    def test_mean_distance_matches_eq2(self):
+        base = StarLatencyModel(5, 32, 6)
+        nonuniform = NonUniformLatencyModel(5, 32, 6, workload="uniform")
+        assert nonuniform.mean_distance() == pytest.approx(
+            base.mean_distance(), rel=1e-9
+        )
+
+
+class TestHotspotBehaviour:
+    def test_hotspot_saturates_earlier(self):
+        uniform = NonUniformLatencyModel(5, 32, 6, workload="uniform")
+        hotspot = NonUniformLatencyModel(5, 32, 6, workload="hotspot(fraction=0.1)")
+        assert hotspot.saturation_rate() < 0.75 * uniform.saturation_rate()
+
+    def test_hotspot_latency_above_uniform(self):
+        uniform = NonUniformLatencyModel(5, 32, 6, workload="uniform")
+        hotspot = NonUniformLatencyModel(5, 32, 6, workload="hotspot(fraction=0.1)")
+        rate = 0.5 * hotspot.saturation_rate()
+        assert hotspot.evaluate(rate).latency > uniform.evaluate(rate).latency
+
+    def test_heavier_fraction_is_worse(self):
+        mild = NonUniformLatencyModel(4, 16, 5, workload="hotspot(fraction=0.05)")
+        heavy = NonUniformLatencyModel(4, 16, 5, workload="hotspot(fraction=0.3)")
+        assert heavy.saturation_rate() < mild.saturation_rate()
+
+    def test_rho_reports_peak_channel(self):
+        hotspot = NonUniformLatencyModel(4, 16, 5, workload="hotspot(fraction=0.3)")
+        rate = 0.5 * hotspot.saturation_rate()
+        res = hotspot.evaluate(rate)
+        assert res.rho == pytest.approx(
+            hotspot.peak_channel_rate(rate) * res.network_latency, rel=1e-9
+        )
+        # the peak channel dominates the mean channel rate
+        assert res.rho > res.channel_rate * res.network_latency
+
+
+class TestBurstyBehaviour:
+    def test_bursty_latency_above_poisson(self):
+        poisson = NonUniformLatencyModel(5, 32, 6, workload="uniform")
+        bursty = NonUniformLatencyModel(
+            5, 32, 6, workload="uniform+onoff(duty=0.25,burst=8)"
+        )
+        rate = 0.5 * bursty.saturation_rate()
+        assert bursty.evaluate(rate).latency > poisson.evaluate(rate).latency
+
+    def test_deterministic_latency_below_poisson(self):
+        poisson = NonUniformLatencyModel(5, 32, 6, workload="uniform")
+        periodic = NonUniformLatencyModel(5, 32, 6, workload="uniform+deterministic")
+        rate = 0.6 * poisson.saturation_rate()
+        assert periodic.evaluate(rate).latency < poisson.evaluate(rate).latency
+
+    def test_burstier_is_worse(self):
+        mild = NonUniformLatencyModel(4, 16, 5, workload="uniform+onoff(duty=0.5,burst=2)")
+        heavy = NonUniformLatencyModel(4, 16, 5, workload="uniform+onoff(duty=0.1,burst=16)")
+        rate = 0.5 * heavy.saturation_rate()
+        assert heavy.evaluate(rate).latency > mild.evaluate(rate).latency
+
+
+class TestGg1Correction:
+    def test_poisson_factor_is_one(self):
+        assert burstiness_factor(1.0, 40.0, 32.0) == pytest.approx(1.0)
+
+    def test_gg1_reduces_to_mg1_for_poisson(self):
+        assert gg1_waiting_time(0.01, 40.0, 32.0, 1.0) == pytest.approx(
+            mg1_waiting_time(0.01, 40.0, 32.0)
+        )
+
+    def test_factor_scales_with_scv(self):
+        low = gg1_waiting_time(0.01, 40.0, 32.0, 0.0)
+        high = gg1_waiting_time(0.01, 40.0, 32.0, 9.0)
+        assert high > mg1_waiting_time(0.01, 40.0, 32.0) > low
+
+    def test_saturated_wait_stays_infinite(self):
+        assert gg1_waiting_time(1.0, 40.0, 32.0, 5.0) == math.inf
+
+    def test_negative_scv_rejected(self):
+        with pytest.raises(ConfigurationError):
+            burstiness_factor(-1.0, 40.0, 32.0)
+
+
+class TestSpecIntegration:
+    def test_model_spec_builds_nonuniform(self):
+        spec = ModelSpec(order=4, message_length=16, total_vcs=5, workload="hotspot(fraction=0.2)")
+        model = spec.build()
+        assert isinstance(model, NonUniformLatencyModel)
+        assert model.spec() == spec
+
+    def test_workload_string_canonicalised(self):
+        spec = ModelSpec(order=4, workload="hotspot(nodes=2,fraction=0.2)")
+        assert spec.workload == "hotspot(fraction=0.2,nodes=2)"
+
+    def test_default_spec_stays_uniform_pipeline(self):
+        model = ModelSpec(order=4, message_length=16, total_vcs=5).build()
+        assert isinstance(model, StarLatencyModel)
+        assert not isinstance(model, NonUniformLatencyModel)
+
+    def test_workload_rejected_for_hypercube(self):
+        with pytest.raises(ConfigurationError, match="star-only"):
+            ModelSpec(topology="hypercube", order=4, workload="hotspot")
+
+    def test_params_round_trip(self):
+        spec = ModelSpec(order=4, workload="uniform+batch(size=4)")
+        params = spec.to_params()
+        assert params["workload"] == "uniform+batch(size=4)"
+        assert ModelSpec.from_params(params) == spec
+
+    def test_default_params_omit_workload(self):
+        """Uniform-workload specs key identically to the seed's specs."""
+        assert "workload" not in ModelSpec(order=5).to_params()
+
+    def test_model_kind_accepts_workload(self):
+        from repro.campaign.kinds import model_point
+
+        res = model_point(
+            {
+                "order": 4,
+                "message_length": 16,
+                "total_vcs": 5,
+                "workload": "hotspot(fraction=0.2)",
+                "rate": 0.002,
+            }
+        )
+        assert res.latency > 0 and not res.saturated
+
+    def test_sweep_parallel_round_trips_workload(self):
+        model = NonUniformLatencyModel(4, 16, 5, workload="hotspot(fraction=0.2)")
+        direct = [model.evaluate(r).latency for r in (0.001, 0.002)]
+        via_campaign = [
+            r.latency for r in model.sweep_parallel((0.001, 0.002), workers=1)
+        ]
+        assert via_campaign == pytest.approx(direct)
+
+
+class TestGuards:
+    def test_order_cap_for_flows(self):
+        with pytest.raises(ConfigurationError, match="order"):
+            NonUniformLatencyModel(8, 32, 12, workload="hotspot")
+
+    def test_zero_rate_is_zero_load(self):
+        model = NonUniformLatencyModel(4, 16, 5, workload="hotspot(fraction=0.3)")
+        res = model.evaluate(0.0)
+        assert res.latency == pytest.approx(model.zero_load_latency())
+        assert res.multiplexing == 1.0

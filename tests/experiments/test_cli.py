@@ -103,3 +103,67 @@ class TestCampaignCommand:
     def test_resume_requires_out(self, capsys):
         assert main(self._FLAGS + ["--resume"]) == 2
         assert "--resume requires --out" in capsys.readouterr().err
+
+
+class TestSimCommand:
+    _FAST = [
+        "sim", "--order", "4", "--rate", "0.003", "--message-length", "8",
+        "--vcs", "5", "--quality", "smoke",
+    ]
+
+    def test_uniform_run(self, capsys):
+        assert main(self._FAST) == 0
+        out = capsys.readouterr().out
+        assert "mean_latency" in out
+        assert "workload=uniform" in out
+
+    def test_workload_flag_reaches_engine(self, capsys):
+        argv = self._FAST + ["--workload", "hotspot(fraction=0.3)+batch(size=2)"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "workload=hotspot(fraction=0.3)+batch(size=2)" in out
+
+    def test_window_overrides(self, capsys):
+        argv = self._FAST + ["--warmup", "100", "--measure", "400", "--drain", "800"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cycles_run" in out
+
+    def test_hops_table(self, capsys):
+        assert main(self._FAST + ["--hops"]) == 0
+        out = capsys.readouterr().out
+        assert "p_block" in out
+
+    def test_bad_workload_is_a_clean_error(self, capsys):
+        assert main(self._FAST + ["--workload", "tornado"]) == 2
+        assert "starnet sim: error" in capsys.readouterr().err
+
+    def test_bad_algorithm_is_a_clean_error(self, capsys):
+        """Run-time configuration errors must not escape as tracebacks."""
+        assert main(self._FAST + ["--algorithm", "bogus"]) == 2
+        assert "starnet sim: error" in capsys.readouterr().err
+
+
+class TestValidateCommand:
+    _FAST = [
+        "validate", "--order", "4", "--message-length", "8", "--vcs", "5",
+        "--quality", "smoke", "--fractions", "0.3,0.5",
+    ]
+
+    def test_explicit_workloads(self, capsys):
+        argv = self._FAST + ["--workload", "uniform", "--workload", "hotspot(fraction=0.2)"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "uniform:" in out
+        assert "hotspot(fraction=0.2):" in out
+        assert "stable points" in out
+
+    def test_tolerance_failure_exits_nonzero(self, capsys):
+        argv = self._FAST + ["--workload", "hotspot(fraction=0.2)", "--tolerance", "0.0001"]
+        assert main(argv) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_bad_fraction_is_a_clean_error(self, capsys):
+        argv = self._FAST + ["--fractions", "0.2,huh"]
+        assert main(argv) == 2
+        assert "starnet validate: error" in capsys.readouterr().err

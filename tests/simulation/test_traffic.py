@@ -122,3 +122,22 @@ class TestFactory:
     def test_unknown_name(self):
         with pytest.raises(ConfigurationError):
             make_traffic("tornado", 8)
+
+    def test_known_kwargs_forwarded(self):
+        t = make_traffic("hotspot", 8, hotspot=3, fraction=0.5)
+        assert t.hotspot == 3 and t.fraction == 0.5
+        assert make_traffic("permutation", 8, seed=2).seed == 2
+
+    @pytest.mark.parametrize(
+        "name,kwargs",
+        [
+            ("uniform", {"fraction": 0.1}),  # historically silently discarded
+            ("uniform", {"seed": 1}),
+            ("hotspot", {"fraktion": 0.2}),
+            ("permutation", {"fraction": 0.1}),
+        ],
+    )
+    def test_unknown_kwargs_rejected_for_every_pattern(self, name, kwargs):
+        """ISSUE satellite: stray parameters must raise, never be ignored."""
+        with pytest.raises(ConfigurationError, match="unknown parameters"):
+            make_traffic(name, 8, **kwargs)

@@ -1,0 +1,143 @@
+"""Tests for workload flow propagation over the star graph."""
+
+import numpy as np
+import pytest
+
+from repro.topology.star import StarGraph, star_average_distance_closed_form
+from repro.utils.exceptions import ConfigurationError
+from repro.workloads import cached_flow_profile, flow_profile, make_spatial
+from repro.workloads.flows import MAX_FLOW_ORDER
+
+
+class TestUniformReduction:
+    """Uniform flows must reproduce the paper's Eq. (3) exactly."""
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_every_channel_carries_eq3(self, n):
+        profile = cached_flow_profile(n, "uniform")
+        expected = star_average_distance_closed_form(n) / (n - 1)
+        assert profile.unit_channel_rates == pytest.approx(
+            np.full(profile.unit_channel_rates.shape, expected), rel=1e-9
+        )
+
+    def test_mean_distance_matches_eq2(self):
+        profile = cached_flow_profile(5, "uniform")
+        assert profile.mean_distance == pytest.approx(
+            star_average_distance_closed_form(5), rel=1e-9
+        )
+
+    def test_class_weights_match_counts(self):
+        from repro.core.pathstats import cached_path_statistics
+
+        profile = cached_flow_profile(4, "uniform")
+        stats = cached_path_statistics(4)
+        by_ctype = {cls.ctype: cls for cls in stats.classes}
+        for ctype, weight in profile.class_weights:
+            cls = by_ctype[ctype]
+            assert weight == pytest.approx(
+                cls.count / stats.total_destinations, rel=1e-9
+            )
+
+
+class TestConservation:
+    @pytest.mark.parametrize(
+        "spatial", ["uniform", "hotspot(fraction=0.3)", "permutation(seed=1)", "shift(offset=7)"]
+    )
+    def test_total_flow_is_rate_times_distance(self, spatial):
+        """Work conservation: channel flows sum to N * mean distance."""
+        profile = cached_flow_profile(4, spatial)
+        n_nodes = 24
+        assert profile.unit_channel_rates.sum() == pytest.approx(
+            n_nodes * profile.mean_distance, rel=1e-9
+        )
+
+    def test_class_weights_sum_to_one(self):
+        profile = cached_flow_profile(4, "hotspot(fraction=0.5,nodes=2)")
+        assert sum(w for _, w in profile.class_weights) == pytest.approx(1.0)
+
+
+class TestHotspotConcentration:
+    def test_hot_node_channels_are_hottest(self):
+        topo = StarGraph(4)
+        profile = cached_flow_profile(4, "hotspot(fraction=0.4)")
+        deg = topo.degree
+        # channels whose destination is the hot node (node 0)
+        into_hot = [
+            u * deg + p
+            for u in range(topo.num_nodes)
+            for p in range(deg)
+            if int(topo.neighbor_table[u, p]) == 0
+        ]
+        rates = profile.unit_channel_rates
+        hot_min = min(rates[c] for c in into_hot)
+        other = np.delete(rates, into_hot)
+        assert hot_min > other.max()
+
+    def test_peak_grows_with_fraction(self):
+        mild = cached_flow_profile(4, "hotspot(fraction=0.1)")
+        heavy = cached_flow_profile(4, "hotspot(fraction=0.4)")
+        assert heavy.peak_channel_rate > mild.peak_channel_rate > \
+            cached_flow_profile(4, "uniform").peak_channel_rate
+
+
+class TestSparsePatterns:
+    def test_permutation_leaves_channels_idle(self):
+        profile = cached_flow_profile(4, "permutation(seed=0)")
+        assert (profile.unit_channel_rates == 0.0).any()
+
+    def test_shift_profile_differs_from_uniform(self):
+        shift = cached_flow_profile(4, "shift(offset=5)")
+        uniform = cached_flow_profile(4, "uniform")
+        assert not np.allclose(shift.unit_channel_rates, uniform.unit_channel_rates)
+
+
+class TestGuards:
+    def test_order_cap(self):
+        with pytest.raises(ConfigurationError, match="order"):
+            cached_flow_profile(MAX_FLOW_ORDER + 1, "uniform")
+
+    def test_mismatched_pattern_size(self):
+        topo = StarGraph(4)
+        wrong = make_spatial("uniform", num_nodes=6)
+        with pytest.raises(ConfigurationError, match="sized for"):
+            flow_profile(topo, wrong)
+
+    def test_cache_returns_same_object(self):
+        a = cached_flow_profile(4, "uniform")
+        b = cached_flow_profile(4, "uniform")
+        assert a is b
+
+
+class TestDiskCache:
+    @pytest.fixture(autouse=True)
+    def _isolated_caches(self, tmp_path):
+        from repro.campaign import cache
+        from repro.workloads import flows
+
+        cached_flow_profile.cache_clear()
+        cache.configure(tmp_path)
+        self.tmp_path = tmp_path
+        self.flows = flows
+        yield
+        cache.configure(None)
+        cached_flow_profile.cache_clear()
+
+    def test_profile_persists_and_reloads(self):
+        before = self.flows.disk_hits
+        built = cached_flow_profile(4, "hotspot(fraction=0.25)")
+        pickles = list(self.tmp_path.glob("flows-star-4-*.pkl"))
+        assert len(pickles) == 1
+        cached_flow_profile.cache_clear()  # fresh process stand-in
+        loaded = cached_flow_profile(4, "hotspot(fraction=0.25)")
+        assert self.flows.disk_hits == before + 1
+        assert loaded.mean_distance == built.mean_distance
+        assert (loaded.unit_channel_rates == built.unit_channel_rates).all()
+        assert loaded.class_weights == built.class_weights
+
+    def test_corrupt_entry_rebuilds(self):
+        cached_flow_profile(4, "uniform")
+        (pickle_path,) = self.tmp_path.glob("flows-star-4-*.pkl")
+        pickle_path.write_bytes(b"not a pickle")
+        cached_flow_profile.cache_clear()
+        profile = cached_flow_profile(4, "uniform")
+        assert profile.mean_distance > 0

@@ -1,0 +1,235 @@
+"""Statistical tests for spatial patterns (ISSUE satellite: pattern coverage).
+
+Each pattern is checked two ways: the sampled destination stream must
+match the declared distribution within confidence bounds, and the
+``probs`` row the analytical model consumes must describe the very same
+distribution (single source of truth).
+"""
+
+import collections
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.topology.star import StarGraph
+from repro.utils.exceptions import ConfigurationError
+from repro.workloads import (
+    HotspotSpatial,
+    PermutationSpatial,
+    ShiftSpatial,
+    TraceSpatial,
+    UniformSpatial,
+    make_spatial,
+)
+
+N_DRAWS = 20_000
+
+
+def empirical(pattern, src, draws=N_DRAWS, seed=0):
+    rng = np.random.default_rng(seed)
+    counts = collections.Counter(pattern.destination(src, rng) for _ in range(draws))
+    return counts
+
+
+class TestProbsContract:
+    @pytest.mark.parametrize(
+        "name,params",
+        [
+            ("uniform", {}),
+            ("hotspot", {"fraction": 0.3}),
+            ("hotspot", {"fraction": 0.2, "nodes": 3}),
+            ("permutation", {"seed": 2}),
+            ("shift", {"offset": 5}),
+        ],
+    )
+    def test_probs_row_is_a_distribution(self, name, params):
+        p = make_spatial(name, num_nodes=12, params=params)
+        for src in range(12):
+            row = p.probs(src)
+            assert row.shape == (12,)
+            assert row[src] == 0.0
+            assert row.min() >= 0.0
+            assert row.sum() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize(
+        "name,params",
+        [
+            ("uniform", {}),
+            ("hotspot", {"fraction": 0.4}),
+            ("hotspot", {"fraction": 0.25, "nodes": 2}),
+        ],
+    )
+    def test_samples_match_probs(self, name, params):
+        """Empirical frequencies sit within ~5 sigma of the probs row."""
+        p = make_spatial(name, num_nodes=10, params=params)
+        src = 4
+        counts = empirical(p, src)
+        row = p.probs(src)
+        for t in range(10):
+            expected = N_DRAWS * row[t]
+            sigma = math.sqrt(max(N_DRAWS * row[t] * (1 - row[t]), 1.0))
+            assert abs(counts[t] - expected) < 5 * sigma, (t, counts[t], expected)
+
+
+class TestHotspotFrequency:
+    def test_hot_mass_within_confidence_bounds(self):
+        """Hot-node frequency matches fraction + uniform spill at 5 sigma."""
+        fraction = 0.3
+        p = HotspotSpatial(10, hotspot=3, fraction=fraction)
+        counts = empirical(p, 0)
+        expect = fraction + (1 - fraction) / 9
+        sigma = math.sqrt(N_DRAWS * expect * (1 - expect))
+        assert abs(counts[3] - N_DRAWS * expect) < 5 * sigma
+
+    def test_hot_source_sends_uniformly(self):
+        p = HotspotSpatial(10, hotspot=3, fraction=1.0)
+        counts = empirical(p, 3, draws=2000)
+        assert 3 not in counts
+        assert set(counts) == set(range(10)) - {3}
+
+    def test_multi_hotspot_shares_mass(self):
+        p = HotspotSpatial(12, hotspot=0, fraction=0.5, nodes=2)
+        counts = empirical(p, 5)
+        for h in (0, 1):
+            expect = N_DRAWS * (0.25 + 0.5 / 11)
+            assert counts[h] == pytest.approx(expect, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HotspotSpatial(10, hotspot=10)
+        with pytest.raises(ConfigurationError):
+            HotspotSpatial(10, fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            HotspotSpatial(10, nodes=11)
+
+
+class TestPermutationDerangement:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_derangement_across_seeds(self, seed):
+        """Every seed yields a fixed-point-free permutation of the nodes."""
+        n = 9
+        p = PermutationSpatial(n, seed=seed)
+        rng = np.random.default_rng(0)
+        partners = [p.destination(s, rng) for s in range(n)]
+        assert sorted(partners) == list(range(n))  # a permutation
+        assert all(partners[s] != s for s in range(n))  # fixed-point-free
+
+    def test_partner_is_stable(self):
+        p = PermutationSpatial(8, seed=1)
+        rng = np.random.default_rng(0)
+        first = [p.destination(s, rng) for s in range(8)]
+        again = [p.destination(s, rng) for s in range(8)]
+        assert first == again
+
+    def test_two_node_degenerate(self):
+        p = PermutationSpatial(2, seed=0)
+        rng = np.random.default_rng(0)
+        assert p.destination(0, rng) == 1
+        assert p.destination(1, rng) == 0
+
+
+class TestShift:
+    def test_offset_wraps(self):
+        p = ShiftSpatial(6, offset=4)
+        rng = np.random.default_rng(0)
+        assert [p.destination(s, rng) for s in range(6)] == [4, 5, 0, 1, 2, 3]
+
+    def test_identity_offset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShiftSpatial(6, offset=6)
+
+
+class TestLocality:
+    def test_prefers_near_destinations(self):
+        topo = StarGraph(4)
+        p = make_spatial("locality", topology=topo, params={"decay": 0.3})
+        row = p.probs(0)
+        near = [t for t in range(topo.num_nodes) if topo.distance(0, t) == 1]
+        far = [t for t in range(topo.num_nodes) if topo.distance(0, t) == topo.diameter()]
+        assert min(row[t] for t in near) > max(row[t] for t in far)
+
+    def test_decay_one_is_uniform(self):
+        topo = StarGraph(4)
+        p = make_spatial("locality", topology=topo, params={"decay": 1.0})
+        row = p.probs(3)
+        expected = 1.0 / (topo.num_nodes - 1)
+        off = np.delete(row, 3)
+        assert np.allclose(off, expected)
+
+    def test_requires_topology(self):
+        with pytest.raises(ConfigurationError, match="topology"):
+            make_spatial("locality", num_nodes=24)
+
+    def test_sampling_matches_probs(self):
+        topo = StarGraph(4)
+        p = make_spatial("locality", topology=topo, params={"decay": 0.5})
+        counts = empirical(p, 0, draws=30_000)
+        row = p.probs(0)
+        for t in range(topo.num_nodes):
+            assert counts[t] / 30_000 == pytest.approx(row[t], abs=0.01)
+
+
+class TestTraceReplay:
+    def test_cycles_through_recorded_pairs(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps([[0, 3], [0, 5], [1, 2]]))
+        p = TraceSpatial(8, path=str(path))
+        rng = np.random.default_rng(0)
+        assert [p.destination(0, rng) for _ in range(4)] == [3, 5, 3, 5]
+        assert p.destination(1, rng) == 2
+
+    def test_probs_are_empirical_frequencies(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"pairs": [[0, 3], [0, 3], [0, 5]]}))
+        p = TraceSpatial(8, path=str(path))
+        row = p.probs(0)
+        assert row[3] == pytest.approx(2 / 3)
+        assert row[5] == pytest.approx(1 / 3)
+
+    def test_absent_source_falls_back_to_uniform(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps([[0, 3]]))
+        p = TraceSpatial(8, path=str(path))
+        row = p.probs(6)
+        assert row[6] == 0.0
+        assert row.sum() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize(
+        "payload",
+        ["[]", "[[0, 0]]", "[[0, 99]]", '[["a", 1]]', '{"pairs": "nope"}'],
+    )
+    def test_bad_traces_rejected(self, tmp_path, payload):
+        path = tmp_path / "trace.json"
+        path.write_text(payload)
+        with pytest.raises(ConfigurationError):
+            TraceSpatial(8, path=str(path))
+
+    def test_missing_file_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceSpatial(8, path="/nonexistent/trace.json")
+
+
+class TestFactoryStrictness:
+    def test_unknown_pattern(self):
+        with pytest.raises(ConfigurationError, match="unknown spatial pattern"):
+            make_spatial("tornado", num_nodes=8)
+
+    @pytest.mark.parametrize(
+        "name,params",
+        [
+            ("uniform", {"fraction": 0.2}),
+            ("hotspot", {"fractoin": 0.2}),
+            ("permutation", {"offset": 1}),
+            ("shift", {"seed": 1}),
+            ("trace", {"paths": "x"}),
+            ("locality", {"fraction": 0.5}),
+        ],
+    )
+    def test_unknown_params_rejected_for_every_pattern(self, name, params):
+        with pytest.raises(ConfigurationError, match="unknown parameters"):
+            make_spatial(name, num_nodes=8, params=params)
+
+    def test_legacy_aliases(self):
+        assert isinstance(make_spatial("uniform", num_nodes=8), UniformSpatial)

@@ -1,0 +1,132 @@
+"""Tests for the WorkloadSpec grammar and canonicalisation."""
+
+import pytest
+
+from repro.utils.exceptions import ConfigurationError
+from repro.workloads import WorkloadSpec, parse_workload
+
+
+class TestParsing:
+    def test_bare_spatial(self):
+        w = WorkloadSpec.parse("uniform")
+        assert w.spatial == "uniform"
+        assert w.temporal == "poisson"
+        assert w.is_default
+
+    def test_spatial_with_params(self):
+        w = WorkloadSpec.parse("hotspot(fraction=0.2,nodes=2)")
+        assert w.spatial == "hotspot"
+        assert dict(w.spatial_params) == {"fraction": 0.2, "nodes": 2}
+
+    def test_combined(self):
+        w = WorkloadSpec.parse("hotspot(fraction=0.1)+onoff(duty=0.25,burst=8)")
+        assert w.spatial == "hotspot"
+        assert w.temporal == "onoff"
+        assert dict(w.temporal_params) == {"duty": 0.25, "burst": 8}
+
+    def test_temporal_only_suffix(self):
+        w = WorkloadSpec.parse("uniform+deterministic")
+        assert w.temporal == "deterministic"
+        assert w.interarrival_scv() == 0.0
+
+    def test_value_types(self):
+        w = WorkloadSpec.parse("permutation(seed=3)")
+        assert dict(w.spatial_params)["seed"] == 3
+        assert isinstance(dict(w.spatial_params)["seed"], int)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "tornado",
+            "uniform+tornado",
+            "hotspot(fraction)",
+            "hotspot(fraction=)",
+            "hotspot(=0.2)",
+            "hotspot()",
+            "uniform+poisson+poisson",
+            "hotspot(fraction=0.2",
+            "hotspot(fraction=0.2,fraction=0.3)",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec.parse(bad)
+
+    def test_unknown_spatial_param_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown parameters"):
+            WorkloadSpec.parse("uniform(fraction=0.2)")
+
+    def test_unknown_temporal_param_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown parameters"):
+            WorkloadSpec.parse("uniform+onoff(size=4)")
+
+    def test_bad_param_value_rejected_eagerly(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec.parse("uniform+onoff(duty=1.5)")
+
+
+class TestCanonical:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "uniform",
+            "hotspot(fraction=0.2)",
+            "hotspot(fraction=0.1,nodes=2)+onoff(burst=8,duty=0.25)",
+            "permutation(seed=3)+batch(size=4)",
+            "shift(offset=5)",
+            "uniform+deterministic",
+        ],
+    )
+    def test_round_trip(self, text):
+        w = WorkloadSpec.parse(text)
+        assert WorkloadSpec.parse(w.canonical).canonical == w.canonical
+
+    def test_param_order_is_canonical(self):
+        a = WorkloadSpec.parse("hotspot(fraction=0.2,nodes=2)")
+        b = WorkloadSpec.parse("hotspot(nodes=2,fraction=0.2)")
+        assert a == b
+        assert a.canonical == b.canonical
+
+    def test_poisson_suffix_elided(self):
+        assert WorkloadSpec.parse("uniform+poisson").canonical == "uniform"
+
+    def test_spatial_canonical_strips_temporal(self):
+        w = WorkloadSpec.parse("hotspot(fraction=0.2)+batch(size=2)")
+        assert w.spatial_canonical == "hotspot(fraction=0.2)"
+
+
+class TestCoerce:
+    def test_none_is_default(self):
+        assert parse_workload(None).is_default
+
+    def test_spec_passthrough(self):
+        w = WorkloadSpec.parse("shift(offset=2)")
+        assert WorkloadSpec.coerce(w) is w
+
+    def test_mapping(self):
+        w = WorkloadSpec.coerce(
+            {"spatial": "hotspot", "spatial_params": {"fraction": 0.3}}
+        )
+        assert w.canonical == "hotspot(fraction=0.3)"
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec.coerce(42)
+
+    def test_unknown_mapping_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown workload mapping keys"):
+            WorkloadSpec.coerce({"sptial": "hotspot", "spatial_params": {"fraction": 0.3}})
+
+
+class TestScv:
+    def test_poisson_is_one(self):
+        assert WorkloadSpec.parse("uniform").interarrival_scv() == 1.0
+
+    def test_onoff_exceeds_poisson(self):
+        w = WorkloadSpec.parse("uniform+onoff(duty=0.25,burst=8)")
+        assert w.interarrival_scv() > 1.0
+
+    def test_batch_closed_form(self):
+        w = WorkloadSpec.parse("uniform+batch(size=4)")
+        assert w.interarrival_scv() == pytest.approx(7.0)

@@ -1,0 +1,132 @@
+"""Tests for temporal arrival processes: clocks, rates and SCV formulas."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.exceptions import ConfigurationError
+from repro.workloads import make_temporal, temporal_scv
+
+
+def gaps_of(proc, count=150_000):
+    times = [proc.pop_next() for _ in range(count)]
+    assert times == sorted(times)
+    return np.diff(times)
+
+
+class TestClockContract:
+    @pytest.mark.parametrize(
+        "name,params",
+        [
+            ("poisson", {}),
+            ("onoff", {"duty": 0.25, "burst": 8}),
+            ("deterministic", {}),
+            ("batch", {"size": 4}),
+        ],
+    )
+    def test_mean_rate_recovered(self, name, params):
+        rng = np.random.default_rng(0)
+        proc = make_temporal(name, 0.05, rng, params)
+        gaps = gaps_of(proc)
+        assert 1.0 / gaps.mean() == pytest.approx(0.05, rel=0.05)
+
+    @pytest.mark.parametrize(
+        "name,params",
+        [
+            ("poisson", {}),
+            ("onoff", {"duty": 0.5, "burst": 4}),
+            ("deterministic", {}),
+            ("batch", {"size": 2}),
+        ],
+    )
+    def test_zero_rate_never_fires(self, name, params):
+        proc = make_temporal(name, 0.0, np.random.default_rng(0), params)
+        assert proc.peek() == math.inf
+        assert proc.arrivals_until(1e12) == []
+
+    def test_peek_does_not_consume(self):
+        proc = make_temporal("poisson", 0.1, np.random.default_rng(1))
+        t = proc.peek()
+        assert proc.peek() == t
+        assert proc.pop_next() == t
+        assert proc.peek() > t
+
+    def test_arrivals_until_consumes(self):
+        proc = make_temporal("poisson", 0.1, np.random.default_rng(2))
+        first = proc.arrivals_until(1000)
+        assert first == sorted(first)
+        assert proc.arrivals_until(1000) == []
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_temporal("poisson", -1.0, np.random.default_rng(0))
+
+
+class TestScvFormulas:
+    def test_poisson_scv_is_one_empirically(self):
+        proc = make_temporal("poisson", 0.02, np.random.default_rng(3))
+        gaps = gaps_of(proc)
+        assert gaps.var() / gaps.mean() ** 2 == pytest.approx(1.0, rel=0.05)
+
+    def test_deterministic_scv_zero(self):
+        proc = make_temporal("deterministic", 0.02, np.random.default_rng(4))
+        gaps = gaps_of(proc, count=1000)
+        assert temporal_scv("deterministic") == 0.0
+        assert gaps.std() == pytest.approx(0.0, abs=1e-9)
+
+    @pytest.mark.parametrize("duty,burst", [(0.25, 8), (0.5, 4), (0.1, 16)])
+    def test_onoff_scv_matches_empirical(self, duty, burst):
+        analytic = temporal_scv("onoff", {"duty": duty, "burst": burst})
+        proc = make_temporal(
+            "onoff", 0.05, np.random.default_rng(5), {"duty": duty, "burst": burst}
+        )
+        gaps = gaps_of(proc, count=250_000)
+        empirical = gaps.var() / gaps.mean() ** 2
+        assert analytic == pytest.approx(empirical, rel=0.1)
+        assert analytic > 1.0  # burstier than Poisson
+
+    def test_onoff_full_duty_degenerates_to_poisson(self):
+        assert temporal_scv("onoff", {"duty": 1.0, "burst": 8}) == 1.0
+        proc = make_temporal(
+            "onoff", 0.05, np.random.default_rng(6), {"duty": 1.0, "burst": 8}
+        )
+        gaps = gaps_of(proc, count=50_000)
+        assert gaps.var() / gaps.mean() ** 2 == pytest.approx(1.0, rel=0.1)
+
+    @pytest.mark.parametrize("size,expected", [(1, 1.0), (2, 3.0), (4, 7.0)])
+    def test_batch_scv_closed_form(self, size, expected):
+        assert temporal_scv("batch", {"size": size}) == pytest.approx(expected)
+
+    def test_batch_scv_matches_empirical(self):
+        proc = make_temporal("batch", 0.05, np.random.default_rng(7), {"size": 4})
+        gaps = gaps_of(proc, count=200_000)
+        assert gaps.var() / gaps.mean() ** 2 == pytest.approx(7.0, rel=0.1)
+
+    def test_batch_emits_batches(self):
+        proc = make_temporal("batch", 0.05, np.random.default_rng(8), {"size": 3})
+        times = [proc.pop_next() for _ in range(30)]
+        # arrivals come in runs of 3 sharing one instant
+        for i in range(0, 30, 3):
+            assert times[i] == times[i + 1] == times[i + 2]
+
+
+class TestValidation:
+    def test_unknown_process(self):
+        with pytest.raises(ConfigurationError, match="unknown temporal process"):
+            make_temporal("mmpp9", 0.1, np.random.default_rng(0))
+
+    def test_unknown_params_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown parameters"):
+            make_temporal("poisson", 0.1, np.random.default_rng(0), {"duty": 0.5})
+
+    @pytest.mark.parametrize(
+        "params", [{"duty": 0.0}, {"duty": 1.5}, {"burst": 0.0}, {"burst": -1}]
+    )
+    def test_bad_onoff_params(self, params):
+        with pytest.raises(ConfigurationError):
+            temporal_scv("onoff", params)
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            temporal_scv("batch", {"size": 0})
