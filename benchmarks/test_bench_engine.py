@@ -1,0 +1,125 @@
+"""Object vs array simulation backend on the PR-3 acceptance scenario.
+
+Two views of the same 16-replication S4 batch at 0.4 saturation:
+
+* ``test_bench_engine_speedup_s4`` — steady-state stepping rate of each
+  backend, interleaved and min-pooled so CPU-frequency noise cancels.
+  This is the number the refactor is accountable for: the array backend
+  must advance the batch >= 5x faster than sixteen object engines.
+* ``test_bench_array_batch_16rep_s4`` — one complete confidence-interval
+  run (construction + warmup + measurement + drain) on the array
+  backend, with the object backend's wall time recorded alongside.  The
+  end-to-end ratio is smaller than the steady-state one because the
+  ramp-up transient is cheap for the event-driven object engine while
+  the array backend's vectorized passes cost near-constant time per
+  cycle.
+"""
+
+import time
+
+import pytest
+
+from repro.core.spec import ModelSpec
+from repro.routing import EnhancedNbc
+from repro.simulation import (
+    ArraySimulator,
+    SimulationConfig,
+    WormholeSimulator,
+    simulate_batch,
+    summarize_batch,
+)
+from repro.simulation.ckernel import load_kernel
+from repro.topology import StarGraph
+
+REPLICATIONS = 16
+
+
+def _config(message_length: int, **windows) -> SimulationConfig:
+    sat = (
+        ModelSpec(
+            topology="star", order=4, message_length=message_length, total_vcs=6
+        )
+        .build()
+        .saturation_rate()
+    )
+    return SimulationConfig(
+        message_length=message_length,
+        generation_rate=round(0.4 * sat, 6),
+        total_vcs=6,
+        seed=0,
+        **windows,
+    )
+
+
+def test_bench_engine_speedup_s4(benchmark):
+    """Array backend >= 5x the object backend on a 16-replication batch."""
+    if load_kernel() is None:
+        pytest.skip("array backend's compiled cycle kernel unavailable (no C compiler)")
+    topology = StarGraph(4)
+    cfg = _config(128, warmup_cycles=500, measure_cycles=3_000, drain_cycles=3_000)
+    arr = ArraySimulator(
+        topology, EnhancedNbc(), cfg, seeds=tuple(range(REPLICATIONS))
+    )
+    obj = WormholeSimulator(topology, EnhancedNbc(), cfg)
+    for _ in range(1_200):  # reach steady-state occupancy on both
+        arr.step()
+        obj.step()
+    K = 2_500
+    obj_rounds, arr_rounds = [], []
+    # Interleaved rounds with min-pooling cancel frequency scaling and
+    # one-off noise; extra rounds only run if a noisy neighbour pushed
+    # the first estimate under the gate (generation is endless, so the
+    # engines stay at steady state however long this takes).
+    for attempt in range(8):
+        t0 = time.perf_counter()
+        for _ in range(K):
+            obj.step()
+        obj_rounds.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        for _ in range(K):
+            arr.step()
+        arr_rounds.append(time.perf_counter() - t0)
+        ratio = min(obj_rounds) * REPLICATIONS / min(arr_rounds)
+        if attempt >= 2 and ratio >= 5.0:
+            break
+
+    def array_round():
+        for _ in range(K):
+            arr.step()
+
+    benchmark.pedantic(array_round, rounds=1, iterations=1)
+    per_cycle_obj = min(obj_rounds) / K * REPLICATIONS  # 16 engines' worth
+    per_cycle_arr = min(arr_rounds) / K
+    speedup = per_cycle_obj / per_cycle_arr
+    benchmark.extra_info["object_us_per_batch_cycle"] = round(per_cycle_obj * 1e6, 1)
+    benchmark.extra_info["array_us_per_batch_cycle"] = round(per_cycle_arr * 1e6, 1)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    assert speedup >= 5.0, (
+        f"array backend only {speedup:.2f}x faster than the object backend "
+        f"({per_cycle_obj * 1e6:.0f}us vs {per_cycle_arr * 1e6:.0f}us per batch cycle)"
+    )
+
+
+def test_bench_array_batch_16rep_s4(benchmark, once):
+    """End-to-end 16-replication CI run at M=64 (a Figure-1 panel length)."""
+    topology = StarGraph(4)
+    cfg = _config(64, warmup_cycles=1_000, measure_cycles=3_000, drain_cycles=3_000)
+    t0 = time.perf_counter()
+    obj_results = simulate_batch(
+        topology, EnhancedNbc(), cfg, REPLICATIONS, engine="object"
+    )
+    wall_object = time.perf_counter() - t0
+    results = once(
+        simulate_batch, topology, EnhancedNbc(), cfg, REPLICATIONS, engine="array"
+    )
+    assert len(results) == REPLICATIONS
+    pooled = summarize_batch(results)
+    pooled_obj = summarize_batch(obj_results)
+    # the backends must tell the same story about the operating point
+    assert not pooled["any_saturated"] and not pooled_obj["any_saturated"]
+    assert abs(pooled["mean_latency"] - pooled_obj["mean_latency"]) <= 3 * (
+        pooled["latency_ci"] + pooled_obj["latency_ci"]
+    )
+    benchmark.extra_info["object_wall_s"] = round(wall_object, 3)
+    benchmark.extra_info["mean_latency"] = pooled["mean_latency"]
+    benchmark.extra_info["latency_ci"] = pooled["latency_ci"]

@@ -13,7 +13,12 @@ Built-ins
 ``saturation``
     Bracket-expanding saturation search -> ``SaturationSearch``.
 ``sim``
-    One flit-level simulation run -> ``SimulationResult``.
+    One flit-level simulation run -> ``SimulationResult`` (the backend
+    comes from the spec's ``engine`` field: object or array).
+``sim_batch``
+    R replications (``replications`` param, default 8) of one simulation
+    point in a single vectorized process -> pooled summary dict with an
+    across-replication confidence interval.
 ``scale_point``
     One row of the large-n scale study (distance stats, saturation,
     half-load latency, solve time) -> dict.
@@ -94,6 +99,23 @@ def saturation_point(params: Mapping[str, Any]):
 def sim_point(params: Mapping[str, Any]):
     """One simulation run described by the flat SimSpec dict."""
     return SimSpec.from_params(params).run()
+
+
+@register_kind("sim_batch")
+def sim_batch_point(params: Mapping[str, Any]):
+    """R replications of one simulation point, pooled into a summary row.
+
+    ``replications`` (default 8) seeds run ``seed .. seed + R - 1``.  On
+    the array engine (the default here) the whole batch advances in one
+    vectorized process — the confidence-interval counterpart of ``sim``.
+    """
+    from repro.simulation.backends import summarize_batch
+
+    params = dict(params)
+    replications = int(params.pop("replications", 8))
+    params.setdefault("engine", "array")
+    spec = SimSpec.from_params(params)
+    return summarize_batch(spec.run_batch(replications))
 
 
 @register_kind("scale_point")

@@ -133,6 +133,21 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--vcs", type=int, default=6, help="V, virtual channels per channel")
     sim.add_argument("--workload", default="uniform", help="spatial[+temporal] workload string")
     sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument(
+        "--engine",
+        choices=("object", "array"),
+        default="object",
+        help="simulation backend (array = vectorized batch kernels)",
+    )
+    sim.add_argument(
+        "--replications",
+        type=int,
+        default=1,
+        metavar="R",
+        help="independent seeds (seed..seed+R-1); R > 1 prints per-seed "
+        "rows plus a pooled summary (one vectorized process on the "
+        "array engine)",
+    )
     sim.add_argument("--quality", choices=("smoke", "quick", "full"), default="quick")
     sim.add_argument("--warmup", type=int, help="override the quality preset's warmup cycles")
     sim.add_argument("--measure", type=int, help="override the measurement window")
@@ -165,6 +180,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     val.add_argument("--quality", choices=("smoke", "quick", "full"), default="quick")
     val.add_argument("--seed", type=int, default=0)
+    val.add_argument(
+        "--engine",
+        choices=("object", "array"),
+        default="object",
+        help="simulation backend used for the sim side of the comparison",
+    )
     val.add_argument("--workers", type=int, default=1, help="process-pool width")
     val.add_argument(
         "--tolerance",
@@ -242,9 +263,11 @@ def _run_campaign_command(args) -> int:
 
 def _run_sim_command(args) -> int:
     from repro.experiments.figure1 import sim_quality_config
-    from repro.simulation import SimSpec
+    from repro.simulation import SimSpec, summarize_batch
 
     try:
+        if args.replications < 1:
+            raise ConfigurationError("--replications must be >= 1")
         config = sim_quality_config(
             args.quality,
             message_length=args.message_length,
@@ -254,6 +277,7 @@ def _run_sim_command(args) -> int:
         )
         overrides = {
             "workload": args.workload,
+            "engine": args.engine,
             **{
                 key: value
                 for key, value in (
@@ -273,22 +297,42 @@ def _run_sim_command(args) -> int:
         )
         # Topology/algorithm names only resolve when the spec is built,
         # so run() failures are configuration errors too.
-        result = spec.run()
+        if args.replications == 1:
+            result = spec.run()
+            results = [result]
+        else:
+            results = spec.run_batch(args.replications)
+            result = results[0]
     except ConfigurationError as exc:
         print(f"starnet sim: error: {exc}", file=sys.stderr)
         return 2
     print(
         f"sim[{args.topology} order={args.order} {args.algorithm}] "
         f"workload={config.workload_spec().canonical} rate={args.rate} "
-        f"M={args.message_length} V={args.vcs} seed={args.seed}"
+        f"M={args.message_length} V={args.vcs} seed={args.seed} "
+        f"engine={args.engine}"
+        + (f" replications={args.replications}" if args.replications > 1 else "")
     )
-    rows = [[key, value] for key, value in result.as_dict().items()]
-    print(render_table(["metric", "value"], rows))
+    if args.replications > 1:
+        headers = ["seed"] + list(results[0].as_dict().keys())
+        rows = [
+            [config.seed + i, *res.as_dict().values()]
+            for i, res in enumerate(results)
+        ]
+        print(render_table(headers, rows))
+        print()
+        pooled = summarize_batch(results)
+        print(render_table(["pooled metric", "value"], list(pooled.items())))
+    else:
+        rows = [[key, value] for key, value in result.as_dict().items()]
+        print(render_table(["metric", "value"], rows))
     if args.hops and result.hop_blocking is not None:
         hop_rows = result.hop_blocking.as_rows()
         if hop_rows:
             headers = list(hop_rows[0].keys())
             print()
+            if args.replications > 1:
+                print(f"per-hop blocking (seed {config.seed}):")
             print(render_table(headers, [[row[h] for h in headers] for row in hop_rows]))
     return 0
 
@@ -306,6 +350,7 @@ def _run_validate_command(args) -> int:
             load_fractions=fractions,
             quality=args.quality,
             seed=args.seed,
+            engine=args.engine,
             workers=args.workers,
             tolerance=args.tolerance,
         )

@@ -7,31 +7,57 @@ analysis — fixed M-flit messages, Poisson sources of rate lambda_g
 messages/cycle, uniform destinations, V virtual channels per physical
 channel multiplexed flit-by-flit, one-cycle flit transfers, and ejection
 into the local PE on arrival.
+
+Two backends implement the same cycle semantics (``docs/simulation.md``):
+
+* ``engine="object"`` — the reference object-per-flit engine
+  (:mod:`repro.simulation.engine`), bit-reproducible per seed;
+* ``engine="array"`` — vectorized structure-of-arrays kernels
+  (:mod:`repro.simulation.state` / :mod:`repro.simulation.kernels`) that
+  advance batched replications in one process.
+
+``UniformTraffic`` and friends are legacy aliases of the
+:mod:`repro.workloads` spatial patterns, kept for compatibility; prefer
+:class:`~repro.workloads.WorkloadSpec`.
 """
 
+from repro.simulation.backends import (
+    available_engines,
+    make_simulator,
+    simulate,
+    simulate_batch,
+    summarize_batch,
+)
 from repro.simulation.config import SimulationConfig
-from repro.simulation.engine import WormholeSimulator, simulate
+from repro.simulation.engine import WormholeSimulator
+from repro.simulation.kernels import ArraySimulator
 from repro.simulation.metrics import (
     HopBlockingStats,
     LatencyAccumulator,
     SimulationResult,
 )
 from repro.simulation.spec import SimSpec
-from repro.simulation.traffic import (
-    HotspotTraffic,
-    PermutationTraffic,
-    TrafficPattern,
-    UniformTraffic,
-    make_traffic,
-)
+from repro.simulation.state import SimState
 from repro.workloads import WorkloadSpec
+from repro.workloads.spatial import (
+    HotspotSpatial as HotspotTraffic,
+    PermutationSpatial as PermutationTraffic,
+    SpatialPattern as TrafficPattern,
+    UniformSpatial as UniformTraffic,
+)
 
 __all__ = [
     "WorkloadSpec",
     "SimulationConfig",
     "SimSpec",
+    "SimState",
     "WormholeSimulator",
+    "ArraySimulator",
+    "available_engines",
+    "make_simulator",
     "simulate",
+    "simulate_batch",
+    "summarize_batch",
     "SimulationResult",
     "LatencyAccumulator",
     "HopBlockingStats",
@@ -41,3 +67,12 @@ __all__ = [
     "PermutationTraffic",
     "make_traffic",
 ]
+
+
+def __getattr__(name: str):
+    if name == "make_traffic":
+        # Lazy so the deprecated shim's warning fires at use, not import.
+        from repro.simulation.traffic import make_traffic
+
+        return make_traffic
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,180 @@
+/* Cycle kernel for the array backend's switch-traversal and ejection
+ * phases — the per-cycle hot path of repro.simulation.kernels.
+ *
+ * Semantically identical to the numpy passes in kernels.py (the Python
+ * fallback): two-phase transfer (winners picked from pre-cycle state,
+ * then applied), ejection counts picked before transfers are applied.
+ * kernels.py asserts bit-identical results between both paths, so any
+ * change here must be mirrored there.
+ *
+ * All arguments arrive through one int64 parameter block (pointers cast
+ * to int64) so the per-cycle ctypes call marshals a single argument.
+ * Slot layout must match kernels.ArraySimulator._refresh_c_args:
+ *
+ *   0 bd          (int32*, R*CV)  packed buffered | delivered << 16
+ *   1 avail       (int32*, R*CV)  flits available to pull
+ *   2 owner       (int32*, R*CV)  owning slot or -1
+ *   3 up          (int32*, R*CV)  upstream vc or -1 (source PE)
+ *   4 down        (int32*, R*CV)  downstream vc or -1
+ *   5 rr          (int32*, R*C)   round-robin pointers
+ *   6 lut         (int8*)         round-robin winner table
+ *   7 R   8 C   9 V
+ *  10 M  11 depth  12 ej_rate (< 0: unlimited)
+ *  13 transfers   (int64*, R)     cumulative grant counts
+ *  14 vcs_held    (int32*, R*cap) per-message owned-VC counts
+ *  15 msg_src     (int32*, R*cap) source node per message
+ *  16 active_inj  (int32*, R*N)   concurrent injections per node
+ *  17 msg_ejected (int32*, R*cap) ejected flits per message
+ *  18 cap  19 N
+ *  20 ej_flats    (int64*, ej_n)  head VC of each draining message
+ *  21 ej_mflats   (int64*, ej_n)  message-array index of each
+ *  22 ej_n
+ *  23 ej_k        (int32*, scratch)
+ *  24 winners     (int64*, scratch R*C)
+ *  25 released    (int64*, out)   absolute freed VC ids
+ *  26 fin_nodes   (int64*, out)   rep*N + node of finished injections
+ *  27 completions (int64*, out)   ej-column index of completed messages
+ *  28 ready       (int64*, out)   rep*cap + slot of newly ready headers
+ *  29 out_counts  (int64*, 5)     {grants, released, fin, completions,
+ *                                  ready}
+ *  30 busy        (uint8*, R*C)   owned-VC count per channel
+ *
+ * The "ready" events are the headers whose flit crossed its newly
+ * acquired channel for the first time this cycle (bd went 0 -> 0x10001);
+ * the Python side re-queues those messages for next-hop allocation,
+ * sparing it any per-cycle polling of in-flight headers.
+ */
+
+#include <stdint.h>
+
+int64_t starnet_cycle(const int64_t *P)
+{
+    int32_t *bd = (int32_t *)P[0];
+    int32_t *avail = (int32_t *)P[1];
+    int32_t *owner = (int32_t *)P[2];
+    const int32_t *up = (const int32_t *)P[3];
+    const int32_t *down = (const int32_t *)P[4];
+    int32_t *rr = (int32_t *)P[5];
+    const int8_t *lut = (const int8_t *)P[6];
+    const int64_t R = P[7], C = P[8], V = P[9];
+    const int32_t M = (int32_t)P[10], depth = (int32_t)P[11];
+    const int32_t ej_rate = (int32_t)P[12];
+    int64_t *transfers = (int64_t *)P[13];
+    int32_t *vcs_held = (int32_t *)P[14];
+    const int32_t *msg_src = (const int32_t *)P[15];
+    int32_t *active_inj = (int32_t *)P[16];
+    int32_t *msg_ejected = (int32_t *)P[17];
+    const int64_t cap = P[18], N = P[19];
+    const int64_t *ej_flats = (const int64_t *)P[20];
+    const int64_t *ej_mflats = (const int64_t *)P[21];
+    const int64_t ej_n = P[22];
+    int32_t *ej_k = (int32_t *)P[23];
+    int64_t *winners = (int64_t *)P[24];
+    int64_t *released = (int64_t *)P[25];
+    int64_t *fin_nodes = (int64_t *)P[26];
+    int64_t *completions = (int64_t *)P[27];
+    int64_t *ready = (int64_t *)P[28];
+    int64_t *out_counts = (int64_t *)P[29];
+    uint8_t *busy = (uint8_t *)P[30];
+
+    const int32_t ms = M << 16;
+    const int64_t CV = C * V;
+    int64_t grants = 0, rn = 0, fn = 0, cn = 0, rdy = 0;
+
+    /* Phase 4a — ejection pick (pre-cycle buffered counts). */
+    for (int64_t i = 0; i < ej_n; ++i) {
+        int32_t k = bd[ej_flats[i]] & 0xFFFF;
+        if (ej_rate >= 0 && k > ej_rate)
+            k = ej_rate;
+        ej_k[i] = k;
+    }
+
+    /* Phase 3a — transfer pick: per channel, the round-robin winner among
+     * candidate VCs, judged on pre-cycle state only. */
+    int64_t nw = 0;
+    for (int64_t r = 0; r < R; ++r) {
+        const int64_t rowoff = r * CV;
+        int64_t granted_r = 0;
+        for (int64_t c = 0; c < C; ++c) {
+            if (!busy[r * C + c]) /* no owned VCs: nothing can move */
+                continue;
+            const int64_t base = rowoff + c * V;
+            uint32_t bits = 0;
+            for (int64_t v = 0; v < V; ++v) {
+                const int32_t w = bd[base + v];
+                if (w < ms && (w & 0xFFFF) < depth && avail[base + v] > 0)
+                    bits |= (uint32_t)1 << v;
+            }
+            if (!bits)
+                continue;
+            const int64_t rc = r * C + c;
+            const int8_t v = lut[((int64_t)rr[rc] << V) | bits];
+            rr[rc] = (v + 1) % (int32_t)V;
+            winners[nw++] = base + v;
+            ++granted_r;
+        }
+        if (granted_r) {
+            transfers[r] += granted_r;
+            grants += granted_r;
+        }
+    }
+
+    /* Phase 3b — transfer apply. */
+    for (int64_t i = 0; i < nw; ++i) {
+        const int64_t x = winners[i];
+        const int64_t rowoff = x - (x % CV);
+        const int64_t r = x / CV;
+        const int32_t nbx = bd[x] + 0x10001; /* buffered+1, delivered+1 */
+        bd[x] = nbx;
+        if (nbx == 0x10001) /* first flit crossed: header now ready */
+            ready[rdy++] = r * cap + owner[x];
+        avail[x] -= 1;
+        const int32_t uu = up[x];
+        if (uu >= 0) {
+            const int64_t ux = rowoff + uu;
+            const int32_t nb = bd[ux] - 1; /* flit leaves upstream buffer */
+            bd[ux] = nb;
+            if (nb == ms) { /* upstream fully drained: release it */
+                vcs_held[r * cap + owner[ux]] -= 1;
+                owner[ux] = -1;
+                busy[uu / V + r * C] -= 1;
+                released[rn++] = ux;
+            }
+        } else if (avail[x] == 0) { /* tail flit left the source PE */
+            const int32_t node = msg_src[r * cap + owner[x]];
+            active_inj[r * N + node] -= 1;
+            fin_nodes[fn++] = r * N + node;
+        }
+        const int32_t dd = down[x];
+        if (dd >= 0)
+            avail[rowoff + dd] += 1; /* downstream VC gains a flit */
+    }
+
+    /* Phase 4b — ejection apply. */
+    for (int64_t i = 0; i < ej_n; ++i) {
+        const int32_t k = ej_k[i];
+        if (!k)
+            continue;
+        const int64_t x = ej_flats[i];
+        const int64_t r = x / CV;
+        const int32_t nb = bd[x] - k;
+        bd[x] = nb;
+        const int32_t ne = msg_ejected[ej_mflats[i]] + k;
+        msg_ejected[ej_mflats[i]] = ne;
+        if (nb == ms) { /* head drained: release it */
+            vcs_held[r * cap + owner[x]] -= 1;
+            owner[x] = -1;
+            busy[(x % CV) / V + r * C] -= 1;
+            released[rn++] = x;
+        }
+        if (ne == M)
+            completions[cn++] = i;
+    }
+
+    out_counts[0] = grants;
+    out_counts[1] = rn;
+    out_counts[2] = fn;
+    out_counts[3] = cn;
+    out_counts[4] = rdy;
+    return grants;
+}

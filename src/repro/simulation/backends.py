@@ -1,0 +1,168 @@
+"""Backend registry: one simulation contract, two engines.
+
+``engine="object"`` is the reference implementation
+(:class:`repro.simulation.engine.WormholeSimulator`): an object-per-flit
+cycle loop whose per-seed results are frozen — regression tests pin them
+bit-for-bit.  ``engine="array"`` is the vectorized backend
+(:class:`repro.simulation.kernels.ArraySimulator`): the same four-phase
+cycle as numpy passes over structure-of-arrays state, statistically
+equivalent to the object engine and able to advance many replications in
+one process (see ``docs/simulation.md`` for the equivalence contract).
+
+The backend is named by :attr:`SimulationConfig.engine`, and every entry
+point — ``SimSpec.run``, the campaign ``sim``/``sim_batch`` kinds, the
+``starnet sim``/``campaign``/``validate`` CLI — routes through
+:func:`simulate` / :func:`simulate_batch` here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.routing.base import RoutingAlgorithm
+from repro.simulation import engine as _engine
+from repro.simulation.config import SimulationConfig
+from repro.simulation.kernels import ArraySimulator
+from repro.simulation.metrics import SimulationResult
+from repro.topology.base import Topology
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = [
+    "ENGINES",
+    "available_engines",
+    "make_simulator",
+    "simulate",
+    "simulate_batch",
+    "summarize_batch",
+]
+
+#: Engine name -> simulator factory ``(topology, algorithm, config)``.
+#: Note the backends' ``run()`` signatures differ — the object engine
+#: returns one :class:`SimulationResult`, the array engine a list with
+#: one entry per seed; use :func:`simulate` / :func:`simulate_batch` for
+#: a backend-neutral call.
+ENGINES = {
+    "object": _engine.WormholeSimulator,
+    "array": ArraySimulator,
+}
+
+
+def available_engines() -> tuple[str, ...]:
+    """Registered backend names, alphabetical."""
+    return tuple(sorted(ENGINES))
+
+
+def _resolve(engine: str | None, config: SimulationConfig) -> str:
+    name = config.engine if engine is None else engine
+    if name not in ENGINES:
+        raise ConfigurationError(
+            f"unknown simulation engine {name!r}; available: "
+            f"{', '.join(available_engines())}"
+        )
+    return name
+
+
+def make_simulator(
+    topology: Topology,
+    algorithm: RoutingAlgorithm,
+    config: SimulationConfig,
+    engine: str | None = None,
+):
+    """Build a single-run simulator on the selected backend.
+
+    ``engine=None`` defers to ``config.engine`` (the plumbed-through
+    campaign/CLI knob); an explicit name overrides it.  The returned
+    simulator exposes the backend's native interface (``step``/``run``;
+    the array backend's ``run()`` returns a one-element list) — use
+    :func:`simulate` when you just want a :class:`SimulationResult`.
+    """
+    return ENGINES[_resolve(engine, config)](topology, algorithm, config)
+
+
+def simulate(
+    topology: Topology,
+    algorithm: RoutingAlgorithm,
+    config: SimulationConfig,
+    engine: str | None = None,
+) -> SimulationResult:
+    """Run one simulation on the selected backend."""
+    name = _resolve(engine, config)
+    if name == "object":
+        return _engine.simulate(topology, algorithm, config)
+    result = ArraySimulator(topology, algorithm, config).run()
+    return result[0]
+
+
+def simulate_batch(
+    topology: Topology,
+    algorithm: RoutingAlgorithm,
+    config: SimulationConfig,
+    replications: int = 1,
+    seeds: Sequence[int] | None = None,
+    engine: str | None = None,
+) -> list[SimulationResult]:
+    """Run R independent replications; one result per seed, in seed order.
+
+    ``seeds`` defaults to ``config.seed .. config.seed + R - 1``.  On the
+    array backend all replications advance through one set of vectorized
+    passes (a confidence-interval run costs one process); on the object
+    backend the seeds run sequentially.  Either way replication ``i``'s
+    result is a pure function of ``seeds[i]`` — batching never couples
+    replications.
+    """
+    if replications < 1:
+        raise ConfigurationError(f"replications must be >= 1, got {replications}")
+    if seeds is None:
+        seeds = tuple(config.seed + i for i in range(replications))
+    else:
+        seeds = tuple(int(s) for s in seeds)
+        if len(seeds) != replications:
+            raise ConfigurationError(
+                f"got {len(seeds)} seeds for {replications} replications"
+            )
+    name = _resolve(engine, config)
+    if name == "object":
+        return [
+            _engine.simulate(topology, algorithm, config.with_seed(s)) for s in seeds
+        ]
+    return ArraySimulator(topology, algorithm, config, seeds=seeds).run()
+
+
+def summarize_batch(results: Sequence[SimulationResult]) -> dict:
+    """Pool a batch of replications into one JSON-friendly summary row.
+
+    The across-replication 95% confidence interval treats each
+    replication's mean as one observation (normal critical value, like
+    the per-run batch-means CI).
+    """
+    if not results:
+        raise ConfigurationError("summarize_batch needs at least one result")
+
+    def pooled_mean(values):
+        finite = [v for v in values if not math.isnan(v)]
+        return sum(finite) / len(finite) if finite else math.nan
+
+    # A replication that measured nothing (e.g. deep saturation) reports
+    # NaN latencies; pool over the replications that did measure.
+    means = [r.mean_latency for r in results if not math.isnan(r.mean_latency)]
+    R = len(means)
+    mean = sum(means) / R if R else math.nan
+    if R >= 2:
+        var = sum((m - mean) ** 2 for m in means) / (R - 1)
+        ci = 1.96 * math.sqrt(var / R)
+    else:
+        ci = math.nan
+    net = pooled_mean([r.mean_network_latency for r in results])
+    return {
+        "replications": len(results),
+        "mean_latency": round(mean, 3) if not math.isnan(mean) else math.nan,
+        "latency_ci": round(ci, 3) if not math.isnan(ci) else math.nan,
+        "mean_network_latency": round(net, 3) if not math.isnan(net) else math.nan,
+        "accepted_rate": round(
+            sum(r.accepted_rate for r in results) / len(results), 6
+        ),
+        "messages_measured": sum(r.messages_measured for r in results),
+        "any_saturated": any(r.saturated for r in results),
+        "cycles_run": max(r.cycles_run for r in results),
+    }

@@ -1,0 +1,112 @@
+"""On-demand compiled C cycle kernel for the array backend.
+
+The array backend's per-cycle hot path (switch traversal + ejection) is
+implemented twice: as numpy passes in :mod:`repro.simulation.kernels`
+(always available) and as a single C function (``_ckernel.c``) compiled
+here with the system C compiler on first use.  Both paths are
+bit-identical — the kernels module asserts as much in the test-suite —
+so the C path is purely an accelerator: roughly one function call per
+cycle instead of ~40 numpy dispatches.
+
+Compilation is attempted once per process and cached as a shared object
+keyed by the source hash (honouring ``STARNET_CKERNEL_DIR``, defaulting
+to a per-user cache directory).  Set ``STARNET_NO_CKERNEL=1`` to force
+the numpy path; any compile/load failure falls back silently.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+__all__ = ["load_kernel"]
+
+_SOURCE = Path(__file__).with_name("_ckernel.c")
+
+#: The kernel takes one int64 parameter block (see _ckernel.c for the
+#: slot layout) so each per-cycle call marshals a single pointer.
+_SIGNATURE: list = [ctypes.c_void_p]
+
+_cached: tuple | None = None
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("STARNET_CKERNEL_DIR")
+    if override:
+        return Path(override)
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return Path(base) / "starnet-repro"
+
+
+def _compiler() -> str | None:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _build(source: Path, out: Path) -> bool:
+    cc = _compiler()
+    if cc is None:
+        return False
+    out.parent.mkdir(parents=True, exist_ok=True)
+    # Compile into a unique temp name, then atomically rename, so
+    # concurrent processes (campaign pool workers) never load a half-
+    # written shared object.
+    fd, tmp = tempfile.mkstemp(suffix=".so", dir=str(out.parent))
+    os.close(fd)
+    try:
+        # The cache is per-machine, so native tuning is safe; retry
+        # without it for compilers that reject -march=native.
+        for extra in (["-O3", "-march=native"], ["-O2"]):
+            proc = subprocess.run(
+                [cc, *extra, "-shared", "-fPIC", "-o", tmp, str(source)],
+                capture_output=True,
+                timeout=120,
+            )
+            if proc.returncode == 0:
+                os.replace(tmp, out)
+                return True
+        return False
+    except (OSError, subprocess.SubprocessError):
+        return False
+    finally:
+        if os.path.exists(tmp):
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+def load_kernel():
+    """The compiled ``starnet_cycle`` function, or None when unavailable."""
+    global _cached
+    if _cached is not None:
+        return _cached[0]
+    if os.environ.get("STARNET_NO_CKERNEL"):
+        _cached = (None,)
+        return None
+    try:
+        src = _SOURCE.read_bytes()
+        digest = hashlib.sha256(src).hexdigest()[:16]
+        so_path = _cache_dir() / f"ckernel-{digest}.so"
+        if not so_path.exists() and not _build(_SOURCE, so_path):
+            _cached = (None,)
+            return None
+        lib = ctypes.CDLL(str(so_path))
+        fn = lib.starnet_cycle
+        fn.argtypes = _SIGNATURE
+        fn.restype = ctypes.c_int64
+        _cached = (fn,)
+        return fn
+    except (OSError, AttributeError):
+        _cached = (None,)
+        return None

@@ -1,0 +1,1021 @@
+"""Vectorized cycle kernels: the array backend of the wormhole simulator.
+
+:class:`ArraySimulator` advances a *batch* of R independent replications
+(one seed each) through the same four-phase cycle as the object engine
+(:mod:`repro.simulation.engine`):
+
+1. **generation/activation** — per-replication arrival heaps feed
+   per-node source queues; up to ``injection_slots`` messages per node
+   are concurrently active;
+2. **virtual-channel allocation** — headers consult the routing
+   algorithm (profitable ports × eligible VC classes) and claim one free
+   VC; contention is resolved in a random order each cycle, per
+   replication;
+3. **switch traversal** — one vectorized pass over the ``(R, C·V)``
+   state arrays moves at most one flit per physical channel, chosen
+   round-robin among its busy virtual channels with a flit available and
+   downstream buffer space;
+4. **ejection** — flits of routing-complete messages drain into the PE.
+
+Phases 3 and 4 are evaluated against pre-cycle state and applied
+atomically, exactly like the object engine's two-phase update.  The
+allocation phase remains a per-header Python loop (adaptive routing
+decisions are data-dependent and rare next to flit transfers); the
+switch-traversal hot path — the object engine's dominant cost — is a
+fixed handful of numpy passes regardless of the replication count:
+
+* the transfer-candidate mask falls out of three compares on the packed
+  buffered/delivered words and the incremental ``vc_avail`` array
+  (see :mod:`repro.simulation.state`);
+* round-robin arbitration packs each channel's candidate VCs into an
+  integer and resolves the winner with one precomputed lookup-table
+  gather (``lut[bits, rr]``), avoiding any per-channel loop;
+* grant application is a few one-dimensional scatter/gathers over the
+  raveled state views.
+
+Semantics match the object engine with one documented exception: the
+round-robin arbiter cycles over *VC indices* (the classic Dally router)
+rather than over VCs in acquisition order.  Both are fair round-robin
+service disciplines; per-seed results therefore differ bit-wise between
+backends but agree statistically (see ``docs/simulation.md`` for the
+equivalence contract).  Batching is invisible: a replication's result
+depends only on its own seed, never on its batch companions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+
+import numpy as np
+
+from repro.routing.base import MessageRouteState, RoutingAlgorithm, SelectionPolicy
+from repro.simulation.ckernel import load_kernel
+from repro.simulation.config import SimulationConfig
+from repro.simulation.metrics import (
+    ChannelLoadSampler,
+    HopBlockingStats,
+    LatencyAccumulator,
+    SimulationResult,
+)
+from repro.simulation.state import MAX_BUFFER_DEPTH, SimState
+from repro.topology.base import Topology
+from repro.utils.exceptions import ConfigurationError, SimulationError
+from repro.utils.rng import RngStreams
+
+__all__ = ["ArraySimulator"]
+
+#: Widest VC count the packed round-robin lookup table supports.
+_MAX_LUT_VCS = 15
+
+#: Index of the per-cycle ej_n value in the C kernel's parameter block
+#: (see the slot layout in _ckernel.c).
+_EJ_N_SLOT = 22
+
+class _UniformBlock:
+    """Block-buffered uniform variates over one Generator.
+
+    ``Generator.random()``/``integers()`` cost microseconds per call; the
+    allocation loop instead consumes pre-drawn blocks at list speed.  The
+    variates are i.i.d. uniforms either way, so the backend's statistical
+    contract is unchanged.
+    """
+
+    __slots__ = ("_rng", "_buf", "_pos")
+
+    _BLOCK = 4096
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+        self._buf: list[float] = []
+        self._pos = 0
+
+    def next(self) -> float:
+        pos = self._pos
+        if pos >= len(self._buf):
+            self._buf = self._rng.random(self._BLOCK).tolist()
+            pos = 0
+        self._pos = pos + 1
+        return self._buf[pos]
+
+    def randint(self, n: int) -> int:
+        """Uniform int in [0, n)."""
+        return int(self.next() * n)
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher-Yates (cheaper than Generator.shuffle here)."""
+        for i in range(len(items) - 1, 0, -1):
+            j = int(self.next() * (i + 1))
+            items[i], items[j] = items[j], items[i]
+
+
+def _build_rr_lut(num_vcs: int) -> np.ndarray:
+    """Round-robin winner table: ``lut[rr << V | bits]`` is the first VC
+    index at or cyclically after ``rr`` whose candidate bit is set in
+    ``bits`` (-1 when ``bits`` is empty).  The rr-major layout lets the
+    kernel index with ``rr * 2**V + bits``, whose first operand is int32
+    — the uint8 ``bits`` vector then promotes instead of overflowing."""
+    V = num_vcs
+    bits = np.arange(1 << V)
+    lut = np.full((V, 1 << V), -1, dtype=np.int8)
+    for start in range(V):
+        # Nearest offset wins: write farthest first so closer overwrite.
+        for step in reversed(range(V)):
+            v = (start + step) % V
+            lut[start, ((bits >> v) & 1) == 1] = v
+    return lut.ravel()
+
+
+class ArraySimulator:
+    """A batch of R simulation replications advanced by vectorized passes."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        algorithm: RoutingAlgorithm,
+        config: SimulationConfig,
+        seeds: tuple[int, ...] | None = None,
+    ):
+        self.topology = topology
+        self.algorithm = algorithm
+        self.config = config
+        self.vc_config = algorithm.make_vc_config(config.total_vcs, topology)
+        algorithm.validate(self.vc_config, topology)
+        if config.total_vcs > _MAX_LUT_VCS:
+            raise ConfigurationError(
+                f"array backend supports total_vcs <= {_MAX_LUT_VCS}, got "
+                f"{config.total_vcs} (use engine='object')"
+            )
+        if config.buffer_depth > MAX_BUFFER_DEPTH:
+            raise ConfigurationError(
+                f"array backend supports buffer_depth <= {MAX_BUFFER_DEPTH} "
+                "(use engine='object')"
+            )
+
+        if seeds is None:
+            seeds = (config.seed,)
+        if not seeds:
+            raise ConfigurationError("ArraySimulator needs at least one seed")
+        self.seeds = tuple(int(s) for s in seeds)
+        R = len(self.seeds)
+        N = topology.num_nodes
+        V = config.total_vcs
+
+        self._M = config.message_length
+        self._ms = np.int32(self._M << 16)  # packed-word release sentinel
+        self._depth = config.buffer_depth
+        self._ej_rate = config.ejection_rate
+        self._slots = config.effective_injection_slots()
+        self._V = V
+        self._deg = topology.degree
+        self._C = topology.num_channels
+        self._CV = self._C * V
+        self._R = R
+        self.state = SimState(
+            topology, V, self._M, R, initial_capacity=max(64, 2 * N * self._slots)
+        )
+        self._color_py = [topology.color(u) for u in range(N)]
+        #: Flat neighbor list: entry ``channel`` = node reached through it.
+        self._neighbors_py = [int(x) for x in topology.neighbor_table.ravel()]
+        self._dist_memo: dict[int, int] = {}
+        self._lut = _build_rr_lut(V)
+        self._pow2 = (1 << np.arange(V)).astype(np.uint8 if V <= 8 else np.int32)
+        self._route_memo: dict[tuple, tuple[tuple[int, ...], tuple[int, ...]]] = {}
+        # advance_floor is pure arithmetic for every stock algorithm; only
+        # call through the method when a subclass actually overrides it.
+        self._plain_floor = (
+            type(algorithm).advance_floor is RoutingAlgorithm.advance_floor
+        )
+
+        # Per-replication random streams use the same (seed, name) keys as
+        # a single object-engine run with that seed, so each replication's
+        # workload draws are a pure function of its own seed.
+        self.workload = config.workload_spec()
+        self.spatial = self.workload.build_spatial(topology=topology)
+        self._rngs = [RngStreams(seed) for seed in self.seeds]
+        self._alloc_rng = [_UniformBlock(streams.allocator()) for streams in self._rngs]
+        self._traffic_rng = [
+            [streams.traffic(u) for u in range(N)] for streams in self._rngs
+        ]
+        self._sources = [
+            [
+                self.workload.build_temporal(
+                    config.generation_rate, self._traffic_rng[rep][u]
+                )
+                for u in range(N)
+            ]
+            for rep in range(R)
+        ]
+        self._heaps = [
+            [(src.peek(), node) for node, src in enumerate(row)]
+            for row in self._sources
+        ]
+        for heap in self._heaps:
+            heapq.heapify(heap)
+        #: Per-replication heap tops, mirrored so the generation fast path
+        #: compares plain floats instead of touching heap tuples.
+        self._next_per_rep = [heap[0][0] for heap in self._heaps]
+        self._next_arrival = min(self._next_per_rep, default=math.inf)
+        self._queues: list[list[deque[int]]] = [
+            [deque() for _ in range(N)] for _ in range(R)
+        ]
+        self._activatable: set[tuple[int, int]] = set()
+        #: Message slots awaiting a VC grant, per replication, plus the
+        #: set of replications with any pending header (loop-skip aid).
+        self._need_route: list[list[int]] = [[] for _ in range(R)]
+        self._need_reps: set[int] = set()
+        # Routing-complete messages still draining, as growable parallel
+        # columns with swap-remove (cheap membership churn every cycle).
+        self._ej_cap_rows = 64
+        self._ej_reps = np.zeros(self._ej_cap_rows, dtype=np.int64)
+        self._ej_slots = np.zeros(self._ej_cap_rows, dtype=np.int64)
+        self._ej_flats = np.zeros(self._ej_cap_rows, dtype=np.int64)
+        self._ej_mflats = np.zeros(self._ej_cap_rows, dtype=np.int64)
+        self._ej_index: dict[tuple[int, int], int] = {}
+        self._ejecting_count = 0
+        self._msg_cap = self.state.capacity
+        self._busy_vcs = 0
+        self.cycle = 0
+
+        # Scratch buffers for the transfer kernel's dense passes.
+        RC = R * self._C
+        self._b_cand = np.empty((R, self._CV), dtype=bool)
+        self._b_tmpb = np.empty((R, self._CV), dtype=bool)
+        self._b_tmpi = np.empty((R, self._CV), dtype=np.int32)
+        self._b_bits = np.empty(RC, dtype=self._pow2.dtype)
+        self._b_idx = np.empty(RC, dtype=np.int64)
+        self._b_w = np.empty(RC, dtype=np.int8)
+        self._b_ok = np.empty(RC, dtype=bool)
+
+        # Optional compiled cycle kernel (same semantics as the numpy
+        # passes, asserted bit-identical in the test-suite).
+        self._ck = load_kernel()
+        self._c_winners = np.empty(RC, dtype=np.int64)
+        self._c_fin = np.empty(RC, dtype=np.int64)
+        self._c_out = np.zeros(5, dtype=np.int64)
+        self._c_args: list | None = None
+        self._c_msg_cap = -1
+
+        self._last_progress = [0] * R
+        self._progress_marks = [-1] * R
+        self._in_flight = [0] * R
+        self._measured_in_flight = [0] * R
+        self._generated = [0] * R
+        self._measured_generated = [0] * R
+        self._completed = [0] * R
+        self._injected_in_window = [0] * R
+        self.alloc_attempts = [0] * R
+        self.alloc_failures = [0] * R
+
+        horizon = config.horizon
+        self._lat = [
+            LatencyAccumulator(config.batches, config.warmup_cycles, horizon)
+            for _ in range(R)
+        ]
+        self._net_lat = [
+            LatencyAccumulator(config.batches, config.warmup_cycles, horizon)
+            for _ in range(R)
+        ]
+        self._src_wait = [
+            LatencyAccumulator(config.batches, config.warmup_cycles, horizon)
+            for _ in range(R)
+        ]
+        self._sampler = [ChannelLoadSampler(self._C) for _ in range(R)]
+        self._hop_blocking = [HopBlockingStats(topology.diameter()) for _ in range(R)]
+        self._route_state = MessageRouteState()
+        self._final: list[dict | None] = [None] * R
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self) -> list[SimulationResult]:
+        """Run every replication to completion; one result per seed.
+
+        Each replication's headline numbers are snapshotted at the first
+        cycle where the object engine's run loop would have stopped it
+        (measurement window over and no measured message in flight, or
+        the drain budget exhausted); the batch keeps cycling until every
+        replication has stopped.
+        """
+        cfg = self.config
+        horizon = cfg.horizon
+        end = horizon + cfg.drain_cycles
+        R = self._R
+        remaining = R
+        step = self.step
+        while self.cycle < horizon:  # no replication can stop before this
+            step()
+        while True:
+            if self.cycle >= horizon:
+                stop_all = self.cycle >= end
+                for rep in range(R):
+                    if self._final[rep] is None and (
+                        stop_all or self._measured_in_flight[rep] == 0
+                    ):
+                        self._final[rep] = self._snapshot(rep)
+                        remaining -= 1
+                if remaining == 0:
+                    break
+            self.step()
+        return [self._result(rep) for rep in range(R)]
+
+    def step(self) -> None:
+        """Advance every replication by one cycle."""
+        cycle = self.cycle
+        if cycle >= self._next_arrival:
+            self._generate(cycle)
+        if self._activatable:
+            self._activate()
+        self._allocate(cycle)
+        if self._ck is not None:
+            if self._busy_vcs:
+                self._cycle_c(cycle)
+        else:
+            picks = self._pick_ejections() if self._ejecting_count else None
+            if self._busy_vcs:
+                self._transfer_phase()
+            if picks is not None:
+                self._apply_ejections(picks, cycle)
+        if (cycle & 31) == 0:
+            self._watchdog(cycle)
+        cfg = self.config
+        if cycle % cfg.sample_interval == 0 and cycle >= cfg.warmup_cycles:
+            counts = self.state.busy_vc_counts()
+            final = self._final
+            for rep in range(self._R):
+                # A replication stops sampling at its logical stop cycle,
+                # exactly like a single run — batch companions must not
+                # influence its multiplexing estimate.
+                if final[rep] is None:
+                    self._sampler[rep].sample_counts(counts[rep])
+        self.cycle = cycle + 1
+
+    def _watchdog(self, cycle: int) -> None:
+        """Periodic stall check (every 32 cycles).
+
+        Progress is read off cumulative counters — flit transfers,
+        successful allocations, completed messages — instead of a
+        per-cycle flag, so the common fully-loaded cycle pays nothing.
+        An ejection-only stretch completes a message within ~M cycles
+        (far below any sane grace), so a genuinely deadlocked
+        replication freezes all three counters while holding messages
+        in flight, and is reported within 32 cycles of its grace.
+        """
+        transfers = self.state.transfers
+        marks = self._progress_marks
+        last = self._last_progress
+        for rep in range(self._R):
+            p = (
+                int(transfers[rep])
+                + self._completed[rep]
+                + self.alloc_attempts[rep]
+                - self.alloc_failures[rep]
+            )
+            if p != marks[rep]:
+                marks[rep] = p
+                last[rep] = cycle
+            elif self._in_flight[rep] > 0:
+                grace = self.config.watchdog_grace
+                if grace is None:
+                    # The object engine's module default, resolved late so
+                    # a monkeypatched _WATCHDOG_GRACE governs both backends.
+                    from repro.simulation import engine as engine_mod
+
+                    grace = engine_mod._WATCHDOG_GRACE
+                if cycle - last[rep] > grace:
+                    raise SimulationError(
+                        f"no progress for {grace} cycles at cycle {cycle} "
+                        f"with {self._in_flight[rep]} messages in flight "
+                        f"(replication {rep}, seed {self.seeds[rep]}) — "
+                        "routing deadlock?"
+                    )
+
+    # ------------------------------------------------------------------
+    # Phase 1 — generation and activation (event-driven, per replication)
+    # ------------------------------------------------------------------
+
+    def _generate(self, cycle: int) -> None:
+        st = self.state
+        cfg = self.config
+        N = st.num_nodes
+        warm = cfg.warmup_cycles
+        horizon = cfg.horizon
+        dist_memo = self._dist_memo
+        nexts = self._next_per_rep
+        nxt = math.inf
+        for rep in range(self._R):
+            if nexts[rep] > cycle:
+                if nexts[rep] < nxt:
+                    nxt = nexts[rep]
+                continue
+            heap = self._heaps[rep]
+            while heap[0][0] <= cycle:
+                t, node = heapq.heappop(heap)
+                dst = self.spatial.destination(node, self._traffic_rng[rep][node])
+                key = node * N + dst
+                dist = dist_memo.get(key)
+                if dist is None:
+                    dist = self.topology.distance(node, dst)
+                    dist_memo[key] = dist
+                s = st.alloc_slot(rep)
+                st.msg_t_gen[rep, s] = t
+                st.msg_src[rep, s] = node
+                st.msg_ejected[rep, s] = 0
+                measured = warm <= t < horizon
+                st.msg_measured[rep, s] = measured
+                st.p_dst[rep][s] = dst
+                st.p_header[rep][s] = node
+                st.p_dist[rep][s] = dist
+                st.p_floor[rep][s] = 0
+                st.p_hops[rep][s] = 0
+                st.p_first_attempt[rep][s] = -1
+                self._generated[rep] += 1
+                if measured:
+                    self._measured_generated[rep] += 1
+                self._queues[rep][node].append(s)
+                self._activatable.add((rep, node))
+                heapq.heappush(heap, (self._sources[rep][node].pop_next(), node))
+            top = heap[0][0]
+            nexts[rep] = top
+            if top < nxt:
+                nxt = top
+        self._next_arrival = nxt
+
+    def _activate(self) -> None:
+        st = self.state
+        for rep, node in sorted(self._activatable):
+            queue = self._queues[rep][node]
+            while queue and st.active_injections[rep, node] < self._slots:
+                s = queue.popleft()
+                st.active_injections[rep, node] += 1
+                self._in_flight[rep] += 1
+                if st.msg_measured[rep, s]:
+                    self._measured_in_flight[rep] += 1
+                self._need_route[rep].append(s)
+                self._need_reps.add(rep)
+        self._activatable.clear()
+
+    # ------------------------------------------------------------------
+    # Phase 2 — virtual-channel allocation (per-header, random order)
+    # ------------------------------------------------------------------
+
+    def _allocate(self, cycle: int) -> None:
+        # ``need_route`` holds only headers whose flit is available: newly
+        # activated messages plus those re-queued by the transfer phase's
+        # ready events.  Messages that just claimed a hop leave the list
+        # until their header crosses the new channel.
+        if not self._need_reps:
+            return
+        st = self.state
+        for rep in sorted(self._need_reps):
+            order = self._need_route[rep]
+            if not order:
+                self._need_reps.discard(rep)
+                continue
+            if len(order) > 1:
+                self._alloc_rng[rep].shuffle(order)
+            still: list[int] = []
+            heads = st.p_head_vc[rep]
+            first = st.p_first_attempt[rep]
+            attempts = 0
+            for s in order:
+                attempts += 1
+                if first[s] < 0:
+                    first[s] = cycle
+                flat = self._choose_vc(rep, s)
+                if flat is None:
+                    self.alloc_failures[rep] += 1
+                    still.append(s)
+                    continue
+                if st.msg_measured[rep, s]:
+                    self._hop_blocking[rep].record(
+                        st.p_hops[rep][s] + 1, cycle - first[s]
+                    )
+                first[s] = -1
+                self._acquire(rep, s, flat)
+                if st.p_dist[rep][s] == 0:  # header reached the destination
+                    self._ej_add(rep, s, heads[s])
+            if attempts:
+                self.alloc_attempts[rep] += attempts
+            self._need_route[rep] = still
+            if not still:
+                self._need_reps.discard(rep)
+
+    def _choose_vc(self, rep: int, slot: int) -> int | None:
+        """Free eligible VC (flat id) for the header of ``slot``, or None."""
+        st = self.state
+        cur = st.p_header[rep][slot]
+        key = (cur, st.p_dst[rep][slot], st.p_floor[rep][slot], st.p_hops[rep][slot])
+        cand = self._route_memo.get(key)
+        if cand is None:
+            cand = self._route_candidates(rep, slot, key)
+        owner_row = st.owner_py[rep]
+        free_adaptive = [f for f in cand[0] if owner_row[f] < 0]
+        free_escape = [f for f in cand[1] if owner_row[f] < 0]
+        return self._select(free_adaptive, free_escape, self._alloc_rng[rep])
+
+    def _route_candidates(
+        self, rep: int, slot: int, key: tuple
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Flat VC ids a header with this routing state may request.
+
+        A pure function of (current node, destination, escape floor, hops
+        taken) — memoized because the routing queries behind it (ports ×
+        eligible classes) cost far more than one dict hit.
+        """
+        st = self.state
+        cur, dst, floor, hops = key
+        ports = self.algorithm.ports(self.topology, cur, dst)
+        hop_negative = self._color_py[cur] == 1
+        d_rem = st.p_dist[rep][slot]
+        state = self._route_state
+        state.escape_floor = floor
+        state.hops_taken = hops
+        state.negative_hops = 0
+        es = self.algorithm.eligible(self.vc_config, d_rem, hop_negative, state)
+        V = self._V
+        base0 = cur * self._deg
+        adaptive = tuple(
+            (base0 + port) * V + idx for port in ports for idx in es.adaptive
+        )
+        escape = tuple(
+            (base0 + port) * V + idx for port in ports for idx in es.escape
+        )
+        self._route_memo[key] = (adaptive, escape)
+        return (adaptive, escape)
+
+    def _select(
+        self,
+        free_adaptive: list[int],
+        free_escape: list[int],
+        rng: _UniformBlock,
+    ) -> int | None:
+        policy = self.algorithm.policy
+        V = self._V
+        if policy is SelectionPolicy.ADAPTIVE_FIRST:
+            if free_adaptive:
+                if len(free_adaptive) == 1:
+                    return free_adaptive[0]
+                return free_adaptive[rng.randint(len(free_adaptive))]
+            if free_escape:
+                # Lowest class first; random among equal-class ports.
+                lowest = min(f % V for f in free_escape)
+                pool = [f for f in free_escape if f % V == lowest]
+                return pool[rng.randint(len(pool))]
+            return None
+        if policy is SelectionPolicy.LOWEST_ESCAPE:
+            if free_escape:
+                lowest = min(f % V for f in free_escape)
+                pool = [f for f in free_escape if f % V == lowest]
+                return pool[rng.randint(len(pool))]
+            if free_adaptive:
+                return free_adaptive[rng.randint(len(free_adaptive))]
+            return None
+        pool = free_adaptive + free_escape
+        if not pool:
+            return None
+        return pool[rng.randint(len(pool))]
+
+    def _acquire(self, rep: int, slot: int, flat: int) -> None:
+        st = self.state
+        V = self._V
+        chan = flat // V
+        v_index = flat - chan * V
+        src_node = chan // self._deg
+        hop_negative = self._color_py[src_node] == 1
+        prev = st.p_head_vc[rep][slot]
+        base = rep * self._CV
+        af = base + flat
+        bdf = st.bd_flat
+        availf = st.avail_flat
+        bdf[af] = 0
+        if prev >= 0:
+            ap = base + prev
+            availf[af] = bdf[ap] & 0xFFFF
+            st.down_flat[ap] = flat
+        else:
+            availf[af] = self._M  # whole worm still at the source PE
+            st.msg_t_inject[rep, slot] = float(self.cycle)
+            if st.msg_measured[rep, slot]:
+                self._injected_in_window[rep] += 1
+        st.owner_flat[af] = slot
+        st.up_flat[af] = prev
+        st.down_flat[af] = -1
+        st.busy_flat[rep * self._C + chan] += 1
+        st.owner_py[rep][flat] = slot
+        st.p_head_vc[rep][slot] = flat
+        st.msg_vcs_held[rep, slot] += 1
+        self._busy_vcs += 1
+        if self._plain_floor:
+            # Inlined RoutingAlgorithm.advance_floor: the floor becomes the
+            # used escape class (class-a hops keep it) plus one across
+            # negative hops.
+            adaptive = self.vc_config.num_adaptive
+            base = (
+                st.p_floor[rep][slot] if v_index < adaptive else v_index - adaptive
+            )
+            st.p_floor[rep][slot] = base + (1 if hop_negative else 0)
+            st.p_hops[rep][slot] += 1
+        else:
+            state = self._route_state
+            state.escape_floor = st.p_floor[rep][slot]
+            state.hops_taken = st.p_hops[rep][slot]
+            state.negative_hops = 0
+            self.algorithm.advance_floor(self.vc_config, state, v_index, hop_negative)
+            st.p_floor[rep][slot] = state.escape_floor
+            st.p_hops[rep][slot] = state.hops_taken
+        nxt = self._neighbors_py[chan]
+        st.p_header[rep][slot] = nxt
+        d = st.p_dist[rep][slot] - 1
+        st.p_dist[rep][slot] = d
+        if (d == 0) != (nxt == st.p_dst[rep][slot]):
+            raise SimulationError(
+                f"non-minimal route for slot {slot} (replication {rep}): "
+                f"{d} hops left at node {nxt}"
+            )
+
+    # ------------------------------------------------------------------
+    # Phase 3 — switch traversal (vectorized over all replications)
+    # ------------------------------------------------------------------
+
+    def _transfer_phase(self) -> None:
+        st = self.state
+        V = self._V
+        # Candidate = owned, not fully delivered, downstream buffer space,
+        # and a flit available to pull.  Free VCs carry the bd sentinel
+        # (delivered == M), which the first compare rejects.  All dense
+        # passes write into preallocated scratch to avoid temporaries.
+        bd = st.vc_bd
+        cand = self._b_cand
+        np.less(bd, self._ms, out=cand)
+        tmpi = self._b_tmpi
+        np.bitwise_and(bd, 0xFFFF, out=tmpi)
+        tmpb = self._b_tmpb
+        np.less(tmpi, self._depth, out=tmpb)
+        cand &= tmpb
+        np.greater(st.vc_avail, 0, out=tmpb)
+        cand &= tmpb
+        # Pack each channel's candidate VCs into an integer and resolve
+        # the round-robin winner with one lookup-table gather.
+        bits = self._b_bits
+        np.matmul(cand.view(np.uint8).reshape(-1, V), self._pow2, out=bits)
+        idx = self._b_idx
+        np.multiply(st.rr_flat, 1 << V, out=idx)
+        idx += bits
+        w = self._b_w
+        self._lut.take(idx, out=w)
+        ok = self._b_ok
+        np.greater_equal(w, 0, out=ok)
+        if not ok.any():
+            return
+        rc = np.nonzero(ok)[0]  # winning (rep, channel) pairs, flattened
+        v = w[rc]
+        flat = rc * V + v  # == rep * CV + channel * V + vc
+        st.rr_flat[rc] = (v + 1) % V
+        bdf = st.bd_flat
+        availf = st.avail_flat
+        bdf[flat] += 0x10001  # buffered += 1, delivered += 1
+        availf[flat] -= 1
+        # First flit across a newly acquired channel: its owner's header
+        # is ready for the next hop — re-queue it for allocation.
+        nready = flat[bdf[flat] == 0x10001]
+        if nready.size:
+            CV = self._CV
+            owner_flat = st.owner_flat
+            need = self._need_route
+            p_dist = st.p_dist
+            for x in nready.tolist():
+                rep = x // CV
+                slot = int(owner_flat[x])
+                if p_dist[rep][slot] > 0:  # not yet at its destination
+                    need[rep].append(slot)
+                    self._need_reps.add(rep)
+        counts = np.bincount(rc // self._C, minlength=self._R)
+        st.transfers += counts
+        rowoff = flat - flat % self._CV  # == rep * CV
+        u = st.up_flat[flat]
+        ipull = np.nonzero(u >= 0)[0]
+        if ipull.size:
+            uflat = rowoff[ipull] + u[ipull]
+            nb = bdf[uflat] - 1  # flit leaves the upstream buffer
+            bdf[uflat] = nb
+            rel = np.nonzero(nb == self._ms)[0]
+            if rel.size:
+                self._release(uflat[rel])
+        if ipull.size != flat.size:  # some grants injected from the PE
+            isrc = np.nonzero(u < 0)[0]
+            sflat = flat[isrc]
+            fin = sflat[availf[sflat] == 0]  # tail flit left the PE
+            if fin.size:
+                self._finish_injection(fin)
+        d = st.down_flat[flat]
+        idown = np.nonzero(d >= 0)[0]
+        if idown.size:
+            availf[rowoff[idown] + d[idown]] += 1  # downstream gains a flit
+
+    def _finish_injection(self, fin: np.ndarray) -> None:
+        """Messages whose tail flit just left the PE free their source slot."""
+        st = self.state
+        CV = self._CV
+        activatable = self._activatable
+        for aflat in fin.tolist():
+            rep = aflat // CV
+            slot = st.owner_py[rep][aflat - rep * CV]
+            node = int(st.msg_src[rep, slot])
+            st.active_injections[rep, node] -= 1
+            activatable.add((rep, node))
+
+    def _release(self, flats: np.ndarray) -> None:
+        """Free drained VCs (tail flit crossed and downstream buffer empty).
+
+        ``flats`` are absolute indices (``rep * CV + vc``); the packed
+        word already equals the free-VC sentinel when this is called.
+        The stale up/down pointers need no reset — they are only ever
+        read through granted (owned) VCs — but the owner must clear so
+        allocation scans and the multiplexing sampler see a free VC.
+        """
+        st = self.state
+        st.owner_flat[flats] = -1
+        CV = self._CV
+        C = self._C
+        V = self._V
+        vcs_held = st.msg_vcs_held
+        busy = st.busy_flat
+        for aflat in flats.tolist():
+            rep = aflat // CV
+            x = aflat - rep * CV
+            owner = st.owner_py[rep][x]
+            st.owner_py[rep][x] = -1
+            vcs_held[rep, owner] -= 1
+            busy[rep * C + x // V] -= 1
+        self._busy_vcs -= len(flats)
+
+    # ------------------------------------------------------------------
+    # Phase 4 — ejection (vectorized over routing-complete messages)
+    # ------------------------------------------------------------------
+
+    def _sync_msg_cap(self) -> None:
+        """Re-derive message-array flat offsets after the pool grew."""
+        st = self.state
+        if self._msg_cap != st.capacity:
+            self._msg_cap = st.capacity
+            n = self._ejecting_count
+            self._ej_mflats[:n] = self._ej_reps[:n] * st.capacity + self._ej_slots[:n]
+
+    def _ej_add(self, rep: int, slot: int, head: int) -> None:
+        self._sync_msg_cap()
+        n = self._ejecting_count
+        if n == self._ej_cap_rows:
+            self._ej_cap_rows *= 2
+            for name in ("_ej_reps", "_ej_slots", "_ej_flats", "_ej_mflats"):
+                old = getattr(self, name)
+                wide = np.zeros(self._ej_cap_rows, dtype=np.int64)
+                wide[:n] = old
+                setattr(self, name, wide)
+            self._c_args = None  # ejection columns moved: refresh pointers
+        self._ej_reps[n] = rep
+        self._ej_slots[n] = slot
+        self._ej_flats[n] = rep * self._CV + head
+        self._ej_mflats[n] = rep * self._msg_cap + slot
+        self._ej_index[(rep, slot)] = n
+        self._ejecting_count = n + 1
+
+    def _ej_remove(self, rep: int, slot: int) -> None:
+        """Swap-remove one draining message from the ejection columns."""
+        i = self._ej_index.pop((rep, slot))
+        n = self._ejecting_count - 1
+        if i != n:
+            lr = int(self._ej_reps[n])
+            ls = int(self._ej_slots[n])
+            self._ej_reps[i] = lr
+            self._ej_slots[i] = ls
+            self._ej_flats[i] = self._ej_flats[n]
+            self._ej_mflats[i] = self._ej_mflats[n]
+            self._ej_index[(lr, ls)] = i
+        self._ejecting_count = n
+
+    def _pick_ejections(self):
+        """Flits each draining message ejects this cycle (pre-cycle state)."""
+        st = self.state
+        self._sync_msg_cap()
+        n = self._ejecting_count
+        k = st.bd_flat[self._ej_flats[:n]] & 0xFFFF
+        if self._ej_rate is not None:
+            np.minimum(k, self._ej_rate, out=k)
+        if not k.any():
+            return None
+        return k
+
+    def _apply_ejections(self, k: np.ndarray, cycle: int) -> None:
+        st = self.state
+        ip = np.nonzero(k)[0]
+        flats = self._ej_flats[ip]
+        kk = k[ip]
+        bdf = st.bd_flat
+        nb = bdf[flats] - kk
+        bdf[flats] = nb
+        ej = st.msg_ejected_flat
+        mflats = self._ej_mflats[ip]
+        ne = ej[mflats] + kk
+        ej[mflats] = ne
+        rel = np.nonzero(nb == self._ms)[0]
+        if rel.size:
+            self._release(flats[rel])
+        done = np.nonzero(ne == self._M)[0]
+        if done.size:
+            self._complete(self._ej_reps[ip[done]], self._ej_slots[ip[done]], cycle)
+
+    def _complete(self, reps: np.ndarray, slots: np.ndarray, cycle: int) -> None:
+        self._complete_pairs(list(zip(reps.tolist(), slots.tolist())), cycle)
+
+    def _complete_pairs(self, pairs: list[tuple[int, int]], cycle: int) -> None:
+        st = self.state
+        t_done = cycle + 1.0
+        if len(pairs) == 1:  # the overwhelmingly common case
+            rep, slot = pairs[0]
+            if st.msg_vcs_held[rep, slot] != 0:
+                raise SimulationError("completed message still owns channels")
+            self._in_flight[rep] -= 1
+            self._completed[rep] += 1
+            if st.msg_measured[rep, slot]:
+                self._measured_in_flight[rep] -= 1
+                tg = float(st.msg_t_gen[rep, slot])
+                ti = float(st.msg_t_inject[rep, slot])
+                self._lat[rep].add(tg, t_done - tg)
+                self._net_lat[rep].add(tg, t_done - ti)
+                self._src_wait[rep].add(tg, ti - tg)
+            st.free_slot(rep, slot)
+            self._ej_remove(rep, slot)
+            return
+        by_rep: dict[int, tuple[list, list]] = {}
+        for rep, slot in pairs:
+            if st.msg_vcs_held[rep, slot] != 0:
+                raise SimulationError("completed message still owns channels")
+            self._in_flight[rep] -= 1
+            self._completed[rep] += 1
+            if st.msg_measured[rep, slot]:
+                self._measured_in_flight[rep] -= 1
+                tg, ti = by_rep.setdefault(rep, ([], []))
+                tg.append(float(st.msg_t_gen[rep, slot]))
+                ti.append(float(st.msg_t_inject[rep, slot]))
+            st.free_slot(rep, slot)
+            self._ej_remove(rep, slot)
+        for rep, (tg, ti) in by_rep.items():
+            self._lat[rep].add_batch(tg, [t_done - t for t in tg])
+            self._net_lat[rep].add_batch(tg, [t_done - t for t in ti])
+            self._src_wait[rep].add_batch(tg, [b - a for a, b in zip(tg, ti)])
+
+    # ------------------------------------------------------------------
+    # Compiled cycle kernel (phases 3 + 4 in one C call)
+    # ------------------------------------------------------------------
+
+    def _refresh_c_args(self) -> None:
+        """(Re)build the C kernel's parameter block.
+
+        Called whenever an array the kernel touches may have been
+        reallocated: the message pool grew (msg_* arrays replaced) or the
+        ejection columns doubled.  Slot layout documented in _ckernel.c.
+        """
+        st = self.state
+        rows = self._ej_cap_rows
+        RC = self._R * self._C
+        self._c_ejk = np.empty(rows, dtype=np.int32)
+        self._c_comps = np.empty(rows, dtype=np.int64)
+        self._c_released = np.empty(RC + rows, dtype=np.int64)
+        self._c_ready = np.empty(RC, dtype=np.int64)
+        self._c_msg_cap = st.capacity
+        ej_rate = -1 if self._ej_rate is None else int(self._ej_rate)
+        params = np.array(
+            [
+                st.vc_bd.ctypes.data,
+                st.vc_avail.ctypes.data,
+                st.vc_owner.ctypes.data,
+                st.vc_upstream.ctypes.data,
+                st.vc_downstream.ctypes.data,
+                st.ch_rr.ctypes.data,
+                self._lut.ctypes.data,
+                self._R,
+                self._C,
+                self._V,
+                self._M,
+                self._depth,
+                ej_rate,
+                st.transfers.ctypes.data,
+                st.msg_vcs_held.ctypes.data,
+                st.msg_src.ctypes.data,
+                st.active_injections.ctypes.data,
+                st.msg_ejected.ctypes.data,
+                st.capacity,
+                st.num_nodes,
+                self._ej_flats.ctypes.data,
+                self._ej_mflats.ctypes.data,
+                0,  # ej_n, patched per cycle
+                self._c_ejk.ctypes.data,
+                self._c_winners.ctypes.data,
+                self._c_released.ctypes.data,
+                self._c_fin.ctypes.data,
+                self._c_comps.ctypes.data,
+                self._c_ready.ctypes.data,
+                self._c_out.ctypes.data,
+                st.ch_busy.ctypes.data,
+            ],
+            dtype=np.int64,
+        )
+        self._c_params = params
+        self._c_params_ptr = params.ctypes.data
+        self._c_args = params  # sentinel: block is built
+
+    def _cycle_c(self, cycle: int) -> None:
+        """Run transfer + ejection through the compiled kernel."""
+        st = self.state
+        self._sync_msg_cap()
+        if self._c_args is None or self._c_msg_cap != st.capacity:
+            self._refresh_c_args()
+        self._c_params[_EJ_N_SLOT] = self._ejecting_count
+        self._ck(self._c_params_ptr)
+        out = self._c_out
+        rn = int(out[1])
+        fn = int(out[2])
+        cn = int(out[3])
+        rdy = int(out[4])
+        if rn:
+            CV = self._CV
+            owner_py = st.owner_py
+            for aflat in self._c_released[:rn].tolist():
+                rep = aflat // CV
+                owner_py[rep][aflat - rep * CV] = -1
+            self._busy_vcs -= rn
+        if fn:
+            N = st.num_nodes
+            activatable = self._activatable
+            for x in self._c_fin[:fn].tolist():
+                activatable.add((x // N, x % N))
+        if rdy:
+            cap = st.capacity
+            need = self._need_route
+            need_reps = self._need_reps
+            p_dist = st.p_dist
+            for x in self._c_ready[:rdy].tolist():
+                rep = x // cap
+                slot = x - rep * cap
+                if p_dist[rep][slot] > 0:  # not yet at its destination
+                    need[rep].append(slot)
+                    need_reps.add(rep)
+        if cn:
+            pairs = [
+                (int(self._ej_reps[i]), int(self._ej_slots[i]))
+                for i in self._c_comps[:cn].tolist()
+            ]
+            self._complete_pairs(pairs, cycle)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def _snapshot(self, rep: int) -> dict:
+        """Headline numbers of ``rep`` at its logical stop cycle."""
+        return {
+            "cycles_run": self.cycle,
+            "transfers": int(self.state.transfers[rep]),
+            "backlog": sum(len(q) for q in self._queues[rep]),
+            "generated": self._generated[rep],
+            "measured_generated": self._measured_generated[rep],
+            "incomplete": self._measured_in_flight[rep],
+            "completed": self._completed[rep],
+            "injected_in_window": self._injected_in_window[rep],
+        }
+
+    def _result(self, rep: int) -> SimulationResult:
+        cfg = self.config
+        snap = self._final[rep]
+        assert snap is not None
+        measured_window = cfg.measure_cycles * self.topology.num_nodes
+        accepted = (
+            snap["injected_in_window"] / measured_window if measured_window else 0.0
+        )
+        saturated = False
+        if cfg.generation_rate > 0:
+            if snap["backlog"] > max(20.0, 0.02 * snap["generated"]):
+                saturated = True
+            if snap["incomplete"] > 0.05 * max(snap["measured_generated"], 1):
+                saturated = True
+        total_capacity = self._C * max(snap["cycles_run"], 1)
+        return SimulationResult(
+            mean_latency=self._lat[rep].mean,
+            mean_network_latency=self._net_lat[rep].mean,
+            mean_source_wait=self._src_wait[rep].mean,
+            latency_ci=self._lat[rep].ci_halfwidth(),
+            messages_measured=self._lat[rep].count,
+            messages_generated=snap["generated"],
+            messages_completed=snap["completed"],
+            saturated=saturated,
+            offered_rate=cfg.generation_rate,
+            accepted_rate=accepted,
+            mean_multiplexing=self._sampler[rep].multiplexing_degree,
+            channel_utilization=snap["transfers"] / total_capacity,
+            cycles_run=snap["cycles_run"],
+            backlog=snap["backlog"],
+            hop_blocking=self._hop_blocking[rep],
+        )

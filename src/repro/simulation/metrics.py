@@ -17,6 +17,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 __all__ = [
     "LatencyAccumulator",
     "ChannelLoadSampler",
@@ -117,6 +119,33 @@ class LatencyAccumulator:
         self._batch_sum[b] += value
         self._batch_count[b] += 1
 
+    def add_batch(self, t_gen, values) -> None:
+        """Record many messages at once (array-backend completion kernel).
+
+        Equivalent to calling :meth:`add` element-wise; sums and batch
+        assignment are vectorized so a batched replication's completions
+        cost one pass instead of a Python loop.
+        """
+        if len(values) <= 8:
+            # Typical completion bursts are tiny; scalar adds beat the
+            # vectorized path's fixed overhead there.
+            for t, v in zip(t_gen, values):
+                self.add(float(t), float(v))
+            return
+        t_gen = np.asarray(t_gen, dtype=float)
+        values = np.asarray(values, dtype=float)
+        self._sum += float(values.sum())
+        self._sumsq += float((values * values).sum())
+        self._count += values.size
+        b = ((t_gen - self._t0) / self._width).astype(int)
+        np.clip(b, 0, self._batches - 1, out=b)
+        sums = np.bincount(b, weights=values, minlength=self._batches)
+        counts = np.bincount(b, minlength=self._batches)
+        for i in range(self._batches):
+            if counts[i]:
+                self._batch_sum[i] += float(sums[i])
+                self._batch_count[i] += int(counts[i])
+
     @property
     def count(self) -> int:
         """Number of recorded messages."""
@@ -180,6 +209,20 @@ class ChannelLoadSampler:
             self._sum_v += v
             self._sum_v2 += v * v
             self._busy_channel_samples += 1
+
+    def sample_counts(self, counts: np.ndarray) -> None:
+        """Record one snapshot from a dense per-channel busy-count array.
+
+        Mirrors :meth:`sample` fed with the busy channels only: idle
+        channels (count 0) contribute nothing to either moment or to the
+        busy-channel tally.
+        """
+        self._samples += 1
+        counts = counts[counts > 0]
+        if counts.size:
+            self._sum_v += int(counts.sum())
+            self._sum_v2 += int((counts * counts).sum())
+            self._busy_channel_samples += counts.size
 
     @property
     def multiplexing_degree(self) -> float:

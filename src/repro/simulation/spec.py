@@ -14,7 +14,6 @@ from functools import lru_cache
 from typing import Any, Mapping
 
 from repro.simulation.config import SimulationConfig
-from repro.simulation.engine import simulate
 from repro.simulation.metrics import SimulationResult
 from repro.utils.exceptions import ConfigurationError
 
@@ -92,6 +91,15 @@ class SimSpec:
         return _make_topology(self.topology, self.order), make_algorithm(self.algorithm), self.config
 
     def run(self) -> SimulationResult:
-        """Build and run the simulation."""
+        """Build and run the simulation on the backend named by the config."""
+        from repro.simulation.backends import simulate
+
         topo, algo, config = self.build()
         return simulate(topo, algo, config)
+
+    def run_batch(self, replications: int, seeds=None) -> list[SimulationResult]:
+        """Build and run R replications (see :func:`simulate_batch`)."""
+        from repro.simulation.backends import simulate_batch
+
+        topo, algo, config = self.build()
+        return simulate_batch(topo, algo, config, replications, seeds=seeds)

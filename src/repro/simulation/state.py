@@ -1,0 +1,190 @@
+"""Structure-of-arrays simulation state (the data layer of the array backend).
+
+The object engine (:mod:`repro.simulation.engine`) represents the network
+as a graph of ``Message``/``VirtualChannel``/``PhysicalChannel`` objects.
+:class:`SimState` holds the same information as flat numpy arrays so the
+kernel layer (:mod:`repro.simulation.kernels`) can advance many
+independent replications with a handful of vectorized passes per cycle.
+Every array carries the replication axis first; a virtual channel is
+addressed by its flat id ``channel * V + vc``.
+
+Hot-path layout choices (benchmarked on the S4 batch workload):
+
+* ``vc_bd`` packs a VC's *buffered* (low 16 bits) and *delivered* (high
+  bits) flit counts into one int32, so the per-grant read-modify-write is
+  a single scatter (``bd += 0x1_0001``) and the tail-release test is one
+  compare (``bd == M << 16``).  Free VCs keep the sentinel ``M << 16``
+  (all delivered, none buffered), which also excludes them from the
+  transfer-candidate mask without a separate ownership test.
+* ``vc_avail`` counts flits available for a VC to *pull* — its upstream
+  VC's buffered count, or the flits still at the source PE for the first
+  VC of a chain.  It is maintained incrementally by the kernels (grant,
+  acquire, downstream-gain) precisely so the candidate mask needs no
+  gather through the upstream pointers.
+* Message fields read only by the per-header allocation loop (header
+  position, remaining distance, escape floor, ...) live in plain Python
+  lists per replication — scalar reads there are ~5x cheaper than numpy
+  indexing — while fields consumed by the vectorized completion/ejection
+  kernels stay numpy.  ``vc_owner`` exists in both forms for the same
+  reason; the kernels keep them in lockstep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.base import Topology
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["SimState"]
+
+#: Field-width limits of the packed buffered/delivered word.
+MAX_MESSAGE_LENGTH = (1 << 15) - 1
+MAX_BUFFER_DEPTH = (1 << 15) - 1
+
+
+class SimState:
+    """All mutable state of a batch of wormhole simulations, as arrays."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        num_vcs: int,
+        message_length: int,
+        replications: int,
+        initial_capacity: int = 128,
+    ):
+        if replications < 1:
+            raise ConfigurationError(f"replications must be >= 1, got {replications}")
+        if message_length > MAX_MESSAGE_LENGTH:
+            raise ConfigurationError(
+                f"array backend supports message_length <= {MAX_MESSAGE_LENGTH}, "
+                f"got {message_length} (use engine='object')"
+            )
+        self.replications = replications
+        self.num_nodes = topology.num_nodes
+        self.degree = topology.degree
+        self.num_vcs = num_vcs
+        self.num_channels = topology.num_channels
+        self.message_length = message_length
+        R = replications
+        CV = self.num_channels * num_vcs
+        self.cv = CV
+
+        #: Sentinel word of a free VC: delivered == M, buffered == 0.
+        self.free_word = np.int32(message_length << 16)
+
+        # -- virtual channels (flat id = channel * V + vc) ---------------
+        self.vc_bd = np.full((R, CV), self.free_word, dtype=np.int32)
+        self.vc_avail = np.zeros((R, CV), dtype=np.int32)
+        self.vc_owner = np.full((R, CV), -1, dtype=np.int32)
+        self.vc_upstream = np.full((R, CV), -1, dtype=np.int32)
+        self.vc_downstream = np.full((R, CV), -1, dtype=np.int32)
+        #: Python mirror of ``vc_owner`` for the allocation loop's scans.
+        self.owner_py: list[list[int]] = [[-1] * CV for _ in range(R)]
+
+        # -- physical channels -------------------------------------------
+        self.ch_rr = np.zeros((R, self.num_channels), dtype=np.int32)
+        #: Owned-VC count per channel; lets the kernels skip idle channels.
+        self.ch_busy = np.zeros((R, self.num_channels), dtype=np.uint8)
+        self.transfers = np.zeros(R, dtype=np.int64)
+
+        # -- nodes --------------------------------------------------------
+        self.active_injections = np.zeros((R, self.num_nodes), dtype=np.int32)
+
+        # -- flat views & offsets for 1D scatter/gather -------------------
+        self.bd_flat = self.vc_bd.ravel()
+        self.avail_flat = self.vc_avail.ravel()
+        self.owner_flat = self.vc_owner.ravel()
+        self.up_flat = self.vc_upstream.ravel()
+        self.down_flat = self.vc_downstream.ravel()
+        self.rr_flat = self.ch_rr.ravel()
+        self.busy_flat = self.ch_busy.ravel()
+
+        # -- message slot pool -------------------------------------------
+        cap = max(16, initial_capacity)
+        self.capacity = cap
+        # Vector-consumed fields (numpy):
+        self.msg_t_gen = np.zeros((R, cap), dtype=np.float64)
+        self.msg_t_inject = np.full((R, cap), np.nan, dtype=np.float64)
+        self.msg_measured = np.zeros((R, cap), dtype=bool)
+        self.msg_src = np.zeros((R, cap), dtype=np.int32)
+        self.msg_ejected = np.zeros((R, cap), dtype=np.int32)
+        self.msg_vcs_held = np.zeros((R, cap), dtype=np.int32)
+        self.msg_ejected_flat = self.msg_ejected.ravel()
+        # Allocation-loop fields (Python lists per replication):
+        self.p_dst = [[0] * cap for _ in range(R)]
+        self.p_header = [[0] * cap for _ in range(R)]
+        self.p_dist = [[0] * cap for _ in range(R)]
+        self.p_floor = [[0] * cap for _ in range(R)]
+        self.p_hops = [[0] * cap for _ in range(R)]
+        self.p_first_attempt = [[-1] * cap for _ in range(R)]
+        self.p_head_vc = [[-1] * cap for _ in range(R)]
+
+        #: Free slot ids per replication; ``pop()`` hands out low ids first.
+        self.free_slots: list[list[int]] = [
+            list(range(cap - 1, -1, -1)) for _ in range(R)
+        ]
+
+    # ------------------------------------------------------------------
+    # Slot management
+    # ------------------------------------------------------------------
+
+    def alloc_slot(self, rep: int) -> int:
+        """Claim a free message slot in ``rep`` (growing the pool if full)."""
+        free = self.free_slots[rep]
+        if not free:
+            self.grow()
+            free = self.free_slots[rep]
+        return free.pop()
+
+    def free_slot(self, rep: int, slot: int) -> None:
+        """Return a completed message's slot to the pool."""
+        self.p_head_vc[rep][slot] = -1
+        self.free_slots[rep].append(slot)
+
+    def grow(self) -> None:
+        """Double the message-pool capacity (all replications at once)."""
+        old = self.capacity
+        new = old * 2
+        R = self.replications
+        for name, fill in (
+            ("msg_t_gen", 0.0),
+            ("msg_t_inject", np.nan),
+            ("msg_measured", False),
+            ("msg_src", 0),
+            ("msg_ejected", 0),
+            ("msg_vcs_held", 0),
+        ):
+            arr = getattr(self, name)
+            wide = np.empty((R, new), dtype=arr.dtype)
+            wide[:, :old] = arr
+            wide[:, old:] = fill
+            setattr(self, name, wide)
+        self.msg_ejected_flat = self.msg_ejected.ravel()
+        extra = new - old
+        for rows, fill in (
+            (self.p_dst, 0),
+            (self.p_header, 0),
+            (self.p_dist, 0),
+            (self.p_floor, 0),
+            (self.p_hops, 0),
+            (self.p_first_attempt, -1),
+            (self.p_head_vc, -1),
+        ):
+            for row in rows:
+                row.extend([fill] * extra)
+        for free in self.free_slots:
+            free.extend(range(new - 1, old - 1, -1))
+        self.capacity = new
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    def busy_vc_counts(self) -> np.ndarray:
+        """Per-channel count of owned VCs, shape ``(R, num_channels)``."""
+        owned = (self.vc_owner >= 0).reshape(
+            self.replications, self.num_channels, self.num_vcs
+        )
+        return owned.sum(axis=2)

@@ -1,33 +1,35 @@
-"""Traffic generation — thin adapters over :mod:`repro.workloads`.
+"""DEPRECATED traffic aliases — use :mod:`repro.workloads` instead.
 
 Historically this module owned the Poisson source and the three built-in
 destination patterns; those now live in the workload subsystem
 (:mod:`repro.workloads.spatial` / :mod:`repro.workloads.temporal`) where
 the analytical model consumes the *same* objects.  The names below are
-kept as aliases so existing imports and isinstance checks keep working:
+kept as aliases for external code, but importing them now emits a
+:class:`DeprecationWarning`:
 
-* :class:`PoissonSource` is :class:`~repro.workloads.temporal.PoissonProcess`;
-* :class:`UniformTraffic` / :class:`HotspotTraffic` /
-  :class:`PermutationTraffic` are the matching spatial patterns;
-* :func:`make_traffic` builds a spatial pattern by name and — unlike the
-  historical version — rejects unknown keyword arguments for *every*
-  pattern with :class:`~repro.utils.exceptions.ConfigurationError`.
+* ``PoissonSource`` is :class:`~repro.workloads.temporal.PoissonProcess`;
+* ``TrafficPattern`` / ``UniformTraffic`` / ``HotspotTraffic`` /
+  ``PermutationTraffic`` are the matching spatial patterns;
+* :func:`make_traffic` forwards to
+  :func:`repro.workloads.spatial.make_spatial`.
 
-New code should prefer :class:`repro.workloads.WorkloadSpec` (see
+New code should use :class:`repro.workloads.WorkloadSpec` (see
 ``docs/workloads.md``), which also covers temporal processes and
 topology-aware patterns such as ``locality``.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.workloads.spatial import (
-    HotspotSpatial,
-    PermutationSpatial,
-    SpatialPattern,
-    UniformSpatial,
-    make_spatial,
+    HotspotSpatial as _HotspotSpatial,
+    PermutationSpatial as _PermutationSpatial,
+    SpatialPattern as _SpatialPattern,
+    UniformSpatial as _UniformSpatial,
+    make_spatial as _make_spatial,
 )
-from repro.workloads.temporal import PoissonProcess
+from repro.workloads.temporal import PoissonProcess as _PoissonProcess
 
 __all__ = [
     "PoissonSource",
@@ -38,20 +40,52 @@ __all__ = [
     "make_traffic",
 ]
 
-#: Historical names, now backed by the workload subsystem.
-PoissonSource = PoissonProcess
-TrafficPattern = SpatialPattern
-UniformTraffic = UniformSpatial
-HotspotTraffic = HotspotSpatial
-PermutationTraffic = PermutationSpatial
+#: Historical names, now backed by the workload subsystem.  Kept out of
+#: the module dict so attribute access funnels through __getattr__ and
+#: the deprecation warning fires exactly once per import site.
+_ALIASES = {
+    "PoissonSource": _PoissonProcess,
+    "TrafficPattern": _SpatialPattern,
+    "UniformTraffic": _UniformSpatial,
+    "HotspotTraffic": _HotspotSpatial,
+    "PermutationTraffic": _PermutationSpatial,
+}
 
 
-def make_traffic(name: str, num_nodes: int, **kwargs) -> SpatialPattern:
-    """Build a traffic pattern by name (any registered spatial pattern).
+def _warn(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.simulation.traffic.{name} is deprecated; use {replacement} "
+        "(see docs/workloads.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
-    Unknown pattern names *and* unknown parameters raise
-    :class:`ConfigurationError`; see :func:`repro.workloads.spatial.
-    available_spatial` for the registry (patterns needing the topology,
-    e.g. ``locality``, must go through ``make_spatial`` instead).
+
+def __getattr__(name: str):
+    alias = _ALIASES.get(name)
+    if alias is not None:
+        _warn(name, f"repro.workloads.{'temporal' if name == 'PoissonSource' else 'spatial'}.{alias.__name__}")
+        return alias
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_ALIASES))
+
+
+def make_traffic(name: str, num_nodes: int, **kwargs) -> _SpatialPattern:
+    """Deprecated: build a spatial pattern by name.
+
+    Forwards to :func:`repro.workloads.spatial.make_spatial`, which also
+    rejects unknown pattern names *and* unknown parameters with
+    :class:`~repro.utils.exceptions.ConfigurationError` (patterns
+    needing the topology, e.g. ``locality``, must use ``make_spatial``
+    directly).
     """
-    return make_spatial(name, num_nodes=num_nodes, params=kwargs)
+    warnings.warn(
+        "repro.simulation.traffic.make_traffic is deprecated; use "
+        "repro.workloads.spatial.make_spatial (see docs/workloads.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _make_spatial(name, num_nodes=num_nodes, params=kwargs)

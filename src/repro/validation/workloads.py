@@ -78,6 +78,7 @@ def validation_grids(
     total_vcs: int,
     quality: str = "quick",
     seed: int = 0,
+    engine: str = "object",
 ) -> tuple[GridSpec, GridSpec]:
     """The (model, sim) campaign grids sharing a ``workload`` axis."""
     # Imported lazily: figure1 itself depends on validation.compare.
@@ -100,19 +101,24 @@ def validation_grids(
             ("total_vcs", total_vcs),
         ),
     )
+    pinned = [
+        ("topology", "star"),
+        ("order", order),
+        ("message_length", message_length),
+        ("total_vcs", total_vcs),
+        ("warmup_cycles", window.warmup_cycles),
+        ("measure_cycles", window.measure_cycles),
+        ("drain_cycles", window.drain_cycles),
+        ("seed", seed),
+    ]
+    if engine != "object":
+        # Only non-default engines enter the campaign key, so existing
+        # object-engine stores keep their content hashes.
+        pinned.append(("engine", engine))
     sim_grid = GridSpec(
         kind="sim",
         axes=(("workload", tuple(workloads)), ("generation_rate", tuple(rates))),
-        pinned=(
-            ("topology", "star"),
-            ("order", order),
-            ("message_length", message_length),
-            ("total_vcs", total_vcs),
-            ("warmup_cycles", window.warmup_cycles),
-            ("measure_cycles", window.measure_cycles),
-            ("drain_cycles", window.drain_cycles),
-            ("seed", seed),
-        ),
+        pinned=tuple(pinned),
     )
     return model_grid, sim_grid
 
@@ -152,6 +158,7 @@ def validate_workloads(
     load_fractions: tuple[float, ...] = (0.2, 0.4, 0.6),
     quality: str = "quick",
     seed: int = 0,
+    engine: str = "object",
     workers: int = 1,
     tolerance: float | None = None,
     cache_dir=None,
@@ -182,6 +189,7 @@ def validate_workloads(
         total_vcs=total_vcs,
         quality=quality,
         seed=seed,
+        engine=engine,
     )
     model_units = model_grid.expand()
     sim_units = sim_grid.expand()

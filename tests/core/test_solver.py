@@ -18,13 +18,23 @@ class TestSettings:
         [
             {"damping": 0.0},
             {"damping": 1.5},
+            {"damping": -0.25},
             {"tolerance": 0.0},
+            {"tolerance": -1e-9},
             {"max_iterations": 0},
+            {"max_iterations": -5},
         ],
     )
     def test_validation(self, kwargs):
         with pytest.raises(ConfigurationError):
             SolverSettings(**kwargs)
+
+    def test_boundary_damping_accepted(self):
+        """damping = 1.0 (no under-relaxation) is a legal setting."""
+        s = SolverSettings(damping=1.0)
+        res = FixedPointSolver(s).solve(lambda x: 0.5 * x + 10, 0.0)
+        assert res.converged
+        assert res.value == pytest.approx(20.0, abs=1e-6)
 
 
 class TestSolve:
@@ -72,3 +82,73 @@ class TestSolve:
     def test_nan_is_saturation(self):
         res = FixedPointSolver().solve(lambda x: math.nan, 1.0)
         assert res.saturated
+
+
+class TestDivergenceThresholdBoundary:
+    """Saturation (divergence) vs ConvergenceError classification."""
+
+    def test_crossing_threshold_mid_iteration_saturates(self):
+        """An iterate that exceeds the threshold stops the solve at once."""
+        settings = SolverSettings(
+            damping=1.0, max_iterations=10_000, divergence_threshold=100.0
+        )
+        res = FixedPointSolver(settings).solve(lambda x: 2.0 * x + 1.0, 1.0)
+        assert res.saturated
+        assert not res.converged
+        assert math.isinf(res.value)
+        assert res.iterations < 100  # long before max_iterations
+
+    def test_iterates_just_below_threshold_raise(self):
+        """A non-converging orbit that stays far below half the threshold
+        is numerical failure, not saturation."""
+        settings = SolverSettings(
+            damping=1.0, max_iterations=60, divergence_threshold=1e6
+        )
+        with pytest.raises(ConvergenceError):
+            FixedPointSolver(settings).solve(lambda x: 10.0 - x, 2.0)
+
+    def test_slow_growth_ending_above_half_threshold_saturates(self):
+        """Running out of iterations while trending upwards past half the
+        threshold is classified as saturation (legitimate model output)."""
+        settings = SolverSettings(
+            damping=1.0, max_iterations=40, divergence_threshold=1e4
+        )
+        # Growth factor chosen so 40 iterations end in (0.5, 1.0) x threshold.
+        res = FixedPointSolver(settings).solve(lambda x: 1.24 * x, 1.0)
+        assert res.saturated
+        assert math.isinf(res.value)
+        assert res.iterations == 40
+
+
+class TestNonFiniteMidIteration:
+    """f may leave the stable region after several finite iterates."""
+
+    @pytest.mark.parametrize("bad", [math.inf, math.nan, -math.inf])
+    def test_non_finite_after_finite_prefix(self, bad):
+        calls = {"n": 0}
+
+        def f(x):
+            calls["n"] += 1
+            if calls["n"] >= 5:
+                return bad
+            return 0.9 * x + 1.0
+
+        res = FixedPointSolver().solve(f, 1.0)
+        assert res.saturated
+        assert not res.converged
+        assert res.iterations == 5
+        assert math.isinf(res.value)
+        assert math.isinf(res.residual)
+
+    def test_finite_recovery_never_consulted_after_abort(self):
+        """The solver stops at the first non-finite value — f is not
+        called again even if it would return finite numbers later."""
+        calls = {"n": 0}
+
+        def f(x):
+            calls["n"] += 1
+            return math.inf if calls["n"] == 3 else 0.5 * x + 1.0
+
+        res = FixedPointSolver().solve(f, 0.0)
+        assert res.saturated
+        assert calls["n"] == 3

@@ -1,0 +1,336 @@
+"""Backend registry and object/array equivalence tests.
+
+The equivalence contract (docs/simulation.md): the object engine is the
+bit-reproducible reference; the array backend must agree statistically —
+overlapping 95% confidence intervals over a common set of seeds — for
+every workload, and a batched run must reproduce each replication's
+single-run result exactly.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.routing import EnhancedNbc, make_algorithm
+from repro.simulation import (
+    ArraySimulator,
+    SimSpec,
+    SimulationConfig,
+    available_engines,
+    make_simulator,
+    simulate,
+    simulate_batch,
+    summarize_batch,
+)
+from repro.simulation import engine as engine_mod
+from repro.simulation.ckernel import load_kernel
+from repro.utils.exceptions import ConfigurationError
+
+
+def small_config(**overrides):
+    base = dict(
+        message_length=16,
+        generation_rate=0.004,
+        total_vcs=5,
+        warmup_cycles=300,
+        measure_cycles=1_500,
+        drain_cycles=2_500,
+        seed=7,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+def result_key(res):
+    """Every deterministic headline number of a run."""
+    return (
+        res.mean_latency,
+        res.mean_network_latency,
+        res.mean_source_wait,
+        res.messages_measured,
+        res.messages_generated,
+        res.messages_completed,
+        res.accepted_rate,
+        res.mean_multiplexing,
+        res.channel_utilization,
+        res.cycles_run,
+        res.backlog,
+    )
+
+
+class TestRegistry:
+    def test_available_engines(self):
+        assert available_engines() == ("array", "object")
+
+    def test_make_simulator_types(self, star4):
+        cfg = small_config()
+        assert isinstance(
+            make_simulator(star4, EnhancedNbc(), cfg), engine_mod.WormholeSimulator
+        )
+        assert isinstance(
+            make_simulator(star4, EnhancedNbc(), cfg, engine="array"), ArraySimulator
+        )
+
+    def test_config_engine_field_dispatches(self, star4):
+        cfg = small_config(engine="array")
+        sim = make_simulator(star4, EnhancedNbc(), cfg)
+        assert isinstance(sim, ArraySimulator)
+
+    def test_unknown_engine_rejected(self, star4):
+        with pytest.raises(ConfigurationError, match="engine"):
+            simulate(star4, EnhancedNbc(), small_config(), engine="gpu")
+        with pytest.raises(ConfigurationError, match="engine"):
+            SimulationConfig(engine="gpu")
+
+    def test_object_dispatch_is_bit_identical_to_engine(self, star4):
+        """backends.simulate must not perturb the reference path."""
+        cfg = small_config()
+        assert result_key(simulate(star4, EnhancedNbc(), cfg)) == result_key(
+            engine_mod.simulate(star4, EnhancedNbc(), cfg)
+        )
+
+    def test_simspec_runs_configured_engine(self):
+        spec = SimSpec.from_params(
+            {
+                "order": 3,
+                "engine": "array",
+                "message_length": 8,
+                "generation_rate": 0.002,
+                "warmup_cycles": 200,
+                "measure_cycles": 800,
+                "drain_cycles": 1_000,
+            }
+        )
+        res = spec.run()
+        assert res.messages_measured > 0
+        # engine is a config field, so campaign keys carry it explicitly
+        assert spec.to_params()["engine"] == "array"
+
+
+class TestArrayBackendBehaviour:
+    def test_conservation_and_release(self, star4):
+        cfg = small_config()
+        sim = ArraySimulator(star4, EnhancedNbc(), cfg)
+        (res,) = sim.run()
+        assert res.messages_measured > 0
+        assert not res.saturated
+        # the ownership bookkeeping is consistent; unmeasured drain-window
+        # messages may legitimately still be in flight
+        owned = int((sim.state.vc_owner >= 0).sum())
+        assert sim._busy_vcs == owned
+        assert int(sim.state.ch_busy.sum()) == owned
+        if all(f == 0 for f in sim._in_flight):
+            assert owned == 0
+
+    def test_determinism(self, star4):
+        cfg = small_config()
+        a = simulate(star4, EnhancedNbc(), cfg, engine="array")
+        b = simulate(star4, EnhancedNbc(), cfg, engine="array")
+        assert result_key(a) == result_key(b)
+
+    def test_latency_decomposition(self, star4):
+        res = simulate(star4, EnhancedNbc(), small_config(), engine="array")
+        assert res.mean_latency == pytest.approx(
+            res.mean_network_latency + res.mean_source_wait, abs=1e-9
+        )
+
+    def test_zero_load_floor(self, star4):
+        cfg = small_config(
+            generation_rate=0.0005, measure_cycles=12_000, drain_cycles=3_000
+        )
+        res = simulate(star4, EnhancedNbc(), cfg, engine="array")
+        floor = 16 + star4.average_distance()
+        assert res.mean_latency == pytest.approx(floor + 1.5, abs=1.0)
+
+    @pytest.mark.parametrize("name", ["greedy", "nhop", "nbc", "enhanced_nbc"])
+    def test_all_algorithms_run(self, star4, name):
+        res = simulate(star4, make_algorithm(name), small_config(), engine="array")
+        assert res.messages_measured > 0
+        assert math.isfinite(res.mean_latency)
+
+    def test_hypercube(self, cube4):
+        res = simulate(cube4, EnhancedNbc(), small_config(), engine="array")
+        assert res.messages_measured > 0
+        assert not res.saturated
+
+    def test_single_flit_messages(self, star4):
+        cfg = small_config(message_length=1, generation_rate=0.002)
+        res = simulate(star4, EnhancedNbc(), cfg, engine="array")
+        assert res.messages_measured > 0
+        floor = 1 + star4.average_distance()
+        assert res.mean_latency == pytest.approx(floor + 1.5, abs=1.5)
+
+    def test_knobs(self, star4):
+        deep = simulate(star4, EnhancedNbc(), small_config(), engine="array")
+        shallow = simulate(
+            star4, EnhancedNbc(), small_config(buffer_depth=1), engine="array"
+        )
+        assert shallow.mean_latency > deep.mean_latency
+        limited = simulate(
+            star4, EnhancedNbc(), small_config(ejection_rate=1), engine="array"
+        )
+        assert limited.messages_measured > 0
+        one_slot = simulate(
+            star4,
+            EnhancedNbc(),
+            small_config(generation_rate=0.008, injection_slots=1),
+            engine="array",
+        )
+        many = simulate(
+            star4, EnhancedNbc(), small_config(generation_rate=0.008), engine="array"
+        )
+        assert one_slot.mean_source_wait >= many.mean_source_wait
+
+    def test_workloads_run(self, star4):
+        for workload in ("hotspot(fraction=0.2)", "uniform+onoff(duty=0.5,burst=4)"):
+            res = simulate(
+                star4, EnhancedNbc(), small_config(workload=workload), engine="array"
+            )
+            assert res.messages_measured > 0
+
+    def test_saturation_detection(self, star4):
+        cfg = small_config(
+            generation_rate=0.12,
+            message_length=24,
+            warmup_cycles=300,
+            measure_cycles=2_000,
+            drain_cycles=500,
+        )
+        res = simulate(star4, EnhancedNbc(), cfg, engine="array")
+        assert res.saturated
+        assert res.backlog > 0
+
+    def test_generation_matches_object_per_seed(self, star4):
+        """Workload draws are a pure function of the seed on both backends."""
+        cfg = small_config(seed=13)
+        obj = simulate(star4, EnhancedNbc(), cfg)
+        arr = simulate(star4, EnhancedNbc(), cfg, engine="array")
+        assert obj.messages_generated == arr.messages_generated
+
+    def test_oversized_configuration_rejected(self, star4):
+        with pytest.raises(ConfigurationError, match="total_vcs"):
+            ArraySimulator(star4, EnhancedNbc(), small_config(total_vcs=16))
+
+
+class TestBatchedReplications:
+    def test_batch_matches_single_runs(self, star4):
+        """Batching is invisible: replication i depends only on seeds[i].
+
+        Event sequences are identical; the only admissible difference is
+        floating-point summation order in the latency accumulators (the
+        order messages of *different* replications complete within one
+        cycle), so float fields are compared to round-off.
+        """
+        cfg = small_config()
+        batch = simulate_batch(star4, EnhancedNbc(), cfg, 3, seeds=(7, 8, 9),
+                               engine="array")
+        for seed, res in zip((7, 8, 9), batch):
+            single = simulate(
+                star4, EnhancedNbc(), cfg.with_seed(seed), engine="array"
+            )
+            assert res.mean_latency == pytest.approx(single.mean_latency, rel=1e-12)
+            assert res.mean_source_wait == pytest.approx(
+                single.mean_source_wait, rel=1e-12
+            )
+            assert res.messages_generated == single.messages_generated
+            assert res.messages_completed == single.messages_completed
+            assert res.messages_measured == single.messages_measured
+            assert res.cycles_run == single.cycles_run
+            assert res.backlog == single.backlog
+            assert res.channel_utilization == single.channel_utilization
+            assert res.accepted_rate == single.accepted_rate
+            # a replication stops sampling at its own stop cycle, so its
+            # multiplexing estimate must not see batch companions
+            assert res.mean_multiplexing == single.mean_multiplexing
+
+    def test_default_seed_ladder(self, star4):
+        cfg = small_config(seed=20)
+        batch = simulate_batch(star4, EnhancedNbc(), cfg, 2, engine="array")
+        assert result_key(batch[0]) != result_key(batch[1])
+
+    def test_object_batch(self, star4):
+        cfg = small_config()
+        batch = simulate_batch(star4, EnhancedNbc(), cfg, 2, engine="object")
+        assert result_key(batch[0]) == result_key(
+            simulate(star4, EnhancedNbc(), cfg.with_seed(7))
+        )
+
+    def test_seed_count_mismatch(self, star4):
+        with pytest.raises(ConfigurationError, match="seeds"):
+            simulate_batch(star4, EnhancedNbc(), small_config(), 3, seeds=(1, 2))
+
+    def test_summarize_batch(self, star4):
+        cfg = small_config()
+        batch = simulate_batch(star4, EnhancedNbc(), cfg, 4, engine="array")
+        row = summarize_batch(batch)
+        assert row["replications"] == 4
+        means = [r.mean_latency for r in batch]
+        assert row["mean_latency"] == pytest.approx(np.mean(means), abs=1e-3)
+        assert row["latency_ci"] > 0
+        assert not row["any_saturated"]
+
+
+@pytest.mark.skipif(load_kernel() is None, reason="no C compiler available")
+class TestCompiledKernel:
+    def test_c_path_bit_identical_to_numpy_path(self, star4):
+        """The compiled kernel is a pure accelerator of the numpy passes."""
+        cfg = small_config(generation_rate=0.01)
+        fast = ArraySimulator(star4, EnhancedNbc(), cfg, seeds=(1, 2, 3))
+        assert fast._ck is not None
+        fallback = ArraySimulator(star4, EnhancedNbc(), cfg, seeds=(1, 2, 3))
+        fallback._ck = None
+        for a, b in zip(fast.run(), fallback.run()):
+            assert result_key(a) == result_key(b)
+
+
+class TestStatisticalEquivalence:
+    """Acceptance: overlapping 95% CIs on S3/S4 for the three workloads."""
+
+    SEEDS = (0, 1, 2, 3, 4)
+
+    @staticmethod
+    def _ci(means):
+        mu = float(np.mean(means))
+        half = 1.96 * float(np.std(means, ddof=1)) / math.sqrt(len(means))
+        return mu - half, mu + half
+
+    def run_both(self, topology, cfg):
+        obj = simulate_batch(
+            topology, EnhancedNbc(), cfg, len(self.SEEDS), seeds=self.SEEDS,
+            engine="object",
+        )
+        arr = simulate_batch(
+            topology, EnhancedNbc(), cfg, len(self.SEEDS), seeds=self.SEEDS,
+            engine="array",
+        )
+        lo_o, hi_o = self._ci([r.mean_latency for r in obj])
+        lo_a, hi_a = self._ci([r.mean_latency for r in arr])
+        assert lo_o <= hi_a and lo_a <= hi_o, (
+            f"object CI [{lo_o:.2f}, {hi_o:.2f}] and array CI "
+            f"[{lo_a:.2f}, {hi_a:.2f}] do not overlap"
+        )
+
+    @pytest.mark.parametrize(
+        "workload",
+        ["uniform", "hotspot(fraction=0.1)", "uniform+onoff(duty=0.5,burst=4)"],
+    )
+    def test_star3(self, star3, workload):
+        cfg = small_config(
+            message_length=8,
+            total_vcs=4,
+            generation_rate=0.01,
+            workload=None if workload == "uniform" else workload,
+        )
+        self.run_both(star3, cfg)
+
+    @pytest.mark.parametrize(
+        "workload",
+        ["uniform", "hotspot(fraction=0.1)", "uniform+onoff(duty=0.5,burst=4)"],
+    )
+    def test_star4(self, star4, workload):
+        cfg = small_config(
+            generation_rate=0.006,
+            workload=None if workload == "uniform" else workload,
+        )
+        self.run_both(star4, cfg)

@@ -2,6 +2,8 @@
 
 import math
 
+import numpy as np
+
 import pytest
 
 from repro.simulation.metrics import ChannelLoadSampler, LatencyAccumulator
@@ -75,3 +77,55 @@ class TestChannelLoadSampler:
         s.sample([2])
         # E[v^2]/E[v] over samples {1,3,2}: (1+9+4)/(1+3+2)
         assert s.multiplexing_degree == pytest.approx(14 / 6)
+
+
+class TestBatchConsumption:
+    """Array-backend interfaces: accumulators consuming whole batches."""
+
+    def test_add_batch_matches_sequential_adds(self):
+        rng = np.random.default_rng(3)
+        t = rng.uniform(0, 100, size=200)
+        v = rng.uniform(1, 50, size=200)
+        one = LatencyAccumulator(batches=8, t_start=0, t_end=100)
+        for ti, vi in zip(t, v):
+            one.add(ti, vi)
+        many = LatencyAccumulator(batches=8, t_start=0, t_end=100)
+        many.add_batch(t, v)
+        assert many.count == one.count
+        assert many.mean == pytest.approx(one.mean, rel=1e-12)
+        assert many.std == pytest.approx(one.std, rel=1e-12)
+        assert many.batch_means() == pytest.approx(one.batch_means(), rel=1e-12)
+        assert many.ci_halfwidth() == pytest.approx(one.ci_halfwidth(), rel=1e-12)
+
+    def test_add_batch_small_and_empty(self):
+        acc = LatencyAccumulator(batches=4, t_start=0, t_end=10)
+        acc.add_batch([], [])
+        assert acc.count == 0
+        acc.add_batch([1.0, 9.0], [2.0, 4.0])  # takes the scalar fast path
+        assert acc.count == 2
+        assert acc.mean == pytest.approx(3.0)
+        assert acc.batch_means() == [2.0, 4.0]
+
+    def test_add_batch_clamps_out_of_window_times(self):
+        acc = LatencyAccumulator(batches=2, t_start=0, t_end=10)
+        times = np.array([-5.0, 1.0, 25.0] * 4)  # > 8 values: vector path
+        values = np.array([1.0, 2.0, 3.0] * 4)
+        acc.add_batch(times, values)
+        assert acc.count == 12
+        assert acc.batch_means() == pytest.approx([1.5, 3.0])
+
+    def test_sample_counts_matches_sample(self):
+        a = ChannelLoadSampler(6)
+        b = ChannelLoadSampler(6)
+        dense = np.array([0, 2, 0, 1, 3, 0])
+        a.sample([2, 1, 3])  # busy channels only, object-engine style
+        b.sample_counts(dense)
+        assert a.multiplexing_degree == b.multiplexing_degree
+        assert a.mean_busy_vcs == b.mean_busy_vcs
+        assert a._busy_channel_samples == b._busy_channel_samples
+
+    def test_sample_counts_idle_snapshot(self):
+        s = ChannelLoadSampler(4)
+        s.sample_counts(np.zeros(4, dtype=int))
+        assert s.multiplexing_degree == 1.0
+        assert s.mean_busy_vcs == 0.0

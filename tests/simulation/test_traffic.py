@@ -1,18 +1,64 @@
-"""Tests for traffic patterns and the Poisson source."""
+"""Tests for traffic patterns and the Poisson source.
+
+The implementations live in :mod:`repro.workloads` (spatial/temporal);
+:mod:`repro.simulation.traffic` only re-exports them as deprecated
+aliases, which TestDeprecatedShim covers explicitly.
+"""
 
 import collections
+import warnings
 
 import numpy as np
 import pytest
 
-from repro.simulation.traffic import (
-    HotspotTraffic,
-    PermutationTraffic,
-    PoissonSource,
-    UniformTraffic,
-    make_traffic,
+from repro.workloads.spatial import (
+    HotspotSpatial as HotspotTraffic,
+    PermutationSpatial as PermutationTraffic,
+    UniformSpatial as UniformTraffic,
 )
+from repro.workloads.temporal import PoissonProcess as PoissonSource
 from repro.utils.exceptions import ConfigurationError
+
+
+def make_traffic(name, num_nodes, **kwargs):
+    """The deprecated shim, with its warning silenced for reuse below."""
+    from repro.simulation import traffic
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return traffic.make_traffic(name, num_nodes, **kwargs)
+
+
+class TestDeprecatedShim:
+    def test_alias_import_warns(self):
+        import repro.simulation.traffic as shim
+
+        with pytest.warns(DeprecationWarning, match="PoissonSource is deprecated"):
+            assert shim.PoissonSource is PoissonSource
+        with pytest.warns(DeprecationWarning, match="UniformTraffic"):
+            assert shim.UniformTraffic is UniformTraffic
+        with pytest.warns(DeprecationWarning, match="TrafficPattern"):
+            shim.TrafficPattern  # noqa: B018 - attribute access is the point
+
+    def test_make_traffic_warns_and_forwards(self):
+        from repro.simulation import traffic
+
+        with pytest.warns(DeprecationWarning, match="make_traffic is deprecated"):
+            t = traffic.make_traffic("hotspot", 8, hotspot=3, fraction=0.5)
+        assert isinstance(t, HotspotTraffic)
+        assert t.hotspot == 3 and t.fraction == 0.5
+
+    def test_package_level_alias_warns(self):
+        import repro.simulation as simulation
+
+        with pytest.warns(DeprecationWarning, match="make_traffic"):
+            simulation.make_traffic("uniform", 8)
+
+    def test_unknown_attribute_raises(self):
+        import repro.simulation.traffic as shim
+
+        with pytest.raises(AttributeError):
+            shim.NoSuchPattern
 
 
 class TestPoissonSource:

@@ -3,9 +3,13 @@
 import pytest
 
 from repro.routing import EnhancedNbc
-from repro.simulation import SimulationConfig, WormholeSimulator, simulate
+from repro.simulation import (
+    ArraySimulator,
+    SimulationConfig,
+    WormholeSimulator,
+    simulate,
+)
 from repro.simulation import engine as engine_mod
-from repro.topology import StarGraph
 from repro.utils.exceptions import SimulationError
 
 
@@ -96,6 +100,74 @@ class TestConfigurableGrace:
 
         with pytest.raises(ConfigurationError, match="watchdog_grace"):
             SimulationConfig(watchdog_grace=0)
+
+
+class TestWatchdogBackendParity:
+    """The watchdog must fire identically on both backends (PR 3)."""
+
+    @staticmethod
+    def _wedged_config(**overrides):
+        base = dict(
+            message_length=4,
+            generation_rate=0.05,
+            total_vcs=6,
+            warmup_cycles=10,
+            measure_cycles=100,
+            drain_cycles=100_000,
+            seed=0,
+            watchdog_grace=150,
+        )
+        base.update(overrides)
+        return SimulationConfig(**base)
+
+    def test_deadlock_fires_on_both_backends(self, star4):
+        """Wedged allocation (no header ever gets a VC) must trip both
+        engines' watchdogs with the same configured grace."""
+        cfg = self._wedged_config()
+
+        obj = WormholeSimulator(star4, EnhancedNbc(), cfg)
+        obj._choose_vc = lambda msg: None
+        with pytest.raises(SimulationError, match="no progress for 150 cycles"):
+            obj.run()
+
+        arr = ArraySimulator(star4, EnhancedNbc(), cfg)
+        arr._choose_vc = lambda rep, slot: None
+        with pytest.raises(SimulationError, match="no progress for 150 cycles"):
+            arr.run()
+
+    def test_fire_cycles_agree(self, star4):
+        """Generation is seed-identical across backends, so the stall
+        starts at the same cycle; the array backend checks on a 32-cycle
+        cadence, so its report may trail by at most that granularity."""
+        cfg = self._wedged_config()
+        cycles = {}
+        for name, sim, wedge in (
+            ("object", WormholeSimulator(star4, EnhancedNbc(), cfg), "msg"),
+            ("array", ArraySimulator(star4, EnhancedNbc(), cfg), "rep"),
+        ):
+            if wedge == "msg":
+                sim._choose_vc = lambda msg: None
+            else:
+                sim._choose_vc = lambda rep, slot: None
+            with pytest.raises(SimulationError) as err:
+                sim.run()
+            cycles[name] = int(str(err.value).split("at cycle ")[1].split()[0])
+        assert cycles["object"] <= cycles["array"] <= cycles["object"] + 32
+
+    def test_module_default_governs_both(self, star4, monkeypatch):
+        monkeypatch.setattr(engine_mod, "_WATCHDOG_GRACE", 200)
+        cfg = self._wedged_config(watchdog_grace=None)
+        arr = ArraySimulator(star4, EnhancedNbc(), cfg)
+        arr._choose_vc = lambda rep, slot: None
+        with pytest.raises(SimulationError, match="no progress for 200 cycles"):
+            arr.run()
+
+    def test_quiet_on_healthy_batch(self, star4):
+        cfg = self._wedged_config(
+            generation_rate=0.01, drain_cycles=1_000, watchdog_grace=200
+        )
+        results = ArraySimulator(star4, EnhancedNbc(), cfg, seeds=(0, 1)).run()
+        assert all(r.messages_completed > 0 for r in results)
 
 
 class TestSmallWorms:
