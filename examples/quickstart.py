@@ -1,52 +1,49 @@
 #!/usr/bin/env python
 """Quickstart: predict star-network latency and validate by simulation.
 
-Builds the paper's analytical model for the 120-node 5-star with V = 6
-virtual channels and M = 32-flit messages, predicts the mean message
-latency at a moderate load, then runs the flit-level simulator at the
-same operating point and compares.
+Describes the paper's 120-node 5-star (V = 6 virtual channels, M = 32
+flit messages) as one :class:`repro.Scenario`, predicts the mean message
+latency at a moderate load with the analytical model, then runs the
+flit-level simulator at the same operating point — both through the same
+facade — and compares the uniform ResultSet rows.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import EnhancedNbc, SimulationConfig, StarGraph, StarLatencyModel, simulate
+from repro import Scenario, StarGraph
 
 
 def main() -> None:
-    n, message_length, total_vcs = 5, 32, 6
+    scenario = Scenario(order=5, message_length=32, total_vcs=6, seed=42)
 
     # --- the analytical model (the paper's contribution) ---------------
-    model = StarLatencyModel(n, message_length, total_vcs)
-    print(f"network        : S{n} ({StarGraph(n).num_nodes} nodes)")
+    model = scenario.build_model()
+    print(f"network        : S{scenario.order} ({StarGraph(scenario.order).num_nodes} nodes)")
     print(f"mean distance  : {model.mean_distance():.4f} hops (paper Eq. 2)")
     print(f"zero-load      : {model.zero_load_latency():.1f} cycles")
-    sat = model.saturation_rate()
+    sat = scenario.saturation_rate()
     print(f"saturation     : lambda_g ~ {sat:.5f} messages/node/cycle")
 
-    rate = round(0.5 * sat, 6)
-    predicted = model.evaluate(rate)
+    # One sweep, both provenances: the "model" pseudo-engine runs the
+    # analytical pipeline, "object" the flit-level simulator, and every
+    # row lands in the same schema-versioned ResultSet.
+    (rate,) = scenario.rate_ladder(fractions=(0.5,))
+    rows = scenario.sweep({"rate": (rate,), "engine": ("model", "object")})
+
+    predicted = rows.where(provenance="model")[0]
     print(f"\nat lambda_g = {rate} (half of saturation):")
     print(f"  model latency        : {predicted.latency:8.2f} cycles")
-    print(f"  network latency S̄    : {predicted.network_latency:8.2f}")
-    print(f"  source queueing W_s  : {predicted.source_wait:8.2f}")
-    print(f"  multiplexing V̄      : {predicted.multiplexing:8.3f}")
+    print(f"  network latency S̄    : {predicted.meta['network_latency']:8.2f}")
+    print(f"  source queueing W_s  : {predicted.meta['source_wait']:8.2f}")
+    print(f"  multiplexing V̄      : {predicted.meta['multiplexing']:8.3f}")
 
-    # --- flit-level simulation (the paper's validation) ----------------
-    config = SimulationConfig(
-        message_length=message_length,
-        generation_rate=rate,
-        total_vcs=total_vcs,
-        warmup_cycles=2_000,
-        measure_cycles=8_000,
-        drain_cycles=10_000,
-        seed=42,
-    )
-    result = simulate(StarGraph(n), EnhancedNbc(), config)
-    print(f"  simulated latency    : {result.mean_latency:8.2f} "
-          f"± {result.latency_ci:.2f} ({result.messages_measured} messages)")
+    simulated = rows.where(provenance="sim")[0]
+    print(f"  simulated latency    : {simulated.latency:8.2f} "
+          f"± {simulated.ci_halfwidth:.2f} "
+          f"({simulated.meta['messages_measured']} messages)")
 
-    err = abs(predicted.latency - result.mean_latency) / result.mean_latency
-    print(f"  model-vs-sim error   : {100 * err:8.1f}%")
+    comparison = rows.comparisons()["uniform"]
+    print(f"  model-vs-sim error   : {100 * comparison.mean_relative_error:8.1f}%")
 
 
 if __name__ == "__main__":

@@ -2,19 +2,19 @@
 """Workload study: how non-uniform and bursty traffic reshape latency.
 
 The paper's entire evaluation assumes uniform destinations and Poisson
-sources.  This walkthrough uses the workload subsystem to ask what the
-same 24-node 4-star does under a hotspot, a permutation, and a bursty
-on-off workload — first analytically (the non-uniform model extension),
-then validated against the flit-level simulator at one operating point
-per workload.
+sources.  This walkthrough describes the same 24-node 4-star under a
+hotspot, a permutation, and a bursty on-off workload as
+:class:`repro.Scenario` facades — first asking the analytical model
+(the non-uniform extension) for saturation and half-load latency, then
+validating each scenario against the flit-level simulator at one
+operating point through ``Scenario.validate``.
 
 Run:  python examples/workloads_study.py
 """
 
-from repro import NonUniformLatencyModel, SimulationConfig, WorkloadSpec
-from repro.simulation import SimSpec
+from repro import Scenario
 
-ORDER, MESSAGE_LENGTH, TOTAL_VCS = 4, 16, 5
+BASE = Scenario(order=4, message_length=16, total_vcs=5)
 
 WORKLOADS = [
     "uniform",
@@ -27,45 +27,36 @@ WORKLOADS = [
 
 
 def main() -> None:
-    print(f"S{ORDER} (24 nodes), M={MESSAGE_LENGTH} flits, V={TOTAL_VCS} VCs\n")
+    print(f"S{BASE.order} (24 nodes), M={BASE.message_length} flits, V={BASE.total_vcs} VCs\n")
 
     # --- analytical: saturation and half-load latency per workload -----
     print(f"{'workload':44s} {'saturation':>10s} {'latency@half':>12s} {'peak/mean':>9s}")
-    models: dict[str, NonUniformLatencyModel] = {}
+    scenarios: list[Scenario] = []
     for workload in WORKLOADS:
-        model = NonUniformLatencyModel(
-            ORDER, MESSAGE_LENGTH, TOTAL_VCS, workload=workload
-        )
-        models[workload] = model
+        scenario = BASE.replace(workload=workload)
+        scenarios.append(scenario)
+        model = scenario.build_model()
         sat = model.saturation_rate()
-        half = model.evaluate(0.5 * sat)
-        skew = model.peak_channel_rate(1.0) / model.channel_rate(1.0)
-        print(
-            f"{WorkloadSpec.parse(workload).canonical:44s} {sat:10.5f} "
-            f"{half.latency:12.2f} {skew:9.2f}"
+        half = scenario.model(0.5 * sat)[0]
+        # Uniform scenarios build the paper's closed-form pipeline, which
+        # has no channel-rate profile — its skew is 1 by definition.
+        skew = (
+            model.peak_channel_rate(1.0) / model.channel_rate(1.0)
+            if hasattr(model, "peak_channel_rate")
+            else 1.0
         )
+        print(f"{scenario.workload:44s} {sat:10.5f} {half.latency:12.2f} {skew:9.2f}")
 
     # --- validation: model vs simulator at 40% of each saturation ------
     print("\nmodel vs simulator at 40% of each workload's saturation:")
-    for workload, model in models.items():
-        rate = round(0.4 * model.saturation_rate(), 6)
-        predicted = model.evaluate(rate)
-        config = SimulationConfig(
-            message_length=MESSAGE_LENGTH,
-            generation_rate=rate,
-            total_vcs=TOTAL_VCS,
-            warmup_cycles=2_000,
-            measure_cycles=8_000,
-            drain_cycles=10_000,
-            workload=workload,
-            seed=0,
-        )
-        sim = SimSpec(topology="star", order=ORDER, config=config).run()
-        err = abs(predicted.latency - sim.mean_latency) / sim.mean_latency
+    for scenario in scenarios:
+        rows = scenario.validate(load_fractions=(0.4,))
+        comparison = rows.comparisons()[scenario.workload]
+        point = comparison.points[0]
         print(
-            f"  {WorkloadSpec.parse(workload).canonical:42s} rate={rate:<9g} "
-            f"model={predicted.latency:7.2f}  sim={sim.mean_latency:7.2f}  "
-            f"err={100 * err:5.1f}%"
+            f"  {scenario.workload:42s} rate={point.generation_rate:<9g} "
+            f"model={point.model_latency:7.2f}  sim={point.sim_latency:7.2f}  "
+            f"err={100 * point.relative_error:5.1f}%"
         )
 
     print(

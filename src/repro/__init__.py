@@ -4,21 +4,29 @@ star interconnection network*.
 
 Public entry points:
 
+* :class:`repro.api.Scenario` — the typed facade: one description of a
+  network under a workload, dispatching onto model, simulator, campaign
+  sweeps and validation, every path returning a schema-versioned
+  :class:`repro.api.ResultSet` (see ``docs/api.md``);
 * :class:`repro.core.StarLatencyModel` — the paper's analytical model;
 * :func:`repro.simulation.simulate` — the flit-level validation simulator;
 * :class:`repro.topology.StarGraph` — the star interconnection network;
 * :mod:`repro.experiments` — regenerates every figure/table of the paper.
 """
 
+from repro.api import ResultRow, ResultSet, Scenario
 from repro.core import ModelResult, NonUniformLatencyModel, StarLatencyModel
 from repro.routing import EnhancedNbc, GreedyDeterministic, Nbc, NegativeHop, make_algorithm
 from repro.simulation import SimulationConfig, SimulationResult, simulate
 from repro.topology import Hypercube, StarGraph
 from repro.workloads import WorkloadSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Scenario",
+    "ResultRow",
+    "ResultSet",
     "StarLatencyModel",
     "NonUniformLatencyModel",
     "WorkloadSpec",

@@ -1,0 +1,28 @@
+"""Unified Scenario API — one typed facade over model, simulator,
+campaigns and validation.
+
+>>> from repro.api import Scenario
+>>> s = Scenario(order=4, message_length=16, total_vcs=5)
+>>> rows = s.sweep({"rate": s.rate_ladder(), "engine": ("model", "object")})
+>>> rows.comparisons()["uniform"].mean_relative_error  # doctest: +SKIP
+
+See ``docs/api.md`` for the full tour and the ResultSet schema policy.
+"""
+
+from repro.api.convert import row_from_unit
+from repro.api.quality import QUALITY_WINDOWS, quality_windows, sim_quality_config
+from repro.api.results import PROVENANCES, SCHEMA_VERSION, ResultRow, ResultSet
+from repro.api.scenario import Scenario, run_units
+
+__all__ = [
+    "Scenario",
+    "ResultRow",
+    "ResultSet",
+    "SCHEMA_VERSION",
+    "PROVENANCES",
+    "row_from_unit",
+    "run_units",
+    "QUALITY_WINDOWS",
+    "quality_windows",
+    "sim_quality_config",
+]

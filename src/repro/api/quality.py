@@ -1,0 +1,65 @@
+"""Simulation window presets shared by every facade entry point.
+
+Historically these lived in :mod:`repro.experiments.figure1`; they moved
+here so the :class:`~repro.api.scenario.Scenario` facade, the validation
+layer and the CLI all draw the same windows from one table (figure1
+re-exports :func:`sim_quality_config` for backwards compatibility).
+"""
+
+from __future__ import annotations
+
+from repro.simulation.config import SimulationConfig
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["QUALITY_WINDOWS", "quality_windows", "quality_for_windows", "sim_quality_config"]
+
+#: Preset name -> (warmup, measure, drain) cycle windows.  ``quick`` is
+#: the CI/benchmark default, ``full`` the publication-quality window.
+QUALITY_WINDOWS: dict[str, dict[str, int]] = {
+    "smoke": dict(warmup_cycles=1_000, measure_cycles=3_000, drain_cycles=4_000),
+    "quick": dict(warmup_cycles=2_500, measure_cycles=8_000, drain_cycles=10_000),
+    "full": dict(warmup_cycles=6_000, measure_cycles=24_000, drain_cycles=30_000),
+}
+
+
+def quality_windows(quality: str) -> dict[str, int]:
+    """The cycle windows of a named preset (copy, safe to mutate)."""
+    try:
+        return dict(QUALITY_WINDOWS[quality])
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown quality {quality!r}; expected one of {sorted(QUALITY_WINDOWS)}"
+        ) from None
+
+
+def quality_for_windows(
+    warmup_cycles: int, measure_cycles: int, drain_cycles: int
+) -> str | None:
+    """Preset name matching the given windows exactly, or None."""
+    windows = dict(
+        warmup_cycles=warmup_cycles,
+        measure_cycles=measure_cycles,
+        drain_cycles=drain_cycles,
+    )
+    for name, preset in QUALITY_WINDOWS.items():
+        if preset == windows:
+            return name
+    return None
+
+
+def sim_quality_config(
+    quality: str,
+    *,
+    message_length: int,
+    generation_rate: float,
+    total_vcs: int,
+    seed: int = 0,
+) -> SimulationConfig:
+    """Simulation window preset (``smoke`` / ``quick`` / ``full``)."""
+    return SimulationConfig(
+        message_length=message_length,
+        generation_rate=generation_rate,
+        total_vcs=total_vcs,
+        seed=seed,
+        **quality_windows(quality),
+    )

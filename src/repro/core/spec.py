@@ -109,6 +109,16 @@ class ModelSpec:
             raise ConfigurationError(f"unknown ModelSpec parameters: {sorted(unknown)}")
         return cls(**dict(params))
 
+    def scenario(self, **extra):
+        """The :class:`~repro.api.scenario.Scenario` this spec describes.
+
+        ``extra`` sets sim-side scenario fields (quality, engine, seed,
+        ...) that a model spec does not carry.
+        """
+        from repro.api.scenario import Scenario
+
+        return Scenario.from_model_spec(self, **extra)
+
     # -- materialisation -------------------------------------------------
 
     def solver_settings(self) -> SolverSettings:

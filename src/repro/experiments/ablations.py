@@ -16,23 +16,22 @@ These are the supporting experiments DESIGN.md commits to:
   Eq. (6) terms.
 
 Every study expands its operating points into campaign work units and
-executes them through :func:`repro.campaign.runner.run_campaign` — the
-one code path shared with ``figure1``, ``scale`` and the ``starnet
-campaign`` CLI — so each accepts ``workers`` for process-pool fan-out.
+executes them through the Scenario facade's
+:func:`~repro.api.scenario.run_units` funnel — the one code path shared
+with ``figure1``, ``scale`` and the ``starnet campaign`` CLI — so each
+accepts ``workers`` for process-pool fan-out.
 """
 
 from __future__ import annotations
 
 import math
 
+from repro.api.scenario import Scenario, run_units
 from repro.campaign.grid import WorkUnit
-from repro.campaign.runner import run_campaign
 from repro.core.blocking import BlockingVariant
 from repro.core.model import HypercubeLatencyModel, StarLatencyModel
-from repro.core.spec import ModelSpec
 from repro.experiments.records import ExperimentRecord
 from repro.routing.vc_classes import VcConfig
-from repro.simulation import SimSpec, SimulationConfig
 from repro.topology.hypercube import Hypercube, equivalent_hypercube_dimension
 
 __all__ = [
@@ -57,21 +56,18 @@ def _sim_unit(
     seed: int,
 ) -> WorkUnit:
     warmup, measure, drain = quality_windows
-    spec = SimSpec(
+    scenario = Scenario(
         topology=topology,
         order=order,
         algorithm=algorithm,
-        config=SimulationConfig(
-            message_length=message_length,
-            generation_rate=generation_rate,
-            total_vcs=total_vcs,
-            warmup_cycles=warmup,
-            measure_cycles=measure,
-            drain_cycles=drain,
-            seed=seed,
-        ),
+        message_length=message_length,
+        total_vcs=total_vcs,
+        warmup_cycles=warmup,
+        measure_cycles=measure,
+        drain_cycles=drain,
+        seed=seed,
     )
-    return WorkUnit(kind="sim", params=spec.to_params())
+    return scenario.sim_unit(generation_rate)
 
 
 def blocking_variant_study(
@@ -93,14 +89,14 @@ def blocking_variant_study(
     units = []
     for r in rates:
         for variant in ("exact", "paper"):
-            spec = ModelSpec(
+            scenario = Scenario(
                 order=n,
                 message_length=message_length,
                 total_vcs=total_vcs,
                 variant=variant,
             )
-            units.append(WorkUnit(kind="model", params={**spec.to_params(), "rate": r}))
-    results = run_campaign(units, workers=workers).results
+            units.append(scenario.model_unit(r))
+    results = run_units(units, workers=workers).results
     for i, r in enumerate(rates):
         re_, rp = results[2 * i], results[2 * i + 1]
         rec.add_row(
@@ -142,7 +138,7 @@ def routing_comparison(
         for rate in rates
         for name in algorithms
     ]
-    results = run_campaign(units, workers=workers).results
+    results = run_units(units, workers=workers).results
     it = iter(results)
     for rate in rates:
         row: dict = {"rate": rate}
@@ -181,17 +177,15 @@ def vc_split_study(
     units = []
     for escape in range(min_escape, total_vcs + 1):
         cfg = VcConfig(num_adaptive=total_vcs - escape, num_escape=escape)
-        spec = ModelSpec(
+        scenario = Scenario(
             order=n,
             message_length=message_length,
             total_vcs=total_vcs,
             num_adaptive=cfg.num_adaptive,
             num_escape=cfg.num_escape,
         )
-        units.append(
-            WorkUnit(kind="vc_split_point", params={**spec.to_params(), "rate": rate})
-        )
-    for row in run_campaign(units, workers=workers).results:
+        units.append(scenario.model_unit(rate, kind="vc_split_point"))
+    for row in run_units(units, workers=workers).results:
         rec.add_row(**row)
     return rec
 
@@ -238,7 +232,7 @@ def star_vs_hypercube(
         for rate in rates
         for topology, order, _ in topologies
     ]
-    results = run_campaign(units, workers=workers).results
+    results = run_units(units, workers=workers).results
     it = iter(results)
     for rate in rates:
         row: dict = {"rate": rate}
@@ -287,20 +281,20 @@ def star_vs_hypercube_model(
     cube_sat = cube_model.saturation_rate()
     rec.params["star_saturation"] = star_sat
     rec.params["cube_saturation"] = cube_sat
-    star_base = ModelSpec(
+    star_scenario = Scenario(
         topology="star", order=n, message_length=message_length, total_vcs=star_vcs
-    ).to_params()
-    cube_base = ModelSpec(
+    )
+    cube_scenario = Scenario(
         topology="hypercube", order=k, message_length=message_length, total_vcs=cube_vcs
-    ).to_params()
+    )
     rates = [
         round(frac * min(star_sat, cube_sat), 6) for frac in (0.2, 0.4, 0.6, 0.8)
     ]
     units = []
     for rate in rates:
-        units.append(WorkUnit(kind="model", params={**star_base, "rate": rate}))
-        units.append(WorkUnit(kind="model", params={**cube_base, "rate": rate}))
-    results = run_campaign(units, workers=workers).results
+        units.append(star_scenario.model_unit(rate))
+        units.append(cube_scenario.model_unit(rate))
+    results = run_units(units, workers=workers).results
     for i, rate in enumerate(rates):
         s, c = results[2 * i], results[2 * i + 1]
         rec.add_row(
@@ -339,7 +333,7 @@ def blocking_profile_study(
         quality_windows=quality_windows,
         seed=seed,
     )
-    sim = run_campaign([unit], workers=workers).results[0]
+    sim = run_units([unit], workers=workers).results[0]
     model = StarLatencyModel(n, message_length, total_vcs)
     pred = model.evaluate(rate)
     from repro.core.occupancy import vc_occupancy

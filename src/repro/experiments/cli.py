@@ -17,11 +17,11 @@ from __future__ import annotations
 
 import argparse
 import sys
-from dataclasses import replace
 
+from repro.api.scenario import Scenario, run_units
 from repro.campaign.grid import GridSpec
 from repro.campaign.kinds import available_kinds
-from repro.campaign.runner import run_campaign, to_payload
+from repro.campaign.runner import to_payload
 from repro.experiments import ablations
 from repro.experiments.figure1 import FIGURE1_PANELS, panel_record, render_panel, reproduce_panel
 from repro.experiments.scale import scale_study
@@ -192,6 +192,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         help="fail (exit 1) when a workload's mean relative error exceeds this",
     )
+    val.add_argument(
+        "--replications",
+        type=int,
+        default=1,
+        metavar="R",
+        help="pool R sim replications per point (sim_batch units with an "
+        "across-replication CI) instead of one run",
+    )
+    val.add_argument(
+        "--hops",
+        action="store_true",
+        help="also print measured per-hop blocking next to the model's "
+        "P_block(k) prediction",
+    )
     return parser
 
 
@@ -225,6 +239,10 @@ def _campaign_table(result) -> str:
         row = dict(unit.params)
         if isinstance(payload, dict):
             for k, v in payload.items():
+                # Nested tables (e.g. pooled hop-blocking rows) don't
+                # fit a flat text column; the JSONL store keeps them.
+                if isinstance(v, (list, dict)):
+                    continue
                 row.setdefault(k, v)
         else:
             row["result"] = payload
@@ -245,7 +263,7 @@ def _run_campaign_command(args) -> int:
         print(f"starnet campaign: error: {exc}", file=sys.stderr)
         return 2
     units = grid.expand()
-    result = run_campaign(
+    result = run_units(
         units,
         workers=args.workers,
         store=args.out,
@@ -262,39 +280,29 @@ def _run_campaign_command(args) -> int:
 
 
 def _run_sim_command(args) -> int:
-    from repro.experiments.figure1 import sim_quality_config
-    from repro.simulation import SimSpec, summarize_batch
+    from repro.simulation import summarize_batch
 
     try:
         if args.replications < 1:
             raise ConfigurationError("--replications must be >= 1")
-        config = sim_quality_config(
-            args.quality,
-            message_length=args.message_length,
-            generation_rate=args.rate,
-            total_vcs=args.vcs,
-            seed=args.seed,
-        )
-        overrides = {
-            "workload": args.workload,
-            "engine": args.engine,
-            **{
-                key: value
-                for key, value in (
-                    ("warmup_cycles", args.warmup),
-                    ("measure_cycles", args.measure),
-                    ("drain_cycles", args.drain),
-                )
-                if value is not None
-            },
-        }
-        config = replace(config, **overrides)
-        spec = SimSpec(
+        # One declarative description of the run — the Scenario facade
+        # canonicalises the workload and builds the SimSpec.
+        scenario = Scenario(
             topology=args.topology,
             order=args.order,
             algorithm=args.algorithm,
-            config=config,
+            message_length=args.message_length,
+            total_vcs=args.vcs,
+            workload=args.workload,
+            quality=args.quality,
+            warmup_cycles=args.warmup,
+            measure_cycles=args.measure,
+            drain_cycles=args.drain,
+            engine=args.engine,
+            seed=args.seed,
         )
+        spec = scenario.sim_spec(args.rate)
+        config = spec.config
         # Topology/algorithm names only resolve when the spec is built,
         # so run() failures are configuration errors too.
         if args.replications == 1:
@@ -322,37 +330,61 @@ def _run_sim_command(args) -> int:
         print(render_table(headers, rows))
         print()
         pooled = summarize_batch(results)
-        print(render_table(["pooled metric", "value"], list(pooled.items())))
+        scalars = [
+            (k, v) for k, v in pooled.items() if not isinstance(v, (list, dict))
+        ]
+        print(render_table(["pooled metric", "value"], scalars))
     else:
+        pooled = None
         rows = [[key, value] for key, value in result.as_dict().items()]
         print(render_table(["metric", "value"], rows))
-    if args.hops and result.hop_blocking is not None:
-        hop_rows = result.hop_blocking.as_rows()
+    if args.hops:
+        if pooled is not None:
+            hop_rows = pooled.get("hop_blocking") or []
+            title = f"pooled per-hop blocking ({args.replications} replications):"
+        else:
+            hop_rows = (
+                result.hop_blocking.as_rows() if result.hop_blocking is not None else []
+            )
+            title = None
         if hop_rows:
             headers = list(hop_rows[0].keys())
             print()
-            if args.replications > 1:
-                print(f"per-hop blocking (seed {config.seed}):")
+            if title:
+                print(title)
             print(render_table(headers, [[row[h] for h in headers] for row in hop_rows]))
     return 0
 
 
 def _run_validate_command(args) -> int:
-    from repro.validation.workloads import DEFAULT_WORKLOADS, validate_workloads
+    from repro.validation.workloads import (
+        DEFAULT_WORKLOADS,
+        model_hop_profile,
+        validate_workloads,
+    )
 
     try:
+        if args.replications < 1:
+            raise ConfigurationError("--replications must be >= 1")
         fractions = tuple(float(tok) for tok in args.fractions.split(","))
-        results = validate_workloads(
-            tuple(args.workload) if args.workload else DEFAULT_WORKLOADS,
+        # The shared validation knobs travel as one Scenario facade.
+        scenario = Scenario(
+            topology="star",
             order=args.order,
             message_length=args.message_length,
             total_vcs=args.vcs,
-            load_fractions=fractions,
             quality=args.quality,
             seed=args.seed,
             engine=args.engine,
+        )
+        results = validate_workloads(
+            tuple(args.workload) if args.workload else DEFAULT_WORKLOADS,
+            scenario=scenario,
+            load_fractions=fractions,
             workers=args.workers,
             tolerance=args.tolerance,
+            replications=args.replications,
+            hops=args.hops,
         )
     except (ConfigurationError, ValueError) as exc:
         print(f"starnet validate: error: {exc}", file=sys.stderr)
@@ -366,6 +398,29 @@ def _run_validate_command(args) -> int:
                 f"sim={p.sim_latency:<10.3f} err="
                 + ("n/a" if p.relative_error != p.relative_error else f"{100 * p.relative_error:.1f}%")
             )
+        if args.hops and record.hop_profiles:
+            for rate, rows in record.hop_profiles:
+                if not rows:
+                    continue
+                model_profile = model_hop_profile(
+                    record.workload,
+                    rate,
+                    order=args.order,
+                    message_length=args.message_length,
+                    total_vcs=args.vcs,
+                )
+                headers = list(rows[0].keys()) + [
+                    "model_p_block",
+                    "model_blocking_delay",
+                ]
+                table = []
+                for row in rows:
+                    pred = model_profile.get(row["hop"], {})
+                    table.append(
+                        [*row.values(), pred.get("p_block", ""), pred.get("blocking_delay", "")]
+                    )
+                print(f"  per-hop blocking at rate={rate:g}:")
+                print(render_table(headers, table))
         if record.passed is False:
             failed = True
     return 1 if failed else 0

@@ -19,13 +19,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.api.quality import sim_quality_config
+from repro.api.scenario import Scenario, run_units
 from repro.campaign.grid import WorkUnit
-from repro.campaign.runner import run_campaign
 from repro.core.model import ModelResult, StarLatencyModel
-from repro.core.spec import ModelSpec
 from repro.experiments.records import ExperimentRecord
 from repro.experiments.tables import render_table
-from repro.simulation import SimSpec, SimulationConfig, SimulationResult
+from repro.simulation import SimulationResult
 from repro.utils.exceptions import ConfigurationError
 from repro.validation.compare import CurveComparison, OperatingPoint, compare_curves
 
@@ -59,37 +59,9 @@ FIGURE1_PANELS: dict[str, Figure1Panel] = {
     "c": Figure1Panel(label="c", total_vcs=12),
 }
 
-#: Simulation window presets: quick for CI/benchmarks, full for the
-#: publication-quality comparison in EXPERIMENTS.md.
-_QUALITY = {
-    "smoke": dict(warmup_cycles=1_000, measure_cycles=3_000, drain_cycles=4_000),
-    "quick": dict(warmup_cycles=2_500, measure_cycles=8_000, drain_cycles=10_000),
-    "full": dict(warmup_cycles=6_000, measure_cycles=24_000, drain_cycles=30_000),
-}
-
-
-def sim_quality_config(
-    quality: str,
-    *,
-    message_length: int,
-    generation_rate: float,
-    total_vcs: int,
-    seed: int = 0,
-) -> SimulationConfig:
-    """Simulation window preset (``smoke`` / ``quick`` / ``full``)."""
-    try:
-        window = _QUALITY[quality]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown quality {quality!r}; expected one of {sorted(_QUALITY)}"
-        ) from None
-    return SimulationConfig(
-        message_length=message_length,
-        generation_rate=generation_rate,
-        total_vcs=total_vcs,
-        seed=seed,
-        **window,
-    )
+# sim_quality_config now lives in repro.api.quality (imported above and
+# re-exported here for backwards compatibility): one window table shared
+# by the Scenario facade, the validation layer and this module.
 
 
 @dataclass(frozen=True)
@@ -136,35 +108,26 @@ def panel_units(
     quality: str = "quick",
     seed: int = 0,
 ) -> list[WorkUnit]:
-    """Campaign work units for one panel, in presentation order."""
+    """Campaign work units for one panel, in presentation order.
+
+    Built through the :class:`~repro.api.scenario.Scenario` facade; the
+    unit params (and hence content-hash keys) are identical to the
+    pre-facade hand-built specs.
+    """
     units: list[WorkUnit] = []
     for m in panel.message_lengths:
-        spec = ModelSpec(
+        scenario = Scenario(
             topology="star",
             order=panel.n,
+            algorithm="enhanced_nbc",
             message_length=m,
             total_vcs=panel.total_vcs,
+            quality=quality,
+            seed=seed,
         )
-        base = spec.to_params()
-        units.extend(
-            WorkUnit(kind="model", params={**base, "rate": r}) for r in rates
-        )
+        units.extend(scenario.model_unit(r) for r in rates)
         if include_sim:
-            for r in rates:
-                cfg = sim_quality_config(
-                    quality,
-                    message_length=m,
-                    generation_rate=r,
-                    total_vcs=panel.total_vcs,
-                    seed=seed,
-                )
-                sim_spec = SimSpec(
-                    topology="star",
-                    order=panel.n,
-                    algorithm="enhanced_nbc",
-                    config=cfg,
-                )
-                units.append(WorkUnit(kind="sim", params=sim_spec.to_params()))
+            units.extend(scenario.sim_unit(r) for r in rates)
     return units
 
 
@@ -190,7 +153,7 @@ def reproduce_panel(
     units = panel_units(
         panel, rates, include_sim=include_sim, quality=quality, seed=seed
     )
-    results = run_campaign(units, workers=workers).results
+    results = run_units(units, workers=workers).results
     out: list[PanelSeries] = []
     per_m = len(rates) * (2 if include_sim else 1)
     for idx, m in enumerate(panel.message_lengths):

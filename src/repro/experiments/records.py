@@ -3,11 +3,30 @@
 from __future__ import annotations
 
 import json
+import math
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 __all__ = ["ExperimentRecord"]
+
+
+def _json_safe(value):
+    """Replace non-finite floats with null, recursively.
+
+    ``json.dumps`` would otherwise emit the literal tokens ``NaN`` /
+    ``Infinity`` — not valid JSON, and rejected by strict parsers (and
+    by :meth:`ExperimentRecord.load` round-trips through them as
+    ``None`` anyway).  Saturated model rows routinely carry ``inf``
+    latencies, so records must serialise them deliberately.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
 
 
 @dataclass
@@ -24,17 +43,24 @@ class ExperimentRecord:
         self.rows.append(dict(kwargs))
 
     def to_json(self) -> str:
-        """Serialise (stable key order, NaN-safe)."""
+        """Serialise (stable key order, NaN-safe).
+
+        Non-finite floats (NaN, +/-inf) become JSON ``null`` — the
+        output is strictly valid JSON (``allow_nan=False`` enforces it).
+        """
         return json.dumps(
-            {
-                "name": self.name,
-                "params": self.params,
-                "rows": self.rows,
-                "created_at": self.created_at,
-            },
+            _json_safe(
+                {
+                    "name": self.name,
+                    "params": self.params,
+                    "rows": self.rows,
+                    "created_at": self.created_at,
+                }
+            ),
             indent=2,
             sort_keys=True,
             default=str,
+            allow_nan=False,
         )
 
     def save(self, directory: str | Path) -> Path:

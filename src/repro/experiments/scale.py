@@ -14,8 +14,8 @@ the same engine as every other sweep and parallelises across n with
 
 from __future__ import annotations
 
+from repro.api.scenario import run_units
 from repro.campaign.grid import GridSpec
-from repro.campaign.runner import run_campaign
 from repro.experiments.records import ExperimentRecord
 
 __all__ = ["scale_study"]
@@ -45,6 +45,6 @@ def scale_study(
             ("extra_adaptive", extra_adaptive),
         ),
     )
-    for row in run_campaign(grid.expand(), workers=workers).results:
+    for row in run_units(grid.expand(), workers=workers).results:
         rec.add_row(**row)
     return rec

@@ -24,7 +24,7 @@ from repro.routing.base import RoutingAlgorithm
 from repro.simulation import engine as _engine
 from repro.simulation.config import SimulationConfig
 from repro.simulation.kernels import ArraySimulator
-from repro.simulation.metrics import SimulationResult
+from repro.simulation.metrics import HopBlockingStats, SimulationResult
 from repro.topology.base import Topology
 from repro.utils.exceptions import ConfigurationError
 
@@ -154,7 +154,8 @@ def summarize_batch(results: Sequence[SimulationResult]) -> dict:
     else:
         ci = math.nan
     net = pooled_mean([r.mean_network_latency for r in results])
-    return {
+    hop_stats = [r.hop_blocking for r in results if r.hop_blocking is not None]
+    out = {
         "replications": len(results),
         "mean_latency": round(mean, 3) if not math.isnan(mean) else math.nan,
         "latency_ci": round(ci, 3) if not math.isnan(ci) else math.nan,
@@ -166,3 +167,9 @@ def summarize_batch(results: Sequence[SimulationResult]) -> dict:
         "any_saturated": any(r.saturated for r in results),
         "cycles_run": max(r.cycles_run for r in results),
     }
+    if hop_stats:
+        # Pooled per-hop blocking: the batch counterpart of a single
+        # run's hop table, feeding the model's P_block(k) comparison
+        # (``starnet validate --hops``).
+        out["hop_blocking"] = HopBlockingStats.merge(hop_stats).as_rows()
+    return out

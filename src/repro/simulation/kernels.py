@@ -29,7 +29,9 @@ fixed handful of numpy passes regardless of the replication count:
   (see :mod:`repro.simulation.state`);
 * round-robin arbitration packs each channel's candidate VCs into an
   integer and resolves the winner with one precomputed lookup-table
-  gather (``lut[bits, rr]``), avoiding any per-channel loop;
+  gather (``lut[bits, rr]``), avoiding any per-channel loop; VC counts
+  beyond the table width (V > 15) switch to an equivalent argmin over
+  cyclic round-robin offsets, so the array backend has no V cap;
 * grant application is a few one-dimensional scatter/gathers over the
   raveled state views.
 
@@ -142,11 +144,6 @@ class ArraySimulator:
         self.config = config
         self.vc_config = algorithm.make_vc_config(config.total_vcs, topology)
         algorithm.validate(self.vc_config, topology)
-        if config.total_vcs > _MAX_LUT_VCS:
-            raise ConfigurationError(
-                f"array backend supports total_vcs <= {_MAX_LUT_VCS}, got "
-                f"{config.total_vcs} (use engine='object')"
-            )
         if config.buffer_depth > MAX_BUFFER_DEPTH:
             raise ConfigurationError(
                 f"array backend supports buffer_depth <= {MAX_BUFFER_DEPTH} "
@@ -179,8 +176,16 @@ class ArraySimulator:
         #: Flat neighbor list: entry ``channel`` = node reached through it.
         self._neighbors_py = [int(x) for x in topology.neighbor_table.ravel()]
         self._dist_memo: dict[int, int] = {}
-        self._lut = _build_rr_lut(V)
-        self._pow2 = (1 << np.arange(V)).astype(np.uint8 if V <= 8 else np.int32)
+        # Round-robin arbitration state: up to _MAX_LUT_VCS the winner
+        # comes from a packed lookup table; wider VC counts use the
+        # argmin fallback in _transfer_phase (the table would need
+        # V * 2**V entries).
+        if V <= _MAX_LUT_VCS:
+            self._lut = _build_rr_lut(V)
+            self._pow2 = (1 << np.arange(V)).astype(np.uint8 if V <= 8 else np.int32)
+        else:
+            self._lut = None
+            self._pow2 = None
         self._route_memo: dict[tuple, tuple[tuple[int, ...], tuple[int, ...]]] = {}
         # advance_floor is pure arithmetic for every stock algorithm; only
         # call through the method when a subclass actually overrides it.
@@ -243,14 +248,22 @@ class ArraySimulator:
         self._b_cand = np.empty((R, self._CV), dtype=bool)
         self._b_tmpb = np.empty((R, self._CV), dtype=bool)
         self._b_tmpi = np.empty((R, self._CV), dtype=np.int32)
-        self._b_bits = np.empty(RC, dtype=self._pow2.dtype)
-        self._b_idx = np.empty(RC, dtype=np.int64)
-        self._b_w = np.empty(RC, dtype=np.int8)
+        if self._lut is not None:
+            self._b_bits = np.empty(RC, dtype=self._pow2.dtype)
+            self._b_idx = np.empty(RC, dtype=np.int64)
+            self._b_w = np.empty(RC, dtype=np.int8)
+        else:
+            self._voffs = np.arange(V, dtype=np.int32)
+            self._b_key = np.empty((RC, V), dtype=np.int32)
+            self._b_w = np.empty(RC, dtype=np.intp)
+            self._rc_arange = np.arange(RC)
         self._b_ok = np.empty(RC, dtype=bool)
 
         # Optional compiled cycle kernel (same semantics as the numpy
-        # passes, asserted bit-identical in the test-suite).
-        self._ck = load_kernel()
+        # passes, asserted bit-identical in the test-suite).  The C path
+        # indexes the packed LUT, so wide-V fallback batches stay on the
+        # numpy passes.
+        self._ck = load_kernel() if self._lut is not None else None
         self._c_winners = np.empty(RC, dtype=np.int64)
         self._c_fin = np.empty(RC, dtype=np.int64)
         self._c_out = np.zeros(5, dtype=np.int64)
@@ -657,17 +670,32 @@ class ArraySimulator:
         cand &= tmpb
         np.greater(st.vc_avail, 0, out=tmpb)
         cand &= tmpb
-        # Pack each channel's candidate VCs into an integer and resolve
-        # the round-robin winner with one lookup-table gather.
-        bits = self._b_bits
-        np.matmul(cand.view(np.uint8).reshape(-1, V), self._pow2, out=bits)
-        idx = self._b_idx
-        np.multiply(st.rr_flat, 1 << V, out=idx)
-        idx += bits
-        w = self._b_w
-        self._lut.take(idx, out=w)
-        ok = self._b_ok
-        np.greater_equal(w, 0, out=ok)
+        if self._lut is not None:
+            # Pack each channel's candidate VCs into an integer and resolve
+            # the round-robin winner with one lookup-table gather.
+            bits = self._b_bits
+            np.matmul(cand.view(np.uint8).reshape(-1, V), self._pow2, out=bits)
+            idx = self._b_idx
+            np.multiply(st.rr_flat, 1 << V, out=idx)
+            idx += bits
+            w = self._b_w
+            self._lut.take(idx, out=w)
+            ok = self._b_ok
+            np.greater_equal(w, 0, out=ok)
+        else:
+            # Wide-V fallback (V > _MAX_LUT_VCS): the winner is the
+            # candidate with the smallest cyclic offset from the
+            # round-robin pointer — an argmin over a (channels, V) key
+            # matrix instead of a 2**V-wide table gather.  Offsets are
+            # unique per VC, so the winner matches the LUT path exactly.
+            key = self._b_key
+            np.subtract(self._voffs, st.rr_flat[:, None], out=key)
+            np.mod(key, V, out=key)
+            key[~cand.reshape(-1, V)] = V  # non-candidates never win
+            w = self._b_w
+            np.argmin(key, axis=1, out=w)
+            ok = self._b_ok
+            np.less(key[self._rc_arange, w], V, out=ok)
         if not ok.any():
             return
         rc = np.nonzero(ok)[0]  # winning (rep, channel) pairs, flattened

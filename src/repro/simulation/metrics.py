@@ -52,6 +52,26 @@ class HopBlockingStats:
             self._blocked[k] += 1
             self._wait_total[k] += waited
 
+    @classmethod
+    def merge(cls, stats: "list[HopBlockingStats]") -> "HopBlockingStats":
+        """Pool several replications' hop statistics into one.
+
+        Requests, blocked counts and waited cycles add across
+        replications (each hop allocation is one observation wherever it
+        happened), so the pooled ``P_block(k)`` and waits are the
+        sample-weighted means — the hop-table counterpart of
+        :func:`repro.simulation.backends.summarize_batch`.
+        """
+        if not stats:
+            raise ValueError("merge needs at least one HopBlockingStats")
+        out = cls(max(s.max_hops for s in stats))
+        for s in stats:
+            for k in range(1, s.max_hops + 1):
+                out._requests[k] += s._requests[k]
+                out._blocked[k] += s._blocked[k]
+                out._wait_total[k] += s._wait_total[k]
+        return out
+
     def blocking_probability(self, k: int) -> float:
         """P(header found no eligible VC when first requesting hop k)."""
         if self._requests[k] == 0:

@@ -82,6 +82,16 @@ class SimSpec:
             config=SimulationConfig(**params),
         )
 
+    def scenario(self, **extra):
+        """The :class:`~repro.api.scenario.Scenario` this spec describes.
+
+        Raises when the config uses simulator knobs the scenario does
+        not carry (see :meth:`Scenario.from_sim_spec`).
+        """
+        from repro.api.scenario import Scenario
+
+        return Scenario.from_sim_spec(self, **extra)
+
     # -- materialisation -------------------------------------------------
 
     def build(self):

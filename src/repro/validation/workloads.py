@@ -4,21 +4,30 @@ The paper validates the model against simulation for one workload only
 (uniform destinations, Poisson sources).  This module generalises that
 check to any set of :mod:`repro.workloads` specifications: a campaign
 grid with a ``workload`` axis sweeps both the analytical model (kind
-``model``) and the flit-level simulator (kind ``sim``) over a shared
-rate ladder, and each workload gets its own
-:class:`~repro.validation.compare.CurveComparison`.
+``model``) and the flit-level simulator (kind ``sim``, or ``sim_batch``
+when pooled replications are requested) over a shared rate ladder, and
+each workload gets its own
+:class:`~repro.validation.compare.CurveComparison` plus a
+:class:`~repro.api.results.ResultSet` of uniform model/sim rows.
 
 The rate ladder is anchored to the *most constrained* workload's model
 saturation point so every operating point is below saturation for every
 workload (the regime in which the model claims accuracy; e.g. a hotspot
 workload saturates several times earlier than uniform).
+
+The preferred entry point is the facade —
+``Scenario(...).validate(...)`` — which routes through
+:func:`validate_workloads` and returns the flattened ResultSet.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
 
+from repro.api.convert import row_from_unit
+from repro.api.results import ResultSet
 from repro.campaign.grid import GridSpec
 from repro.campaign.runner import run_campaign
 from repro.core.spec import ModelSpec
@@ -26,11 +35,15 @@ from repro.utils.exceptions import ConfigurationError
 from repro.validation.compare import CurveComparison, OperatingPoint, compare_curves
 from repro.workloads.spec import WorkloadSpec
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.scenario import Scenario
+
 __all__ = [
     "DEFAULT_WORKLOADS",
     "WorkloadValidation",
     "validation_grids",
     "validate_workloads",
+    "model_hop_profile",
 ]
 
 #: A small representative suite: the paper's workload, a non-uniform
@@ -50,6 +63,11 @@ class WorkloadValidation:
     rates: tuple[float, ...]
     comparison: CurveComparison
     tolerance: float | None
+    #: Uniform model/sim rows of this workload (ResultRow schema).
+    rows: ResultSet | None = None
+    #: Measured per-hop blocking tables, one ``(rate, rows)`` pair per
+    #: ladder point (None unless hop instrumentation was requested).
+    hop_profiles: tuple[tuple[float, tuple[dict, ...]], ...] | None = None
 
     @property
     def passed(self) -> bool | None:
@@ -69,6 +87,21 @@ class WorkloadValidation:
         return text
 
 
+def _scenario_model_extras(scenario: "Scenario | None") -> tuple[tuple[str, Any], ...]:
+    """Non-default model-side params a scenario adds to the model grid.
+
+    Empty for default scenarios, keeping their campaign keys byte-stable
+    with pre-facade stores; a non-default variant / VC split / solver
+    setting enters the keys exactly as ModelSpec would spell it.
+    """
+    if scenario is None:
+        return ()
+    params = scenario.model_spec().to_params()
+    for name in ("topology", "order", "message_length", "total_vcs", "workload"):
+        params.pop(name, None)
+    return tuple(sorted(params.items()))
+
+
 def validation_grids(
     workloads: tuple[str, ...],
     rates: tuple[float, ...],
@@ -79,10 +112,11 @@ def validation_grids(
     quality: str = "quick",
     seed: int = 0,
     engine: str = "object",
+    replications: int = 1,
+    scenario: "Scenario | None" = None,
 ) -> tuple[GridSpec, GridSpec]:
     """The (model, sim) campaign grids sharing a ``workload`` axis."""
-    # Imported lazily: figure1 itself depends on validation.compare.
-    from repro.experiments.figure1 import sim_quality_config
+    from repro.api.quality import sim_quality_config
 
     window = sim_quality_config(
         quality,
@@ -91,6 +125,8 @@ def validation_grids(
         total_vcs=total_vcs,
         seed=seed,
     )
+    if scenario is not None:
+        window = scenario.sim_config(rates[0])
     model_grid = GridSpec(
         kind="model",
         axes=(("workload", tuple(workloads)), ("rate", tuple(rates))),
@@ -99,7 +135,8 @@ def validation_grids(
             ("order", order),
             ("message_length", message_length),
             ("total_vcs", total_vcs),
-        ),
+        )
+        + _scenario_model_extras(scenario),
     )
     pinned = [
         ("topology", "star"),
@@ -111,12 +148,24 @@ def validation_grids(
         ("drain_cycles", window.drain_cycles),
         ("seed", seed),
     ]
-    if engine != "object":
+    if scenario is not None and scenario.algorithm != "enhanced_nbc":
+        # Non-default routing must reach the sim units; the default stays
+        # out of the params so historical campaign keys hold.
+        pinned.append(("algorithm", scenario.algorithm))
+    kind = "sim"
+    if replications > 1:
+        # Pooled replications are a new (post-facade) grid shape, so the
+        # engine is always pinned — the sim_batch kind would otherwise
+        # default it to the array backend.
+        kind = "sim_batch"
+        pinned.append(("replications", replications))
+        pinned.append(("engine", engine))
+    elif engine != "object":
         # Only non-default engines enter the campaign key, so existing
         # object-engine stores keep their content hashes.
         pinned.append(("engine", engine))
     sim_grid = GridSpec(
-        kind="sim",
+        kind=kind,
         axes=(("workload", tuple(workloads)), ("generation_rate", tuple(rates))),
         pinned=tuple(pinned),
     )
@@ -149,6 +198,64 @@ def _shared_rate_ladder(
     return tuple(round(f * sat, 6) for f in fractions)
 
 
+def _sim_latency(result: Any) -> tuple[float, bool]:
+    """(mean latency, saturated) of a sim / sim_batch result."""
+    if isinstance(result, Mapping):  # pooled sim_batch summary row
+        return float(result["mean_latency"]), bool(result["any_saturated"])
+    return result.mean_latency, result.saturated
+
+
+def _hop_rows(result: Any) -> tuple[dict, ...]:
+    """Measured per-hop blocking rows of a sim / sim_batch result."""
+    if isinstance(result, Mapping):
+        return tuple(result.get("hop_blocking") or ())
+    if result.hop_blocking is None:
+        return ()
+    return tuple(result.hop_blocking.as_rows())
+
+
+def model_hop_profile(
+    workload: str,
+    rate: float,
+    *,
+    order: int,
+    message_length: int,
+    total_vcs: int,
+) -> dict[int, dict[str, float]]:
+    """The model's per-hop blocking terms for one operating point.
+
+    Returns ``{hop: {"p_block": ..., "blocking_delay": ...}}`` for the
+    dominant (diameter-distance) destination class, averaged over hop
+    parity — directly comparable with the simulator's measured
+    :class:`~repro.simulation.metrics.HopBlockingStats` rows (Eq. 6).
+    """
+    from repro.core.occupancy import vc_occupancy
+
+    model = ModelSpec(
+        topology="star",
+        order=order,
+        message_length=message_length,
+        total_vcs=total_vcs,
+        workload=None if WorkloadSpec.coerce(workload).canonical == "uniform" else workload,
+    ).build()
+    pred = model.evaluate(rate)
+    if pred.saturated:
+        return {}
+    occupancy = vc_occupancy(pred.channel_rate, pred.network_latency, model.vc.total)
+    longest = max(model.stats.classes, key=lambda c: c.distance)
+    out: dict[int, dict[str, float]] = {}
+    for k in range(1, longest.distance + 1):
+        p = 0.5 * (
+            model.blocking.hop_blocking(occupancy, longest, k, 0)
+            + model.blocking.hop_blocking(occupancy, longest, k, 1)
+        )
+        out[k] = {
+            "p_block": round(p, 5),
+            "blocking_delay": round(p * pred.channel_wait, 4),
+        }
+    return out
+
+
 def validate_workloads(
     workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
     *,
@@ -162,15 +269,37 @@ def validate_workloads(
     workers: int = 1,
     tolerance: float | None = None,
     cache_dir=None,
+    replications: int = 1,
+    hops: bool = False,
+    scenario: "Scenario | None" = None,
 ) -> list[WorkloadValidation]:
     """Compare model and simulator per workload below saturation.
 
-    Every (workload, rate) pair expands into one ``model`` and one
-    ``sim`` campaign work unit; both grids run through
-    :func:`repro.campaign.runner.run_campaign` (``workers > 1`` fans out
-    over a process pool).  Returns one validation record per workload, in
-    input order.
+    Every (workload, rate) pair expands into one ``model`` and one sim
+    campaign work unit — kind ``sim`` for single runs, ``sim_batch``
+    (pooled across-replication CI) when ``replications > 1`` — and both
+    grids run through :func:`repro.campaign.runner.run_campaign`
+    (``workers > 1`` fans out over a process pool).  Returns one
+    validation record per workload, in input order, each carrying its
+    paired model/sim :class:`~repro.api.results.ResultSet` rows and,
+    with ``hops=True``, the measured per-hop blocking tables.
+
+    ``scenario`` routes the shared knobs (order, message length, VC
+    budget, quality window, seed, engine) from a
+    :class:`~repro.api.scenario.Scenario` facade instead of the
+    individual keyword arguments.
     """
+    if scenario is not None:
+        if scenario.topology != "star":
+            raise ConfigurationError("workload validation is star-only")
+        order = scenario.order
+        message_length = scenario.message_length
+        total_vcs = scenario.total_vcs
+        quality = scenario.quality
+        seed = scenario.seed
+        engine = scenario.engine
+    if replications < 1:
+        raise ConfigurationError(f"replications must be >= 1, got {replications}")
     workloads = tuple(WorkloadSpec.coerce(w).canonical for w in workloads)
     if len(set(workloads)) != len(workloads):
         raise ConfigurationError(f"duplicate workloads in validation suite: {workloads}")
@@ -190,6 +319,8 @@ def validate_workloads(
         quality=quality,
         seed=seed,
         engine=engine,
+        replications=replications,
+        scenario=scenario,
     )
     model_units = model_grid.expand()
     sim_units = sim_grid.expand()
@@ -203,24 +334,34 @@ def validate_workloads(
     n_rates = len(rates)
     for w_idx, workload in enumerate(workloads):
         points = []
+        rows = ResultSet()
+        profiles: list[tuple[float, tuple[dict, ...]]] = []
         for r_idx, rate in enumerate(rates):
-            model = model_results[w_idx * n_rates + r_idx]
-            sim = sim_results[w_idx * n_rates + r_idx]
+            i = w_idx * n_rates + r_idx
+            model = model_results[i]
+            sim = sim_results[i]
+            sim_latency, sim_saturated = _sim_latency(sim)
             points.append(
                 OperatingPoint(
                     generation_rate=rate,
                     model_latency=model.latency,
-                    sim_latency=sim.mean_latency,
+                    sim_latency=sim_latency,
                     model_saturated=model.saturated,
-                    sim_saturated=sim.saturated,
+                    sim_saturated=sim_saturated,
                 )
             )
+            rows.rows.append(row_from_unit(model_units[i], model))
+            rows.rows.append(row_from_unit(sim_units[i], sim))
+            if hops:
+                profiles.append((rate, _hop_rows(sim)))
         out.append(
             WorkloadValidation(
                 workload=workload,
                 rates=rates,
                 comparison=compare_curves(points),
                 tolerance=tolerance,
+                rows=rows,
+                hop_profiles=tuple(profiles) if hops else None,
             )
         )
     return out

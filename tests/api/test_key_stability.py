@@ -1,0 +1,89 @@
+"""Campaign content-hash keys must not move under the facade.
+
+Acceptance (ISSUE 4): campaign content-hash keys for default uniform
+scenarios are byte-identical to pre-PR values.  The hex digests below
+were computed at the pre-facade HEAD (PR 3) from the hand-built
+ModelSpec/SimSpec units; the facade must reproduce them exactly or every
+existing campaign store silently loses resume.
+"""
+
+from repro.api import Scenario
+from repro.experiments.figure1 import FIGURE1_PANELS, load_grid, panel_units
+from repro.validation.workloads import DEFAULT_WORKLOADS, validation_grids
+
+# Pinned at commit 0550869 (pre-facade):
+#   starnet figure1 --panel a --quality quick --seed 0, first rate point.
+PANEL_A_RATE_0 = 0.002361
+PANEL_A_MODEL_KEY_0 = "ca03252510654f14f0809a53d9e32230fe5f2ed66121467b1df323b88db7f900"
+PANEL_A_SIM_KEY_0 = "4ec165072b951407c2096dc4f25045791863ecbc49b80b85d889a33bd42e9fe8"
+
+#   validate default suite (order=4, M=16, V=5, fractions 0.2/0.4/0.6),
+#   first unit of each grid.
+VALIDATION_RATES = (0.005159, 0.010317, 0.015476)
+VALIDATION_MODEL_KEY_0 = "6afa271cb50dd5541fd95fc0e82e047fe92010191904f8154729b3859166a44d"
+VALIDATION_SIM_KEY_0 = "43297c493b7e9f4a7a22fed953e84ad9eb1f2c204ee7fd8cf697a6c6ce8c86b3"
+
+
+class TestFigure1Keys:
+    def test_rate_grid_unchanged(self):
+        assert load_grid(FIGURE1_PANELS["a"])[0] == PANEL_A_RATE_0
+
+    def test_panel_a_first_model_unit_key(self):
+        units = panel_units(
+            FIGURE1_PANELS["a"], (PANEL_A_RATE_0,), include_sim=True, quality="quick"
+        )
+        assert units[0].kind == "model"
+        assert units[0].params == {"rate": PANEL_A_RATE_0}
+        assert units[0].key() == PANEL_A_MODEL_KEY_0
+
+    def test_panel_a_first_sim_unit_key(self):
+        units = panel_units(
+            FIGURE1_PANELS["a"], (PANEL_A_RATE_0,), include_sim=True, quality="quick"
+        )
+        assert units[1].kind == "sim"
+        assert units[1].key() == PANEL_A_SIM_KEY_0
+
+    def test_facade_units_match_directly(self):
+        scenario = Scenario()  # the default scenario IS panel a, M=32
+        assert scenario.model_unit(PANEL_A_RATE_0).key() == PANEL_A_MODEL_KEY_0
+        assert scenario.sim_unit(PANEL_A_RATE_0).key() == PANEL_A_SIM_KEY_0
+
+
+class TestValidationKeys:
+    def test_default_grid_keys(self):
+        model_grid, sim_grid = validation_grids(
+            DEFAULT_WORKLOADS,
+            VALIDATION_RATES,
+            order=4,
+            message_length=16,
+            total_vcs=5,
+        )
+        assert model_grid.expand()[0].key() == VALIDATION_MODEL_KEY_0
+        assert sim_grid.expand()[0].key() == VALIDATION_SIM_KEY_0
+
+    def test_scenario_routed_grid_keys(self):
+        """A default scenario routes to byte-identical grid keys."""
+        scenario = Scenario(order=4, message_length=16, total_vcs=5)
+        model_grid, sim_grid = validation_grids(
+            DEFAULT_WORKLOADS,
+            VALIDATION_RATES,
+            order=scenario.order,
+            message_length=scenario.message_length,
+            total_vcs=scenario.total_vcs,
+            scenario=scenario,
+        )
+        assert model_grid.expand()[0].key() == VALIDATION_MODEL_KEY_0
+        assert sim_grid.expand()[0].key() == VALIDATION_SIM_KEY_0
+
+
+class TestSeedIndependence:
+    def test_model_keys_ignore_sim_seed(self):
+        """Model units carry no sim-side state: seed never enters keys."""
+        a = Scenario(seed=0).model_unit(0.004).key()
+        b = Scenario(seed=99).model_unit(0.004).key()
+        assert a == b
+
+    def test_sim_keys_depend_on_seed(self):
+        a = Scenario(seed=0).sim_unit(0.004).key()
+        b = Scenario(seed=1).sim_unit(0.004).key()
+        assert a != b

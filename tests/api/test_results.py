@@ -1,0 +1,163 @@
+"""ResultRow / ResultSet: schema, round-trips, filtering, pairing."""
+
+import math
+
+import pytest
+
+from repro.api import SCHEMA_VERSION, ResultRow, ResultSet
+from repro.utils.exceptions import ConfigurationError
+
+
+def make_row(**overrides) -> ResultRow:
+    base = dict(
+        provenance="model",
+        spec="deadbeef",
+        topology="star",
+        order=4,
+        workload="uniform",
+        message_length=16,
+        total_vcs=5,
+        engine="model",
+        rate=0.004,
+        latency=25.5,
+        latency_lo=math.nan,
+        latency_hi=math.nan,
+        saturated=False,
+    )
+    base.update(overrides)
+    return ResultRow(**base)
+
+
+class TestResultRow:
+    def test_provenance_validated(self):
+        with pytest.raises(ConfigurationError, match="provenance"):
+            make_row(provenance="oracle")
+
+    def test_ci_halfwidth(self):
+        row = make_row(provenance="sim", engine="object", latency_lo=24.0, latency_hi=26.0)
+        assert row.ci_halfwidth == pytest.approx(1.0)
+        assert math.isnan(make_row().ci_halfwidth)
+
+    def test_to_dict_nulls_non_finite(self):
+        d = make_row(latency=math.inf).to_dict()
+        assert d["latency"] is None
+        assert d["latency_lo"] is None
+
+    def test_dict_round_trip_restores_nan(self):
+        row = make_row()
+        back = ResultRow.from_dict(row.to_dict())
+        assert math.isnan(back.latency_lo)
+        assert back.latency == row.latency
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown ResultRow"):
+            ResultRow.from_dict({"bogus": 1})
+
+
+class TestResultSet:
+    def rows(self):
+        return ResultSet(
+            [
+                make_row(rate=0.002, latency=20.0),
+                make_row(rate=0.004, latency=30.0),
+                make_row(
+                    provenance="sim",
+                    engine="object",
+                    rate=0.002,
+                    latency=19.0,
+                    latency_lo=18.0,
+                    latency_hi=20.0,
+                    algorithm="enhanced_nbc",
+                    seed=0,
+                ),
+            ]
+        )
+
+    def test_len_iter_index_concat(self):
+        rs = self.rows()
+        assert len(rs) == 3
+        assert [r.rate for r in rs][:2] == [0.002, 0.004]
+        assert rs[0].latency == 20.0
+        assert len(rs[:2]) == 2
+        assert len(rs + rs) == 6
+
+    def test_where(self):
+        rs = self.rows()
+        assert len(rs.where(provenance="model")) == 2
+        assert len(rs.where(provenance="sim", rate=0.002)) == 1
+        assert len(rs.where(lambda r: r.latency > 25)) == 1
+        with pytest.raises(ConfigurationError, match="unknown ResultRow"):
+            rs.where(bogus=1)
+
+    def test_jsonl_round_trip(self):
+        rs = self.rows()
+        back = ResultSet.from_jsonl(rs.to_jsonl())
+        assert back.schema_version == SCHEMA_VERSION
+        assert len(back) == len(rs)
+        for a, b in zip(back, rs):
+            assert a.to_dict() == b.to_dict()
+
+    def test_jsonl_is_strict_json(self):
+        import json
+
+        rs = ResultSet([make_row(latency=math.nan, saturated=True)])
+        for line in rs.to_jsonl().splitlines():
+            json.loads(line)  # literal NaN would raise in strict parsers
+
+    def test_save_load(self, tmp_path):
+        rs = self.rows()
+        path = rs.save(tmp_path / "rows.jsonl")
+        assert ResultSet.load(path) == rs
+
+    def test_newer_schema_rejected(self):
+        rs = ResultSet([make_row()], schema_version=SCHEMA_VERSION + 1)
+        with pytest.raises(ConfigurationError, match="newer"):
+            ResultSet.from_jsonl(rs.to_jsonl())
+
+    def test_non_resultset_document_rejected(self):
+        with pytest.raises(ConfigurationError, match="header"):
+            ResultSet.from_jsonl('{"kind": "model"}\n')
+        with pytest.raises(ConfigurationError, match="empty"):
+            ResultSet.from_jsonl("")
+
+    def test_csv_header_and_rows(self):
+        text = self.rows().to_csv()
+        lines = text.splitlines()
+        assert lines[0].startswith("provenance,spec,topology,order,workload")
+        assert len(lines) == 4
+        assert lines[1].split(",")[0] == "model"
+
+    def test_comparisons_pairs_by_coordinates(self):
+        rs = self.rows()
+        comps = rs.comparisons()
+        assert set(comps) == {"uniform"}
+        comp = comps["uniform"]
+        # only rate=0.002 has both provenances
+        assert comp.stable_points == 1
+        assert comp.mean_relative_error == pytest.approx(1.0 / 19.0)
+
+    def test_comparisons_keep_every_sim_engine(self):
+        """Two engines at one operating point -> two comparison points."""
+        rs = self.rows() + ResultSet(
+            [
+                make_row(
+                    provenance="sim",
+                    engine="array",
+                    rate=0.002,
+                    latency=21.0,
+                    latency_lo=20.0,
+                    latency_hi=22.0,
+                    algorithm="enhanced_nbc",
+                    seed=0,
+                )
+            ]
+        )
+        comp = rs.comparisons()["uniform"]
+        assert comp.stable_points == 2
+        assert comp.mean_relative_error == pytest.approx(
+            0.5 * (1.0 / 19.0 + 1.0 / 21.0)
+        )
+
+    def test_with_meta(self):
+        rs = self.rows().with_meta(study="s4")
+        assert all(r.meta["study"] == "s4" for r in rs)

@@ -134,6 +134,14 @@ class TestSimCommand:
         out = capsys.readouterr().out
         assert "p_block" in out
 
+    def test_pooled_replications_print_hop_table(self, capsys):
+        argv = self._FAST + ["--replications", "2", "--engine", "array", "--hops"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "pooled metric" in out
+        assert "pooled per-hop blocking (2 replications):" in out
+        assert "p_block" in out
+
     def test_bad_workload_is_a_clean_error(self, capsys):
         assert main(self._FAST + ["--workload", "tornado"]) == 2
         assert "starnet sim: error" in capsys.readouterr().err
@@ -167,3 +175,20 @@ class TestValidateCommand:
         argv = self._FAST + ["--fractions", "0.2,huh"]
         assert main(argv) == 2
         assert "starnet validate: error" in capsys.readouterr().err
+
+    def test_hops_prints_model_comparison_columns(self, capsys):
+        """ISSUE satellite: per-hop blocking surfaced via validate --hops."""
+        argv = self._FAST + ["--workload", "uniform", "--fractions", "0.4", "--hops"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "per-hop blocking at rate=" in out
+        assert "model_p_block" in out
+
+    def test_hops_with_pooled_replications(self, capsys):
+        argv = self._FAST + [
+            "--workload", "uniform", "--fractions", "0.4",
+            "--hops", "--replications", "2", "--engine", "array",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "per-hop blocking at rate=" in out

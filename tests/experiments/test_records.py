@@ -28,3 +28,28 @@ class TestExperimentRecord:
         rec.add_row(a=1)
         parsed = json.loads(rec.to_json())
         assert parsed["rows"] == [{"a": 1}]
+
+    def test_non_finite_floats_serialise_as_null(self):
+        """ISSUE satellite: NaN/inf must not leak as invalid JSON tokens.
+
+        A saturated model row routinely carries ``inf`` latency and a
+        short run NaN CIs; ``json.dumps`` would emit the literal tokens
+        ``Infinity``/``NaN``, which strict JSON parsers reject.
+        """
+        rec = ExperimentRecord("sat", params={"limit": float("inf")})
+        rec.add_row(rate=0.02, latency=float("inf"), ci=float("nan"), ok=True)
+        rec.add_row(nested={"deep": [float("-inf"), 1.5]})
+        text = rec.to_json()
+        assert "Infinity" not in text and "NaN" not in text
+        parsed = json.loads(text)  # strict: would raise on bad tokens
+        assert parsed["params"]["limit"] is None
+        assert parsed["rows"][0]["latency"] is None
+        assert parsed["rows"][0]["ci"] is None
+        assert parsed["rows"][0]["ok"] is True
+        assert parsed["rows"][1]["nested"]["deep"] == [None, 1.5]
+
+    def test_non_finite_round_trip_through_save(self, tmp_path):
+        rec = ExperimentRecord("sat")
+        rec.add_row(latency=float("inf"), rate=0.01)
+        loaded = ExperimentRecord.load(rec.save(tmp_path))
+        assert loaded.rows == [{"latency": None, "rate": 0.01}]

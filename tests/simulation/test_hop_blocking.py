@@ -42,6 +42,51 @@ class TestHopBlockingStats:
         with pytest.raises(ValueError):
             HopBlockingStats(0)
 
+    def test_merge_pools_counts_and_waits(self):
+        a = HopBlockingStats(max_hops=3)
+        a.record(1, 0.0)
+        a.record(1, 4.0)
+        b = HopBlockingStats(max_hops=2)
+        b.record(1, 2.0)
+        b.record(2, 0.0)
+        merged = HopBlockingStats.merge([a, b])
+        assert merged.max_hops == 3
+        assert merged.blocking_probability(1) == pytest.approx(2 / 3)
+        assert merged.mean_wait_when_blocked(1) == pytest.approx(3.0)
+        assert merged.blocking_probability(2) == 0.0
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ValueError):
+            HopBlockingStats.merge([])
+
+
+class TestPooledBatchHops:
+    def test_summarize_batch_exposes_pooled_hop_table(self):
+        """ISSUE satellite: pooled per-hop blocking from summarize_batch."""
+        from repro.simulation.backends import simulate_batch, summarize_batch
+
+        cfg = SimulationConfig(
+            message_length=8,
+            generation_rate=0.01,
+            total_vcs=6,
+            warmup_cycles=200,
+            measure_cycles=2_000,
+            drain_cycles=2_000,
+            seed=0,
+        )
+        batch = simulate_batch(StarGraph(4), EnhancedNbc(), cfg, 3, engine="array")
+        row = summarize_batch(batch)
+        rows = row["hop_blocking"]
+        assert rows and rows[0]["hop"] == 1
+        # pooled requests are the per-replication sums
+        per_rep = [
+            {r["hop"]: r["requests"] for r in res.hop_blocking.as_rows()}
+            for res in batch
+        ]
+        assert rows[0]["requests"] == sum(m.get(1, 0) for m in per_rep)
+        for r in rows:
+            assert 0.0 <= r["p_block"] <= 1.0
+
 
 class TestEngineIntegration:
     @pytest.fixture(scope="class")

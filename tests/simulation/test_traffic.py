@@ -60,6 +60,27 @@ class TestDeprecatedShim:
         with pytest.raises(AttributeError):
             shim.NoSuchPattern
 
+    def test_facade_import_does_not_trigger_deprecation(self):
+        """The Scenario facade must never route through the legacy shim."""
+        import os
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-W",
+                "error::DeprecationWarning",
+                "-c",
+                "import repro; import repro.api; import repro.validation",
+            ],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        )
+        assert proc.returncode == 0, proc.stderr
+
 
 class TestPoissonSource:
     def test_rate_recovered(self):
