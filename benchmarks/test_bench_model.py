@@ -1,0 +1,31 @@
+"""Model-solve benchmark: the analytical pipeline's fixed-point cost.
+
+The paper's headline capability is solving large configurations in
+milliseconds; this benchmark times one representative solve ladder
+(S_6, four sub-saturation load points) with the path statistics built
+*outside* the clock, so the measured quantity is exactly the fixed-point
+pipeline the ROADMAP's perf-trend item wants guarded.  Registered in
+``check_perf_trend.py``'s ``GUARDED`` set against the committed
+baseline.
+"""
+
+from repro.core.model import StarLatencyModel
+from repro.core.pathstats import cached_path_statistics
+
+#: Load points as fractions of the predicted saturation rate.
+_FRACTIONS = (0.2, 0.4, 0.6, 0.8)
+
+
+def test_bench_model_solve(benchmark):
+    stats = cached_path_statistics(6)
+    model = StarLatencyModel(6, 32, 8, stats=stats)
+    sat = model.saturation_rate()
+    rates = [round(f * sat, 6) for f in _FRACTIONS]
+
+    def solve():
+        return [model.evaluate(r) for r in rates]
+
+    results = benchmark(solve)
+    assert all(not r.saturated for r in results)
+    benchmark.extra_info["saturation_rate"] = sat
+    benchmark.extra_info["latency_at_0.8_sat"] = round(results[-1].latency, 2)

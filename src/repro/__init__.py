@@ -10,11 +10,14 @@ Public entry points:
   :class:`repro.api.ResultSet` (see ``docs/api.md``);
 * :class:`repro.core.StarLatencyModel` — the paper's analytical model;
 * :func:`repro.simulation.simulate` — the flit-level validation simulator;
+* :mod:`repro.bounds` — network-calculus worst-case delay/backlog
+  envelopes (the third analysis engine, ``docs/bounds.md``);
 * :class:`repro.topology.StarGraph` — the star interconnection network;
 * :mod:`repro.experiments` — regenerates every figure/table of the paper.
 """
 
 from repro.api import ResultRow, ResultSet, Scenario
+from repro.bounds import BoundResult, BoundSpec
 from repro.core import ModelResult, NonUniformLatencyModel, StarLatencyModel
 from repro.routing import EnhancedNbc, GreedyDeterministic, Nbc, NegativeHop, make_algorithm
 from repro.simulation import SimulationConfig, SimulationResult, simulate
@@ -31,6 +34,8 @@ __all__ = [
     "NonUniformLatencyModel",
     "WorkloadSpec",
     "ModelResult",
+    "BoundSpec",
+    "BoundResult",
     "SimulationConfig",
     "SimulationResult",
     "simulate",

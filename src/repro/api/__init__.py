@@ -10,6 +10,7 @@ See ``docs/api.md`` for the full tour and the ResultSet schema policy.
 """
 
 from repro.api.convert import row_from_unit
+from repro.api.presets import ValidationPreset, available_presets, preset_suite
 from repro.api.quality import QUALITY_WINDOWS, quality_windows, sim_quality_config
 from repro.api.results import PROVENANCES, SCHEMA_VERSION, ResultRow, ResultSet
 from repro.api.scenario import Scenario, run_units
@@ -22,6 +23,9 @@ __all__ = [
     "PROVENANCES",
     "row_from_unit",
     "run_units",
+    "ValidationPreset",
+    "preset_suite",
+    "available_presets",
     "QUALITY_WINDOWS",
     "quality_windows",
     "sim_quality_config",

@@ -15,6 +15,7 @@ from dataclasses import fields
 from typing import Any, Mapping
 
 from repro.api.results import ResultRow
+from repro.bounds.network import BoundSpec
 from repro.campaign.grid import WorkUnit
 from repro.core.spec import ModelSpec
 from repro.simulation.config import SimulationConfig
@@ -27,8 +28,10 @@ __all__ = ["row_from_unit"]
 _KIND_PROVENANCE = {
     "model": "model",
     "vc_split_point": "model",
+    "scale_point": "model",
     "sim": "sim",
     "sim_batch": "sim",
+    "bound": "bound",
 }
 
 
@@ -48,6 +51,11 @@ _SIM_DEFAULTS = {
         SimulationConfig, ("message_length", "total_vcs", "engine", "seed")
     ),
 }
+
+
+_BOUND_DEFAULTS = _spec_defaults(
+    BoundSpec, ("order", "message_length", "total_vcs")
+)
 
 
 def _payload(result: Any) -> Mapping[str, Any]:
@@ -77,6 +85,96 @@ def _workload_of(params: Mapping[str, Any]) -> str:
     return workload
 
 
+def _scale_point_row(
+    unit: WorkUnit, data: dict, meta: Mapping[str, Any] | None
+) -> ResultRow:
+    """Project a scale-study row onto the schema via ``ResultRow.meta``.
+
+    A scale point has no natural single operating rate (it reports a
+    whole-network profile: saturation rate, half-load latency, solve
+    time), so ``rate`` is NaN, ``latency`` is the half-load latency, and
+    everything else — node counts, distance statistics, solve time —
+    rides in ``meta`` (the ROADMAP's "ResultSet everywhere" projection).
+    """
+    params = unit.params
+    order = int(params["n"])
+    latency = _nan_if_none(data.pop("half_load_latency", None))
+    extras = {
+        k: v for k, v in data.items() if not isinstance(v, (list, tuple, dict))
+    }
+    extras["kind"] = "scale_point"
+    if meta:
+        extras.update(meta)
+    return ResultRow(
+        provenance="model",
+        spec=unit.key(),
+        topology="star",
+        order=order,
+        workload="uniform",
+        message_length=int(params.get("message_length", 32)),
+        total_vcs=int(data.get("total_vcs", extras.get("total_vcs", 0))),
+        engine="model",
+        rate=math.nan,
+        latency=latency,
+        latency_lo=math.nan,
+        latency_hi=math.nan,
+        saturated=not math.isfinite(latency),
+        algorithm=None,
+        replications=1,
+        seed=None,
+        meta=extras,
+    )
+
+
+def _bound_row(
+    unit: WorkUnit, result: Any, data: dict, meta: Mapping[str, Any] | None
+) -> ResultRow:
+    """One network-calculus bound point as a ``bound``-provenance row.
+
+    ``latency`` carries the headline mean-weighted delay bound; the
+    worst-flow and backlog bounds travel in ``meta`` (``inf`` bounds
+    serialise as JSONL nulls and parse back to NaN, exactly like
+    saturated model rows).
+    """
+    params = unit.params
+    rate = float(params["rate"])
+    if hasattr(result, "delay_bound"):
+        latency = float(result.delay_bound)
+        data.pop("delay_bound", None)
+    else:
+        latency = _nan_if_none(data.pop("delay_bound", None))
+        if latency != latency:  # a stored null is a diverged (infinite) bound
+            latency = math.inf if data.get("saturated") else math.nan
+    saturated = bool(data.pop("saturated", False))
+    data.pop("generation_rate", None)
+    extras = {
+        k: v for k, v in data.items() if not isinstance(v, (list, tuple, dict))
+    }
+    if meta:
+        extras.update(meta)
+    return ResultRow(
+        provenance="bound",
+        spec=unit.key(),
+        topology="star",
+        order=int(params.get("order", _BOUND_DEFAULTS["order"])),
+        workload=_workload_of(params),
+        message_length=int(
+            params.get("message_length", _BOUND_DEFAULTS["message_length"])
+        ),
+        total_vcs=int(params.get("total_vcs", _BOUND_DEFAULTS["total_vcs"])),
+        engine="bound",
+        rate=rate,
+        latency=latency,
+        latency_lo=math.nan,
+        latency_hi=math.nan,
+        saturated=saturated,
+        algorithm=None,
+        replications=1,
+        seed=None,
+        meta=extras,
+    )
+
+
 def row_from_unit(unit: WorkUnit, result: Any, meta: Mapping[str, Any] | None = None) -> ResultRow:
     """One ResultRow for a (work unit, result) pair.
 
@@ -92,6 +190,10 @@ def row_from_unit(unit: WorkUnit, result: Any, meta: Mapping[str, Any] | None = 
         )
     params = unit.params
     data = dict(_payload(result))
+    if unit.kind == "scale_point":
+        return _scale_point_row(unit, data, meta)
+    if unit.kind == "bound":
+        return _bound_row(unit, result, data, meta)
     # Rich result objects carry full-precision values; their as_dict
     # views round for table rendering.  Prefer the attributes.
     if provenance == "model":

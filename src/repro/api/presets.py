@@ -1,0 +1,108 @@
+"""Named validation presets: the S5/S6 cross-check grids.
+
+The ROADMAP's "S5/S6 cross-checks at scale" item fixes two standing
+suites — each a :class:`~repro.api.scenario.Scenario` plus one workload
+and a *stated* model-vs-sim tolerance:
+
+* ``s5`` — S_5 (120 nodes) x {uniform, hotspot, MMPP-2 (on-off)}, the
+  tier-1-affordable grid asserted in ``tests/bounds/`` and runnable as
+  ``starnet validate --preset s5 --bounds``;
+* ``s6`` — the same three workloads on S_6 (720 nodes), the nightly CI
+  grid (array engine, pooled replications; see
+  ``.github/workflows/nightly-bounds.yml``).
+
+``starnet validate`` exits non-zero whenever a preset's measured
+model-vs-sim error exceeds its stated tolerance, so the presets are
+executable accuracy claims, not just convenient argument bundles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.scenario import Scenario
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["ValidationPreset", "preset_suite", "available_presets"]
+
+def _preset_workloads() -> tuple[str, ...]:
+    """The representative workload trio of every preset scale.
+
+    Exactly the default validation suite (the paper's uniform/Poisson
+    baseline, a non-uniform spatial pattern, and a bursty MMPP-2 on-off
+    process) — imported so the presets can never drift from it.  Lazy:
+    ``repro.validation``'s package init itself builds on ``repro.api``.
+    """
+    from repro.validation.workloads import DEFAULT_WORKLOADS
+
+    return DEFAULT_WORKLOADS
+
+
+@dataclass(frozen=True)
+class ValidationPreset:
+    """One standing cross-check: a scenario, its workload, a tolerance.
+
+    ``tolerance`` is the *stated* mean relative model-vs-sim error the
+    suite commits to; ``starnet validate`` fails (exit 1) when the
+    measured error exceeds it.
+    """
+
+    name: str
+    scenario: Scenario
+    tolerance: float
+
+    @property
+    def workload(self) -> str:
+        return self.scenario.workload
+
+
+def _suite(
+    name: str, order: int, message_length: int, total_vcs: int, tolerances
+) -> tuple[ValidationPreset, ...]:
+    presets = []
+    # strict: a workload added to the default suite must get a stated
+    # tolerance here, not silently drop out of the preset grids.
+    for workload, tolerance in zip(_preset_workloads(), tolerances, strict=True):
+        scenario = Scenario(
+            topology="star",
+            order=order,
+            message_length=message_length,
+            total_vcs=total_vcs,
+            workload=workload,
+            quality="smoke",
+            engine="array",
+        )
+        label = scenario.workload.split("(")[0].split("+")[-1]
+        presets.append(
+            ValidationPreset(
+                name=f"{name}-{label if scenario.workload != 'uniform' else 'uniform'}",
+                scenario=scenario,
+                tolerance=tolerance,
+            )
+        )
+    return tuple(presets)
+
+
+#: Stated tolerances: uniform is the paper's validated regime; the
+#: non-uniform / bursty extensions claim looser (but still bounded)
+#: accuracy, and S6 looser than S5 (shorter relative warmup at 720
+#: nodes under the smoke window).
+_SUITES = {
+    "s5": lambda: _suite("s5", 5, 16, 5, (0.15, 0.30, 0.30)),
+    "s6": lambda: _suite("s6", 6, 16, 6, (0.20, 0.35, 0.35)),
+}
+
+
+def available_presets() -> tuple[str, ...]:
+    """Registered preset-suite names, alphabetical."""
+    return tuple(sorted(_SUITES))
+
+
+def preset_suite(name: str) -> tuple[ValidationPreset, ...]:
+    """The named cross-check suite (``s5`` or ``s6``)."""
+    try:
+        return _SUITES[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown preset suite {name!r}; expected one of {available_presets()}"
+        ) from None

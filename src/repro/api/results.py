@@ -36,9 +36,9 @@ __all__ = ["SCHEMA_VERSION", "PROVENANCES", "ResultRow", "ResultSet"]
 #: Version of the ResultRow/ResultSet wire schema.
 SCHEMA_VERSION = 1
 
-#: Legal values of :attr:`ResultRow.provenance`.  ``bound`` is reserved
-#: for network-calculus-style analytical bounds (planned cross-checks
-#: against Farhi & Gaujal 2010 / Mifdaoui & Ayed 2016).
+#: Legal values of :attr:`ResultRow.provenance`.  ``bound`` rows come
+#: from the network-calculus engine (:mod:`repro.bounds` — Farhi &
+#: Gaujal 2010 / Mifdaoui & Ayed 2016 style worst-case envelopes).
 PROVENANCES = ("model", "sim", "bound")
 
 #: Marker line identifying a ResultSet JSONL document.
@@ -71,22 +71,27 @@ class ResultRow:
     ----------
     provenance:
         ``model`` (analytical pipeline), ``sim`` (flit-level simulator)
-        or ``bound`` (analytical bound; reserved).
+        or ``bound`` (network-calculus worst-case envelope,
+        :mod:`repro.bounds`).
     spec:
         Content-hash fingerprint of the producing work unit — the same
         sha256 the campaign store keys on, so a row can be traced back
         to (and deduplicated against) any campaign JSONL store.
     topology / order / algorithm / workload / message_length / total_vcs:
         The scenario coordinates of the point.  ``algorithm`` is None
-        for model rows (the model abstracts over adaptive routing).
+        for model and bound rows (both abstract over adaptive routing).
     engine:
-        ``model`` for analytical rows, else the simulation backend.
+        ``model`` for analytical rows, ``bound`` for bound rows, else
+        the simulation backend.
     rate:
-        Offered load lambda_g (messages/cycle/node).
+        Offered load lambda_g (messages/cycle/node).  NaN for rows with
+        no single operating rate (``scale_point`` projections).
     latency / latency_lo / latency_hi:
         Mean message latency and its 95% confidence bounds.  Model rows
         carry NaN bounds (the model is deterministic); simulation rows
-        without a valid CI carry NaN bounds too.
+        without a valid CI carry NaN bounds too.  Bound rows carry the
+        mean-weighted worst-case delay bound (``inf`` when the bound
+        engine diverged; serialised as null).
     saturated:
         True when the producing layer declared the point saturated.
     replications / seed:

@@ -9,13 +9,15 @@ it every execution path dispatches onto the existing layers:
 * :meth:`Scenario.model` — the analytical pipeline (``ModelSpec``);
 * :meth:`Scenario.simulate` — the flit-level simulator (``SimSpec``),
   engine- and replications-aware;
+* :meth:`Scenario.bound` — the network-calculus bound engine
+  (``BoundSpec``, see :mod:`repro.bounds`);
 * :meth:`Scenario.sweep` — a campaign over (rate x workload x engine x
   anything), parallel / resumable / cache-backed;
 * :meth:`Scenario.validate` — per-workload model-vs-sim accuracy.
 
 Every path returns a schema-versioned
 :class:`~repro.api.results.ResultSet` of uniform rows, so analytical,
-simulated and (future) bound rows share one wire format.
+simulated and bound rows share one wire format.
 
 Key stability: the facade builds campaign work units through the same
 ``ModelSpec.to_params()`` / ``SimSpec.to_params()`` defaults-omitted
@@ -49,6 +51,9 @@ _DEFAULT_SOLVER = SolverSettings()
 
 #: The pseudo-engine selecting the analytical model on an engine axis.
 _MODEL_ENGINE = "model"
+
+#: The pseudo-engine selecting the network-calculus bound engine.
+_BOUND_ENGINE = "bound"
 
 #: Simulation backends a Scenario may name.
 _SIM_ENGINES = ("object", "array")
@@ -300,11 +305,42 @@ class Scenario:
             **extra,
         )
 
+    def bound_spec(self, *, buffer_depth: int | None = None):
+        """The network-calculus bound spec this scenario describes.
+
+        Star-only (the bound engine rides the explicit flow propagation);
+        ``buffer_depth`` defaults to the simulator's per-VC buffer depth
+        so model, simulator and bounds describe one switch.
+        """
+        from repro.bounds.network import BoundSpec
+        from repro.simulation.config import SimulationConfig as _SimConfig
+
+        if self.topology != "star":
+            raise ConfigurationError(
+                "network-calculus bounds are star-only; "
+                f"got topology {self.topology!r}"
+            )
+        if buffer_depth is None:
+            buffer_depth = _SimConfig.__dataclass_fields__["buffer_depth"].default
+        return BoundSpec(
+            order=self.order,
+            message_length=self.message_length,
+            total_vcs=self.total_vcs,
+            workload=None if self.workload == "uniform" else self.workload,
+            buffer_depth=buffer_depth,
+        )
+
     # -- work-unit construction -----------------------------------------
 
     def model_unit(self, rate: float, *, kind: str = "model") -> WorkUnit:
         """One analytical work unit at ``rate`` (kinds: model family)."""
         return WorkUnit(kind=kind, params={**self.model_spec().to_params(), "rate": rate})
+
+    def bound_unit(self, rate: float) -> WorkUnit:
+        """One network-calculus bound work unit at ``rate``."""
+        return WorkUnit(
+            kind="bound", params={**self.bound_spec().to_params(), "rate": rate}
+        )
 
     def sim_unit(self, rate: float, *, replications: int = 1) -> WorkUnit:
         """One simulation work unit at ``rate``.
@@ -356,6 +392,35 @@ class Scenario:
             row_from_unit(u, r) for u, r in zip(result.units, result.results)
         )
 
+    def bound(
+        self,
+        rates: float | Sequence[float],
+        *,
+        workers: int = 1,
+        cache_dir=None,
+    ) -> ResultSet:
+        """Network-calculus delay/backlog bounds as ``bound`` rows.
+
+        One row per rate with provenance ``bound``: ``latency`` is the
+        mean-weighted worst-case delay bound, ``meta`` carries the
+        worst-flow and backlog bounds.  A diverged burstiness fixed
+        point (load beyond the bound engine's critical utilisation)
+        yields an infinite bound — ``saturated=True``, serialised as
+        JSONL null.  See ``docs/bounds.md``.
+        """
+        rates = _rate_tuple(rates)
+        units = [self.bound_unit(r) for r in rates]
+        result = run_units(units, workers=workers, cache_dir=cache_dir)
+        return ResultSet(
+            row_from_unit(u, r) for u, r in zip(result.units, result.results)
+        )
+
+    def bound_divergence_rate(self) -> float:
+        """Smallest rate at which the bound engine's fixed point diverges."""
+        from repro.bounds.analysis import divergence_rate
+
+        return divergence_rate(self.bound_spec())
+
     def simulate(
         self,
         rates: float | Sequence[float],
@@ -395,8 +460,10 @@ class Scenario:
         grid grammar).  Axis names are Scenario fields plus two specials:
 
         * ``rate`` — the offered load (required);
-        * ``engine`` — may mix the pseudo-engine ``"model"`` (analytical
-          rows) with simulation backends (``"object"`` / ``"array"``).
+        * ``engine`` — may mix the pseudo-engines ``"model"``
+          (analytical rows) and ``"bound"`` (network-calculus bound
+          rows) with simulation backends (``"object"`` / ``"array"``),
+          so one sweep returns all three provenances side by side.
           Omitted, the sweep is analytical-only.
 
         The cartesian product expands with the last axis varying
@@ -418,11 +485,15 @@ class Scenario:
         values = [parse_axis_values(axes[name]) for name in names]
         for name, vals in zip(names, values):
             if name == "engine":
-                bad = [v for v in vals if v not in (_MODEL_ENGINE, *_SIM_ENGINES)]
+                bad = [
+                    v
+                    for v in vals
+                    if v not in (_MODEL_ENGINE, _BOUND_ENGINE, *_SIM_ENGINES)
+                ]
                 if bad:
                     raise ConfigurationError(
                         f"unknown engine axis values {bad}; expected 'model', "
-                        "'object' or 'array'"
+                        "'bound', 'object' or 'array'"
                     )
         units: list[WorkUnit] = []
         for combo in itertools.product(*values):
@@ -432,6 +503,8 @@ class Scenario:
             scenario = self.replace(**point) if point else self
             if engine == _MODEL_ENGINE:
                 units.append(scenario.model_unit(rate))
+            elif engine == _BOUND_ENGINE:
+                units.append(scenario.bound_unit(rate))
             else:
                 if engine != scenario.engine:
                     scenario = scenario.replace(engine=engine)

@@ -1,0 +1,39 @@
+"""Network-calculus delay/backlog bounds — the third analysis engine.
+
+Beside the mean-value analytical model (:mod:`repro.core`) and the
+flit-level simulator (:mod:`repro.simulation`), this package computes
+*worst-case* envelopes for a star scenario in the style of Farhi &
+Gaujal 2010 (performance bounds in wormhole routing, a network calculus
+approach) and Mifdaoui & Ayed 2016 (buffer-aware worst-case timing
+analysis of wormhole NoCs):
+
+* :mod:`repro.bounds.curves` — piecewise-linear arrival/service curves
+  with the min-plus operations and the documented burstiness-envelope
+  convention per temporal process;
+* :mod:`repro.bounds.network` — the feedforward decomposition of a
+  workload over the star's minimal-path DAG into leftover service
+  curves, with the buffer-aware wormhole back-pressure term;
+* :mod:`repro.bounds.analysis` — per-class delay/backlog bounds and
+  their aggregation into :class:`BoundResult` operating points.
+
+The preferred entry points are the facade —
+``Scenario(...).bound(rates)``, the ``"bound"`` engine in
+``Scenario.sweep`` — and ``starnet validate --bounds``; see
+``docs/bounds.md`` for conventions and tightness caveats.
+"""
+
+from repro.bounds.analysis import BoundResult, bound_point, bound_sweep, divergence_rate
+from repro.bounds.curves import ArrivalCurve, ServiceCurve, temporal_envelope
+from repro.bounds.network import BoundSpec, StarBoundNetwork
+
+__all__ = [
+    "ArrivalCurve",
+    "ServiceCurve",
+    "temporal_envelope",
+    "BoundSpec",
+    "StarBoundNetwork",
+    "BoundResult",
+    "bound_point",
+    "bound_sweep",
+    "divergence_rate",
+]

@@ -1,0 +1,157 @@
+"""Per-flow delay/backlog bounds and their headline aggregation.
+
+Turns the solved decomposition of :mod:`repro.bounds.network` into
+:class:`BoundResult` operating points shaped like the analytical model's
+:class:`~repro.core.model.ModelResult`: per destination class the
+end-to-end service curve yields a worst-case delay (horizontal
+deviation, covering source queueing, per-hop routing, blind-multiplexing
+interference, buffer back-pressure and the M-flit transmission) and a
+worst-case backlog (vertical deviation, flits).  Classes aggregate to
+the two headline rows the cross-checks consume:
+
+* ``delay_bound`` — the class-weight *mean* of per-class bounds, the
+  worst-case counterpart of the model's mean latency (every class bound
+  is sound, so their weighted mean bounds the mean latency);
+* ``delay_bound_worst`` — the maximum over classes, the bound on the
+  unluckiest flow.
+
+A diverged fixed point (see ``docs/bounds.md``) reports every bound as
+``inf`` with ``saturated=True``; the ResultRow projection serialises
+those as JSON nulls, exactly like saturated model rows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.bounds.network import BoundSolution, BoundSpec
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["BoundResult", "bound_point", "bound_sweep", "divergence_rate"]
+
+
+@dataclass(frozen=True)
+class BoundResult:
+    """Worst-case envelope of one operating point.
+
+    Attributes
+    ----------
+    generation_rate:
+        Offered load lambda_g (messages/cycle/node).
+    delay_bound / delay_bound_worst:
+        Class-weight mean and worst-class end-to-end delay bounds
+        (cycles); ``inf`` when the burstiness fixed point diverged.
+    backlog_bound / backlog_bound_worst:
+        Matching backlog bounds (flits buffered anywhere on the path).
+    hop_rate / hop_latency:
+        The worst-channel leftover service actually used per hop.
+    theta:
+        Converged burstiness-growth delay (cycles).
+    iterations:
+        Fixed-point iterations spent.
+    saturated:
+        True when the fixed point diverged (all bounds infinite).
+    """
+
+    generation_rate: float
+    delay_bound: float
+    delay_bound_worst: float
+    backlog_bound: float
+    backlog_bound_worst: float
+    hop_rate: float
+    hop_latency: float
+    theta: float
+    iterations: int
+    saturated: bool
+
+    def as_dict(self) -> dict:
+        """JSON/table-friendly view (non-finite floats become None)."""
+
+        def _r(x: float, digits: int = 4) -> float | None:
+            return None if math.isinf(x) or math.isnan(x) else round(x, digits)
+
+        return {
+            "generation_rate": self.generation_rate,
+            "delay_bound": _r(self.delay_bound),
+            "delay_bound_worst": _r(self.delay_bound_worst),
+            "backlog_bound": _r(self.backlog_bound),
+            "backlog_bound_worst": _r(self.backlog_bound_worst),
+            "hop_rate": _r(self.hop_rate, 6),
+            "hop_latency": _r(self.hop_latency),
+            "theta": _r(self.theta),
+            "iterations": self.iterations,
+            "saturated": self.saturated,
+        }
+
+
+def _aggregate(spec: BoundSpec, solution: BoundSolution, rate: float) -> BoundResult:
+    network = spec.network()
+    delay_mean = delay_worst = 0.0
+    backlog_mean = backlog_worst = 0.0
+    for weight, distance in network.classes:
+        beta = solution.end_to_end(distance, spec.message_length, spec.buffer_depth)
+        delay = beta.delay_bound(solution.source)
+        backlog = beta.backlog_bound(solution.source)
+        delay_mean += weight * delay
+        backlog_mean += weight * backlog
+        delay_worst = max(delay_worst, delay)
+        backlog_worst = max(backlog_worst, backlog)
+    saturated = not solution.converged or not math.isfinite(delay_mean)
+    return BoundResult(
+        generation_rate=rate,
+        delay_bound=delay_mean,
+        delay_bound_worst=delay_worst,
+        backlog_bound=backlog_mean,
+        backlog_bound_worst=backlog_worst,
+        hop_rate=solution.hop.rate,
+        hop_latency=solution.hop.latency,
+        theta=solution.theta,
+        iterations=solution.iterations,
+        saturated=saturated,
+    )
+
+
+def bound_point(spec: BoundSpec, rate: float) -> BoundResult:
+    """Delay/backlog bounds of ``spec`` at one generation rate."""
+    network = spec.network()
+    return _aggregate(spec, network.solve(rate), rate)
+
+
+def bound_sweep(spec: BoundSpec, rates) -> list[BoundResult]:
+    """Evaluate a sequence of generation rates."""
+    return [bound_point(spec, r) for r in rates]
+
+
+def divergence_rate(
+    spec: BoundSpec,
+    lo: float = 0.0,
+    hi: float = 0.2,
+    tol: float = 1e-6,
+    max_expansions: int = 10,
+) -> float:
+    """Smallest rate at which the burstiness fixed point diverges.
+
+    The bound engine's counterpart of the model's saturation search: a
+    bracket-expanding bisection on the ``saturated`` flag.  Below this
+    rate bounds are finite; above it the cyclic interference growth
+    outruns the leftover capacity and every bound is infinite.  Returns
+    ``inf`` when no divergent rate is found within the expansion cap.
+    """
+    if lo < 0 or hi <= lo:
+        raise ConfigurationError(f"need 0 <= lo < hi, got lo={lo}, hi={hi}")
+    expansions = 0
+    lo_rate, hi_rate = lo, hi
+    while not bound_point(spec, hi_rate).saturated:
+        if expansions >= max_expansions:
+            return math.inf
+        lo_rate = hi_rate
+        hi_rate *= 2.0
+        expansions += 1
+    while hi_rate - lo_rate > tol:
+        mid = 0.5 * (lo_rate + hi_rate)
+        if bound_point(spec, mid).saturated:
+            hi_rate = mid
+        else:
+            lo_rate = mid
+    return hi_rate

@@ -1,0 +1,314 @@
+"""Piecewise-linear arrival/service curves with min-plus algebra.
+
+The network-calculus bound engine (Farhi & Gaujal 2010; Mifdaoui & Ayed
+2016) works with two curve families:
+
+* **Arrival curves** — concave piecewise-linear envelopes
+  ``alpha(t) = min_i (sigma_i + rho_i * t)`` (and ``alpha(0) = 0``): the
+  traffic of a flow over any window of length ``t`` is at most
+  ``alpha(t)`` flits.  A single ``(sigma, rho)`` piece is the classic
+  token bucket; the MMPP-2/on-off envelope is the *dual* bucket — a peak
+  piece active over short windows intersected with a mean piece.
+* **Service curves** — rate-latency functions
+  ``beta(t) = R * max(0, t - T)``: a channel serves at least ``beta(t)``
+  flits in any backlogged window of length ``t``.
+
+Everything downstream (leftover service, delay/backlog deviations,
+output envelopes) is derived from four primitives implemented here:
+curve addition (aggregate flows), pointwise minimum (which *is* the
+min-plus convolution for concave curves vanishing at zero), the
+``burst_above`` deviation ``sup_t alpha(t) - R*t``, and the time-shift
+``alpha(t + d)`` bounding a flow's output envelope after it suffered at
+most ``d`` cycles of delay.
+
+Burstiness-envelope convention (documented in ``docs/bounds.md``): all
+curves are in **flit** units over **cycle** time.  A temporal process
+with mean message rate ``lambda`` and inter-arrival SCV ``c2`` gets the
+mean-piece envelope ``sigma = M * (1 + c2)``, ``rho = lambda * M`` —
+exact for deterministic sources (one packet in flight), covering a full
+batch for batch-Poisson (``c2 = 2*size - 1``), and a *convention* for
+Poisson-like processes whose arrivals are not strictly bounded (the
+bounds then hold with respect to the stated envelope, the standard
+network-calculus caveat).  The on-off process additionally carries the
+peak piece ``(M, rho / duty)`` with the ON-burst mean piece
+``sigma = M * (1 + burst)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["ArrivalCurve", "ServiceCurve", "temporal_envelope"]
+
+
+def _prune(pieces: tuple[tuple[float, float], ...]) -> tuple[tuple[float, float], ...]:
+    """Drop affine pieces dominated by another (higher sigma AND rho)."""
+    uniq = sorted(set(pieces))
+    keep: list[tuple[float, float]] = []
+    for sigma, rho in uniq:
+        if any(s <= sigma and r <= rho for s, r in uniq if (s, r) != (sigma, rho)):
+            continue
+        keep.append((sigma, rho))
+    return tuple(keep) if keep else (uniq[0],)
+
+
+@dataclass(frozen=True)
+class ArrivalCurve:
+    """Concave piecewise-linear arrival envelope (flits over cycles).
+
+    ``pieces`` is a tuple of ``(sigma, rho)`` affine bounds;
+    ``alpha(t) = min_i (sigma_i + rho_i * t)`` for ``t > 0``.  The zero
+    curve (no traffic) is the single piece ``(0, 0)``.
+    """
+
+    pieces: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.pieces:
+            raise ConfigurationError("an arrival curve needs at least one piece")
+        for sigma, rho in self.pieces:
+            if not (math.isfinite(sigma) and math.isfinite(rho)):
+                raise ConfigurationError(f"non-finite curve piece ({sigma}, {rho})")
+            if sigma < 0 or rho < 0:
+                raise ConfigurationError(f"negative curve piece ({sigma}, {rho})")
+        object.__setattr__(self, "pieces", _prune(tuple(self.pieces)))
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "ArrivalCurve":
+        """The empty flow: alpha(t) = 0."""
+        return cls(((0.0, 0.0),))
+
+    @classmethod
+    def token_bucket(cls, sigma: float, rho: float) -> "ArrivalCurve":
+        """Single-bucket envelope: burst ``sigma``, sustained rate ``rho``."""
+        return cls(((float(sigma), float(rho)),))
+
+    # -- basic views ----------------------------------------------------
+
+    @property
+    def rate(self) -> float:
+        """Long-term sustainable rate (the minimum piece slope)."""
+        return min(rho for _, rho in self.pieces)
+
+    @property
+    def burst(self) -> float:
+        """Instantaneous burst alpha(0+) (the minimum piece offset)."""
+        return min(sigma for sigma, _ in self.pieces)
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the curve admits no traffic at all."""
+        return all(sigma == 0.0 and rho == 0.0 for sigma, rho in self.pieces)
+
+    def __call__(self, t: float) -> float:
+        """alpha(t) — the envelope value at window length ``t >= 0``."""
+        if t < 0:
+            raise ConfigurationError(f"window length must be >= 0, got {t}")
+        if t == 0:
+            return 0.0
+        return min(sigma + rho * t for sigma, rho in self.pieces)
+
+    # -- algebra --------------------------------------------------------
+
+    def __add__(self, other: "ArrivalCurve") -> "ArrivalCurve":
+        """Aggregate of two flows: pairwise-summed pieces (still concave)."""
+        if not isinstance(other, ArrivalCurve):
+            return NotImplemented
+        return ArrivalCurve(
+            tuple(
+                (s1 + s2, r1 + r2)
+                for s1, r1 in self.pieces
+                for s2, r2 in other.pieces
+            )
+        )
+
+    def minimum(self, other: "ArrivalCurve") -> "ArrivalCurve":
+        """Pointwise min — the min-plus convolution of concave curves.
+
+        For concave curves vanishing at zero the min-plus convolution
+        ``(a ⊗ b)(t) = inf_s a(s) + b(t - s)`` is attained at an endpoint
+        of ``[0, t]``, so it collapses to the pointwise minimum: the
+        union of the affine pieces.
+        """
+        return ArrivalCurve(self.pieces + other.pieces)
+
+    convolve = minimum
+
+    def scaled(self, k: float) -> "ArrivalCurve":
+        """``k`` homogeneous copies of this flow aggregated (``k >= 0``)."""
+        if k < 0:
+            raise ConfigurationError(f"scale factor must be >= 0, got {k}")
+        if k == 0:
+            return ArrivalCurve.zero()
+        return ArrivalCurve(tuple((k * s, k * r) for s, r in self.pieces))
+
+    def delayed(self, d: float) -> "ArrivalCurve":
+        """Envelope of this flow after at most ``d`` cycles of delay.
+
+        ``alpha(t + d)`` bounds the *output* of a system that delays the
+        flow by at most ``d`` (min-plus deconvolution against the pure
+        delay), which is how burstiness grows hop by hop.
+        """
+        if d < 0 or not math.isfinite(d):
+            raise ConfigurationError(f"delay shift must be finite and >= 0, got {d}")
+        return ArrivalCurve(tuple((s + r * d, r) for s, r in self.pieces))
+
+    def burst_above(self, rate: float) -> float:
+        """``sup_t alpha(t) - rate * t`` — the deviation above a pure rate.
+
+        The workhorse deviation: leftover-service latency, delay and
+        backlog bounds all reduce to it.  Infinite when the envelope's
+        sustained rate exceeds ``rate``; for the dual-bucket on-off
+        envelope the peak piece genuinely tightens the result whenever
+        it caps the mean piece at the maximising window.
+        """
+        if self.is_zero:
+            return 0.0
+        if self.rate > rate:
+            return math.inf
+        # g(t) = min_i (sigma_i + (rho_i - rate) t) is concave PL; its
+        # sup over t >= 0 is attained at t = 0+ or at a pairwise
+        # intersection of pieces (a superset of the envelope breakpoints,
+        # where evaluating the true min is exact and extra points are
+        # harmless).
+        best = min(s for s, _ in self.pieces)  # t -> 0+
+        pieces = self.pieces
+        for i, (s1, r1) in enumerate(pieces):
+            for s2, r2 in pieces[i + 1:]:
+                if r1 == r2:
+                    continue
+                t = (s2 - s1) / (r1 - r2)
+                if t > 0:
+                    best = max(best, self(t) - rate * t)
+        return best
+
+
+@dataclass(frozen=True)
+class ServiceCurve:
+    """Rate-latency service curve ``beta(t) = rate * max(0, t - latency)``.
+
+    ``rate = 0`` with ``latency = inf`` is the *saturated* service — a
+    channel whose guaranteed throughput is exhausted; every bound
+    derived from it is infinite (serialised as JSON null downstream).
+    """
+
+    rate: float
+    latency: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0 or math.isnan(self.rate):
+            raise ConfigurationError(f"service rate must be >= 0, got {self.rate}")
+        if self.latency < 0 or math.isnan(self.latency):
+            raise ConfigurationError(f"service latency must be >= 0, got {self.latency}")
+
+    @classmethod
+    def saturated(cls) -> "ServiceCurve":
+        """The exhausted channel: no guaranteed service at any horizon."""
+        return cls(0.0, math.inf)
+
+    @property
+    def is_saturated(self) -> bool:
+        return self.rate <= 0.0 or math.isinf(self.latency)
+
+    def __call__(self, t: float) -> float:
+        if t < 0:
+            raise ConfigurationError(f"window length must be >= 0, got {t}")
+        if self.is_saturated:
+            return 0.0
+        return self.rate * max(0.0, t - self.latency)
+
+    def convolve(self, other: "ServiceCurve") -> "ServiceCurve":
+        """End-to-end service of two servers in tandem (min rate, summed T)."""
+        if self.is_saturated or other.is_saturated:
+            return ServiceCurve.saturated()
+        return ServiceCurve(min(self.rate, other.rate), self.latency + other.latency)
+
+    def with_extra_latency(self, extra: float) -> "ServiceCurve":
+        """Same rate, ``extra`` cycles more latency (back-pressure terms)."""
+        if self.is_saturated or math.isinf(extra):
+            return ServiceCurve.saturated()
+        return ServiceCurve(self.rate, self.latency + extra)
+
+    # -- deviations (the bounds) ----------------------------------------
+
+    def delay_bound(self, alpha: ArrivalCurve) -> float:
+        """Horizontal deviation: worst-case delay of an ``alpha``-flow."""
+        if alpha.is_zero:
+            return 0.0
+        if self.is_saturated:
+            return math.inf
+        b = alpha.burst_above(self.rate)
+        return self.latency + b / self.rate
+
+    def backlog_bound(self, alpha: ArrivalCurve) -> float:
+        """Vertical deviation: worst-case backlog (flits) of an ``alpha``-flow."""
+        if alpha.is_zero:
+            return 0.0
+        if self.is_saturated:
+            return math.inf
+        return alpha.burst_above(self.rate) + self.rate * self.latency
+
+    def leftover(self, competing: ArrivalCurve) -> "ServiceCurve":
+        """Service left to a tagged flow after blind multiplexing.
+
+        Subtracts the competing aggregate's tightest single-bucket
+        overbound ``(burst_above(rho), rho)`` from this server:
+        ``R' = R - rho``, ``T' = (R*T + sigma) / R'``.  A non-positive
+        leftover rate means the channel is saturated for the tagged flow.
+        """
+        if self.is_saturated:
+            return ServiceCurve.saturated()
+        if competing.is_zero:
+            return self
+        rho = competing.rate
+        residual = self.rate - rho
+        if residual <= 0.0:
+            return ServiceCurve.saturated()
+        sigma = competing.burst_above(rho)
+        return ServiceCurve(residual, (self.rate * self.latency + sigma) / residual)
+
+
+def temporal_envelope(
+    temporal: str,
+    params: Mapping[str, Any],
+    rate: float,
+    message_length: int,
+) -> ArrivalCurve:
+    """Source arrival envelope of a temporal process, in flits/cycle.
+
+    Implements the burstiness-envelope convention documented in
+    ``docs/bounds.md`` (module docstring above): mean piece
+    ``(M * (1 + c2), lambda * M)`` for every process, plus the peak
+    piece ``(M, lambda * M / duty)`` for the on-off (MMPP-2) process.
+    A zero-rate flow yields the zero curve.
+    """
+    from repro.workloads.temporal import (
+        ONOFF_BURST_DEFAULT,
+        ONOFF_DUTY_DEFAULT,
+        temporal_scv,
+    )
+
+    if rate < 0:
+        raise ConfigurationError(f"arrival rate must be >= 0, got {rate}")
+    if message_length < 1:
+        raise ConfigurationError(f"message_length must be >= 1, got {message_length}")
+    if rate == 0.0:
+        return ArrivalCurve.zero()
+    m = float(message_length)
+    rho = rate * m
+    scv = temporal_scv(temporal, dict(params))
+    if temporal == "onoff":
+        duty = float(dict(params).get("duty", ONOFF_DUTY_DEFAULT))
+        burst = float(dict(params).get("burst", ONOFF_BURST_DEFAULT))
+        mean_piece = (m * (1.0 + burst), rho)
+        if duty >= 1.0:  # degenerates to Poisson
+            return ArrivalCurve.token_bucket(m * (1.0 + scv), rho)
+        peak_piece = (m, rho / duty)
+        return ArrivalCurve((mean_piece, peak_piece))
+    return ArrivalCurve.token_bucket(m * (1.0 + scv), rho)

@@ -1,0 +1,290 @@
+"""Feedforward decomposition of a star scenario into bound-ready curves.
+
+Maps a workload on S_n onto the objects the delay/backlog calculus of
+:mod:`repro.bounds.analysis` consumes:
+
+1. the workload's spatial pattern is propagated over the minimal-path
+   DAG (:func:`repro.workloads.flows.cached_flow_profile`), yielding the
+   per-channel flit rates and the destination-class decomposition of the
+   offered traffic;
+2. each physical channel is a unit-capacity rate-latency server (one
+   flit per cycle, one routing cycle of latency); the service left to a
+   tagged flow is the blind-multiplexing leftover after subtracting the
+   competing aggregate envelope — per-source bursts summed over the
+   channel's *crossing sources* (:func:`cached_channel_crossings`), rate
+   capped at the channel's measured flit rate;
+3. competing bursts grow along paths (a flow delayed by ``theta``
+   carries envelope ``alpha(t + theta)``), which couples the leftover
+   latency back to itself through the network's shared channels.  The
+   coupling is resolved by a monotone fixed point on ``theta``, the
+   worst accumulated delay of any competing prefix (injection plus up to
+   ``d_max - 1`` earlier hops).  When the growth rate exceeds the
+   leftover capacity the iteration diverges and every bound is infinite
+   — the honest network-calculus behaviour once adaptive wormhole
+   traffic interferes cyclically (see ``docs/bounds.md`` for the
+   tightness discussion);
+4. wormhole back-pressure enters through the buffer-aware term of
+   Mifdaoui & Ayed: a packet blocked at hop ``j`` of a ``d``-hop path
+   can park at most ``buffer_depth`` flits in each of the ``d - j``
+   downstream channels, and the remainder must drain through the worst
+   leftover rate before the hop frees — an additive latency of
+   ``max(0, M - B*(d - j)) / R`` per hop.
+
+The decomposition is deliberately conservative (worst channel for every
+hop, whole-source burst per flow); looseness is the price of soundness
+and is documented, not hidden.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+from functools import lru_cache
+from typing import Any, Mapping
+
+from repro.bounds.curves import ArrivalCurve, ServiceCurve, temporal_envelope
+from repro.core.pathstats import cached_path_statistics
+from repro.utils.exceptions import ConfigurationError
+from repro.workloads.flows import (
+    MAX_FLOW_ORDER,
+    cached_channel_crossings,
+    cached_flow_profile,
+)
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["BoundSpec", "StarBoundNetwork", "BoundSolution", "CAPACITY", "ROUTING_LATENCY"]
+
+#: Physical channel capacity, flits per cycle.
+CAPACITY = 1.0
+
+#: Per-hop routing/switching latency in cycles (the model's zero-load
+#: transmission term is ``M + hops``, i.e. one cycle per hop).
+ROUTING_LATENCY = 1.0
+
+#: Fixed-point iteration limits for the burstiness-growth coupling.
+_MAX_ITERATIONS = 200
+_TOLERANCE = 1e-9
+#: Accumulated-delay cap beyond which the growth is declared divergent.
+_DIVERGENCE_CAP = 1e9
+
+
+@dataclass(frozen=True)
+class BoundSpec:
+    """Constructor arguments of a bound network, as plain data.
+
+    The bound engine's counterpart of :class:`~repro.core.spec.ModelSpec`
+    — star topology only (the flow propagation is star-specific), with
+    the simulator's buffer depth as the one extra knob the worst-case
+    analysis is sensitive to.
+    """
+
+    order: int = 5
+    message_length: int = 32
+    total_vcs: int = 6
+    workload: str | None = None
+    buffer_depth: int = 2
+
+    def __post_init__(self) -> None:
+        if self.order < 3:
+            raise ConfigurationError(f"star order must be >= 3, got {self.order}")
+        if self.order > MAX_FLOW_ORDER:
+            raise ConfigurationError(
+                f"bound analysis needs order <= {MAX_FLOW_ORDER} "
+                f"(explicit flow propagation; S_{self.order} has {self.order}! nodes)"
+            )
+        if self.message_length < 1:
+            raise ConfigurationError(
+                f"message_length must be >= 1, got {self.message_length}"
+            )
+        if self.total_vcs < 1:
+            raise ConfigurationError(f"total_vcs must be >= 1, got {self.total_vcs}")
+        if self.buffer_depth < 1:
+            raise ConfigurationError(
+                f"buffer_depth must be >= 1, got {self.buffer_depth}"
+            )
+        if self.workload is not None:
+            canonical = WorkloadSpec.coerce(self.workload).canonical
+            object.__setattr__(
+                self, "workload", None if canonical == "uniform" else canonical
+            )
+
+    def to_params(self) -> dict[str, Any]:
+        """Compact plain-dict form (defaulted fields omitted)."""
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value != f.default:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, Any]) -> "BoundSpec":
+        """Rebuild from a plain dict, rejecting unknown keys."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(params) - known
+        if unknown:
+            raise ConfigurationError(f"unknown BoundSpec parameters: {sorted(unknown)}")
+        return cls(**dict(params))
+
+    def network(self) -> "StarBoundNetwork":
+        """The live bound network (shared per-spec via an LRU cache)."""
+        return _network(self)
+
+
+@lru_cache(maxsize=16)
+def _network(spec: BoundSpec) -> "StarBoundNetwork":
+    return StarBoundNetwork(spec)
+
+
+@dataclass(frozen=True)
+class BoundSolution:
+    """The solved decomposition at one offered load.
+
+    Attributes
+    ----------
+    source:
+        Per-source arrival envelope (the tagged-flow envelope too — the
+        whole-source-to-one-destination worst case).
+    injection / hop:
+        Leftover service of the injection link and of the worst network
+        channel (identical for every hop — the worst-channel
+        convention).  Saturated service curves signal divergence.
+    theta:
+        Converged accumulated-delay fixed point (burstiness growth).
+    iterations:
+        Fixed-point iterations spent.
+    converged:
+        False when the growth diverged (all bounds are then infinite).
+    """
+
+    source: ArrivalCurve
+    injection: ServiceCurve
+    hop: ServiceCurve
+    theta: float
+    iterations: int
+    converged: bool
+
+    def end_to_end(self, distance: int, message_length: int, buffer_depth: int) -> ServiceCurve:
+        """End-to-end service of a ``distance``-hop flow, buffer-aware.
+
+        Convolution of the injection leftover with ``distance`` copies of
+        the worst-hop leftover, plus the Mifdaoui-Ayed back-pressure
+        latency: at hop ``j`` the ``(M - B*(distance - j))^+`` flits that
+        do not fit in downstream buffers must drain at the leftover rate
+        before the hop frees.
+        """
+        if distance < 1:
+            return self.injection
+        if not self.converged or self.hop.is_saturated or self.injection.is_saturated:
+            return ServiceCurve.saturated()
+        back_pressure = sum(
+            max(0.0, message_length - buffer_depth * (distance - j))
+            for j in range(1, distance + 1)
+        ) / self.hop.rate
+        net = ServiceCurve(self.hop.rate, distance * self.hop.latency)
+        return self.injection.convolve(net.with_extra_latency(back_pressure))
+
+
+class StarBoundNetwork:
+    """Bound-ready view of one star workload: curves per class and hop.
+
+    Construction resolves everything rate-independent — flow profile,
+    crossing counts, destination classes; :meth:`solve` performs the
+    per-rate fixed point and :meth:`classes` exposes the
+    ``(weight, distance)`` decomposition the analysis aggregates over.
+    """
+
+    def __init__(self, spec: BoundSpec):
+        self.spec = spec
+        self.workload = WorkloadSpec.coerce(spec.workload)
+        profile = cached_flow_profile(spec.order, self.workload.spatial_canonical)
+        self._profile = profile
+        self._crossings = cached_channel_crossings(
+            spec.order, self.workload.spatial_canonical
+        )
+        stats = cached_path_statistics(spec.order)
+        distance_of = {cls.ctype: cls.distance for cls in stats.classes}
+        try:
+            self.classes: tuple[tuple[float, int], ...] = tuple(
+                (weight, distance_of[ctype]) for ctype, weight in profile.class_weights
+            )
+        except KeyError as exc:  # pragma: no cover - profiles share the lattice
+            raise ConfigurationError(
+                f"workload routes to cycle type {exc} unknown to the "
+                f"S{spec.order} path statistics"
+            ) from None
+        self.max_distance = max((d for _, d in self.classes), default=0)
+
+    # -- rate-independent views -----------------------------------------
+
+    def source_envelope(self, rate: float) -> ArrivalCurve:
+        """One node's arrival envelope at mean message rate ``rate``."""
+        return temporal_envelope(
+            self.workload.temporal,
+            dict(self.workload.temporal_params),
+            rate,
+            self.spec.message_length,
+        )
+
+    def peak_flit_rate(self, rate: float) -> float:
+        """Flit rate of the hottest channel at generation rate ``rate``."""
+        return rate * self.spec.message_length * self._profile.peak_channel_rate
+
+    # -- the fixed point -------------------------------------------------
+
+    def solve(self, rate: float) -> BoundSolution:
+        """Resolve the burstiness-growth coupling at one offered load."""
+        if rate < 0:
+            raise ConfigurationError(f"generation rate must be >= 0, got {rate}")
+        source = self.source_envelope(rate)
+        raw = ServiceCurve(CAPACITY, ROUTING_LATENCY)
+        if source.is_zero:
+            return BoundSolution(
+                source=source, injection=raw, hop=raw,
+                theta=0.0, iterations=0, converged=True,
+            )
+        injection = raw.leftover(source)
+        m = self.spec.message_length
+        rates = rate * m * self._profile.unit_channel_rates
+        if injection.is_saturated or float(rates.max()) >= CAPACITY:
+            return self._diverged(source, injection, 0)
+
+        sigma_src = source.burst_above(source.rate)
+        prefix_hops = max(0, self.max_distance - 1)
+        theta = 0.0
+        for iteration in range(1, _MAX_ITERATIONS + 1):
+            # Worst-channel competing aggregate under the (sigma, rho)
+            # cap convention: crossing-source bursts (grown by theta)
+            # summed, long-term rate capped at the measured flit rate.
+            sigma_c = self._crossings * sigma_src + rates * theta
+            competing = ArrivalCurve.token_bucket(
+                float(sigma_c.max()), float(rates.max())
+            )
+            hop = raw.leftover(competing)
+            if hop.is_saturated:
+                return self._diverged(source, injection, iteration)
+            grown = injection.delay_bound(source) + prefix_hops * hop.delay_bound(
+                source.delayed(theta)
+            )
+            if not math.isfinite(grown) or grown > _DIVERGENCE_CAP:
+                return self._diverged(source, injection, iteration)
+            if abs(grown - theta) <= _TOLERANCE * max(1.0, theta):
+                return BoundSolution(
+                    source=source, injection=injection, hop=hop,
+                    theta=grown, iterations=iteration, converged=True,
+                )
+            theta = grown
+        return self._diverged(source, injection, _MAX_ITERATIONS)
+
+    @staticmethod
+    def _diverged(
+        source: ArrivalCurve, injection: ServiceCurve, iterations: int
+    ) -> BoundSolution:
+        return BoundSolution(
+            source=source,
+            injection=injection,
+            hop=ServiceCurve.saturated(),
+            theta=math.inf,
+            iterations=iterations,
+            converged=False,
+        )

@@ -25,6 +25,9 @@ Built-ins
 ``vc_split_point``
     One row of the VC-split ablation (latency at a fixed rate plus the
     split's saturation rate) -> dict.
+``bound``
+    Network-calculus delay/backlog bounds at one generation rate ->
+    ``BoundResult`` (see :mod:`repro.bounds`).
 """
 
 from __future__ import annotations
@@ -146,6 +149,20 @@ def scale_point(params: Mapping[str, Any]):
         "saturation_rate": sat,
         "solve_ms": round(solve_ms, 2),
     }
+
+
+@register_kind("bound")
+def bound_kind(params: Mapping[str, Any]):
+    """Network-calculus bounds at ``rate`` (other params feed BoundSpec)."""
+    from repro.bounds.analysis import bound_point
+    from repro.bounds.network import BoundSpec
+
+    if "rate" not in params:
+        raise ConfigurationError("kind 'bound' requires a 'rate' parameter")
+    spec = BoundSpec.from_params(
+        {k: v for k, v in params.items() if k != "rate"}
+    )
+    return bound_point(spec, float(params["rate"]))
 
 
 @register_kind("vc_split_point")

@@ -30,14 +30,16 @@ from repro.api.scenario import Scenario, run_units
 from repro.campaign.grid import WorkUnit
 from repro.core.blocking import BlockingVariant
 from repro.core.model import HypercubeLatencyModel, StarLatencyModel
-from repro.experiments.records import ExperimentRecord
+from repro.experiments.records import ExperimentRecord, study_record, study_resultset
 from repro.routing.vc_classes import VcConfig
 from repro.topology.hypercube import Hypercube, equivalent_hypercube_dimension
 
 __all__ = [
     "blocking_variant_study",
     "routing_comparison",
+    "vc_split_units",
     "vc_split_study",
+    "vc_split_study_with_rows",
     "star_vs_hypercube",
     "star_vs_hypercube_model",
     "blocking_profile_study",
@@ -150,28 +152,13 @@ def routing_comparison(
     return rec
 
 
-def vc_split_study(
+def vc_split_units(
     n: int = 5,
     total_vcs: int = 9,
     message_length: int = 32,
     rate: float = 0.012,
-    workers: int = 1,
-) -> ExperimentRecord:
-    """Model latency as a function of the class-a/class-b split of V.
-
-    The escape layer needs at least ``floor(diameter/2) + 1`` classes;
-    every extra class beyond that is one fewer adaptive channel.  The
-    paper's rule (minimum escape) should dominate.
-    """
-    rec = ExperimentRecord(
-        name="ablation_vc_split",
-        params={
-            "n": n,
-            "total_vcs": total_vcs,
-            "message_length": message_length,
-            "rate": rate,
-        },
-    )
+) -> list[WorkUnit]:
+    """The ``vc_split_point`` work units of one VC-split ablation."""
     diameter = (3 * (n - 1)) // 2
     min_escape = diameter // 2 + 1
     units = []
@@ -185,9 +172,42 @@ def vc_split_study(
             num_escape=cfg.num_escape,
         )
         units.append(scenario.model_unit(rate, kind="vc_split_point"))
-    for row in run_units(units, workers=workers).results:
-        rec.add_row(**row)
-    return rec
+    return units
+
+
+def vc_split_study_with_rows(
+    n: int = 5,
+    total_vcs: int = 9,
+    message_length: int = 32,
+    rate: float = 0.012,
+    workers: int = 1,
+):
+    """One campaign run feeding both the record and the ResultSet view."""
+    result = run_units(
+        vc_split_units(n, total_vcs, message_length, rate), workers=workers
+    )
+    record = study_record(
+        "ablation_vc_split",
+        {"n": n, "total_vcs": total_vcs, "message_length": message_length, "rate": rate},
+        result,
+    )
+    return record, study_resultset(result)
+
+
+def vc_split_study(
+    n: int = 5,
+    total_vcs: int = 9,
+    message_length: int = 32,
+    rate: float = 0.012,
+    workers: int = 1,
+) -> ExperimentRecord:
+    """Model latency as a function of the class-a/class-b split of V.
+
+    The escape layer needs at least ``floor(diameter/2) + 1`` classes;
+    every extra class beyond that is one fewer adaptive channel.  The
+    paper's rule (minimum escape) should dominate.
+    """
+    return vc_split_study_with_rows(n, total_vcs, message_length, rate, workers)[0]
 
 
 def star_vs_hypercube(

@@ -10,7 +10,9 @@ distance     Average-distance table (Eq. 2 vs. exact enumeration).
 campaign     Run a declarative parameter-grid campaign (parallel,
              resumable, cache-backed).
 sim          Run one flit-level simulation with full workload control.
-validate     Model-vs-sim accuracy per workload (campaign-backed).
+validate     Model-vs-sim accuracy per workload (campaign-backed);
+             --bounds adds the network-calculus cross-check and --preset
+             runs the standing S5/S6 suites with stated tolerances.
 """
 
 from __future__ import annotations
@@ -18,19 +20,32 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.api.presets import available_presets
 from repro.api.scenario import Scenario, run_units
 from repro.campaign.grid import GridSpec
 from repro.campaign.kinds import available_kinds
 from repro.campaign.runner import to_payload
 from repro.experiments import ablations
 from repro.experiments.figure1 import FIGURE1_PANELS, panel_record, render_panel, reproduce_panel
-from repro.experiments.scale import scale_study
 from repro.experiments.tables import render_table
 from repro.topology.properties import comparison_table
 from repro.topology.star import StarGraph, star_average_distance_closed_form
 from repro.utils.exceptions import ConfigurationError
 
 __all__ = ["main", "build_parser"]
+
+#: Scenario-flag defaults of ``starnet validate`` when --preset is not
+#: used — the single source for both the help strings and the
+#: None-resolution (argparse defaults stay None so --preset can reject
+#: explicitly passed, conflicting flags).
+_VALIDATE_DEFAULTS = {
+    "order": 4,
+    "message_length": 16,
+    "vcs": 5,
+    "quality": "quick",
+    "seed": 0,
+    "engine": "object",
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,6 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
     sc = sub.add_parser("scale", help="large-n model study")
     sc.add_argument("--max-n", type=int, default=9)
     sc.add_argument("--workers", type=int, default=1, help="process-pool width")
+    sc.add_argument(
+        "--out", metavar="FILE", help="also save the study as a ResultSet JSONL"
+    )
 
     ab = sub.add_parser("ablation", help="run a named ablation")
     ab.add_argument(
@@ -67,6 +85,11 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     ab.add_argument("--workers", type=int, default=1, help="process-pool width")
+    ab.add_argument(
+        "--out",
+        metavar="FILE",
+        help="also save the study as a ResultSet JSONL (vcsplit only)",
+    )
 
     dist = sub.add_parser("distance", help="average-distance table (Eq. 2)")
     dist.add_argument("--max-n", type=int, default=7)
@@ -170,21 +193,40 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help="workload to validate (repeatable); default: a 3-workload suite",
     )
-    val.add_argument("--order", type=int, default=4, help="star order n")
-    val.add_argument("--message-length", type=int, default=16)
-    val.add_argument("--vcs", type=int, default=5)
+    # Scenario flags default to None so --preset can detect (and reject)
+    # explicit values that would silently contradict the preset scenario;
+    # without --preset they resolve through _VALIDATE_DEFAULTS.
+    val.add_argument(
+        "--order", type=int, default=None,
+        help=f"star order n (default {_VALIDATE_DEFAULTS['order']})",
+    )
+    val.add_argument(
+        "--message-length", type=int, default=None,
+        help=f"M, flits (default {_VALIDATE_DEFAULTS['message_length']})",
+    )
+    val.add_argument(
+        "--vcs", type=int, default=None,
+        help=f"V (default {_VALIDATE_DEFAULTS['vcs']})",
+    )
     val.add_argument(
         "--fractions",
         default="0.2,0.4,0.6",
         help="load points as fractions of the binding saturation rate",
     )
-    val.add_argument("--quality", choices=("smoke", "quick", "full"), default="quick")
-    val.add_argument("--seed", type=int, default=0)
+    val.add_argument(
+        "--quality", choices=("smoke", "quick", "full"), default=None,
+        help=f"simulation window preset (default {_VALIDATE_DEFAULTS['quality']})",
+    )
+    val.add_argument(
+        "--seed", type=int, default=None,
+        help=f"master seed (default {_VALIDATE_DEFAULTS['seed']})",
+    )
     val.add_argument(
         "--engine",
         choices=("object", "array"),
-        default="object",
-        help="simulation backend used for the sim side of the comparison",
+        default=None,
+        help="simulation backend used for the sim side of the comparison "
+        f"(default {_VALIDATE_DEFAULTS['engine']})",
     )
     val.add_argument("--workers", type=int, default=1, help="process-pool width")
     val.add_argument(
@@ -205,6 +247,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print measured per-hop blocking next to the model's "
         "P_block(k) prediction",
+    )
+    val.add_argument(
+        "--bounds",
+        action="store_true",
+        help="also compute network-calculus delay bounds and print the "
+        "model vs sim vs bound table (a finite bound below the simulated "
+        "mean is flagged and fails the run)",
+    )
+    val.add_argument(
+        "--preset",
+        choices=available_presets(),
+        help="run a standing cross-check suite (S5/S6 scenarios with "
+        "stated tolerances) instead of the flag-built scenario; a "
+        "workload exceeding its stated tolerance fails the run",
+    )
+    val.add_argument(
+        "--out",
+        metavar="FILE",
+        help="save every model/sim/bound row as a ResultSet JSONL",
+    )
+    val.add_argument(
+        "--cache-dir", metavar="DIR", help="shared campaign disk cache"
     )
     return parser
 
@@ -356,7 +420,46 @@ def _run_sim_command(args) -> int:
     return 0
 
 
+def _bound_check_table(scenario, record, cache_dir) -> tuple[str, bool, "object"]:
+    """The model/sim/bound cross-check of one validated workload.
+
+    Returns the rendered three-provenance table, whether any *finite*
+    bound fell below the simulated mean (a soundness violation — upper
+    bounds may be loose or infinite, never low), and the bound rows.
+    """
+    import math
+
+    bound_rows = scenario.replace(workload=record.workload).bound(
+        record.rates, cache_dir=cache_dir
+    )
+    table = []
+    violated = False
+    for point, brow in zip(record.comparison.points, bound_rows):
+        bound = brow.latency
+        worst = brow.meta.get("delay_bound_worst")
+        flag = ""
+        if math.isfinite(bound) and bound < point.sim_latency:
+            flag = "BOUND<SIM!"
+            violated = True
+        table.append(
+            [
+                point.generation_rate,
+                round(point.model_latency, 3),
+                round(point.sim_latency, 3),
+                "inf" if not math.isfinite(bound) else round(bound, 1),
+                "inf" if brow.saturated or worst is None else round(worst, 1),
+                flag,
+            ]
+        )
+    rendered = render_table(
+        ["rate", "model", "sim", "bound", "bound_worst", "check"], table
+    )
+    return rendered, violated, bound_rows
+
+
 def _run_validate_command(args) -> int:
+    from repro.api.presets import preset_suite
+    from repro.api.results import ResultSet
     from repro.validation.workloads import (
         DEFAULT_WORKLOADS,
         model_hop_profile,
@@ -367,30 +470,78 @@ def _run_validate_command(args) -> int:
         if args.replications < 1:
             raise ConfigurationError("--replications must be >= 1")
         fractions = tuple(float(tok) for tok in args.fractions.split(","))
-        # The shared validation knobs travel as one Scenario facade.
-        scenario = Scenario(
-            topology="star",
-            order=args.order,
-            message_length=args.message_length,
-            total_vcs=args.vcs,
-            quality=args.quality,
-            seed=args.seed,
-            engine=args.engine,
-        )
-        results = validate_workloads(
-            tuple(args.workload) if args.workload else DEFAULT_WORKLOADS,
-            scenario=scenario,
-            load_fractions=fractions,
-            workers=args.workers,
-            tolerance=args.tolerance,
-            replications=args.replications,
-            hops=args.hops,
-        )
+        if args.preset:
+            # A standing cross-check suite: each preset is one scenario +
+            # workload with a *stated* tolerance (overridable by
+            # --tolerance); exceeding it fails the run.  Scenario flags
+            # would silently contradict the preset, so they are rejected.
+            conflicting = [
+                flag
+                for flag, value in (
+                    ("--order", args.order),
+                    ("--message-length", args.message_length),
+                    ("--vcs", args.vcs),
+                    ("--quality", args.quality),
+                    ("--seed", args.seed),
+                    ("--engine", args.engine),
+                )
+                if value is not None
+            ]
+            if args.workload:
+                conflicting.append("--workload")
+            if conflicting:
+                raise ConfigurationError(
+                    f"--preset fixes the scenario; drop {', '.join(conflicting)}"
+                )
+            jobs = [
+                (
+                    p.scenario,
+                    (p.workload,),
+                    p.tolerance if args.tolerance is None else args.tolerance,
+                )
+                for p in preset_suite(args.preset)
+            ]
+        else:
+            # The shared validation knobs travel as one Scenario facade.
+            def _resolve(name):
+                value = getattr(args, name)
+                return value if value is not None else _VALIDATE_DEFAULTS[name]
+
+            scenario = Scenario(
+                topology="star",
+                order=_resolve("order"),
+                message_length=_resolve("message_length"),
+                total_vcs=_resolve("vcs"),
+                quality=_resolve("quality"),
+                seed=_resolve("seed"),
+                engine=_resolve("engine"),
+            )
+            jobs = [
+                (
+                    scenario,
+                    tuple(args.workload) if args.workload else DEFAULT_WORKLOADS,
+                    args.tolerance,
+                )
+            ]
+        results = []
+        for scenario, workloads, tolerance in jobs:
+            for record in validate_workloads(
+                workloads,
+                scenario=scenario,
+                load_fractions=fractions,
+                workers=args.workers,
+                tolerance=tolerance,
+                replications=args.replications,
+                hops=args.hops,
+                cache_dir=args.cache_dir,
+            ):
+                results.append((scenario, record))
     except (ConfigurationError, ValueError) as exc:
         print(f"starnet validate: error: {exc}", file=sys.stderr)
         return 2
     failed = False
-    for record in results:
+    all_rows = ResultSet()
+    for scenario, record in results:
         print(record.summary())
         for p in record.comparison.points:
             print(
@@ -398,6 +549,21 @@ def _run_validate_command(args) -> int:
                 f"sim={p.sim_latency:<10.3f} err="
                 + ("n/a" if p.relative_error != p.relative_error else f"{100 * p.relative_error:.1f}%")
             )
+        if record.rows is not None:
+            all_rows = all_rows + record.rows
+        if args.bounds:
+            try:
+                rendered, violated, bound_rows = _bound_check_table(
+                    scenario, record, args.cache_dir
+                )
+            except ConfigurationError as exc:
+                print(f"starnet validate: error: {exc}", file=sys.stderr)
+                return 2
+            print("  model vs sim vs bound:")
+            print(rendered)
+            all_rows = all_rows + bound_rows
+            if violated:
+                failed = True
         if args.hops and record.hop_profiles:
             for rate, rows in record.hop_profiles:
                 if not rows:
@@ -405,9 +571,9 @@ def _run_validate_command(args) -> int:
                 model_profile = model_hop_profile(
                     record.workload,
                     rate,
-                    order=args.order,
-                    message_length=args.message_length,
-                    total_vcs=args.vcs,
+                    order=scenario.order,
+                    message_length=scenario.message_length,
+                    total_vcs=scenario.total_vcs,
                 )
                 headers = list(rows[0].keys()) + [
                     "model_p_block",
@@ -423,6 +589,9 @@ def _run_validate_command(args) -> int:
                 print(render_table(headers, table))
         if record.passed is False:
             failed = True
+    if args.out:
+        path = all_rows.save(args.out)
+        print(f"rows: {path}")
     return 1 if failed else 0
 
 
@@ -452,9 +621,30 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
     elif args.command == "scale":
-        rec = scale_study(n_values=tuple(range(4, args.max_n + 1)), workers=args.workers)
+        from repro.experiments.scale import scale_study_with_rows
+
+        rec, rows = scale_study_with_rows(
+            n_values=tuple(range(4, args.max_n + 1)), workers=args.workers
+        )
         print(_record_table(rec))
+        if args.out:
+            path = rows.save(args.out)
+            print(f"rows: {path}")
     elif args.command == "ablation":
+        if args.out and args.name != "vcsplit":
+            print(
+                "starnet ablation: error: --out is only supported for the "
+                "vcsplit ablation (campaign-kind rows)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.name == "vcsplit" and args.out:
+            # One campaign run feeds both the printed table and the rows.
+            rec, rows = ablations.vc_split_study_with_rows(workers=args.workers)
+            print(_record_table(rec))
+            path = rows.save(args.out)
+            print(f"rows: {path}")
+            return 0
         runner = {
             "blocking": ablations.blocking_variant_study,
             "routing": ablations.routing_comparison,

@@ -8,7 +8,31 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["ExperimentRecord"]
+__all__ = ["ExperimentRecord", "study_record", "study_resultset"]
+
+
+def study_record(name: str, params: dict, result) -> "ExperimentRecord":
+    """An ExperimentRecord from a campaign result of dict-row units.
+
+    ``result`` is a :class:`~repro.campaign.runner.CampaignResult` whose
+    unit results are flat row dicts (``scale_point``, ``vc_split_point``,
+    ...); one campaign run can feed both this record view and the
+    :func:`study_resultset` projection.
+    """
+    rec = ExperimentRecord(name=name, params=dict(params))
+    for row in result.results:
+        rec.add_row(**row)
+    return rec
+
+
+def study_resultset(result):
+    """Uniform ResultRows from any row-convertible campaign result."""
+    from repro.api.convert import row_from_unit
+    from repro.api.results import ResultSet
+
+    return ResultSet(
+        row_from_unit(u, r) for u, r in zip(result.units, result.results)
+    )
 
 
 def _json_safe(value):

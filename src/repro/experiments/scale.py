@@ -8,17 +8,61 @@ simulation reach (S9 has 362,880 nodes); this study tabulates the model's
 predictions across n.
 
 Each n is one ``scale_point`` campaign work unit, so the study runs on
-the same engine as every other sweep and parallelises across n with
-``workers > 1``.
+the same engine as every other sweep, parallelises across n with
+``workers > 1``, and projects onto the uniform
+:class:`~repro.api.results.ResultRow` schema (rate is NaN — a scale
+point has no single operating rate; the profile rides in ``meta``), so
+``starnet scale --out`` emits a ResultSet like every other path.
 """
 
 from __future__ import annotations
 
-from repro.api.scenario import run_units
-from repro.campaign.grid import GridSpec
-from repro.experiments.records import ExperimentRecord
+from typing import Sequence
 
-__all__ = ["scale_study"]
+from repro.api.results import ResultSet
+from repro.api.scenario import run_units
+from repro.campaign.grid import GridSpec, WorkUnit
+from repro.experiments.records import ExperimentRecord, study_record, study_resultset
+
+__all__ = ["scale_units", "scale_study", "scale_study_with_rows", "scale_resultset"]
+
+
+def scale_units(
+    n_values: Sequence[int] = (4, 5, 6, 7, 8, 9),
+    message_length: int = 32,
+    extra_adaptive: int = 2,
+) -> list[WorkUnit]:
+    """The ``scale_point`` work units of one scale study."""
+    grid = GridSpec(
+        kind="scale_point",
+        axes=(("n", tuple(n_values)),),
+        pinned=(
+            ("message_length", message_length),
+            ("extra_adaptive", extra_adaptive),
+        ),
+    )
+    return grid.expand()
+
+
+def scale_study_with_rows(
+    n_values=(4, 5, 6, 7, 8, 9),
+    message_length: int = 32,
+    extra_adaptive: int = 2,
+    workers: int = 1,
+    cache_dir=None,
+) -> tuple[ExperimentRecord, ResultSet]:
+    """One campaign run feeding both the record and the ResultSet view."""
+    result = run_units(
+        scale_units(n_values, message_length, extra_adaptive),
+        workers=workers,
+        cache_dir=cache_dir,
+    )
+    record = study_record(
+        "scale_study",
+        {"message_length": message_length, "extra_adaptive": extra_adaptive},
+        result,
+    )
+    return record, study_resultset(result)
 
 
 def scale_study(
@@ -33,18 +77,17 @@ def scale_study(
     rate and the model solve time — the headline being that solve time is
     independent of n! (it depends only on the number of cycle types).
     """
-    rec = ExperimentRecord(
-        name="scale_study",
-        params={"message_length": message_length, "extra_adaptive": extra_adaptive},
-    )
-    grid = GridSpec(
-        kind="scale_point",
-        axes=(("n", tuple(n_values)),),
-        pinned=(
-            ("message_length", message_length),
-            ("extra_adaptive", extra_adaptive),
-        ),
-    )
-    for row in run_units(grid.expand(), workers=workers).results:
-        rec.add_row(**row)
-    return rec
+    return scale_study_with_rows(n_values, message_length, extra_adaptive, workers)[0]
+
+
+def scale_resultset(
+    n_values=(4, 5, 6, 7, 8, 9),
+    message_length: int = 32,
+    extra_adaptive: int = 2,
+    workers: int = 1,
+    cache_dir=None,
+) -> ResultSet:
+    """The scale study as uniform ResultRows (ROADMAP "ResultSet everywhere")."""
+    return scale_study_with_rows(
+        n_values, message_length, extra_adaptive, workers, cache_dir
+    )[1]

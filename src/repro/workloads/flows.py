@@ -37,7 +37,14 @@ from repro.topology.star import StarGraph, profitable_ports_of_relative
 from repro.utils.exceptions import ConfigurationError
 from repro.workloads.spec import WorkloadSpec
 
-__all__ = ["FlowProfile", "flow_profile", "cached_flow_profile", "MAX_FLOW_ORDER"]
+__all__ = [
+    "FlowProfile",
+    "flow_profile",
+    "cached_flow_profile",
+    "channel_crossings",
+    "cached_channel_crossings",
+    "MAX_FLOW_ORDER",
+]
 
 #: Largest star order for which explicit flow propagation is attempted;
 #: the DAG walk is O(N^2 * n) with N = n!, so S_8 and beyond must stay on
@@ -172,6 +179,68 @@ def flow_profile(topology: StarGraph, spatial) -> FlowProfile:
     )
 
 
+def channel_crossings(topology: StarGraph, spatial) -> np.ndarray:
+    """Distinct traffic sources crossing each directed channel.
+
+    The bounds subsystem's burstiness aggregation needs, per channel, how
+    many *sources* can interleave traffic through it: one source's
+    messages — whatever their destinations — share one arrival envelope,
+    so the competing burst at a channel is (number of crossing sources)
+    x (per-source burst), not (number of flows) x burst.
+
+    The walk mirrors :func:`flow_profile` (far-to-near over the
+    minimal-path DAG per destination) but propagates source *bitmasks*
+    instead of rates, OR-merging at every junction; the result is the
+    popcount of each channel's union mask over all destinations.  A
+    source counts as crossing a channel whenever *any* minimal path of
+    any of its destinations does — the superset the maximally adaptive
+    routing may actually use, which is the sound choice for worst-case
+    envelopes.
+    """
+    n = topology.n
+    num_nodes = topology.num_nodes
+    if spatial.num_nodes != num_nodes:
+        raise ConfigurationError(
+            f"spatial pattern sized for {spatial.num_nodes} nodes cannot drive "
+            f"{topology.name} ({num_nodes} nodes)"
+        )
+    deg = topology.degree
+    nbr = topology.neighbor_table
+    perms = [topology.permutation_of(u) for u in range(num_nodes)]
+    dmax = topology.diameter()
+
+    channel_masks = [0] * (num_nodes * deg)
+    rate_matrix = np.vstack([spatial.probs(s) for s in range(num_nodes)])
+
+    for t in range(num_nodes):
+        perm_t = perms[t]
+        column = rate_matrix[:, t]
+        buckets: list[dict[int, int]] = [dict() for _ in range(dmax + 1)]
+        rels: dict[int, pm.Perm] = {}
+        for s in np.nonzero(column > 0.0)[0]:
+            s = int(s)
+            if s == t:
+                continue
+            rel = pm.relative_permutation(perms[s], perm_t)
+            rels[s] = rel
+            d = pm.star_distance(rel)
+            buckets[d][s] = buckets[d].get(s, 0) | (1 << s)
+        for d in range(dmax, 0, -1):
+            nearer = buckets[d - 1]
+            for u, mask in buckets[d].items():
+                rel = rels.get(u)
+                if rel is None:
+                    rel = pm.relative_permutation(perms[u], perm_t)
+                    rels[u] = rel
+                base = u * deg
+                for port in profitable_ports_of_relative(rel):
+                    channel_masks[base + port] |= mask
+                    v = int(nbr[u, port])
+                    nearer[v] = nearer.get(v, 0) | mask
+
+    return np.array([m.bit_count() for m in channel_masks], dtype=np.int64)
+
+
 #: Per-process count of profiles loaded from the disk cache (for tests).
 disk_hits = 0
 
@@ -250,3 +319,57 @@ def cached_flow_profile(order: int, spatial_canonical: str) -> FlowProfile:
             except OSError:
                 pass
     return profile
+
+
+#: Per-process count of crossing tables loaded from the disk cache (for
+#: tests; separate from ``disk_hits`` so the two caches stay observable
+#: independently).
+crossings_disk_hits = 0
+
+
+def _crossings_path(directory: Path, order: int, spatial_canonical: str) -> Path:
+    digest = hashlib.sha256(spatial_canonical.encode("utf-8")).hexdigest()[:16]
+    return directory / f"crossings-star-{order}-{digest}.npy"
+
+
+@lru_cache(maxsize=32)
+def cached_channel_crossings(order: int, spatial_canonical: str) -> np.ndarray:
+    """Shared per-(order, spatial) crossing counts (pure function of key).
+
+    Same caching discipline as :func:`cached_flow_profile`: in-memory LRU
+    plus an atomic-publish disk entry under the campaign cache directory
+    when one is configured (the bitmask walk is seconds at S_6).
+    """
+    global crossings_disk_hits
+    if order > MAX_FLOW_ORDER:
+        raise ConfigurationError(
+            f"explicit channel crossings need order <= {MAX_FLOW_ORDER} "
+            f"(S_{order} has {order}! nodes)"
+        )
+    directory = _cache_directory()
+    if directory is not None:
+        path = _crossings_path(directory, order, spatial_canonical)
+        if path.exists():
+            try:
+                counts = np.load(path)
+                crossings_disk_hits += 1
+                return counts
+            except Exception:
+                pass  # unreadable cache entry: rebuild below and rewrite
+    topology = _star(order)
+    spec = WorkloadSpec.parse(spatial_canonical)
+    spatial = spec.build_spatial(topology=topology)
+    counts = channel_crossings(topology, spatial)
+    if directory is not None:
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.save(fh, counts)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+    return counts

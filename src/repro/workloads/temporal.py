@@ -31,7 +31,19 @@ __all__ = [
     "available_temporal",
     "temporal_param_names",
     "temporal_scv",
+    "ONOFF_DUTY_DEFAULT",
+    "ONOFF_BURST_DEFAULT",
+    "BATCH_SIZE_DEFAULT",
 ]
+
+#: Default parameters of the parameterised processes — shared by the
+#: registry below and by every layer that must describe the *same*
+#: traffic (the bound engine's envelope constructors in
+#: :mod:`repro.bounds.curves` read these, so sim and bound rows can
+#: never drift onto different default processes).
+ONOFF_DUTY_DEFAULT = 0.5
+ONOFF_BURST_DEFAULT = 8.0
+BATCH_SIZE_DEFAULT = 4
 
 
 class ArrivalProcess(abc.ABC):
@@ -110,8 +122,8 @@ class OnOffProcess(ArrivalProcess):
         self,
         rate: float,
         rng: np.random.Generator,
-        duty: float = 0.5,
-        burst: float = 8.0,
+        duty: float = ONOFF_DUTY_DEFAULT,
+        burst: float = ONOFF_BURST_DEFAULT,
     ):
         duty, burst = _check_onoff(duty, burst)
         self.duty = duty
@@ -157,7 +169,8 @@ class OnOffProcess(ArrivalProcess):
         ``duty`` and ``burst``.
         """
         duty, burst = _check_onoff(
-            float(params.get("duty", 0.5)), float(params.get("burst", 8.0))
+            float(params.get("duty", ONOFF_DUTY_DEFAULT)),
+            float(params.get("burst", ONOFF_BURST_DEFAULT)),
         )
         if duty >= 1.0:
             return 1.0
@@ -203,7 +216,7 @@ class BatchProcess(ArrivalProcess):
 
     name = "batch"
 
-    def __init__(self, rate: float, rng: np.random.Generator, size: int = 4):
+    def __init__(self, rate: float, rng: np.random.Generator, size: int = BATCH_SIZE_DEFAULT):
         self.size = _check_batch(size)
         self._left = 0
         super().__init__(rate, rng)
@@ -222,7 +235,7 @@ class BatchProcess(ArrivalProcess):
     @staticmethod
     def scv(params: Mapping[str, Any]) -> float:
         """SCV of message inter-arrival times: ``2*size - 1``."""
-        return 2.0 * _check_batch(int(params.get("size", 4))) - 1.0
+        return 2.0 * _check_batch(int(params.get("size", BATCH_SIZE_DEFAULT))) - 1.0
 
 
 def _check_onoff(duty: float, burst: float) -> tuple[float, float]:
@@ -251,7 +264,10 @@ _REGISTRY: dict[str, tuple[Callable, frozenset[str], Callable]] = {
     ),
     "onoff": (
         lambda rate, rng, p: OnOffProcess(
-            rate, rng, duty=float(p.get("duty", 0.5)), burst=float(p.get("burst", 8.0))
+            rate,
+            rng,
+            duty=float(p.get("duty", ONOFF_DUTY_DEFAULT)),
+            burst=float(p.get("burst", ONOFF_BURST_DEFAULT)),
         ),
         frozenset({"duty", "burst"}),
         OnOffProcess.scv,
@@ -262,7 +278,7 @@ _REGISTRY: dict[str, tuple[Callable, frozenset[str], Callable]] = {
         DeterministicProcess.scv,
     ),
     "batch": (
-        lambda rate, rng, p: BatchProcess(rate, rng, size=int(p.get("size", 4))),
+        lambda rate, rng, p: BatchProcess(rate, rng, size=int(p.get("size", BATCH_SIZE_DEFAULT))),
         frozenset({"size"}),
         BatchProcess.scv,
     ),

@@ -1,0 +1,85 @@
+"""The S5 cross-check: bound rows dominate simulated means (acceptance).
+
+For every S5 preset (uniform, hotspot, MMPP-2 on-off) the network-
+calculus delay bound must sit at or above the simulated mean latency at
+0.2-0.6 of the model's saturation rate: a *finite* bound below the
+simulated mean would be a soundness bug, while an infinite bound (the
+fixed point diverged — load beyond the bound engine's critical
+utilisation) is loose but legitimate and serialises as JSONL null.
+"""
+
+import math
+
+import pytest
+
+from repro.api.presets import preset_suite
+from repro.api.results import ResultSet
+
+FRACTIONS = (0.2, 0.4, 0.6)
+
+
+@pytest.fixture(scope="module")
+def s5_cross_check():
+    """(preset, ladder, bound rows, sim rows) for every S5 preset."""
+    out = []
+    for preset in preset_suite("s5"):
+        scenario = preset.scenario
+        ladder = scenario.rate_ladder(FRACTIONS)
+        bound_rows = scenario.bound(ladder)
+        sim_rows = scenario.simulate(ladder)
+        out.append((preset, ladder, bound_rows, sim_rows))
+    return out
+
+
+class TestS5CrossCheck:
+    def test_bound_rows_have_bound_provenance(self, s5_cross_check):
+        for _, ladder, bound_rows, _ in s5_cross_check:
+            assert len(bound_rows) == len(ladder)
+            for row in bound_rows:
+                assert row.provenance == "bound"
+                assert row.engine == "bound"
+                assert "delay_bound_worst" in row.meta
+
+    def test_delay_bound_dominates_simulated_mean(self, s5_cross_check):
+        for preset, _, bound_rows, sim_rows in s5_cross_check:
+            for brow, srow in zip(bound_rows, sim_rows):
+                assert brow.rate == srow.rate
+                assert math.isfinite(srow.latency), preset.name
+                # inf >= anything: a diverged bound never violates
+                # soundness; a finite one must dominate the mean.
+                assert brow.latency >= srow.latency, (
+                    f"{preset.name} rate={brow.rate}: bound {brow.latency} "
+                    f"below simulated mean {srow.latency}"
+                )
+
+    def test_some_preset_has_a_finite_low_load_bound(self, s5_cross_check):
+        finite = [
+            preset.name
+            for preset, _, bound_rows, _ in s5_cross_check
+            if math.isfinite(bound_rows[0].latency)
+        ]
+        # Uniform and on-off sit below the critical utilisation at 0.2
+        # of saturation; hotspot's hot channel diverges earlier.
+        assert "s5-uniform" in finite
+        assert "s5-onoff" in finite
+
+    def test_infinite_bounds_round_trip_as_null(self, s5_cross_check):
+        _, _, bound_rows, _ = s5_cross_check[0]
+        diverged = [r for r in bound_rows if r.saturated]
+        assert diverged, "expected a diverged point on the S5 ladder"
+        text = ResultSet(diverged).to_jsonl()
+        assert '"latency":null' in text
+        back = ResultSet.from_jsonl(text)
+        assert all(math.isnan(r.latency) for r in back)
+        assert all(r.saturated for r in back)
+
+
+class TestHotspotLowLoad:
+    def test_hotspot_bound_is_finite_below_its_critical_rate(self):
+        preset = next(p for p in preset_suite("s5") if "hotspot" in p.name)
+        scenario = preset.scenario
+        rate = scenario.rate_ladder((0.1,))[0]
+        row = scenario.bound(rate)[0]
+        sim = scenario.simulate(rate)[0]
+        assert math.isfinite(row.latency)
+        assert row.latency >= sim.latency

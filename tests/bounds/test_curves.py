@@ -1,0 +1,159 @@
+"""Min-plus curve algebra: constructors, deviations, edge cases."""
+
+import math
+
+import pytest
+
+from repro.bounds.curves import ArrivalCurve, ServiceCurve, temporal_envelope
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestArrivalCurve:
+    def test_token_bucket_evaluation(self):
+        a = ArrivalCurve.token_bucket(10.0, 2.0)
+        assert a(0.0) == 0.0
+        assert a(1.0) == 12.0
+        assert a.burst == 10.0
+        assert a.rate == 2.0
+
+    def test_zero_curve(self):
+        z = ArrivalCurve.zero()
+        assert z.is_zero
+        assert z(100.0) == 0.0
+        assert z.burst_above(0.0) == 0.0
+
+    def test_dominated_pieces_are_pruned(self):
+        a = ArrivalCurve(((5.0, 1.0), (6.0, 2.0)))  # second is dominated
+        assert a.pieces == ((5.0, 1.0),)
+
+    def test_addition_aggregates_pairwise(self):
+        a = ArrivalCurve.token_bucket(4.0, 1.0) + ArrivalCurve.token_bucket(6.0, 2.0)
+        assert a.pieces == ((10.0, 3.0),)
+
+    def test_minimum_is_convolution_for_concave_curves(self):
+        a = ArrivalCurve.token_bucket(10.0, 1.0)
+        b = ArrivalCurve.token_bucket(2.0, 5.0)
+        m = a.convolve(b)
+        for t in (0.5, 1.0, 2.0, 10.0):
+            assert m(t) == min(a(t), b(t))
+
+    def test_scaled(self):
+        a = ArrivalCurve.token_bucket(3.0, 1.0).scaled(4)
+        assert a.pieces == ((12.0, 4.0),)
+        assert ArrivalCurve.token_bucket(3.0, 1.0).scaled(0).is_zero
+
+    def test_delayed_grows_burst_not_rate(self):
+        a = ArrivalCurve.token_bucket(3.0, 2.0).delayed(5.0)
+        assert a.pieces == ((13.0, 2.0),)
+
+    def test_burst_above_infinite_when_rate_exceeded(self):
+        a = ArrivalCurve.token_bucket(3.0, 2.0)
+        assert math.isinf(a.burst_above(1.0))
+        assert a.burst_above(2.0) == 3.0  # equal rates: the burst itself
+        assert a.burst_above(5.0) == 3.0
+
+    def test_burst_above_uses_the_dual_bucket_breakpoint(self):
+        # Peak piece (1, 10) caps the mean piece (20, 1) over short
+        # windows; against a server of rate 4 the deviation is maximal
+        # at the pieces' crossing, strictly between the single-bucket
+        # answers.
+        dual = ArrivalCurve(((20.0, 1.0), (1.0, 10.0)))
+        got = dual.burst_above(4.0)
+        t_cross = (20.0 - 1.0) / (10.0 - 1.0)
+        expect = (1.0 + 10.0 * t_cross) - 4.0 * t_cross
+        assert got == pytest.approx(expect)
+        assert got < 20.0  # tighter than the mean bucket alone
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ArrivalCurve(((-1.0, 1.0),))
+        with pytest.raises(ConfigurationError):
+            ArrivalCurve(((math.inf, 1.0),))
+        with pytest.raises(ConfigurationError):
+            ArrivalCurve.token_bucket(1.0, 1.0)(-1.0)
+
+
+class TestServiceCurve:
+    def test_rate_latency_evaluation(self):
+        b = ServiceCurve(2.0, 3.0)
+        assert b(3.0) == 0.0
+        assert b(5.0) == 4.0
+
+    def test_convolution_sums_latency_min_rate(self):
+        b = ServiceCurve(2.0, 3.0).convolve(ServiceCurve(1.0, 2.0))
+        assert (b.rate, b.latency) == (1.0, 5.0)
+
+    def test_delay_bound_token_bucket(self):
+        b = ServiceCurve(2.0, 3.0)
+        a = ArrivalCurve.token_bucket(4.0, 1.0)
+        assert b.delay_bound(a) == pytest.approx(3.0 + 4.0 / 2.0)
+
+    def test_backlog_bound_token_bucket(self):
+        b = ServiceCurve(2.0, 3.0)
+        a = ArrivalCurve.token_bucket(4.0, 1.0)
+        # sigma + rho * T is the classic bound; ours (burst_above + R*T)
+        # is sound and at least as large.
+        assert b.backlog_bound(a) >= 4.0 + 1.0 * 3.0
+
+    def test_zero_flow_has_zero_bounds_even_when_saturated(self):
+        z = ArrivalCurve.zero()
+        assert ServiceCurve.saturated().delay_bound(z) == 0.0
+        assert ServiceCurve.saturated().backlog_bound(z) == 0.0
+
+    def test_saturated_service_gives_infinite_bounds(self):
+        a = ArrivalCurve.token_bucket(1.0, 0.1)
+        assert math.isinf(ServiceCurve.saturated().delay_bound(a))
+        assert math.isinf(ServiceCurve.saturated().backlog_bound(a))
+
+    def test_flow_faster_than_service_gives_infinite_bounds(self):
+        b = ServiceCurve(1.0, 0.0)
+        a = ArrivalCurve.token_bucket(1.0, 2.0)
+        assert math.isinf(b.delay_bound(a))
+
+    def test_leftover_subtracts_competitors(self):
+        b = ServiceCurve(1.0, 1.0).leftover(ArrivalCurve.token_bucket(4.0, 0.25))
+        assert b.rate == pytest.approx(0.75)
+        assert b.latency == pytest.approx((1.0 * 1.0 + 4.0) / 0.75)
+
+    def test_leftover_saturates_at_full_utilisation(self):
+        b = ServiceCurve(1.0, 1.0).leftover(ArrivalCurve.token_bucket(1.0, 1.0))
+        assert b.is_saturated
+
+
+class TestTemporalEnvelope:
+    def test_poisson_convention(self):
+        a = temporal_envelope("poisson", {}, 0.01, 16)
+        assert a.pieces == ((32.0, 0.16),)
+
+    def test_deterministic_is_one_packet(self):
+        a = temporal_envelope("deterministic", {}, 0.01, 16)
+        assert a.pieces == ((16.0, 0.16),)
+
+    def test_batch_covers_the_batch(self):
+        a = temporal_envelope("batch", {"size": 4}, 0.01, 16)
+        # SCV = 2*size - 1 = 7 -> sigma = M * 8 >= a full 4-message batch.
+        assert a.burst == 16.0 * 8
+        assert a.burst >= 4 * 16.0
+
+    def test_onoff_dual_bucket(self):
+        a = temporal_envelope("onoff", {"duty": 0.25, "burst": 4.0}, 0.01, 16)
+        assert len(a.pieces) == 2
+        assert a.rate == pytest.approx(0.16)
+        # Peak piece: one packet burst at the ON-state rate.
+        assert (16.0, pytest.approx(0.64)) in [
+            (s, pytest.approx(r)) for s, r in a.pieces
+        ]
+
+    def test_onoff_full_duty_degenerates_to_poisson(self):
+        a = temporal_envelope("onoff", {"duty": 1.0, "burst": 4.0}, 0.01, 16)
+        assert len(a.pieces) == 1
+
+    def test_zero_rate_flow_is_the_zero_curve(self):
+        assert temporal_envelope("poisson", {}, 0.0, 16).is_zero
+
+    def test_single_flit_packets(self):
+        a = temporal_envelope("poisson", {}, 0.5, 1)
+        assert a.pieces == ((2.0, 0.5),)
+        b = ServiceCurve(1.0, 1.0).leftover(a)
+        assert not b.is_saturated
+        assert math.isfinite(b.delay_bound(a))

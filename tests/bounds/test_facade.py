@@ -1,0 +1,101 @@
+"""Bound engine through the facade: units, sweeps, stores, projections."""
+
+import math
+
+import pytest
+
+from repro.api.convert import row_from_unit
+from repro.api.scenario import Scenario, run_units
+from repro.campaign.store import ResultStore
+from repro.experiments.scale import scale_resultset
+from repro.utils.exceptions import ConfigurationError
+
+FAST = dict(order=4, message_length=8, total_vcs=5)
+
+
+class TestScenarioBound:
+    def test_bound_rows_carry_unit_fingerprints(self):
+        scenario = Scenario(**FAST)
+        rows = scenario.bound((0.001, 0.002))
+        assert [r.spec for r in rows] == [
+            scenario.bound_unit(0.001).key(),
+            scenario.bound_unit(0.002).key(),
+        ]
+        assert all(r.provenance == "bound" for r in rows)
+
+    def test_bound_is_star_only(self):
+        scenario = Scenario(topology="hypercube", order=4, message_length=8, total_vcs=4)
+        with pytest.raises(ConfigurationError, match="star-only"):
+            scenario.bound(0.001)
+
+    def test_bound_respects_workload(self):
+        uniform = Scenario(**FAST).bound_unit(0.001)
+        hotspot = Scenario(**FAST, workload="hotspot(fraction=0.2)").bound_unit(0.001)
+        assert "workload" not in uniform.params
+        assert hotspot.params["workload"] == "hotspot(fraction=0.2)"
+        assert uniform.key() != hotspot.key()
+
+    def test_divergence_rate_helper(self):
+        critical = Scenario(**FAST).bound_divergence_rate()
+        assert 0.0 < critical < math.inf
+
+
+class TestSweepBoundEngine:
+    def test_three_provenances_in_one_sweep(self):
+        scenario = Scenario(**FAST, quality="smoke")
+        rows = scenario.sweep(
+            {"rate": (0.002,), "engine": ("model", "bound", "object")}
+        )
+        assert [r.provenance for r in rows] == ["model", "bound", "sim"]
+        assert [r.engine for r in rows] == ["model", "bound", "object"]
+        model, bound, sim = rows
+        assert bound.latency >= model.latency
+
+    def test_unknown_engine_still_rejected(self):
+        with pytest.raises(ConfigurationError, match="engine axis"):
+            Scenario(**FAST).sweep({"rate": (0.002,), "engine": ("bogus",)})
+
+
+class TestBoundStoreRoundTrip:
+    def test_resumed_bound_units_rebuild_rows(self, tmp_path):
+        scenario = Scenario(**FAST)
+        units = [scenario.bound_unit(0.002), scenario.bound_unit(0.1)]
+        store = tmp_path / "bounds.jsonl"
+        first = run_units(units, store=store)
+        second = run_units(units, store=ResultStore(store), resume=True)
+        assert second.computed == 0 and second.skipped == 2
+        fresh = [row_from_unit(u, r) for u, r in zip(first.units, first.results)]
+        resumed = [row_from_unit(u, r) for u, r in zip(second.units, second.results)]
+        # Finite bounds survive to store precision; diverged bounds come
+        # back as an infinite, saturated row.
+        assert resumed[0].latency == pytest.approx(fresh[0].latency, rel=1e-4)
+        assert resumed[1].saturated and math.isinf(resumed[1].latency)
+
+
+class TestStudyProjections:
+    def test_scale_points_project_via_meta(self):
+        rows = scale_resultset(n_values=(4, 5), message_length=16)
+        assert len(rows) == 2
+        for row, order in zip(rows, (4, 5)):
+            assert row.provenance == "model"
+            assert row.order == order
+            assert math.isnan(row.rate)  # no single operating rate
+            assert math.isfinite(row.latency)  # half-load latency
+            assert row.meta["kind"] == "scale_point"
+            assert row.meta["saturation_rate"] > 0
+            assert "solve_ms" in row.meta
+        text = rows.to_jsonl()
+        assert '"rate":null' in text
+
+    def test_vc_split_points_project_via_meta(self):
+        from repro.experiments.ablations import vc_split_units
+
+        units = vc_split_units(n=4, total_vcs=5, message_length=8, rate=0.004)
+        result = run_units(units)
+        rows = [row_from_unit(u, r) for u, r in zip(result.units, result.results)]
+        escapes = [r.meta["num_escape"] for r in rows]
+        assert escapes == sorted(escapes)
+        for row in rows:
+            assert row.provenance == "model"
+            assert row.rate == 0.004
+            assert "saturation_rate" in row.meta

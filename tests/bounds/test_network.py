@@ -1,0 +1,152 @@
+"""BoundSpec, the feedforward decomposition and the fixed point."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bounds.analysis import bound_point, bound_sweep, divergence_rate
+from repro.bounds.network import BoundSpec
+from repro.core.spec import ModelSpec
+from repro.utils.exceptions import ConfigurationError
+from repro.workloads.flows import cached_channel_crossings, channel_crossings
+
+
+class TestBoundSpec:
+    def test_params_round_trip(self):
+        spec = BoundSpec(order=4, message_length=8, workload="hotspot(fraction=0.2)")
+        assert BoundSpec.from_params(spec.to_params()) == spec
+
+    def test_defaults_omitted(self):
+        assert BoundSpec().to_params() == {}
+
+    def test_unknown_params_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown BoundSpec"):
+            BoundSpec.from_params({"order": 4, "variant": "exact"})
+
+    def test_uniform_workload_normalises_to_none(self):
+        assert BoundSpec(workload="uniform+poisson").workload is None
+        canonical = BoundSpec(workload="uniform+onoff(burst=4.0,duty=0.5)")
+        assert canonical.workload == "uniform+onoff(burst=4.0,duty=0.5)"
+
+    def test_order_cap(self):
+        with pytest.raises(ConfigurationError, match="order <= 7"):
+            BoundSpec(order=8)
+
+    def test_buffer_depth_validated(self):
+        with pytest.raises(ConfigurationError, match="buffer_depth"):
+            BoundSpec(buffer_depth=0)
+
+
+class TestChannelCrossings:
+    def test_uniform_s4_is_symmetric_and_positive(self):
+        counts = cached_channel_crossings(4, "uniform")
+        assert counts.shape == (24 * 3,)
+        assert counts.min() > 0
+        # Vertex symmetry of the uniform workload: every channel is
+        # crossed by the same number of sources.
+        assert counts.min() == counts.max()
+        # A source never crosses a channel more than once per count, so
+        # counts are bounded by the node count.
+        assert counts.max() <= 24
+
+    def test_matches_uncached_walk(self):
+        from repro.topology.star import StarGraph
+        from repro.workloads.spec import WorkloadSpec
+
+        topology = StarGraph(4)
+        spatial = WorkloadSpec.parse("uniform").build_spatial(topology=topology)
+        direct = channel_crossings(topology, spatial)
+        assert np.array_equal(direct, cached_channel_crossings(4, "uniform"))
+
+    def test_crossings_are_support_based(self):
+        # Hotspot reweights flows but keeps every (source, destination)
+        # pair active, so the crossing *sets* — and hence the counts —
+        # match uniform's exactly.
+        hotspot = cached_channel_crossings(4, "hotspot(fraction=0.3)")
+        uniform = cached_channel_crossings(4, "uniform")
+        assert np.array_equal(hotspot, uniform)
+
+    def test_sparse_support_is_asymmetric(self):
+        counts = cached_channel_crossings(4, "permutation(seed=3)")
+        assert counts.min() < counts.max()
+        assert counts.max() <= 24
+
+
+class TestBoundPoint:
+    SPEC = BoundSpec(order=4, message_length=8, total_vcs=5)
+
+    def test_zero_rate_flow_has_zero_bounds(self):
+        # No traffic means nothing to delay or buffer: the zero-rate
+        # edge case resolves to clean zeros, not NaNs or divisions.
+        res = bound_point(self.SPEC, 0.0)
+        assert not res.saturated
+        assert res.delay_bound == 0.0
+        assert res.backlog_bound_worst == 0.0
+
+    def test_vanishing_load_pays_transmission_and_routing(self):
+        # In the rate -> 0+ limit a packet still pays its own
+        # transmission (M flits) plus per-hop routing latency.
+        res = bound_point(self.SPEC, 1e-6)
+        assert res.delay_bound > 8.0
+        assert res.delay_bound_worst >= res.delay_bound
+
+    def test_low_load_bounds_are_finite_and_ordered(self):
+        res = bound_point(self.SPEC, 0.002)
+        assert not res.saturated
+        assert math.isfinite(res.delay_bound)
+        assert res.delay_bound_worst >= res.delay_bound
+        assert res.backlog_bound_worst >= res.backlog_bound > 0.0
+
+    def test_bounds_dominate_the_mean_model(self):
+        model = ModelSpec(
+            topology="star", order=4, message_length=8, total_vcs=5
+        ).build()
+        for rate in (0.001, 0.002, 0.004):
+            bound = bound_point(self.SPEC, rate).delay_bound
+            assert bound >= model.evaluate(rate).latency
+
+    def test_monotone_in_rate(self):
+        results = bound_sweep(self.SPEC, (0.001, 0.002, 0.004))
+        delays = [r.delay_bound for r in results]
+        assert delays == sorted(delays)
+
+    def test_divergence_above_critical_rate(self):
+        critical = divergence_rate(self.SPEC)
+        assert 0.0 < critical < math.inf
+        below = bound_point(self.SPEC, 0.8 * critical)
+        above = bound_point(self.SPEC, 1.2 * critical)
+        assert not below.saturated and math.isfinite(below.delay_bound)
+        assert above.saturated
+        assert math.isinf(above.delay_bound)
+        assert math.isinf(above.backlog_bound_worst)
+
+    def test_saturated_as_dict_is_null_safe(self):
+        res = bound_point(self.SPEC, 0.1)
+        assert res.saturated
+        payload = res.as_dict()
+        assert payload["delay_bound"] is None
+        assert payload["backlog_bound_worst"] is None
+        assert payload["saturated"] is True
+
+    def test_deeper_buffers_tighten_the_back_pressure_term(self):
+        shallow = bound_point(BoundSpec(order=4, message_length=8, buffer_depth=1), 0.001)
+        deep = bound_point(BoundSpec(order=4, message_length=8, buffer_depth=8), 0.001)
+        assert deep.delay_bound < shallow.delay_bound
+
+    def test_bursty_workload_loosens_the_bound(self):
+        quiet = bound_point(self.SPEC, 0.002)
+        bursty = bound_point(
+            BoundSpec(
+                order=4,
+                message_length=8,
+                total_vcs=5,
+                workload="uniform+onoff(duty=0.5,burst=4)",
+            ),
+            0.002,
+        )
+        assert bursty.delay_bound > quiet.delay_bound
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            bound_point(self.SPEC, -0.001)

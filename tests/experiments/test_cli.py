@@ -56,6 +56,35 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["ablation", "nonsense"])
 
+    def test_scale_out_emits_resultset(self, tmp_path, capsys):
+        """ISSUE satellite: scale points project onto the ResultRow schema."""
+        import math
+
+        from repro.api.results import ResultSet
+
+        out_file = tmp_path / "scale.jsonl"
+        assert main(["scale", "--max-n", "4", "--out", str(out_file)]) == 0
+        assert "rows:" in capsys.readouterr().out
+        rows = ResultSet.load(out_file)
+        assert len(rows) == 1
+        assert rows[0].provenance == "model"
+        assert math.isnan(rows[0].rate)  # no single operating rate
+        assert rows[0].meta["kind"] == "scale_point"
+
+    def test_ablation_vcsplit_out_emits_resultset(self, tmp_path, capsys):
+        from repro.api.results import ResultSet
+
+        out_file = tmp_path / "vcsplit.jsonl"
+        assert main(["ablation", "vcsplit", "--out", str(out_file)]) == 0
+        rows = ResultSet.load(out_file)
+        assert len(rows) > 1
+        assert all("num_escape" in r.meta for r in rows)
+
+    def test_ablation_out_rejected_for_other_studies(self, tmp_path, capsys):
+        out_file = tmp_path / "nope.jsonl"
+        assert main(["ablation", "blocking", "--out", str(out_file)]) == 2
+        assert "vcsplit" in capsys.readouterr().err
+
 
 class TestCampaignCommand:
     _FLAGS = [
@@ -192,3 +221,72 @@ class TestValidateCommand:
         assert main(argv) == 0
         out = capsys.readouterr().out
         assert "per-hop blocking at rate=" in out
+
+    def test_tolerance_pass_exits_zero(self, capsys):
+        """A workload inside its stated tolerance must not fail the run."""
+        argv = self._FAST + ["--workload", "uniform", "--tolerance", "0.9"]
+        assert main(argv) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_bounds_table_and_resultset_out(self, tmp_path, capsys):
+        """ISSUE tentpole: model vs sim vs bound in one table and one file."""
+        from repro.api.results import ResultSet
+
+        out_file = tmp_path / "rows.jsonl"
+        argv = self._FAST + [
+            "--workload", "uniform", "--fractions", "0.15",
+            "--bounds", "--out", str(out_file),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "model vs sim vs bound:" in out
+        assert "bound_worst" in out
+        rows = ResultSet.load(out_file)
+        assert {r.provenance for r in rows} == {"model", "sim", "bound"}
+
+    def test_bound_soundness_flag_fails_the_run(self):
+        """A finite bound below the simulated mean is flagged as violated."""
+        from types import SimpleNamespace
+
+        from repro.api.scenario import Scenario
+        from repro.experiments.cli import _bound_check_table
+        from repro.validation.compare import OperatingPoint, compare_curves
+
+        scenario = Scenario(order=4, message_length=8, total_vcs=5)
+        point = OperatingPoint(
+            generation_rate=0.002,
+            model_latency=12.0,
+            sim_latency=1e9,  # absurd mean: any finite bound sits below it
+            model_saturated=False,
+            sim_saturated=False,
+        )
+        record = SimpleNamespace(
+            workload="uniform", rates=(0.002,), comparison=compare_curves([point])
+        )
+        rendered, violated, rows = _bound_check_table(scenario, record, None)
+        assert violated
+        assert "BOUND<SIM!" in rendered
+        assert rows[0].provenance == "bound"
+
+    def test_preset_suite_runs_with_stated_tolerances(self, capsys):
+        """--preset s5: three scenarios, each with its own tolerance."""
+        argv = ["validate", "--preset", "s5", "--fractions", "0.2",
+                "--tolerance", "1e9"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "uniform:" in out
+        assert "hotspot(fraction=0.1):" in out
+        assert "onoff" in out
+
+    def test_preset_tolerance_violation_exits_nonzero(self, capsys):
+        argv = ["validate", "--preset", "s5", "--fractions", "0.2",
+                "--tolerance", "1e-9"]
+        assert main(argv) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_preset_rejects_conflicting_scenario_flags(self, capsys):
+        argv = ["validate", "--preset", "s5", "--order", "4", "--engine", "object"]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "--preset fixes the scenario" in err
+        assert "--order" in err and "--engine" in err
