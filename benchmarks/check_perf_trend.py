@@ -32,7 +32,11 @@ import sys
 from pathlib import Path
 
 #: Benchmarks the gate guards by default (see ROADMAP.md).
-GUARDED = ("test_bench_engine_speedup_s4", "test_bench_model_solve")
+GUARDED = (
+    "test_bench_engine_speedup_s4",
+    "test_bench_campaign_fused_sweep",
+    "test_bench_model_solve",
+)
 
 
 def load_means(results_path: Path) -> dict[str, float]:

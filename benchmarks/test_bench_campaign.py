@@ -14,6 +14,7 @@ import os
 import time
 
 from repro.campaign.grid import GridSpec
+from repro.campaign.kinds import lookup, run_units_fused
 from repro.campaign.runner import run_campaign
 from repro.core.model import StarLatencyModel
 
@@ -71,3 +72,58 @@ def test_campaign_parallel_speedup(benchmark, once):
             f"4-worker pool delivered only {speedup:.2f}x over serial "
             f"({cpus} CPUs available)"
         )
+
+
+def _sim_ladder_units():
+    """A 10-rate S4 array-engine ladder, 4 seeds per rung (sim_batch)."""
+    model = StarLatencyModel(4, 32, 5)
+    sat = model.saturation_rate()
+    rates = tuple(round((0.1 + 0.05 * i) * sat, 9) for i in range(10))
+    grid = GridSpec(
+        kind="sim_batch",
+        axes=(("generation_rate", rates),),
+        pinned=(
+            ("order", 4),
+            ("message_length", 32),
+            ("total_vcs", 5),
+            ("engine", "array"),
+            ("replications", 4),
+            ("seed", 0),
+            ("warmup_cycles", 300),
+            ("measure_cycles", 1_500),
+            ("drain_cycles", 2_500),
+        ),
+    )
+    return grid.expand()
+
+
+def test_bench_campaign_fused_sweep(benchmark, once):
+    """Whole-sweep fusion: the rate ladder as one SimState vs per-unit.
+
+    ``run_units_fused`` folds every structurally compatible array-engine
+    unit of the sweep — here 10 rungs x 4 seeds = 40 replications — into
+    a single batched simulation, which is what ``Scenario.sweep`` does
+    for in-process sweeps.  The gate only requires parity-plus (fusion
+    must never be slower); ``extra_info`` records the actual gain.
+    """
+    units = _sim_ladder_units()
+
+    t0 = time.perf_counter()
+    per_unit = [lookup(u.kind)(u.params) for u in units]
+    per_unit_s = time.perf_counter() - t0
+
+    fused = once(run_units_fused, units)
+    # Fusion must be invisible in the results (per-replication purity).
+    assert fused == per_unit
+
+    t0 = time.perf_counter()
+    run_units_fused(units)
+    fused_s = time.perf_counter() - t0
+    speedup = per_unit_s / fused_s if fused_s > 0 else 0.0
+    benchmark.extra_info["units"] = len(units)
+    benchmark.extra_info["per_unit_s"] = round(per_unit_s, 3)
+    benchmark.extra_info["fused_s"] = round(fused_s, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    assert speedup >= 1.0, (
+        f"fused sweep slower than per-unit dispatch ({speedup:.2f}x)"
+    )

@@ -509,6 +509,18 @@ class Scenario:
                 if engine != scenario.engine:
                     scenario = scenario.replace(engine=engine)
                 units.append(scenario.sim_unit(rate, replications=replications))
+        if store is None and not resume and workers == 1 and cache_dir is None:
+            # In-process sweep: fuse compatible array-engine sim units so
+            # an entire rate-ladder × seed grid advances as one batched
+            # SimState (results are bit-identical to per-unit dispatch —
+            # replications never couple).  Stores, resume, caching and
+            # process pools keep the per-unit campaign path.
+            from repro.campaign.kinds import run_units_fused
+
+            fused = run_units_fused(units, progress=progress)
+            return ResultSet(
+                row_from_unit(u, r) for u, r in zip(units, fused)
+            )
         result = run_units(
             units,
             workers=workers,

@@ -41,7 +41,14 @@ from repro.core.spec import ModelSpec
 from repro.simulation.spec import SimSpec
 from repro.utils.exceptions import ConfigurationError
 
-__all__ = ["KINDS", "register_kind", "lookup", "available_kinds"]
+__all__ = [
+    "KINDS",
+    "register_kind",
+    "lookup",
+    "available_kinds",
+    "fused_sim_group",
+    "run_units_fused",
+]
 
 KINDS: dict[str, Callable[[Mapping[str, Any]], Any]] = {}
 
@@ -71,6 +78,130 @@ def lookup(name: str) -> Callable[[Mapping[str, Any]], Any]:
         raise ConfigurationError(
             f"unknown work-unit kind {name!r}; available: {', '.join(available_kinds())}"
         ) from None
+
+
+# ----------------------------------------------------------------------
+# Whole-sweep fusion: batch compatible array-engine sim units together
+# ----------------------------------------------------------------------
+
+#: SimSpec params free to differ between replications of one batched
+#: array simulation; everything else is structural and must match for
+#: units to share a SimState (mirrors ArraySimulator's configs check).
+_FUSE_VARYING = (
+    "generation_rate",
+    "seed",
+    "warmup_cycles",
+    "measure_cycles",
+    "drain_cycles",
+    "batches",
+)
+
+
+def fused_sim_group(unit) -> tuple | None:
+    """Structural grouping key of a fusible work unit, or ``None``.
+
+    ``sim``/``sim_batch`` units on the array engine whose keys agree can
+    advance as one batched simulation (each unit expands to one or more
+    per-replication configs).  Every other unit — object-engine runs,
+    model/bound/scale points — returns ``None`` and executes alone.
+    """
+    if unit.kind not in ("sim", "sim_batch"):
+        return None
+    params = dict(unit.params)
+    params.pop("replications", None)
+    if unit.kind == "sim_batch":
+        params.setdefault("engine", "array")
+    if params.get("engine") != "array":
+        return None
+    for name in _FUSE_VARYING:
+        params.pop(name, None)
+    return tuple(sorted(params.items()))
+
+
+def _expand_fused_unit(unit) -> list:
+    """The per-replication configs one fusible unit contributes."""
+    params = dict(unit.params)
+    replications = int(params.pop("replications", 8))
+    if unit.kind == "sim_batch":
+        params.setdefault("engine", "array")
+    spec = SimSpec.from_params(params)
+    if unit.kind == "sim":
+        return [spec.config]
+    return [spec.config.with_seed(spec.config.seed + i) for i in range(replications)]
+
+
+def _run_fused_group(units: list) -> list[Any]:
+    """Run one structurally-compatible group as a single batched sim.
+
+    Returns one result per unit, in unit order: ``sim`` units yield
+    their single :class:`SimulationResult`, ``sim_batch`` units the
+    pooled summary of their replication slice.  Per-replication purity
+    of the array backend makes each result bit-identical to running the
+    unit on its own.
+    """
+    from repro.simulation.backends import simulate_many, summarize_batch
+
+    configs: list = []
+    slices: list[tuple[str, int, int]] = []
+    spec = None
+    for unit in units:
+        cfgs = _expand_fused_unit(unit)
+        params = {
+            k: v for k, v in unit.params.items() if k != "replications"
+        }
+        if unit.kind == "sim_batch":
+            params.setdefault("engine", "array")
+        spec = SimSpec.from_params(params)
+        slices.append((unit.kind, len(configs), len(cfgs)))
+        configs.extend(cfgs)
+    topology, algorithm, _ = spec.build()
+    results = simulate_many(topology, algorithm, configs, engine="array")
+    out: list[Any] = []
+    for kind, off, n in slices:
+        if kind == "sim":
+            out.append(results[off])
+        else:
+            out.append(summarize_batch(results[off : off + n]))
+    return out
+
+
+def run_units_fused(units, progress=None) -> list[Any]:
+    """Execute work units in order, fusing compatible array sim units.
+
+    The single-process, no-store counterpart of
+    :func:`repro.campaign.runner.run_campaign`: fusible units (see
+    :func:`fused_sim_group`) advance as one batched simulation per
+    structural group — a whole rate-ladder × seed grid in one SimState —
+    while every other unit executes individually.  Results come back in
+    unit order; ``progress(done, total)`` fires as unit results
+    materialize (a fused group completes all at once).
+    """
+    units = list(units)
+    keys = [fused_sim_group(u) for u in units]
+    groups: dict[tuple, list[int]] = {}
+    for i, key in enumerate(keys):
+        if key is not None:
+            groups.setdefault(key, []).append(i)
+    results: list[Any] = [None] * len(units)
+    total = len(units)
+    done = 0
+    started: set = set()
+    for i, unit in enumerate(units):
+        key = keys[i]
+        if key is None:
+            results[i] = lookup(unit.kind)(unit.params)
+            done += 1
+        elif key not in started:
+            started.add(key)
+            indices = groups[key]
+            for j, result in zip(indices, _run_fused_group([units[j] for j in indices])):
+                results[j] = result
+            done += len(indices)
+        else:
+            continue
+        if progress is not None:
+            progress(done, total)
+    return results
 
 
 def _build_model(params: Mapping[str, Any], drop: tuple[str, ...] = ()):

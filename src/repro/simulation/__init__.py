@@ -26,6 +26,7 @@ from repro.simulation.backends import (
     make_simulator,
     simulate,
     simulate_batch,
+    simulate_many,
     summarize_batch,
 )
 from repro.simulation.config import SimulationConfig
@@ -57,6 +58,7 @@ __all__ = [
     "make_simulator",
     "simulate",
     "simulate_batch",
+    "simulate_many",
     "summarize_batch",
     "SimulationResult",
     "LatencyAccumulator",

@@ -1,11 +1,32 @@
-/* Cycle kernel for the array backend's switch-traversal and ejection
- * phases — the per-cycle hot path of repro.simulation.kernels.
+/* Cycle megakernel for the array backend: VC allocation, switch
+ * traversal and ejection — the whole per-cycle hot path of
+ * repro.simulation.kernels in one call.
  *
- * Semantically identical to the numpy passes in kernels.py (the Python
- * fallback): two-phase transfer (winners picked from pre-cycle state,
- * then applied), ejection counts picked before transfers are applied.
- * kernels.py asserts bit-identical results between both paths, so any
- * change here must be mirrored there.
+ * Semantically identical to the Python/numpy passes in kernels.py (the
+ * fallback): allocation walks each replication's pending headers in a
+ * freshly shuffled order and claims free VCs per the selection policy;
+ * transfers and ejections are two-phase (winners picked from pre-cycle
+ * state, then applied).  kernels.py asserts bit-identical results
+ * between both paths, so any change here must be mirrored there.
+ *
+ * Random variates are *pre-drawn* by the Python side into a per-
+ * replication uniform buffer (alloc_buf); the kernel only consumes them
+ * in a deterministic order (shuffle first, then at most one draw per
+ * header), so numpy and C paths read the identical variate sequence.
+ *
+ * Routing candidates are memoized: msg_memo[slot] indexes a flattened
+ * candidate table (cand_flat + memo_off/alen/elen) built lazily by the
+ * Python side.  Headers re-entering the pending list via a transfer
+ * "ready" event probe an open-addressing hash (int64 keys, -1 empty,
+ * Fibonacci hashing, linear probe — mirrored exactly by the Python
+ * inserts); misses are reported so Python can resolve them before the
+ * next cycle's allocation.
+ *
+ * Round-robin arbitration uses the packed lookup table when `lut` is
+ * non-null (V <= 15); otherwise a per-channel scan tracks the candidate
+ * with the smallest cyclic offset from the round-robin pointer, which
+ * is the same winner the table (and the numpy argmin fallback) yields,
+ * so the C kernel has no V cap.
  *
  * All arguments arrive through one int64 parameter block (pointers cast
  * to int64) so the per-cycle ctypes call marshals a single argument.
@@ -17,7 +38,7 @@
  *   3 up          (int32*, R*CV)  upstream vc or -1 (source PE)
  *   4 down        (int32*, R*CV)  downstream vc or -1
  *   5 rr          (int32*, R*C)   round-robin pointers
- *   6 lut         (int8*)         round-robin winner table
+ *   6 lut         (int8*)         round-robin winner table (0: scan)
  *   7 R   8 C   9 V
  *  10 M  11 depth  12 ej_rate (< 0: unlimited)
  *  13 transfers   (int64*, R)     cumulative grant counts
@@ -26,34 +47,87 @@
  *  16 active_inj  (int32*, R*N)   concurrent injections per node
  *  17 msg_ejected (int32*, R*cap) ejected flits per message
  *  18 cap  19 N
- *  20 ej_flats    (int64*, ej_n)  head VC of each draining message
- *  21 ej_mflats   (int64*, ej_n)  message-array index of each
- *  22 ej_n
- *  23 ej_k        (int32*, scratch)
- *  24 winners     (int64*, scratch R*C)
- *  25 released    (int64*, out)   absolute freed VC ids
- *  26 fin_nodes   (int64*, out)   rep*N + node of finished injections
- *  27 completions (int64*, out)   ej-column index of completed messages
- *  28 ready       (int64*, out)   rep*cap + slot of newly ready headers
- *  29 out_counts  (int64*, 5)     {grants, released, fin, completions,
- *                                  ready}
- *  30 busy        (uint8*, R*C)   owned-VC count per channel
- *
- * The "ready" events are the headers whose flit crossed its newly
- * acquired channel for the first time this cycle (bd went 0 -> 0x10001);
- * the Python side re-queues those messages for next-hop allocation,
- * sparing it any per-cycle polling of in-flight headers.
+ *  20 ej_reps     (int64*)        ejection columns (appended here)
+ *  21 ej_slots    (int64*)
+ *  22 ej_flats    (int64*)        head VC of each draining message
+ *  23 ej_mflats   (int64*)        message-array index of each
+ *  24 ej_pos      (int64*, R*cap) column position per message (-1)
+ *  25 ej_n                        entries on input
+ *  26 ej_k        (int32*, scratch)
+ *  27 winners     (int64*, scratch R*C)
+ *  28 fin_nodes   (int64*, out)   rep*N + node of finished injections
+ *  29 completions (int64*, out)   ej-column index of completed messages
+ *  30 ready_miss  (int64*, out)   rep*cap + slot with unresolved memo
+ *  31 out_counts  (int64*, 8)     {grants, busy_delta, fin, completions,
+ *                                  ready_miss, error, ej_n_new,
+ *                                  need_total}
+ *  32 busy        (uint8*, R*C)   owned-VC count per channel
+ *  33 do_alloc                    run the allocation phase here?
+ *  34 cycle
+ *  35 policy       0 adaptive-first, 1 lowest-escape, 2 random
+ *  36 num_adaptive
+ *  37 deg
+ *  38 need_slots  (int32*, R*cap) pending headers, compacted in place
+ *  39 need_n      (int64*, R)     in/out pending counts
+ *  40 p_dst  41 p_header  42 p_dist  43 p_floor  44 p_hops
+ *  45 p_first  46 p_head_vc  47 msg_memo   (all int32*, R*cap)
+ *  48 cand_flat   (int32*)        flattened candidate VC ids
+ *  49 memo_off    (int64*)  50 memo_alen  51 memo_elen  (int32*)
+ *  52 hash_keys   (int64*)  53 hash_vals (int32*)  54 hash_log2
+ *  55 alloc_buf   (double*, R*buf_cap) pre-drawn uniforms
+ *  56 buf_cap     57 alloc_pos (int64*, R)
+ *  58 neighbors   (int32*, C)     node reached through each channel
+ *  59 color       (uint8*, N)     1 on "negative-hop" nodes
+ *  60 msg_measured(uint8*, R*cap)
+ *  61 msg_t_inject(double*, R*cap)
+ *  62 alloc_attempts (int64*, R)  63 alloc_failures (int64*, R)
+ *  64 injected    (int64*, R)     measured injections in window
+ *  65 hb_req  66 hb_blk  67 hb_wait (int64*, R*(hb_max+1))
+ *  68 hb_max
+ *  69 msg_t_gen   (double*, R*cap) generation instant per message
+ *  70 in_flight   (int64*, R)     live message counts
+ *  71 meas_flight (int64*, R)     live *measured* message counts
+ *  72 completed   (int64*, R)     cumulative completions
+ *  73 free_stack  (int32*, R*cap) free-slot stacks  74 free_n (int64*, R)
+ *  75 lat_sum     (double*, R)    total-latency accumulator
+ *  76 net_sum     (double*, R)    network-latency accumulator
+ *  77 srcw_sum    (double*, R)    source-wait accumulator
+ *  78 mcount      (int64*, R)     measured completions
+ *  79 lat_bsum    (double*, R*Bmax) per-batch latency sums
+ *  80 lat_bcount  (int64*, R*Bmax)  per-batch latency counts
+ *  81 w_t0        (double*, R)    measurement-window start per rep
+ *  82 w_width     (double*, R)    batch width per rep
+ *  83 w_batches   (int64*, R)     batch count per rep  84 Bmax
  */
 
 #include <stdint.h>
 
-int64_t starnet_cycle(const int64_t *P)
+/* Widest candidate list the on-stack free-VC scratch supports; the
+ * Python side keeps do_alloc = 0 when deg * V exceeds it. */
+#define ALLOC_SCRATCH 512
+
+static int64_t probe_memo(const int64_t *keys, const int32_t *vals,
+                          int64_t log2size, int64_t kk)
+{
+    const uint64_t mask = ((uint64_t)1 << log2size) - 1;
+    uint64_t h = ((uint64_t)kk * 0x9E3779B97F4A7C15ULL) >> (64 - log2size);
+    for (;;) {
+        const int64_t k = keys[h];
+        if (k == kk)
+            return vals[h];
+        if (k == -1)
+            return -1;
+        h = (h + 1) & mask;
+    }
+}
+
+int64_t starnet_cycle(int64_t *P)
 {
     int32_t *bd = (int32_t *)P[0];
     int32_t *avail = (int32_t *)P[1];
     int32_t *owner = (int32_t *)P[2];
-    const int32_t *up = (const int32_t *)P[3];
-    const int32_t *down = (const int32_t *)P[4];
+    int32_t *up = (int32_t *)P[3];
+    int32_t *down = (int32_t *)P[4];
     int32_t *rr = (int32_t *)P[5];
     const int8_t *lut = (const int8_t *)P[6];
     const int64_t R = P[7], C = P[8], V = P[9];
@@ -65,23 +139,231 @@ int64_t starnet_cycle(const int64_t *P)
     int32_t *active_inj = (int32_t *)P[16];
     int32_t *msg_ejected = (int32_t *)P[17];
     const int64_t cap = P[18], N = P[19];
-    const int64_t *ej_flats = (const int64_t *)P[20];
-    const int64_t *ej_mflats = (const int64_t *)P[21];
-    const int64_t ej_n = P[22];
-    int32_t *ej_k = (int32_t *)P[23];
-    int64_t *winners = (int64_t *)P[24];
-    int64_t *released = (int64_t *)P[25];
-    int64_t *fin_nodes = (int64_t *)P[26];
-    int64_t *completions = (int64_t *)P[27];
-    int64_t *ready = (int64_t *)P[28];
-    int64_t *out_counts = (int64_t *)P[29];
-    uint8_t *busy = (uint8_t *)P[30];
+    int64_t *ej_reps = (int64_t *)P[20];
+    int64_t *ej_slots = (int64_t *)P[21];
+    int64_t *ej_flats = (int64_t *)P[22];
+    int64_t *ej_mflats = (int64_t *)P[23];
+    int64_t *ej_pos = (int64_t *)P[24];
+    int64_t ej_n = P[25];
+    int32_t *ej_k = (int32_t *)P[26];
+    int64_t *winners = (int64_t *)P[27];
+    int64_t *fin_nodes = (int64_t *)P[28];
+    int64_t *completions = (int64_t *)P[29];
+    int64_t *ready_miss = (int64_t *)P[30];
+    int64_t *out_counts = (int64_t *)P[31];
+    uint8_t *busy = (uint8_t *)P[32];
+    const int64_t do_alloc = P[33];
+    const int64_t cycle = P[34];
+    const int64_t policy = P[35];
+    const int32_t num_adaptive = (int32_t)P[36];
+    const int64_t deg = P[37];
+    int32_t *need_slots = (int32_t *)P[38];
+    int64_t *need_n = (int64_t *)P[39];
+    int32_t *p_dst = (int32_t *)P[40];
+    int32_t *p_header = (int32_t *)P[41];
+    int32_t *p_dist = (int32_t *)P[42];
+    int32_t *p_floor = (int32_t *)P[43];
+    int32_t *p_hops = (int32_t *)P[44];
+    int32_t *p_first = (int32_t *)P[45];
+    int32_t *p_head_vc = (int32_t *)P[46];
+    int32_t *msg_memo = (int32_t *)P[47];
+    const int32_t *cand_flat = (const int32_t *)P[48];
+    const int64_t *memo_off = (const int64_t *)P[49];
+    const int32_t *memo_alen = (const int32_t *)P[50];
+    const int32_t *memo_elen = (const int32_t *)P[51];
+    const int64_t *hash_keys = (const int64_t *)P[52];
+    const int32_t *hash_vals = (const int32_t *)P[53];
+    const int64_t hash_log2 = P[54];
+    const double *alloc_buf = (const double *)P[55];
+    const int64_t buf_cap = P[56];
+    int64_t *alloc_pos = (int64_t *)P[57];
+    const int32_t *neighbors = (const int32_t *)P[58];
+    const uint8_t *color = (const uint8_t *)P[59];
+    const uint8_t *measured = (const uint8_t *)P[60];
+    double *t_inject = (double *)P[61];
+    int64_t *alloc_attempts = (int64_t *)P[62];
+    int64_t *alloc_failures = (int64_t *)P[63];
+    int64_t *injected = (int64_t *)P[64];
+    int64_t *hb_req = (int64_t *)P[65];
+    int64_t *hb_blk = (int64_t *)P[66];
+    int64_t *hb_wait = (int64_t *)P[67];
+    const int64_t hb_max = P[68];
+    const double *t_gen = (const double *)P[69];
+    int64_t *in_flight = (int64_t *)P[70];
+    int64_t *meas_flight = (int64_t *)P[71];
+    int64_t *completed = (int64_t *)P[72];
+    int32_t *free_stack = (int32_t *)P[73];
+    int64_t *free_n = (int64_t *)P[74];
+    double *lat_sum = (double *)P[75];
+    double *net_sum = (double *)P[76];
+    double *srcw_sum = (double *)P[77];
+    int64_t *mcount = (int64_t *)P[78];
+    double *lat_bsum = (double *)P[79];
+    int64_t *lat_bcount = (int64_t *)P[80];
+    const double *w_t0 = (const double *)P[81];
+    const double *w_width = (const double *)P[82];
+    const int64_t *w_batches = (const int64_t *)P[83];
+    const int64_t Bmax = P[84];
 
     const int32_t ms = M << 16;
     const int64_t CV = C * V;
-    int64_t grants = 0, rn = 0, fn = 0, cn = 0, rdy = 0;
+    int64_t grants = 0, busy_delta = 0, fn = 0, cn = 0, rm = 0, err = 0;
 
-    /* Phase 4a — ejection pick (pre-cycle buffered counts). */
+    /* Phase 2 — VC allocation (per replication, shuffled order). */
+    if (do_alloc) {
+        for (int64_t r = 0; r < R; ++r) {
+            const int64_t n = need_n[r];
+            if (!n)
+                continue;
+            int32_t *ns = need_slots + r * cap;
+            const double *ub = alloc_buf + r * buf_cap;
+            int64_t pos = alloc_pos[r];
+            const int64_t rowoff = r * CV;
+            if (n > 1) { /* Fisher-Yates, same draws as the fallback */
+                for (int64_t i = n - 1; i > 0; --i) {
+                    const int64_t j = (int64_t)(ub[pos++] * (i + 1));
+                    const int32_t tmp = ns[i];
+                    ns[i] = ns[j];
+                    ns[j] = tmp;
+                }
+            }
+            int64_t keep = 0;
+            for (int64_t i = 0; i < n; ++i) {
+                const int32_t s = ns[i];
+                const int64_t mf = r * cap + s;
+                if (p_first[mf] < 0)
+                    p_first[mf] = (int32_t)cycle;
+                const int32_t memo = msg_memo[mf];
+                if (memo < 0) { /* broken invariant: surface, don't hang */
+                    err = 1;
+                    ns[keep++] = s;
+                    continue;
+                }
+                const int64_t off = memo_off[memo];
+                const int32_t alen = memo_alen[memo];
+                const int32_t elen = memo_elen[memo];
+                int32_t fa[ALLOC_SCRATCH], fe[ALLOC_SCRATCH];
+                int64_t na = 0, ne = 0;
+                for (int32_t j = 0; j < alen; ++j) {
+                    const int32_t f = cand_flat[off + j];
+                    if (owner[rowoff + f] < 0)
+                        fa[na++] = f;
+                }
+                for (int32_t j = 0; j < elen; ++j) {
+                    const int32_t f = cand_flat[off + alen + j];
+                    if (owner[rowoff + f] < 0)
+                        fe[ne++] = f;
+                }
+                int64_t flat = -1;
+                if (policy == 0) { /* ADAPTIVE_FIRST */
+                    if (na) {
+                        flat = (na == 1) ? fa[0]
+                                         : fa[(int64_t)(ub[pos++] * na)];
+                    } else if (ne) {
+                        int32_t lowest = (int32_t)V;
+                        for (int64_t k = 0; k < ne; ++k) {
+                            const int32_t cls = fe[k] % (int32_t)V;
+                            if (cls < lowest)
+                                lowest = cls;
+                        }
+                        int64_t np = 0;
+                        for (int64_t k = 0; k < ne; ++k)
+                            if (fe[k] % (int32_t)V == lowest)
+                                fe[np++] = fe[k];
+                        flat = fe[(int64_t)(ub[pos++] * np)];
+                    }
+                } else if (policy == 1) { /* LOWEST_ESCAPE */
+                    if (ne) {
+                        int32_t lowest = (int32_t)V;
+                        for (int64_t k = 0; k < ne; ++k) {
+                            const int32_t cls = fe[k] % (int32_t)V;
+                            if (cls < lowest)
+                                lowest = cls;
+                        }
+                        int64_t np = 0;
+                        for (int64_t k = 0; k < ne; ++k)
+                            if (fe[k] % (int32_t)V == lowest)
+                                fe[np++] = fe[k];
+                        flat = fe[(int64_t)(ub[pos++] * np)];
+                    } else if (na) {
+                        flat = fa[(int64_t)(ub[pos++] * na)];
+                    }
+                } else { /* RANDOM: adaptive ++ escape pool */
+                    const int64_t tot = na + ne;
+                    if (tot) {
+                        const int64_t j = (int64_t)(ub[pos++] * tot);
+                        flat = j < na ? fa[j] : fe[j - na];
+                    }
+                }
+                if (flat < 0) {
+                    alloc_failures[r] += 1;
+                    ns[keep++] = s;
+                    continue;
+                }
+                if (measured[mf]) {
+                    int64_t k = p_hops[mf] + 1;
+                    if (k > hb_max)
+                        k = hb_max;
+                    const int64_t hb = r * (hb_max + 1) + k;
+                    hb_req[hb] += 1;
+                    const int64_t waited = cycle - p_first[mf];
+                    if (waited > 0) {
+                        hb_blk[hb] += 1;
+                        hb_wait[hb] += waited;
+                    }
+                }
+                p_first[mf] = -1;
+                /* acquire */
+                const int64_t chan = flat / V;
+                const int32_t vi = (int32_t)(flat - chan * V);
+                const int32_t prev = p_head_vc[mf];
+                const int64_t af = rowoff + flat;
+                bd[af] = 0;
+                if (prev >= 0) {
+                    const int64_t ap = rowoff + prev;
+                    avail[af] = bd[ap] & 0xFFFF;
+                    down[ap] = (int32_t)flat;
+                } else { /* whole worm still at the source PE */
+                    avail[af] = M;
+                    t_inject[mf] = (double)cycle;
+                    if (measured[mf])
+                        injected[r] += 1;
+                }
+                owner[af] = s;
+                up[af] = prev;
+                down[af] = -1;
+                busy[r * C + chan] += 1;
+                p_head_vc[mf] = (int32_t)flat;
+                vcs_held[mf] += 1;
+                busy_delta += 1;
+                const int32_t fbase =
+                    vi < num_adaptive ? p_floor[mf] : vi - num_adaptive;
+                p_floor[mf] = fbase + (color[chan / deg] ? 1 : 0);
+                p_hops[mf] += 1;
+                msg_memo[mf] = -1; /* routing state advanced */
+                const int32_t nxt = neighbors[chan];
+                p_header[mf] = nxt;
+                const int32_t d = p_dist[mf] - 1;
+                p_dist[mf] = d;
+                if ((d == 0) != (nxt == p_dst[mf]))
+                    err = 1; /* non-minimal route */
+                if (d == 0) { /* header home: start draining */
+                    ej_reps[ej_n] = r;
+                    ej_slots[ej_n] = s;
+                    ej_flats[ej_n] = af;
+                    ej_mflats[ej_n] = mf;
+                    ej_pos[mf] = ej_n;
+                    ++ej_n;
+                }
+            }
+            need_n[r] = keep;
+            alloc_pos[r] = pos;
+            alloc_attempts[r] += n;
+        }
+    }
+
+    /* Phase 4a — ejection pick (pre-transfer buffered counts; heads
+     * acquired this cycle sit at bd == 0 and contribute k == 0). */
     for (int64_t i = 0; i < ej_n; ++i) {
         int32_t k = bd[ej_flats[i]] & 0xFFFF;
         if (ej_rate >= 0 && k > ej_rate)
@@ -99,16 +381,38 @@ int64_t starnet_cycle(const int64_t *P)
             if (!busy[r * C + c]) /* no owned VCs: nothing can move */
                 continue;
             const int64_t base = rowoff + c * V;
-            uint32_t bits = 0;
-            for (int64_t v = 0; v < V; ++v) {
-                const int32_t w = bd[base + v];
-                if (w < ms && (w & 0xFFFF) < depth && avail[base + v] > 0)
-                    bits |= (uint32_t)1 << v;
-            }
-            if (!bits)
-                continue;
             const int64_t rc = r * C + c;
-            const int8_t v = lut[((int64_t)rr[rc] << V) | bits];
+            int32_t v;
+            if (lut) {
+                uint32_t bits = 0;
+                for (int64_t vv = 0; vv < V; ++vv) {
+                    const int32_t w = bd[base + vv];
+                    if (w < ms && (w & 0xFFFF) < depth && avail[base + vv] > 0)
+                        bits |= (uint32_t)1 << vv;
+                }
+                if (!bits)
+                    continue;
+                v = lut[((int64_t)rr[rc] << V) | bits];
+            } else { /* wide V: smallest cyclic offset from rr wins */
+                const int32_t rrv = rr[rc];
+                int32_t best = (int32_t)V;
+                v = -1;
+                for (int32_t vv = 0; vv < (int32_t)V; ++vv) {
+                    const int32_t w = bd[base + vv];
+                    if (w < ms && (w & 0xFFFF) < depth
+                        && avail[base + vv] > 0) {
+                        int32_t o = vv - rrv;
+                        if (o < 0)
+                            o += (int32_t)V;
+                        if (o < best) {
+                            best = o;
+                            v = vv;
+                        }
+                    }
+                }
+                if (v < 0)
+                    continue;
+            }
             rr[rc] = (v + 1) % (int32_t)V;
             winners[nw++] = base + v;
             ++granted_r;
@@ -126,8 +430,21 @@ int64_t starnet_cycle(const int64_t *P)
         const int64_t r = x / CV;
         const int32_t nbx = bd[x] + 0x10001; /* buffered+1, delivered+1 */
         bd[x] = nbx;
-        if (nbx == 0x10001) /* first flit crossed: header now ready */
-            ready[rdy++] = r * cap + owner[x];
+        if (nbx == 0x10001) { /* first flit crossed: header now ready */
+            const int64_t mf = r * cap + owner[x];
+            if (p_dist[mf] > 0) { /* next hop still to claim */
+                const int64_t kk =
+                    (((int64_t)p_header[mf] * N + p_dst[mf]) << 16)
+                    | ((int64_t)p_floor[mf] << 8) | p_hops[mf];
+                const int64_t mid =
+                    probe_memo(hash_keys, hash_vals, hash_log2, kk);
+                msg_memo[mf] = (int32_t)mid;
+                need_slots[r * cap + need_n[r]] = (int32_t)(mf - r * cap);
+                need_n[r] += 1;
+                if (mid < 0) /* Python resolves before next allocation */
+                    ready_miss[rm++] = mf;
+            }
+        }
         avail[x] -= 1;
         const int32_t uu = up[x];
         if (uu >= 0) {
@@ -138,7 +455,7 @@ int64_t starnet_cycle(const int64_t *P)
                 vcs_held[r * cap + owner[ux]] -= 1;
                 owner[ux] = -1;
                 busy[uu / V + r * C] -= 1;
-                released[rn++] = ux;
+                busy_delta -= 1;
             }
         } else if (avail[x] == 0) { /* tail flit left the source PE */
             const int32_t node = msg_src[r * cap + owner[x]];
@@ -165,16 +482,76 @@ int64_t starnet_cycle(const int64_t *P)
             vcs_held[r * cap + owner[x]] -= 1;
             owner[x] = -1;
             busy[(x % CV) / V + r * C] -= 1;
-            released[rn++] = x;
+            busy_delta -= 1;
         }
         if (ne == M)
             completions[cn++] = i;
     }
 
+    /* Phase 5 — completion bookkeeping.  Capture (rep, slot) pairs
+     * before removing any column: swap-removal shifts later columns, so
+     * the recorded indices are only valid against the pre-removal
+     * layout (the numpy fallback does the same capture-then-process). */
+    for (int64_t j = 0; j < cn; ++j) {
+        const int64_t i = completions[j];
+        completions[j] = ej_reps[i] * cap + ej_slots[i];
+    }
+    for (int64_t j = 0; j < cn; ++j) {
+        const int64_t mf = completions[j];
+        const int64_t r = mf / cap;
+        if (vcs_held[mf] != 0)
+            err = 1; /* completed message still owns channels */
+        in_flight[r] -= 1;
+        completed[r] += 1;
+        if (measured[mf]) {
+            meas_flight[r] -= 1;
+            const double tg = t_gen[mf];
+            const double t_done = (double)(cycle + 1);
+            const double v = t_done - tg;
+            lat_sum[r] += v;
+            net_sum[r] += t_done - t_inject[mf];
+            srcw_sum[r] += t_inject[mf] - tg;
+            mcount[r] += 1;
+            int64_t b = (int64_t)((tg - w_t0[r]) / w_width[r]);
+            if (b < 0)
+                b = 0;
+            if (b > w_batches[r] - 1)
+                b = w_batches[r] - 1;
+            lat_bsum[r * Bmax + b] += v;
+            lat_bcount[r * Bmax + b] += 1;
+        }
+        /* free the message slot (mirrors SimState.free_slot) */
+        p_head_vc[mf] = -1;
+        msg_memo[mf] = -1;
+        free_stack[r * cap + free_n[r]] = (int32_t)(mf - r * cap);
+        free_n[r] += 1;
+        /* swap-remove the drained ejection column */
+        const int64_t pos = ej_pos[mf];
+        ej_pos[mf] = -1;
+        const int64_t last = ej_n - 1;
+        if (pos != last) {
+            const int64_t lr = ej_reps[last];
+            const int64_t ls = ej_slots[last];
+            ej_reps[pos] = lr;
+            ej_slots[pos] = ls;
+            ej_flats[pos] = ej_flats[last];
+            ej_mflats[pos] = ej_mflats[last];
+            ej_pos[lr * cap + ls] = pos;
+        }
+        ej_n = last;
+    }
+
+    int64_t need_total = 0;
+    for (int64_t r = 0; r < R; ++r)
+        need_total += need_n[r];
+
     out_counts[0] = grants;
-    out_counts[1] = rn;
+    out_counts[1] = busy_delta;
     out_counts[2] = fn;
     out_counts[3] = cn;
-    out_counts[4] = rdy;
+    out_counts[4] = rm;
+    out_counts[5] = err;
+    out_counts[6] = ej_n;
+    out_counts[7] = need_total;
     return grants;
 }

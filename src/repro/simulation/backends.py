@@ -34,6 +34,7 @@ __all__ = [
     "make_simulator",
     "simulate",
     "simulate_batch",
+    "simulate_many",
     "summarize_batch",
 ]
 
@@ -127,6 +128,32 @@ def simulate_batch(
             _engine.simulate(topology, algorithm, config.with_seed(s)) for s in seeds
         ]
     return ArraySimulator(topology, algorithm, config, seeds=seeds).run()
+
+
+def simulate_many(
+    topology: Topology,
+    algorithm: RoutingAlgorithm,
+    configs: Sequence[SimulationConfig],
+    engine: str | None = None,
+) -> list[SimulationResult]:
+    """Run heterogeneous configs together; one result per config, in order.
+
+    The configs may differ in rate, seed, measurement windows and drain
+    budget (anything except the structural fields — message length, VC
+    count, buffer depth, workload...).  On the array backend the whole
+    set advances as *one* batched simulation — e.g. an entire rate-ladder
+    × seed grid in a single pass — with each replication stopped and
+    snapshotted at its own horizon.  On the object backend the configs
+    run sequentially.  Either way result ``i`` is a pure function of
+    ``configs[i]`` alone, bit-identical to running it solo.
+    """
+    configs = list(configs)
+    if not configs:
+        raise ConfigurationError("simulate_many needs at least one config")
+    name = _resolve(engine, configs[0])
+    if name == "object":
+        return [_engine.simulate(topology, algorithm, c) for c in configs]
+    return ArraySimulator(topology, algorithm, configs=configs).run()
 
 
 def summarize_batch(results: Sequence[SimulationResult]) -> dict:

@@ -11,7 +11,9 @@ cycle instead of ~40 numpy dispatches.
 Compilation is attempted once per process and cached as a shared object
 keyed by the source hash (honouring ``STARNET_CKERNEL_DIR``, defaulting
 to a per-user cache directory).  Set ``STARNET_NO_CKERNEL=1`` to force
-the numpy path; any compile/load failure falls back silently.
+the numpy path silently; an unexpected compile/load *failure* also falls
+back to numpy but emits one :class:`RuntimeWarning` for the whole
+process (the result is correct either way — only slower).
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ import os
 import shutil
 import subprocess
 import tempfile
+import warnings
 from pathlib import Path
 
 __all__ = ["load_kernel"]
@@ -86,12 +89,26 @@ def _build(source: Path, out: Path) -> bool:
                 pass
 
 
+def _fail(reason: str):
+    """Cache the numpy fallback, warning once per process."""
+    global _cached
+    _cached = (None,)
+    warnings.warn(
+        f"compiled cycle kernel unavailable ({reason}); "
+        "falling back to the (slower, bit-identical) numpy path",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return None
+
+
 def load_kernel():
     """The compiled ``starnet_cycle`` function, or None when unavailable."""
     global _cached
     if _cached is not None:
         return _cached[0]
     if os.environ.get("STARNET_NO_CKERNEL"):
+        # Deliberate opt-out: no warning.
         _cached = (None,)
         return None
     try:
@@ -99,14 +116,12 @@ def load_kernel():
         digest = hashlib.sha256(src).hexdigest()[:16]
         so_path = _cache_dir() / f"ckernel-{digest}.so"
         if not so_path.exists() and not _build(_SOURCE, so_path):
-            _cached = (None,)
-            return None
+            return _fail("no working C compiler")
         lib = ctypes.CDLL(str(so_path))
         fn = lib.starnet_cycle
         fn.argtypes = _SIGNATURE
         fn.restype = ctypes.c_int64
         _cached = (fn,)
         return fn
-    except (OSError, AttributeError):
-        _cached = (None,)
-        return None
+    except (OSError, AttributeError) as exc:
+        return _fail(f"{type(exc).__name__}: {exc}")

@@ -128,6 +128,10 @@ class WormholeSimulator:
         self.alloc_attempts = 0
         self.alloc_failures = 0
         self.hop_blocking = HopBlockingStats(topology.diameter())
+        #: Optional observer called as ``hook(node, t, dst)`` for every
+        #: generated message (parity harnesses tap the generation stream
+        #: here).  ``None`` — the default — costs one comparison.
+        self._gen_hook = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -200,6 +204,8 @@ class WormholeSimulator:
                 self._measured_generated += 1
             self._queues[node].append(msg)
             self._activatable.add(node)
+            if self._gen_hook is not None:
+                self._gen_hook(node, t, dst)
             heapq.heappush(heap, (self._sources[node].pop_next(), node))
 
     def _activate(self, cycle: int) -> None:

@@ -1,7 +1,7 @@
 """Vectorized cycle kernels: the array backend of the wormhole simulator.
 
 :class:`ArraySimulator` advances a *batch* of R independent replications
-(one seed each) through the same four-phase cycle as the object engine
+through the same four-phase cycle as the object engine
 (:mod:`repro.simulation.engine`):
 
 1. **generation/activation** — per-replication arrival heaps feed
@@ -11,37 +11,50 @@
    algorithm (profitable ports × eligible VC classes) and claim one free
    VC; contention is resolved in a random order each cycle, per
    replication;
-3. **switch traversal** — one vectorized pass over the ``(R, C·V)``
-   state arrays moves at most one flit per physical channel, chosen
-   round-robin among its busy virtual channels with a flit available and
-   downstream buffer space;
+3. **switch traversal** — at most one flit moves per physical channel,
+   chosen round-robin among its busy virtual channels with a flit
+   available and downstream buffer space;
 4. **ejection** — flits of routing-complete messages drain into the PE.
 
 Phases 3 and 4 are evaluated against pre-cycle state and applied
-atomically, exactly like the object engine's two-phase update.  The
-allocation phase remains a per-header Python loop (adaptive routing
-decisions are data-dependent and rare next to flit transfers); the
-switch-traversal hot path — the object engine's dominant cost — is a
-fixed handful of numpy passes regardless of the replication count:
+atomically, exactly like the object engine's two-phase update.
 
-* the transfer-candidate mask falls out of three compares on the packed
-  buffered/delivered words and the incremental ``vc_avail`` array
-  (see :mod:`repro.simulation.state`);
-* round-robin arbitration packs each channel's candidate VCs into an
-  integer and resolves the winner with one precomputed lookup-table
-  gather (``lut[bits, rr]``), avoiding any per-channel loop; VC counts
-  beyond the table width (V > 15) switch to an equivalent argmin over
-  cyclic round-robin offsets, so the array backend has no V cap;
-* grant application is a few one-dimensional scatter/gathers over the
-  raveled state views.
+The cycle body exists twice, bit-identically (asserted by the trace-diff
+tests): a compiled C megakernel (``_ckernel.c``) covering allocation,
+traversal and ejection in one call per cycle, and a Python/numpy
+fallback.  Design choices shared by both paths:
 
-Semantics match the object engine with one documented exception: the
+* **Pre-drawn randomness.**  Arrival instants and destinations are drawn
+  in per-node blocks from the workload objects
+  (:meth:`ArrivalProcess.draw_block` /
+  :meth:`SpatialPattern.destinations_block`), which reproduce the
+  one-at-a-time stream bit for bit; allocation uniforms are pre-drawn
+  into a per-replication buffer the kernels consume in a deterministic
+  order (shuffle first, then at most one draw per header).  The C path
+  therefore never touches a bit generator.
+* **Memoized routing.**  The candidate VCs of a routing state (node,
+  destination, escape floor, hops) are resolved once in Python and
+  flattened into shared arrays; headers carry a memo id
+  (``state.msg_memo``) and the C kernel re-derives ids for headers
+  re-entering the pending list through an open-addressing hash mirrored
+  exactly by the Python inserts.
+* **Arbitration without a V cap.**  Round-robin winners come from a
+  packed lookup table up to V = 15 and from an equivalent
+  smallest-cyclic-offset scan (C) / argmin (numpy) beyond.
+* **Per-replication configs.**  Replications may differ in generation
+  rate, seed and measurement windows (ragged horizons); structural
+  parameters (topology, V, M, buffers, workload shape) must match.
+  Each replication's headline numbers are snapshotted at its own
+  logical stop cycle, so batch companions never leak into its result.
+
+Semantics match the object engine with two documented exceptions: the
 round-robin arbiter cycles over *VC indices* (the classic Dally router)
-rather than over VCs in acquisition order.  Both are fair round-robin
-service disciplines; per-seed results therefore differ bit-wise between
-backends but agree statistically (see ``docs/simulation.md`` for the
-equivalence contract).  Batching is invisible: a replication's result
-depends only on its own seed, never on its batch companions.
+rather than over VCs in acquisition order, and destination draws consume
+a dedicated ``dest`` stream instead of interleaving with the arrival
+stream.  Both backends remain statistically equivalent (see
+``docs/simulation.md`` for the equivalence contract).  Batching is
+invisible: a replication's result depends only on its own config and
+seed, never on its batch companions.
 """
 
 from __future__ import annotations
@@ -58,7 +71,6 @@ from repro.simulation.config import SimulationConfig
 from repro.simulation.metrics import (
     ChannelLoadSampler,
     HopBlockingStats,
-    LatencyAccumulator,
     SimulationResult,
 )
 from repro.simulation.state import MAX_BUFFER_DEPTH, SimState
@@ -68,48 +80,38 @@ from repro.utils.rng import RngStreams
 
 __all__ = ["ArraySimulator"]
 
-#: Widest VC count the packed round-robin lookup table supports.
+#: Widest VC count the packed round-robin lookup table supports; wider
+#: configurations use the cyclic-offset scan in both C and numpy.
 _MAX_LUT_VCS = 15
 
-#: Index of the per-cycle ej_n value in the C kernel's parameter block
-#: (see the slot layout in _ckernel.c).
-_EJ_N_SLOT = 22
+#: Per-cycle patched slots of the C kernel's parameter block (layout in
+#: _ckernel.c, kept in lockstep with _refresh_c_args).
+_EJ_N_SLOT = 25
+_DO_ALLOC_SLOT = 33
+_CYCLE_SLOT = 34
 
-class _UniformBlock:
-    """Block-buffered uniform variates over one Generator.
+#: On-stack free-VC scratch width of the C allocation loop; wider
+#: candidate sets (deg * V) keep allocation in Python.
+_ALLOC_SCRATCH = 512
 
-    ``Generator.random()``/``integers()`` cost microseconds per call; the
-    allocation loop instead consumes pre-drawn blocks at list speed.  The
-    variates are i.i.d. uniforms either way, so the backend's statistical
-    contract is unchanged.
-    """
+#: Arrival-instant / destination block size per (replication, node).
+_GEN_BLOCK = 64
 
-    __slots__ = ("_rng", "_buf", "_pos")
+#: Fibonacci multiplier of the memo hash (mirrored in _ckernel.c).
+_GOLDEN = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
 
-    _BLOCK = 4096
-
-    def __init__(self, rng: np.random.Generator):
-        self._rng = rng
-        self._buf: list[float] = []
-        self._pos = 0
-
-    def next(self) -> float:
-        pos = self._pos
-        if pos >= len(self._buf):
-            self._buf = self._rng.random(self._BLOCK).tolist()
-            pos = 0
-        self._pos = pos + 1
-        return self._buf[pos]
-
-    def randint(self, n: int) -> int:
-        """Uniform int in [0, n)."""
-        return int(self.next() * n)
-
-    def shuffle(self, items: list) -> None:
-        """In-place Fisher-Yates (cheaper than Generator.shuffle here)."""
-        for i in range(len(items) - 1, 0, -1):
-            j = int(self.next() * (i + 1))
-            items[i], items[j] = items[j], items[i]
+#: Structural config fields every replication of one batch must share.
+_SHARED_FIELDS = (
+    "message_length",
+    "total_vcs",
+    "buffer_depth",
+    "ejection_rate",
+    "traffic",
+    "workload",
+    "sample_interval",
+    "watchdog_grace",
+)
 
 
 def _build_rr_lut(num_vcs: int) -> np.ndarray:
@@ -130,40 +132,75 @@ def _build_rr_lut(num_vcs: int) -> np.ndarray:
 
 
 class ArraySimulator:
-    """A batch of R simulation replications advanced by vectorized passes."""
+    """A batch of R simulation replications advanced by vectorized passes.
+
+    Construct with either ``config`` (+ optional ``seeds``, the classic
+    homogeneous batch: one config, one seed per replication) or
+    ``configs`` (heterogeneous work units: per-replication rate, seed and
+    cycle windows — structural parameters must match).
+    """
 
     def __init__(
         self,
         topology: Topology,
         algorithm: RoutingAlgorithm,
-        config: SimulationConfig,
+        config: SimulationConfig | None = None,
         seeds: tuple[int, ...] | None = None,
+        configs: list[SimulationConfig] | None = None,
     ):
+        if configs is not None:
+            if config is not None or seeds is not None:
+                raise ConfigurationError(
+                    "pass either config (+ seeds) or configs, not both"
+                )
+            configs = list(configs)
+            if not configs:
+                raise ConfigurationError("ArraySimulator needs at least one config")
+        else:
+            if config is None:
+                raise ConfigurationError("ArraySimulator needs a config")
+            if seeds is None:
+                seeds = (config.seed,)
+            if not seeds:
+                raise ConfigurationError("ArraySimulator needs at least one seed")
+            configs = [
+                config if int(s) == config.seed else config.with_seed(int(s))
+                for s in seeds
+            ]
+        base = configs[0]
+        for c in configs[1:]:
+            for f in _SHARED_FIELDS:
+                if getattr(c, f) != getattr(base, f):
+                    raise ConfigurationError(
+                        f"batched configs must share {f!r}: "
+                        f"{getattr(c, f)!r} != {getattr(base, f)!r}"
+                    )
+            if c.effective_injection_slots() != base.effective_injection_slots():
+                raise ConfigurationError(
+                    "batched configs must share effective injection slots"
+                )
         self.topology = topology
         self.algorithm = algorithm
-        self.config = config
-        self.vc_config = algorithm.make_vc_config(config.total_vcs, topology)
+        self.configs = configs
+        self.config = base
+        self.seeds = tuple(c.seed for c in configs)
+        self.vc_config = algorithm.make_vc_config(base.total_vcs, topology)
         algorithm.validate(self.vc_config, topology)
-        if config.buffer_depth > MAX_BUFFER_DEPTH:
+        if base.buffer_depth > MAX_BUFFER_DEPTH:
             raise ConfigurationError(
                 f"array backend supports buffer_depth <= {MAX_BUFFER_DEPTH} "
                 "(use engine='object')"
             )
 
-        if seeds is None:
-            seeds = (config.seed,)
-        if not seeds:
-            raise ConfigurationError("ArraySimulator needs at least one seed")
-        self.seeds = tuple(int(s) for s in seeds)
-        R = len(self.seeds)
+        R = len(configs)
         N = topology.num_nodes
-        V = config.total_vcs
+        V = base.total_vcs
 
-        self._M = config.message_length
+        self._M = base.message_length
         self._ms = np.int32(self._M << 16)  # packed-word release sentinel
-        self._depth = config.buffer_depth
-        self._ej_rate = config.ejection_rate
-        self._slots = config.effective_injection_slots()
+        self._depth = base.buffer_depth
+        self._ej_rate = base.ejection_rate
+        self._slots = base.effective_injection_slots()
         self._V = V
         self._deg = topology.degree
         self._C = topology.num_channels
@@ -173,51 +210,102 @@ class ArraySimulator:
             topology, V, self._M, R, initial_capacity=max(64, 2 * N * self._slots)
         )
         self._color_py = [topology.color(u) for u in range(N)]
+        self._color_np = np.array(self._color_py, dtype=np.uint8)
         #: Flat neighbor list: entry ``channel`` = node reached through it.
-        self._neighbors_py = [int(x) for x in topology.neighbor_table.ravel()]
+        self._neighbors_np = np.ascontiguousarray(
+            topology.neighbor_table.ravel(), dtype=np.int32
+        )
+        self._neighbors_py = [int(x) for x in self._neighbors_np]
         self._dist_memo: dict[int, int] = {}
         # Round-robin arbitration state: up to _MAX_LUT_VCS the winner
         # comes from a packed lookup table; wider VC counts use the
-        # argmin fallback in _transfer_phase (the table would need
-        # V * 2**V entries).
+        # cyclic-offset scan/argmin in both kernels.
         if V <= _MAX_LUT_VCS:
             self._lut = _build_rr_lut(V)
             self._pow2 = (1 << np.arange(V)).astype(np.uint8 if V <= 8 else np.int32)
         else:
             self._lut = None
             self._pow2 = None
-        self._route_memo: dict[tuple, tuple[tuple[int, ...], tuple[int, ...]]] = {}
         # advance_floor is pure arithmetic for every stock algorithm; only
         # call through the method when a subclass actually overrides it.
         self._plain_floor = (
             type(algorithm).advance_floor is RoutingAlgorithm.advance_floor
         )
+        self._policy_code = {
+            SelectionPolicy.ADAPTIVE_FIRST: 0,
+            SelectionPolicy.LOWEST_ESCAPE: 1,
+            SelectionPolicy.RANDOM: 2,
+        }[algorithm.policy]
+        #: The C kernel may run the allocation loop only when the floor
+        #: advance is the stock arithmetic and its on-stack scratch fits.
+        self._c_alloc_ok = self._plain_floor and self._deg * V <= _ALLOC_SCRATCH
 
-        # Per-replication random streams use the same (seed, name) keys as
-        # a single object-engine run with that seed, so each replication's
-        # workload draws are a pure function of its own seed.
-        self.workload = config.workload_spec()
+        # -- routing memo (shared across replications) -------------------
+        self._memo_ids: dict[tuple, int] = {}
+        self._memo_pools: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+        self._memo_cap = 256
+        self._memo_off = np.zeros(self._memo_cap, dtype=np.int64)
+        self._memo_alen = np.zeros(self._memo_cap, dtype=np.int32)
+        self._memo_elen = np.zeros(self._memo_cap, dtype=np.int32)
+        self._cand_cap = 1024
+        self._cand_flat = np.zeros(self._cand_cap, dtype=np.int32)
+        self._cand_len = 0
+        self._hash_log2 = 10
+        self._hash_keys = np.full(1 << self._hash_log2, -1, dtype=np.int64)
+        self._hash_vals = np.zeros(1 << self._hash_log2, dtype=np.int32)
+
+        # -- per-replication random streams ------------------------------
+        # Same (seed, name) keys as a single run with that seed, so each
+        # replication's draws are a pure function of its own config.
+        self.workload = base.workload_spec()
         self.spatial = self.workload.build_spatial(topology=topology)
-        self._rngs = [RngStreams(seed) for seed in self.seeds]
-        self._alloc_rng = [_UniformBlock(streams.allocator()) for streams in self._rngs]
-        self._traffic_rng = [
-            [streams.traffic(u) for u in range(N)] for streams in self._rngs
+        self._rngs = [RngStreams(c.seed) for c in configs]
+        self._alloc_gen = [streams.allocator() for streams in self._rngs]
+        self._buf_cap = 4096
+        self._alloc_buf = np.empty((R, self._buf_cap), dtype=np.float64)
+        for rep in range(R):
+            self._alloc_buf[rep] = self._alloc_gen[rep].random(self._buf_cap)
+        self._alloc_pos = np.zeros(R, dtype=np.int64)
+        # Amortized shortage gate for _ensure_uniforms: _u_headroom is a
+        # lower bound on every row's remaining variates at the last exact
+        # check, _u_spend an upper bound on any row's consumption since.
+        self._u_headroom = self._buf_cap
+        self._u_spend = 0
+        self._dest_rng = [
+            [streams.dest(u) for u in range(N)] for streams in self._rngs
         ]
         self._sources = [
             [
                 self.workload.build_temporal(
-                    config.generation_rate, self._traffic_rng[rep][u]
+                    configs[rep].generation_rate, self._rngs[rep].traffic(u)
                 )
                 for u in range(N)
             ]
             for rep in range(R)
         ]
-        self._heaps = [
-            [(src.peek(), node) for node, src in enumerate(row)]
-            for row in self._sources
-        ]
-        for heap in self._heaps:
+        #: Stateful spatial patterns (trace replay) opt out of block
+        #: buffering: their draw order across nodes is semantic.
+        self._dest_blocks = getattr(self.spatial, "block_safe", True)
+        self._arr_buf: list[list[list[float]]] = [[[] for _ in range(N)] for _ in range(R)]
+        self._arr_pos = [[0] * N for _ in range(R)]
+        self._dst_buf: list[list[list[int]]] = [[[] for _ in range(N)] for _ in range(R)]
+        self._dst_pos = [[0] * N for _ in range(R)]
+        self._heaps: list[list[tuple[float, int]]] = []
+        for rep in range(R):
+            heap = []
+            for node, src in enumerate(self._sources[rep]):
+                if src.rate == 0:
+                    heap.append((math.inf, node))
+                else:
+                    buf = src.draw_block(_GEN_BLOCK)
+                    self._arr_buf[rep][node] = buf
+                    # Seed with the first instant *unconsumed* (cursor 0):
+                    # the engines seed their heaps with peek(), so the
+                    # first event re-pushes the same instant — that quirk
+                    # is part of the frozen per-seed generation contract.
+                    heap.append((buf[0], node))
             heapq.heapify(heap)
+            self._heaps.append(heap)
         #: Per-replication heap tops, mirrored so the generation fast path
         #: compares plain floats instead of touching heap tuples.
         self._next_per_rep = [heap[0][0] for heap in self._heaps]
@@ -226,24 +314,31 @@ class ArraySimulator:
             [deque() for _ in range(N)] for _ in range(R)
         ]
         self._activatable: set[tuple[int, int]] = set()
-        #: Message slots awaiting a VC grant, per replication, plus the
-        #: set of replications with any pending header (loop-skip aid).
-        self._need_route: list[list[int]] = [[] for _ in range(R)]
-        self._need_reps: set[int] = set()
-        # Routing-complete messages still draining, as growable parallel
-        # columns with swap-remove (cheap membership churn every cycle).
+        #: Optional generation-event tap for the trace-diff harness:
+        #: called with (rep, node, t, dst) per generated message.
+        self._gen_hook = None
+        #: Test seam: when set to a callable ``(rep, slot) -> flat | None``
+        #: it replaces the selection policy (no uniform draws) and forces
+        #: allocation onto the Python path.  The watchdog tests wedge it.
+        self._choose_vc = None
+
+        # -- pending headers / ejection columns --------------------------
+        cap = self.state.capacity
+        self._need_slots = np.zeros((R, cap), dtype=np.int32)
+        self._need_n = np.zeros(R, dtype=np.int64)
+        self._need_total = 0
         self._ej_cap_rows = 64
         self._ej_reps = np.zeros(self._ej_cap_rows, dtype=np.int64)
         self._ej_slots = np.zeros(self._ej_cap_rows, dtype=np.int64)
         self._ej_flats = np.zeros(self._ej_cap_rows, dtype=np.int64)
         self._ej_mflats = np.zeros(self._ej_cap_rows, dtype=np.int64)
-        self._ej_index: dict[tuple[int, int], int] = {}
+        self._ej_pos = np.full((R, cap), -1, dtype=np.int64)
         self._ejecting_count = 0
-        self._msg_cap = self.state.capacity
+        self._msg_cap = cap
         self._busy_vcs = 0
         self.cycle = 0
 
-        # Scratch buffers for the transfer kernel's dense passes.
+        # Scratch buffers for the numpy transfer kernel's dense passes.
         RC = R * self._C
         self._b_cand = np.empty((R, self._CV), dtype=bool)
         self._b_tmpb = np.empty((R, self._CV), dtype=bool)
@@ -259,43 +354,66 @@ class ArraySimulator:
             self._rc_arange = np.arange(RC)
         self._b_ok = np.empty(RC, dtype=bool)
 
-        # Optional compiled cycle kernel (same semantics as the numpy
-        # passes, asserted bit-identical in the test-suite).  The C path
-        # indexes the packed LUT, so wide-V fallback batches stay on the
-        # numpy passes.
-        self._ck = load_kernel() if self._lut is not None else None
-        self._c_winners = np.empty(RC, dtype=np.int64)
-        self._c_fin = np.empty(RC, dtype=np.int64)
-        self._c_out = np.zeros(5, dtype=np.int64)
-        self._c_args: list | None = None
+        # Optional compiled megakernel (bit-identical to the numpy path,
+        # asserted in the test-suite).  Wide V uses the C scan, so the
+        # kernel is loaded regardless of the LUT.
+        self._ck = load_kernel()
+        self._c_out = np.zeros(8, dtype=np.int64)
+        self._c_args: np.ndarray | None = None
         self._c_msg_cap = -1
 
         self._last_progress = [0] * R
         self._progress_marks = [-1] * R
-        self._in_flight = [0] * R
-        self._measured_in_flight = [0] * R
+        # Message/latency bookkeeping lives in flat numpy arrays shared
+        # with the compiled megakernel, which handles completions (phase
+        # 5) without a Python round-trip; the numpy fallback updates the
+        # same arrays in the same order, so both stay bit-identical.
+        self._in_flight = np.zeros(R, dtype=np.int64)
+        self._measured_in_flight = np.zeros(R, dtype=np.int64)
+        self._completed = np.zeros(R, dtype=np.int64)
         self._generated = [0] * R
         self._measured_generated = [0] * R
-        self._completed = [0] * R
-        self._injected_in_window = [0] * R
-        self.alloc_attempts = [0] * R
-        self.alloc_failures = [0] * R
+        self._injected = np.zeros(R, dtype=np.int64)
+        self.alloc_attempts = np.zeros(R, dtype=np.int64)
+        self.alloc_failures = np.zeros(R, dtype=np.int64)
 
-        horizon = config.horizon
-        self._lat = [
-            LatencyAccumulator(config.batches, config.warmup_cycles, horizon)
-            for _ in range(R)
-        ]
-        self._net_lat = [
-            LatencyAccumulator(config.batches, config.warmup_cycles, horizon)
-            for _ in range(R)
-        ]
-        self._src_wait = [
-            LatencyAccumulator(config.batches, config.warmup_cycles, horizon)
-            for _ in range(R)
-        ]
+        # Per-replication measurement windows (ragged horizons allowed).
+        self._warm = [c.warmup_cycles for c in configs]
+        self._horizon_per = [c.horizon for c in configs]
+        self._end_per = [c.horizon + c.drain_cycles for c in configs]
+        for c in configs:
+            if c.batches < 1:
+                raise ValueError("batches must be >= 1")
+            if c.horizon <= c.warmup_cycles:
+                raise ValueError("empty measurement window")
+        # Streaming latency sums (the array twin of LatencyAccumulator):
+        # one scalar sum per metric plus per-batch sums for the CI, all
+        # accumulated in message-completion order by whichever kernel
+        # retires the message.
+        Bmax = max(c.batches for c in configs)
+        self._w_batches = np.array([c.batches for c in configs], dtype=np.int64)
+        self._w_t0 = np.array(
+            [float(c.warmup_cycles) for c in configs], dtype=np.float64
+        )
+        self._w_width = np.array(
+            [
+                (c.horizon - c.warmup_cycles) / c.batches
+                for c in configs
+            ],
+            dtype=np.float64,
+        )
+        self._Bmax = Bmax
+        self._lat_sum = np.zeros(R, dtype=np.float64)
+        self._net_sum = np.zeros(R, dtype=np.float64)
+        self._srcw_sum = np.zeros(R, dtype=np.float64)
+        self._mcount = np.zeros(R, dtype=np.int64)
+        self._lat_bsum = np.zeros((R, Bmax), dtype=np.float64)
+        self._lat_bcount = np.zeros((R, Bmax), dtype=np.int64)
         self._sampler = [ChannelLoadSampler(self._C) for _ in range(R)]
-        self._hop_blocking = [HopBlockingStats(topology.diameter()) for _ in range(R)]
+        self._hb_max = topology.diameter()
+        self._hb_req = np.zeros((R, self._hb_max + 1), dtype=np.int64)
+        self._hb_blk = np.zeros((R, self._hb_max + 1), dtype=np.int64)
+        self._hb_wait = np.zeros((R, self._hb_max + 1), dtype=np.int64)
         self._route_state = MessageRouteState()
         self._final: list[dict | None] = [None] * R
 
@@ -304,34 +422,40 @@ class ArraySimulator:
     # ------------------------------------------------------------------
 
     def run(self) -> list[SimulationResult]:
-        """Run every replication to completion; one result per seed.
+        """Run every replication to completion; one result per config.
 
         Each replication's headline numbers are snapshotted at the first
         cycle where the object engine's run loop would have stopped it
-        (measurement window over and no measured message in flight, or
-        the drain budget exhausted); the batch keeps cycling until every
-        replication has stopped.
+        (its measurement window over and no measured message in flight,
+        or its drain budget exhausted); the batch keeps cycling until
+        every replication has stopped.  Accumulator-derived values are
+        frozen in the snapshot so a replication with an early horizon is
+        untouched by its companions' remaining cycles.
         """
-        cfg = self.config
-        horizon = cfg.horizon
-        end = horizon + cfg.drain_cycles
         R = self._R
+        horizons = self._horizon_per
+        ends = self._end_per
         remaining = R
         step = self.step
-        while self.cycle < horizon:  # no replication can stop before this
+        min_h = min(horizons)
+        while self.cycle < min_h:  # no replication can stop before this
             step()
+        final = self._final
         while True:
-            if self.cycle >= horizon:
-                stop_all = self.cycle >= end
-                for rep in range(R):
-                    if self._final[rep] is None and (
-                        stop_all or self._measured_in_flight[rep] == 0
-                    ):
-                        self._final[rep] = self._snapshot(rep)
-                        remaining -= 1
-                if remaining == 0:
-                    break
-            self.step()
+            cyc = self.cycle
+            for rep in range(R):
+                if (
+                    final[rep] is None
+                    and cyc >= horizons[rep]
+                    and (cyc >= ends[rep] or self._measured_in_flight[rep] == 0)
+                ):
+                    final[rep] = self._snapshot(rep)
+                    # A stopped replication generates no further traffic.
+                    self._next_per_rep[rep] = math.inf
+                    remaining -= 1
+            if remaining == 0:
+                break
+            step()
         return [self._result(rep) for rep in range(R)]
 
     def step(self) -> None:
@@ -341,11 +465,17 @@ class ArraySimulator:
             self._generate(cycle)
         if self._activatable:
             self._activate()
-        self._allocate(cycle)
+        c_alloc = self._c_alloc_ok and self._choose_vc is None
         if self._ck is not None:
-            if self._busy_vcs:
+            if self._need_total and not c_alloc:
+                self._ensure_uniforms()
+                self._allocate_py(cycle)
+            if self._busy_vcs or (c_alloc and self._need_total):
                 self._cycle_c(cycle)
         else:
+            if self._need_total:
+                self._ensure_uniforms()
+                self._allocate_py(cycle)
             picks = self._pick_ejections() if self._ejecting_count else None
             if self._busy_vcs:
                 self._transfer_phase()
@@ -353,15 +483,16 @@ class ArraySimulator:
                 self._apply_ejections(picks, cycle)
         if (cycle & 31) == 0:
             self._watchdog(cycle)
-        cfg = self.config
-        if cycle % cfg.sample_interval == 0 and cycle >= cfg.warmup_cycles:
-            counts = self.state.busy_vc_counts()
+        if cycle % self.config.sample_interval == 0:
+            counts = None
             final = self._final
             for rep in range(self._R):
-                # A replication stops sampling at its logical stop cycle,
-                # exactly like a single run — batch companions must not
-                # influence its multiplexing estimate.
-                if final[rep] is None:
+                # A replication samples only inside its own post-warmup
+                # life — batch companions must not influence its
+                # multiplexing estimate.
+                if final[rep] is None and cycle >= self._warm[rep]:
+                    if counts is None:
+                        counts = self.state.busy_vc_counts()
                     self._sampler[rep].sample_counts(counts[rep])
         self.cycle = cycle + 1
 
@@ -371,20 +502,18 @@ class ArraySimulator:
         Progress is read off cumulative counters — flit transfers,
         successful allocations, completed messages — instead of a
         per-cycle flag, so the common fully-loaded cycle pays nothing.
-        An ejection-only stretch completes a message within ~M cycles
-        (far below any sane grace), so a genuinely deadlocked
-        replication freezes all three counters while holding messages
-        in flight, and is reported within 32 cycles of its grace.
         """
         transfers = self.state.transfers
         marks = self._progress_marks
         last = self._last_progress
+        attempts = self.alloc_attempts
+        failures = self.alloc_failures
         for rep in range(self._R):
             p = (
                 int(transfers[rep])
-                + self._completed[rep]
-                + self.alloc_attempts[rep]
-                - self.alloc_failures[rep]
+                + int(self._completed[rep])
+                + int(attempts[rep])
+                - int(failures[rep])
             )
             if p != marks[rep]:
                 marks[rep] = p
@@ -409,12 +538,35 @@ class ArraySimulator:
     # Phase 1 — generation and activation (event-driven, per replication)
     # ------------------------------------------------------------------
 
+    def _next_arrival_time(self, rep: int, node: int) -> float:
+        """Pop the node's next arrival instant from its pre-drawn block."""
+        buf = self._arr_buf[rep][node]
+        pos = self._arr_pos[rep][node]
+        if pos >= len(buf):
+            buf = self._sources[rep][node].draw_block(_GEN_BLOCK)
+            self._arr_buf[rep][node] = buf
+            pos = 0
+        self._arr_pos[rep][node] = pos + 1
+        return buf[pos]
+
+    def _next_dest(self, rep: int, node: int) -> int:
+        """Pop the node's next destination from its pre-drawn block."""
+        if not self._dest_blocks:
+            return self.spatial.destination(node, self._dest_rng[rep][node])
+        buf = self._dst_buf[rep][node]
+        pos = self._dst_pos[rep][node]
+        if pos >= len(buf):
+            buf = self.spatial.destinations_block(
+                node, _GEN_BLOCK, self._dest_rng[rep][node]
+            )
+            self._dst_buf[rep][node] = buf
+            pos = 0
+        self._dst_pos[rep][node] = pos + 1
+        return buf[pos]
+
     def _generate(self, cycle: int) -> None:
         st = self.state
-        cfg = self.config
         N = st.num_nodes
-        warm = cfg.warmup_cycles
-        horizon = cfg.horizon
         dist_memo = self._dist_memo
         nexts = self._next_per_rep
         nxt = math.inf
@@ -424,9 +576,12 @@ class ArraySimulator:
                     nxt = nexts[rep]
                 continue
             heap = self._heaps[rep]
+            warm = self._warm[rep]
+            horizon = self._horizon_per[rep]
+            queues = self._queues[rep]
             while heap[0][0] <= cycle:
                 t, node = heapq.heappop(heap)
-                dst = self.spatial.destination(node, self._traffic_rng[rep][node])
+                dst = self._next_dest(rep, node)
                 key = node * N + dst
                 dist = dist_memo.get(key)
                 if dist is None:
@@ -438,18 +593,21 @@ class ArraySimulator:
                 st.msg_ejected[rep, s] = 0
                 measured = warm <= t < horizon
                 st.msg_measured[rep, s] = measured
-                st.p_dst[rep][s] = dst
-                st.p_header[rep][s] = node
-                st.p_dist[rep][s] = dist
-                st.p_floor[rep][s] = 0
-                st.p_hops[rep][s] = 0
-                st.p_first_attempt[rep][s] = -1
+                st.p_dst[rep, s] = dst
+                st.p_header[rep, s] = node
+                st.p_dist[rep, s] = dist
+                st.p_floor[rep, s] = 0
+                st.p_hops[rep, s] = 0
+                st.p_first_attempt[rep, s] = -1
+                st.msg_memo[rep, s] = -1
                 self._generated[rep] += 1
                 if measured:
                     self._measured_generated[rep] += 1
-                self._queues[rep][node].append(s)
+                queues[node].append(s)
                 self._activatable.add((rep, node))
-                heapq.heappush(heap, (self._sources[rep][node].pop_next(), node))
+                if self._gen_hook is not None:
+                    self._gen_hook(rep, node, t, dst)
+                heapq.heappush(heap, (self._next_arrival_time(rep, node), node))
             top = heap[0][0]
             nexts[rep] = top
             if top < nxt:
@@ -466,83 +624,53 @@ class ArraySimulator:
                 self._in_flight[rep] += 1
                 if st.msg_measured[rep, s]:
                     self._measured_in_flight[rep] += 1
-                self._need_route[rep].append(s)
-                self._need_reps.add(rep)
+                self._queue_need(rep, s)
         self._activatable.clear()
 
     # ------------------------------------------------------------------
-    # Phase 2 — virtual-channel allocation (per-header, random order)
+    # Routing memo (candidate tables shared by both kernels)
     # ------------------------------------------------------------------
 
-    def _allocate(self, cycle: int) -> None:
-        # ``need_route`` holds only headers whose flit is available: newly
-        # activated messages plus those re-queued by the transfer phase's
-        # ready events.  Messages that just claimed a hop leave the list
-        # until their header crosses the new channel.
-        if not self._need_reps:
-            return
+    def _queue_need(self, rep: int, slot: int) -> None:
+        """Append a header to the pending list, memo resolved."""
         st = self.state
-        for rep in sorted(self._need_reps):
-            order = self._need_route[rep]
-            if not order:
-                self._need_reps.discard(rep)
-                continue
-            if len(order) > 1:
-                self._alloc_rng[rep].shuffle(order)
-            still: list[int] = []
-            heads = st.p_head_vc[rep]
-            first = st.p_first_attempt[rep]
-            attempts = 0
-            for s in order:
-                attempts += 1
-                if first[s] < 0:
-                    first[s] = cycle
-                flat = self._choose_vc(rep, s)
-                if flat is None:
-                    self.alloc_failures[rep] += 1
-                    still.append(s)
-                    continue
-                if st.msg_measured[rep, s]:
-                    self._hop_blocking[rep].record(
-                        st.p_hops[rep][s] + 1, cycle - first[s]
-                    )
-                first[s] = -1
-                self._acquire(rep, s, flat)
-                if st.p_dist[rep][s] == 0:  # header reached the destination
-                    self._ej_add(rep, s, heads[s])
-            if attempts:
-                self.alloc_attempts[rep] += attempts
-            self._need_route[rep] = still
-            if not still:
-                self._need_reps.discard(rep)
+        if st.msg_memo[rep, slot] < 0:
+            self._resolve_memo(rep, slot)
+        n = self._need_n[rep]
+        self._need_slots[rep, n] = slot
+        self._need_n[rep] = n + 1
+        self._need_total += 1
 
-    def _choose_vc(self, rep: int, slot: int) -> int | None:
-        """Free eligible VC (flat id) for the header of ``slot``, or None."""
+    def _resolve_memo(self, rep: int, slot: int) -> None:
+        """Assign the memo id of the header's current routing state."""
         st = self.state
-        cur = st.p_header[rep][slot]
-        key = (cur, st.p_dst[rep][slot], st.p_floor[rep][slot], st.p_hops[rep][slot])
-        cand = self._route_memo.get(key)
-        if cand is None:
-            cand = self._route_candidates(rep, slot, key)
-        owner_row = st.owner_py[rep]
-        free_adaptive = [f for f in cand[0] if owner_row[f] < 0]
-        free_escape = [f for f in cand[1] if owner_row[f] < 0]
-        return self._select(free_adaptive, free_escape, self._alloc_rng[rep])
+        key = (
+            int(st.p_header[rep, slot]),
+            int(st.p_dst[rep, slot]),
+            int(st.p_floor[rep, slot]),
+            int(st.p_hops[rep, slot]),
+        )
+        mid = self._memo_ids.get(key)
+        if mid is None:
+            mid = self._new_memo(key)
+        st.msg_memo[rep, slot] = mid
 
-    def _route_candidates(
-        self, rep: int, slot: int, key: tuple
-    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
-        """Flat VC ids a header with this routing state may request.
+    def _new_memo(self, key: tuple) -> int:
+        """Resolve a routing state's candidate VCs and publish the memo.
 
         A pure function of (current node, destination, escape floor, hops
-        taken) — memoized because the routing queries behind it (ports ×
-        eligible classes) cost far more than one dict hit.
+        taken) — the routing queries behind it (ports × eligible classes)
+        cost far more than the table lookups that replace them.
         """
-        st = self.state
         cur, dst, floor, hops = key
+        N = self.state.num_nodes
         ports = self.algorithm.ports(self.topology, cur, dst)
         hop_negative = self._color_py[cur] == 1
-        d_rem = st.p_dist[rep][slot]
+        nkey = cur * N + dst
+        d_rem = self._dist_memo.get(nkey)
+        if d_rem is None:
+            d_rem = self.topology.distance(cur, dst)
+            self._dist_memo[nkey] = d_rem
         state = self._route_state
         state.escape_floor = floor
         state.hops_taken = hops
@@ -556,49 +684,220 @@ class ArraySimulator:
         escape = tuple(
             (base0 + port) * V + idx for port in ports for idx in es.escape
         )
-        self._route_memo[key] = (adaptive, escape)
-        return (adaptive, escape)
+        mid = len(self._memo_pools)
+        self._memo_pools.append((adaptive, escape))
+        self._memo_ids[key] = mid
+        # Flattened mirror for the C kernel (amortized-append arrays).
+        total = len(adaptive) + len(escape)
+        if mid >= self._memo_cap:
+            self._memo_cap *= 2
+            for name in ("_memo_off", "_memo_alen", "_memo_elen"):
+                old = getattr(self, name)
+                wide = np.zeros(self._memo_cap, dtype=old.dtype)
+                wide[: old.size] = old
+                setattr(self, name, wide)
+            self._c_args = None
+        if self._cand_len + total > self._cand_cap:
+            while self._cand_len + total > self._cand_cap:
+                self._cand_cap *= 2
+            wide = np.zeros(self._cand_cap, dtype=np.int32)
+            wide[: self._cand_len] = self._cand_flat[: self._cand_len]
+            self._cand_flat = wide
+            self._c_args = None
+        off = self._cand_len
+        self._memo_off[mid] = off
+        self._memo_alen[mid] = len(adaptive)
+        self._memo_elen[mid] = len(escape)
+        if adaptive:
+            self._cand_flat[off : off + len(adaptive)] = adaptive
+        if escape:
+            self._cand_flat[off + len(adaptive) : off + total] = escape
+        self._cand_len = off + total
+        # Hash mirror for the C kernel's ready-event probes.  States
+        # whose fields overflow the packed key stay dict-only: the C
+        # probe then misses and Python resolves — a miss is safe, a
+        # colliding entry would not be.
+        if 0 <= floor <= 0xFF and 0 <= hops <= 0xFF and nkey < (1 << 47):
+            self._hash_insert((nkey << 16) | (floor << 8) | hops, mid)
+        return mid
 
-    def _select(
-        self,
-        free_adaptive: list[int],
-        free_escape: list[int],
-        rng: _UniformBlock,
-    ) -> int | None:
-        policy = self.algorithm.policy
+    def _hash_insert(self, kk: int, mid: int) -> None:
+        if 2 * len(self._memo_pools) >= self._hash_keys.size:
+            self._hash_grow()
+        keys = self._hash_keys
+        mask = keys.size - 1
+        h = ((kk * _GOLDEN) & _MASK64) >> (64 - self._hash_log2)
+        while keys[h] != -1:
+            h = (h + 1) & mask
+        keys[h] = kk
+        self._hash_vals[h] = mid
+
+    def _hash_grow(self) -> None:
+        self._hash_log2 += 1
+        size = 1 << self._hash_log2
+        self._hash_keys = np.full(size, -1, dtype=np.int64)
+        self._hash_vals = np.zeros(size, dtype=np.int32)
+        keys = self._hash_keys
+        vals = self._hash_vals
+        mask = size - 1
+        shift = 64 - self._hash_log2
+        N = self.state.num_nodes
+        for (cur, dst, floor, hops), mid in self._memo_ids.items():
+            nkey = cur * N + dst
+            if not (0 <= floor <= 0xFF and 0 <= hops <= 0xFF and nkey < (1 << 47)):
+                continue
+            kk = (nkey << 16) | (floor << 8) | hops
+            h = ((kk * _GOLDEN) & _MASK64) >> shift
+            while keys[h] != -1:
+                h = (h + 1) & mask
+            keys[h] = kk
+            vals[h] = mid
+        self._c_args = None
+
+    # ------------------------------------------------------------------
+    # Phase 2 — virtual-channel allocation (Python/numpy fallback)
+    # ------------------------------------------------------------------
+
+    def _ensure_uniforms(self) -> None:
+        """Guarantee enough pre-drawn uniforms for this cycle's allocation.
+
+        Worst case per replication: n-1 shuffle draws plus one draw per
+        header = 2n-1.  A short buffer is refilled wholesale (remaining
+        variates are discarded) — deterministic, and identical for the C
+        and numpy paths since both consume through this buffer.
+        """
+        # Cheap amortized gate first: no row can have consumed more than
+        # _u_spend variates since the last exact check, and every row had
+        # at least _u_headroom remaining then, so while the bound holds
+        # the vectorized shortage test (several numpy dispatches per
+        # cycle) is provably redundant.
+        bound = 2 * self._need_total
+        if self._u_spend + bound <= self._u_headroom:
+            self._u_spend += bound
+            return
+        worst = 2 * self._need_n
+        short = (self._buf_cap - self._alloc_pos) < worst
+        if short.any():
+            wmax = int(worst.max())
+            if wmax > self._buf_cap:
+                newcap = 1 << (wmax - 1).bit_length()
+                wide = np.empty((self._R, newcap), dtype=np.float64)
+                wide[:, : self._buf_cap] = self._alloc_buf
+                self._alloc_buf = wide
+                self._buf_cap = newcap
+                self._c_args = None
+            for rep in np.nonzero(short)[0].tolist():
+                self._alloc_buf[rep] = self._alloc_gen[rep].random(self._buf_cap)
+                self._alloc_pos[rep] = 0
+        self._u_headroom = self._buf_cap - int(self._alloc_pos.max())
+        self._u_spend = bound
+
+    def _allocate_py(self, cycle: int) -> None:
+        """Allocation fallback, bit-identical to the C megakernel's loop.
+
+        Consumes the same pre-drawn uniform buffer in the same order and
+        leaves identical pending-list contents (``need_slots[:need_n]``).
+        """
+        st = self.state
         V = self._V
-        if policy is SelectionPolicy.ADAPTIVE_FIRST:
-            if free_adaptive:
-                if len(free_adaptive) == 1:
-                    return free_adaptive[0]
-                return free_adaptive[rng.randint(len(free_adaptive))]
-            if free_escape:
-                # Lowest class first; random among equal-class ports.
-                lowest = min(f % V for f in free_escape)
-                pool = [f for f in free_escape if f % V == lowest]
-                return pool[rng.randint(len(pool))]
-            return None
-        if policy is SelectionPolicy.LOWEST_ESCAPE:
-            if free_escape:
-                lowest = min(f % V for f in free_escape)
-                pool = [f for f in free_escape if f % V == lowest]
-                return pool[rng.randint(len(pool))]
-            if free_adaptive:
-                return free_adaptive[rng.randint(len(free_adaptive))]
-            return None
-        pool = free_adaptive + free_escape
-        if not pool:
-            return None
-        return pool[rng.randint(len(pool))]
+        policy = self._policy_code
+        owner = st.owner_flat
+        CV = self._CV
+        pools = self._memo_pools
+        hb_max = self._hb_max
+        chooser = self._choose_vc
+        for rep in range(self._R):
+            n = int(self._need_n[rep])
+            if not n:
+                continue
+            ns = self._need_slots[rep]
+            order = ns[:n].tolist()
+            ub = self._alloc_buf[rep]
+            pos = int(self._alloc_pos[rep])
+            if n > 1:  # Fisher-Yates, same draws as the C kernel
+                for i in range(n - 1, 0, -1):
+                    j = int(ub[pos] * (i + 1))
+                    pos += 1
+                    order[i], order[j] = order[j], order[i]
+            keep = 0
+            rowoff = rep * CV
+            memo_row = st.msg_memo[rep]
+            first = st.p_first_attempt[rep]
+            hops_row = st.p_hops[rep]
+            meas = st.msg_measured[rep]
+            for s in order:
+                if first[s] < 0:
+                    first[s] = cycle
+                mid = int(memo_row[s])
+                if mid < 0:
+                    raise SimulationError(
+                        "pending header without a resolved routing memo"
+                    )
+                a, e = pools[mid]
+                fa = [f for f in a if owner[rowoff + f] < 0]
+                fe = [f for f in e if owner[rowoff + f] < 0]
+                flat = -1
+                if chooser is not None:  # test seam replaces the policy
+                    picked = chooser(rep, s)
+                    flat = -1 if picked is None else picked
+                elif policy == 0:  # ADAPTIVE_FIRST
+                    if fa:
+                        if len(fa) == 1:
+                            flat = fa[0]
+                        else:
+                            flat = fa[int(ub[pos] * len(fa))]
+                            pos += 1
+                    elif fe:
+                        # Lowest class first; random among equal-class ports.
+                        lowest = min(f % V for f in fe)
+                        pool = [f for f in fe if f % V == lowest]
+                        flat = pool[int(ub[pos] * len(pool))]
+                        pos += 1
+                elif policy == 1:  # LOWEST_ESCAPE
+                    if fe:
+                        lowest = min(f % V for f in fe)
+                        pool = [f for f in fe if f % V == lowest]
+                        flat = pool[int(ub[pos] * len(pool))]
+                        pos += 1
+                    elif fa:
+                        flat = fa[int(ub[pos] * len(fa))]
+                        pos += 1
+                else:  # RANDOM
+                    pool = fa + fe
+                    if pool:
+                        flat = pool[int(ub[pos] * len(pool))]
+                        pos += 1
+                if flat < 0:
+                    self.alloc_failures[rep] += 1
+                    order[keep] = s
+                    keep += 1
+                    continue
+                if meas[s]:
+                    k = int(hops_row[s]) + 1
+                    if k > hb_max:
+                        k = hb_max
+                    self._hb_req[rep, k] += 1
+                    waited = cycle - int(first[s])
+                    if waited > 0:
+                        self._hb_blk[rep, k] += 1
+                        self._hb_wait[rep, k] += waited
+                first[s] = -1
+                self._acquire(rep, s, flat, cycle)
+                if st.p_dist[rep, s] == 0:  # header reached the destination
+                    self._ej_add(rep, s, flat)
+            ns[:keep] = order[:keep]
+            self._need_total -= n - keep
+            self._need_n[rep] = keep
+            self._alloc_pos[rep] = pos
+            self.alloc_attempts[rep] += n
 
-    def _acquire(self, rep: int, slot: int, flat: int) -> None:
+    def _acquire(self, rep: int, slot: int, flat: int, cycle: int) -> None:
         st = self.state
         V = self._V
         chan = flat // V
         v_index = flat - chan * V
-        src_node = chan // self._deg
-        hop_negative = self._color_py[src_node] == 1
-        prev = st.p_head_vc[rep][slot]
+        hop_negative = self._color_py[chan // self._deg] == 1
+        prev = int(st.p_head_vc[rep, slot])
         base = rep * self._CV
         af = base + flat
         bdf = st.bd_flat
@@ -610,15 +909,14 @@ class ArraySimulator:
             st.down_flat[ap] = flat
         else:
             availf[af] = self._M  # whole worm still at the source PE
-            st.msg_t_inject[rep, slot] = float(self.cycle)
+            st.msg_t_inject[rep, slot] = float(cycle)
             if st.msg_measured[rep, slot]:
-                self._injected_in_window[rep] += 1
+                self._injected[rep] += 1
         st.owner_flat[af] = slot
         st.up_flat[af] = prev
         st.down_flat[af] = -1
         st.busy_flat[rep * self._C + chan] += 1
-        st.owner_py[rep][flat] = slot
-        st.p_head_vc[rep][slot] = flat
+        st.p_head_vc[rep, slot] = flat
         st.msg_vcs_held[rep, slot] += 1
         self._busy_vcs += 1
         if self._plain_floor:
@@ -626,24 +924,27 @@ class ArraySimulator:
             # used escape class (class-a hops keep it) plus one across
             # negative hops.
             adaptive = self.vc_config.num_adaptive
-            base = (
-                st.p_floor[rep][slot] if v_index < adaptive else v_index - adaptive
+            fbase = (
+                int(st.p_floor[rep, slot])
+                if v_index < adaptive
+                else v_index - adaptive
             )
-            st.p_floor[rep][slot] = base + (1 if hop_negative else 0)
-            st.p_hops[rep][slot] += 1
+            st.p_floor[rep, slot] = fbase + (1 if hop_negative else 0)
+            st.p_hops[rep, slot] += 1
         else:
             state = self._route_state
-            state.escape_floor = st.p_floor[rep][slot]
-            state.hops_taken = st.p_hops[rep][slot]
+            state.escape_floor = int(st.p_floor[rep, slot])
+            state.hops_taken = int(st.p_hops[rep, slot])
             state.negative_hops = 0
             self.algorithm.advance_floor(self.vc_config, state, v_index, hop_negative)
-            st.p_floor[rep][slot] = state.escape_floor
-            st.p_hops[rep][slot] = state.hops_taken
+            st.p_floor[rep, slot] = state.escape_floor
+            st.p_hops[rep, slot] = state.hops_taken
+        st.msg_memo[rep, slot] = -1  # routing state advanced
         nxt = self._neighbors_py[chan]
-        st.p_header[rep][slot] = nxt
-        d = st.p_dist[rep][slot] - 1
-        st.p_dist[rep][slot] = d
-        if (d == 0) != (nxt == st.p_dst[rep][slot]):
+        st.p_header[rep, slot] = nxt
+        d = int(st.p_dist[rep, slot]) - 1
+        st.p_dist[rep, slot] = d
+        if (d == 0) != (nxt == int(st.p_dst[rep, slot])):
             raise SimulationError(
                 f"non-minimal route for slot {slot} (replication {rep}): "
                 f"{d} hops left at node {nxt}"
@@ -687,7 +988,8 @@ class ArraySimulator:
             # candidate with the smallest cyclic offset from the
             # round-robin pointer — an argmin over a (channels, V) key
             # matrix instead of a 2**V-wide table gather.  Offsets are
-            # unique per VC, so the winner matches the LUT path exactly.
+            # unique per VC, so the winner matches the LUT path (and the
+            # C kernel's per-channel scan) exactly.
             key = self._b_key
             np.subtract(self._voffs, st.rr_flat[:, None], out=key)
             np.mod(key, V, out=key)
@@ -707,19 +1009,19 @@ class ArraySimulator:
         bdf[flat] += 0x10001  # buffered += 1, delivered += 1
         availf[flat] -= 1
         # First flit across a newly acquired channel: its owner's header
-        # is ready for the next hop — re-queue it for allocation.
+        # is ready for the next hop — re-queue it for allocation.  The
+        # ascending-index order here matches the C kernel's enumeration,
+        # so memo ids are assigned in the same order on both paths.
         nready = flat[bdf[flat] == 0x10001]
         if nready.size:
             CV = self._CV
             owner_flat = st.owner_flat
-            need = self._need_route
             p_dist = st.p_dist
             for x in nready.tolist():
                 rep = x // CV
                 slot = int(owner_flat[x])
-                if p_dist[rep][slot] > 0:  # not yet at its destination
-                    need[rep].append(slot)
-                    self._need_reps.add(rep)
+                if p_dist[rep, slot] > 0:  # not yet at its destination
+                    self._queue_need(rep, slot)
         counts = np.bincount(rc // self._C, minlength=self._R)
         st.transfers += counts
         rowoff = flat - flat % self._CV  # == rep * CV
@@ -750,7 +1052,7 @@ class ArraySimulator:
         activatable = self._activatable
         for aflat in fin.tolist():
             rep = aflat // CV
-            slot = st.owner_py[rep][aflat - rep * CV]
+            slot = int(st.owner_flat[aflat])
             node = int(st.msg_src[rep, slot])
             st.active_injections[rep, node] -= 1
             activatable.add((rep, node))
@@ -765,19 +1067,18 @@ class ArraySimulator:
         allocation scans and the multiplexing sampler see a free VC.
         """
         st = self.state
-        st.owner_flat[flats] = -1
         CV = self._CV
         C = self._C
         V = self._V
         vcs_held = st.msg_vcs_held
         busy = st.busy_flat
+        owner_flat = st.owner_flat
         for aflat in flats.tolist():
             rep = aflat // CV
             x = aflat - rep * CV
-            owner = st.owner_py[rep][x]
-            st.owner_py[rep][x] = -1
-            vcs_held[rep, owner] -= 1
+            vcs_held[rep, int(owner_flat[aflat])] -= 1
             busy[rep * C + x // V] -= 1
+        owner_flat[flats] = -1
         self._busy_vcs -= len(flats)
 
     # ------------------------------------------------------------------
@@ -785,34 +1086,54 @@ class ArraySimulator:
     # ------------------------------------------------------------------
 
     def _sync_msg_cap(self) -> None:
-        """Re-derive message-array flat offsets after the pool grew."""
+        """Re-size capacity-dependent side arrays after the pool grew."""
         st = self.state
-        if self._msg_cap != st.capacity:
-            self._msg_cap = st.capacity
-            n = self._ejecting_count
-            self._ej_mflats[:n] = self._ej_reps[:n] * st.capacity + self._ej_slots[:n]
+        if self._msg_cap == st.capacity:
+            return
+        old = self._msg_cap
+        new = st.capacity
+        self._msg_cap = new
+        R = self._R
+        ns = np.zeros((R, new), dtype=np.int32)
+        ns[:, :old] = self._need_slots
+        self._need_slots = ns
+        ep = np.full((R, new), -1, dtype=np.int64)
+        ep[:, :old] = self._ej_pos
+        self._ej_pos = ep
+        n = self._ejecting_count
+        self._ej_mflats[:n] = self._ej_reps[:n] * new + self._ej_slots[:n]
+        self._c_args = None  # msg_* arrays were reallocated too
+
+    def _grow_ej_rows(self) -> None:
+        n = self._ejecting_count
+        self._ej_cap_rows *= 2
+        for name in ("_ej_reps", "_ej_slots", "_ej_flats", "_ej_mflats"):
+            old = getattr(self, name)
+            wide = np.zeros(self._ej_cap_rows, dtype=np.int64)
+            wide[:n] = old[:n]
+            setattr(self, name, wide)
+        self._c_args = None  # ejection columns moved: refresh pointers
+
+    def _ensure_ej_capacity(self, rows: int) -> None:
+        while self._ej_cap_rows < rows:
+            self._grow_ej_rows()
 
     def _ej_add(self, rep: int, slot: int, head: int) -> None:
         self._sync_msg_cap()
         n = self._ejecting_count
         if n == self._ej_cap_rows:
-            self._ej_cap_rows *= 2
-            for name in ("_ej_reps", "_ej_slots", "_ej_flats", "_ej_mflats"):
-                old = getattr(self, name)
-                wide = np.zeros(self._ej_cap_rows, dtype=np.int64)
-                wide[:n] = old
-                setattr(self, name, wide)
-            self._c_args = None  # ejection columns moved: refresh pointers
+            self._grow_ej_rows()
         self._ej_reps[n] = rep
         self._ej_slots[n] = slot
         self._ej_flats[n] = rep * self._CV + head
         self._ej_mflats[n] = rep * self._msg_cap + slot
-        self._ej_index[(rep, slot)] = n
+        self._ej_pos[rep, slot] = n
         self._ejecting_count = n + 1
 
     def _ej_remove(self, rep: int, slot: int) -> None:
         """Swap-remove one draining message from the ejection columns."""
-        i = self._ej_index.pop((rep, slot))
+        i = int(self._ej_pos[rep, slot])
+        self._ej_pos[rep, slot] = -1
         n = self._ejecting_count - 1
         if i != n:
             lr = int(self._ej_reps[n])
@@ -821,7 +1142,7 @@ class ArraySimulator:
             self._ej_slots[i] = ls
             self._ej_flats[i] = self._ej_flats[n]
             self._ej_mflats[i] = self._ej_mflats[n]
-            self._ej_index[(lr, ls)] = i
+            self._ej_pos[lr, ls] = i
         self._ejecting_count = n
 
     def _pick_ejections(self):
@@ -859,10 +1180,15 @@ class ArraySimulator:
         self._complete_pairs(list(zip(reps.tolist(), slots.tolist())), cycle)
 
     def _complete_pairs(self, pairs: list[tuple[int, int]], cycle: int) -> None:
+        """Retire completed messages (numpy-path twin of C phase 5).
+
+        Scalar adds in pair order, exactly as the compiled kernel
+        accumulates, so the latency sums stay bit-identical between the
+        two paths (float addition is order-sensitive).
+        """
         st = self.state
         t_done = cycle + 1.0
-        if len(pairs) == 1:  # the overwhelmingly common case
-            rep, slot = pairs[0]
+        for rep, slot in pairs:
             if st.msg_vcs_held[rep, slot] != 0:
                 raise SimulationError("completed message still owns channels")
             self._in_flight[rep] -= 1
@@ -871,83 +1197,128 @@ class ArraySimulator:
                 self._measured_in_flight[rep] -= 1
                 tg = float(st.msg_t_gen[rep, slot])
                 ti = float(st.msg_t_inject[rep, slot])
-                self._lat[rep].add(tg, t_done - tg)
-                self._net_lat[rep].add(tg, t_done - ti)
-                self._src_wait[rep].add(tg, ti - tg)
+                v = t_done - tg
+                self._lat_sum[rep] += v
+                self._net_sum[rep] += t_done - ti
+                self._srcw_sum[rep] += ti - tg
+                self._mcount[rep] += 1
+                b = int((tg - self._w_t0[rep]) / self._w_width[rep])
+                b = min(max(b, 0), int(self._w_batches[rep]) - 1)
+                self._lat_bsum[rep, b] += v
+                self._lat_bcount[rep, b] += 1
             st.free_slot(rep, slot)
             self._ej_remove(rep, slot)
-            return
-        by_rep: dict[int, tuple[list, list]] = {}
-        for rep, slot in pairs:
-            if st.msg_vcs_held[rep, slot] != 0:
-                raise SimulationError("completed message still owns channels")
-            self._in_flight[rep] -= 1
-            self._completed[rep] += 1
-            if st.msg_measured[rep, slot]:
-                self._measured_in_flight[rep] -= 1
-                tg, ti = by_rep.setdefault(rep, ([], []))
-                tg.append(float(st.msg_t_gen[rep, slot]))
-                ti.append(float(st.msg_t_inject[rep, slot]))
-            st.free_slot(rep, slot)
-            self._ej_remove(rep, slot)
-        for rep, (tg, ti) in by_rep.items():
-            self._lat[rep].add_batch(tg, [t_done - t for t in tg])
-            self._net_lat[rep].add_batch(tg, [t_done - t for t in ti])
-            self._src_wait[rep].add_batch(tg, [b - a for a, b in zip(tg, ti)])
 
     # ------------------------------------------------------------------
-    # Compiled cycle kernel (phases 3 + 4 in one C call)
+    # Compiled megakernel (phases 2 + 3 + 4 in one C call)
     # ------------------------------------------------------------------
 
     def _refresh_c_args(self) -> None:
         """(Re)build the C kernel's parameter block.
 
         Called whenever an array the kernel touches may have been
-        reallocated: the message pool grew (msg_* arrays replaced) or the
-        ejection columns doubled.  Slot layout documented in _ckernel.c.
+        reallocated: the message pool grew, the ejection columns or memo
+        tables doubled, the hash resized or the uniform buffer widened.
+        Slot layout documented in _ckernel.c — the indices here must
+        match it exactly.
         """
         st = self.state
         rows = self._ej_cap_rows
         RC = self._R * self._C
         self._c_ejk = np.empty(rows, dtype=np.int32)
         self._c_comps = np.empty(rows, dtype=np.int64)
-        self._c_released = np.empty(RC + rows, dtype=np.int64)
-        self._c_ready = np.empty(RC, dtype=np.int64)
+        self._c_winners = np.empty(RC, dtype=np.int64)
+        self._c_fin = np.empty(RC, dtype=np.int64)
+        self._c_miss = np.empty(RC, dtype=np.int64)
         self._c_msg_cap = st.capacity
         ej_rate = -1 if self._ej_rate is None else int(self._ej_rate)
         params = np.array(
             [
-                st.vc_bd.ctypes.data,
-                st.vc_avail.ctypes.data,
-                st.vc_owner.ctypes.data,
-                st.vc_upstream.ctypes.data,
-                st.vc_downstream.ctypes.data,
-                st.ch_rr.ctypes.data,
-                self._lut.ctypes.data,
-                self._R,
-                self._C,
-                self._V,
-                self._M,
-                self._depth,
-                ej_rate,
-                st.transfers.ctypes.data,
-                st.msg_vcs_held.ctypes.data,
-                st.msg_src.ctypes.data,
-                st.active_injections.ctypes.data,
-                st.msg_ejected.ctypes.data,
-                st.capacity,
-                st.num_nodes,
-                self._ej_flats.ctypes.data,
-                self._ej_mflats.ctypes.data,
-                0,  # ej_n, patched per cycle
-                self._c_ejk.ctypes.data,
-                self._c_winners.ctypes.data,
-                self._c_released.ctypes.data,
-                self._c_fin.ctypes.data,
-                self._c_comps.ctypes.data,
-                self._c_ready.ctypes.data,
-                self._c_out.ctypes.data,
-                st.ch_busy.ctypes.data,
+                st.vc_bd.ctypes.data,  # 0
+                st.vc_avail.ctypes.data,  # 1
+                st.vc_owner.ctypes.data,  # 2
+                st.vc_upstream.ctypes.data,  # 3
+                st.vc_downstream.ctypes.data,  # 4
+                st.ch_rr.ctypes.data,  # 5
+                0 if self._lut is None else self._lut.ctypes.data,  # 6
+                self._R,  # 7
+                self._C,  # 8
+                self._V,  # 9
+                self._M,  # 10
+                self._depth,  # 11
+                ej_rate,  # 12
+                st.transfers.ctypes.data,  # 13
+                st.msg_vcs_held.ctypes.data,  # 14
+                st.msg_src.ctypes.data,  # 15
+                st.active_injections.ctypes.data,  # 16
+                st.msg_ejected.ctypes.data,  # 17
+                st.capacity,  # 18
+                st.num_nodes,  # 19
+                self._ej_reps.ctypes.data,  # 20
+                self._ej_slots.ctypes.data,  # 21
+                self._ej_flats.ctypes.data,  # 22
+                self._ej_mflats.ctypes.data,  # 23
+                self._ej_pos.ctypes.data,  # 24
+                0,  # 25 ej_n, patched per cycle
+                self._c_ejk.ctypes.data,  # 26
+                self._c_winners.ctypes.data,  # 27
+                self._c_fin.ctypes.data,  # 28
+                self._c_comps.ctypes.data,  # 29
+                self._c_miss.ctypes.data,  # 30
+                self._c_out.ctypes.data,  # 31
+                st.ch_busy.ctypes.data,  # 32
+                0,  # 33 do_alloc, patched per cycle
+                0,  # 34 cycle, patched per cycle
+                self._policy_code,  # 35
+                self.vc_config.num_adaptive,  # 36
+                self._deg,  # 37
+                self._need_slots.ctypes.data,  # 38
+                self._need_n.ctypes.data,  # 39
+                st.p_dst.ctypes.data,  # 40
+                st.p_header.ctypes.data,  # 41
+                st.p_dist.ctypes.data,  # 42
+                st.p_floor.ctypes.data,  # 43
+                st.p_hops.ctypes.data,  # 44
+                st.p_first_attempt.ctypes.data,  # 45
+                st.p_head_vc.ctypes.data,  # 46
+                st.msg_memo.ctypes.data,  # 47
+                self._cand_flat.ctypes.data,  # 48
+                self._memo_off.ctypes.data,  # 49
+                self._memo_alen.ctypes.data,  # 50
+                self._memo_elen.ctypes.data,  # 51
+                self._hash_keys.ctypes.data,  # 52
+                self._hash_vals.ctypes.data,  # 53
+                self._hash_log2,  # 54
+                self._alloc_buf.ctypes.data,  # 55
+                self._buf_cap,  # 56
+                self._alloc_pos.ctypes.data,  # 57
+                self._neighbors_np.ctypes.data,  # 58
+                self._color_np.ctypes.data,  # 59
+                st.msg_measured.ctypes.data,  # 60
+                st.msg_t_inject.ctypes.data,  # 61
+                self.alloc_attempts.ctypes.data,  # 62
+                self.alloc_failures.ctypes.data,  # 63
+                self._injected.ctypes.data,  # 64
+                self._hb_req.ctypes.data,  # 65
+                self._hb_blk.ctypes.data,  # 66
+                self._hb_wait.ctypes.data,  # 67
+                self._hb_max,  # 68
+                st.msg_t_gen.ctypes.data,  # 69
+                self._in_flight.ctypes.data,  # 70
+                self._measured_in_flight.ctypes.data,  # 71
+                self._completed.ctypes.data,  # 72
+                st.free_stack.ctypes.data,  # 73
+                st.free_n.ctypes.data,  # 74
+                self._lat_sum.ctypes.data,  # 75
+                self._net_sum.ctypes.data,  # 76
+                self._srcw_sum.ctypes.data,  # 77
+                self._mcount.ctypes.data,  # 78
+                self._lat_bsum.ctypes.data,  # 79
+                self._lat_bcount.ctypes.data,  # 80
+                self._w_t0.ctypes.data,  # 81
+                self._w_width.ctypes.data,  # 82
+                self._w_batches.ctypes.data,  # 83
+                self._Bmax,  # 84
             ],
             dtype=np.int64,
         )
@@ -956,67 +1327,117 @@ class ArraySimulator:
         self._c_args = params  # sentinel: block is built
 
     def _cycle_c(self, cycle: int) -> None:
-        """Run transfer + ejection through the compiled kernel."""
+        """Run allocation + transfer + ejection through the compiled kernel.
+
+        Completion bookkeeping (latency sums, slot recycling, ejection-
+        column removal) happens inside the kernel too, so the common
+        steady-state cycle is one ctypes call plus a handful of scalar
+        reads here.
+        """
         st = self.state
-        self._sync_msg_cap()
+        if self._msg_cap != st.capacity:
+            self._sync_msg_cap()
+        do_alloc = (
+            1
+            if (self._c_alloc_ok and self._choose_vc is None and self._need_total)
+            else 0
+        )
+        if do_alloc:
+            self._ensure_uniforms()
+            # Every pending header could finish routing and append an
+            # ejection row; reserve up front so C never reallocates.
+            rows = self._ejecting_count + self._need_total
+            if self._ej_cap_rows < rows:
+                self._ensure_ej_capacity(rows)
         if self._c_args is None or self._c_msg_cap != st.capacity:
             self._refresh_c_args()
-        self._c_params[_EJ_N_SLOT] = self._ejecting_count
+        params = self._c_params
+        params[_EJ_N_SLOT] = self._ejecting_count
+        params[_DO_ALLOC_SLOT] = do_alloc
+        params[_CYCLE_SLOT] = cycle
         self._ck(self._c_params_ptr)
         out = self._c_out
-        rn = int(out[1])
+        if out[5]:
+            raise SimulationError(
+                f"compiled cycle kernel invariant failure at cycle {cycle} "
+                "(non-minimal route, unresolved routing memo, or a "
+                "completed message still owning channels)"
+            )
+        self._busy_vcs += int(out[1])
+        self._ejecting_count = int(out[6])
+        # Allocation consumed headers and/or ready events appended some:
+        # the C-side sum is authoritative either way.
+        self._need_total = int(out[7])
         fn = int(out[2])
-        cn = int(out[3])
-        rdy = int(out[4])
-        if rn:
-            CV = self._CV
-            owner_py = st.owner_py
-            for aflat in self._c_released[:rn].tolist():
-                rep = aflat // CV
-                owner_py[rep][aflat - rep * CV] = -1
-            self._busy_vcs -= rn
+        rm = int(out[4])
         if fn:
             N = st.num_nodes
             activatable = self._activatable
             for x in self._c_fin[:fn].tolist():
                 activatable.add((x // N, x % N))
-        if rdy:
+        if rm:
+            # Headers whose new routing state missed the C-side hash:
+            # resolve in Python (insertion order = C's report order, so
+            # memo ids stay deterministic).
             cap = st.capacity
-            need = self._need_route
-            need_reps = self._need_reps
-            p_dist = st.p_dist
-            for x in self._c_ready[:rdy].tolist():
-                rep = x // cap
-                slot = x - rep * cap
-                if p_dist[rep][slot] > 0:  # not yet at its destination
-                    need[rep].append(slot)
-                    need_reps.add(rep)
-        if cn:
-            pairs = [
-                (int(self._ej_reps[i]), int(self._ej_slots[i]))
-                for i in self._c_comps[:cn].tolist()
-            ]
-            self._complete_pairs(pairs, cycle)
+            for mf in self._c_miss[:rm].tolist():
+                rep = mf // cap
+                self._resolve_memo(rep, mf - rep * cap)
 
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
 
     def _snapshot(self, rep: int) -> dict:
-        """Headline numbers of ``rep`` at its logical stop cycle."""
+        """Headline numbers of ``rep``, frozen at its logical stop cycle.
+
+        Accumulator-derived values (latency means, CI, hop-blocking
+        counters) are copied out here because batch companions with later
+        horizons keep the simulation — but not this replication's
+        result — moving.
+        """
+        cnt = int(self._mcount[rep])
+        lat_mean = float(self._lat_sum[rep]) / cnt if cnt else math.nan
+        net_mean = float(self._net_sum[rep]) / cnt if cnt else math.nan
+        srcw_mean = float(self._srcw_sum[rep]) / cnt if cnt else math.nan
+        # ~95% CI half-width from batch means — same estimator (and the
+        # same normal critical value) as LatencyAccumulator.ci_halfwidth.
+        bs = self._lat_bsum[rep]
+        bc = self._lat_bcount[rep]
+        means = [
+            float(bs[i]) / int(bc[i])
+            for i in range(int(self._w_batches[rep]))
+            if bc[i] > 0
+        ]
+        k = len(means)
+        if k < 2:
+            lat_ci = math.nan
+        else:
+            mu = sum(means) / k
+            var = sum((m - mu) ** 2 for m in means) / (k - 1)
+            lat_ci = 1.96 * math.sqrt(var / k)
         return {
             "cycles_run": self.cycle,
             "transfers": int(self.state.transfers[rep]),
             "backlog": sum(len(q) for q in self._queues[rep]),
             "generated": self._generated[rep],
             "measured_generated": self._measured_generated[rep],
-            "incomplete": self._measured_in_flight[rep],
-            "completed": self._completed[rep],
-            "injected_in_window": self._injected_in_window[rep],
+            "incomplete": int(self._measured_in_flight[rep]),
+            "completed": int(self._completed[rep]),
+            "injected_in_window": int(self._injected[rep]),
+            "lat_mean": lat_mean,
+            "lat_ci": lat_ci,
+            "lat_count": cnt,
+            "net_mean": net_mean,
+            "srcw_mean": srcw_mean,
+            "multiplexing": self._sampler[rep].multiplexing_degree,
+            "hb_req": self._hb_req[rep].copy(),
+            "hb_blk": self._hb_blk[rep].copy(),
+            "hb_wait": self._hb_wait[rep].copy(),
         }
 
     def _result(self, rep: int) -> SimulationResult:
-        cfg = self.config
+        cfg = self.configs[rep]
         snap = self._final[rep]
         assert snap is not None
         measured_window = cfg.measure_cycles * self.topology.num_nodes
@@ -1030,20 +1451,24 @@ class ArraySimulator:
             if snap["incomplete"] > 0.05 * max(snap["measured_generated"], 1):
                 saturated = True
         total_capacity = self._C * max(snap["cycles_run"], 1)
+        hb = HopBlockingStats(self._hb_max)
+        hb._requests = [int(x) for x in snap["hb_req"]]
+        hb._blocked = [int(x) for x in snap["hb_blk"]]
+        hb._wait_total = [float(x) for x in snap["hb_wait"]]
         return SimulationResult(
-            mean_latency=self._lat[rep].mean,
-            mean_network_latency=self._net_lat[rep].mean,
-            mean_source_wait=self._src_wait[rep].mean,
-            latency_ci=self._lat[rep].ci_halfwidth(),
-            messages_measured=self._lat[rep].count,
+            mean_latency=snap["lat_mean"],
+            mean_network_latency=snap["net_mean"],
+            mean_source_wait=snap["srcw_mean"],
+            latency_ci=snap["lat_ci"],
+            messages_measured=snap["lat_count"],
             messages_generated=snap["generated"],
             messages_completed=snap["completed"],
             saturated=saturated,
             offered_rate=cfg.generation_rate,
             accepted_rate=accepted,
-            mean_multiplexing=self._sampler[rep].multiplexing_degree,
+            mean_multiplexing=snap["multiplexing"],
             channel_utilization=snap["transfers"] / total_capacity,
             cycles_run=snap["cycles_run"],
             backlog=snap["backlog"],
-            hop_blocking=self._hop_blocking[rep],
+            hop_blocking=hb,
         )

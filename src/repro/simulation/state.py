@@ -21,12 +21,13 @@ Hot-path layout choices (benchmarked on the S4 batch workload):
   VC of a chain.  It is maintained incrementally by the kernels (grant,
   acquire, downstream-gain) precisely so the candidate mask needs no
   gather through the upstream pointers.
-* Message fields read only by the per-header allocation loop (header
-  position, remaining distance, escape floor, ...) live in plain Python
-  lists per replication — scalar reads there are ~5x cheaper than numpy
-  indexing — while fields consumed by the vectorized completion/ejection
-  kernels stay numpy.  ``vc_owner`` exists in both forms for the same
-  reason; the kernels keep them in lockstep.
+* Every per-message field, including the header-position/escape-floor
+  fields that only the allocation phase reads, is a contiguous ``(R,
+  cap)`` int32 array.  The compiled megakernel runs the allocation loop
+  directly on these buffers; the numpy fallback reads them the same way,
+  so there is exactly one copy of each fact (the old Python-list mirrors
+  are gone).  ``msg_memo`` caches each in-flight header's routing-memo
+  id so repeated allocation attempts skip candidate recomputation.
 """
 
 from __future__ import annotations
@@ -80,8 +81,6 @@ class SimState:
         self.vc_owner = np.full((R, CV), -1, dtype=np.int32)
         self.vc_upstream = np.full((R, CV), -1, dtype=np.int32)
         self.vc_downstream = np.full((R, CV), -1, dtype=np.int32)
-        #: Python mirror of ``vc_owner`` for the allocation loop's scans.
-        self.owner_py: list[list[int]] = [[-1] * CV for _ in range(R)]
 
         # -- physical channels -------------------------------------------
         self.ch_rr = np.zeros((R, self.num_channels), dtype=np.int32)
@@ -104,7 +103,6 @@ class SimState:
         # -- message slot pool -------------------------------------------
         cap = max(16, initial_capacity)
         self.capacity = cap
-        # Vector-consumed fields (numpy):
         self.msg_t_gen = np.zeros((R, cap), dtype=np.float64)
         self.msg_t_inject = np.full((R, cap), np.nan, dtype=np.float64)
         self.msg_measured = np.zeros((R, cap), dtype=bool)
@@ -112,19 +110,25 @@ class SimState:
         self.msg_ejected = np.zeros((R, cap), dtype=np.int32)
         self.msg_vcs_held = np.zeros((R, cap), dtype=np.int32)
         self.msg_ejected_flat = self.msg_ejected.ravel()
-        # Allocation-loop fields (Python lists per replication):
-        self.p_dst = [[0] * cap for _ in range(R)]
-        self.p_header = [[0] * cap for _ in range(R)]
-        self.p_dist = [[0] * cap for _ in range(R)]
-        self.p_floor = [[0] * cap for _ in range(R)]
-        self.p_hops = [[0] * cap for _ in range(R)]
-        self.p_first_attempt = [[-1] * cap for _ in range(R)]
-        self.p_head_vc = [[-1] * cap for _ in range(R)]
+        # Allocation-phase fields (read/written per header by the C
+        # megakernel and the numpy fallback alike):
+        self.p_dst = np.zeros((R, cap), dtype=np.int32)
+        self.p_header = np.zeros((R, cap), dtype=np.int32)
+        self.p_dist = np.zeros((R, cap), dtype=np.int32)
+        self.p_floor = np.zeros((R, cap), dtype=np.int32)
+        self.p_hops = np.zeros((R, cap), dtype=np.int32)
+        self.p_first_attempt = np.full((R, cap), -1, dtype=np.int32)
+        self.p_head_vc = np.full((R, cap), -1, dtype=np.int32)
+        #: Routing-memo id of the header's current (node, dst, floor,
+        #: hops) state; -1 until first resolved by the slow path.
+        self.msg_memo = np.full((R, cap), -1, dtype=np.int32)
 
-        #: Free slot ids per replication; ``pop()`` hands out low ids first.
-        self.free_slots: list[list[int]] = [
-            list(range(cap - 1, -1, -1)) for _ in range(R)
-        ]
+        #: Per-replication free-slot stacks (stack top hands out low ids
+        #: first); arrays rather than lists so the compiled megakernel
+        #: can recycle completed slots without a Python round-trip.
+        self.free_stack = np.empty((R, cap), dtype=np.int32)
+        self.free_stack[:] = np.arange(cap - 1, -1, -1, dtype=np.int32)[None, :]
+        self.free_n = np.full(R, cap, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Slot management
@@ -132,16 +136,20 @@ class SimState:
 
     def alloc_slot(self, rep: int) -> int:
         """Claim a free message slot in ``rep`` (growing the pool if full)."""
-        free = self.free_slots[rep]
-        if not free:
+        n = int(self.free_n[rep]) - 1
+        if n < 0:
             self.grow()
-            free = self.free_slots[rep]
-        return free.pop()
+            n = int(self.free_n[rep]) - 1
+        self.free_n[rep] = n
+        return int(self.free_stack[rep, n])
 
     def free_slot(self, rep: int, slot: int) -> None:
         """Return a completed message's slot to the pool."""
-        self.p_head_vc[rep][slot] = -1
-        self.free_slots[rep].append(slot)
+        self.p_head_vc[rep, slot] = -1
+        self.msg_memo[rep, slot] = -1
+        n = self.free_n[rep]
+        self.free_stack[rep, n] = slot
+        self.free_n[rep] = n + 1
 
     def grow(self) -> None:
         """Double the message-pool capacity (all replications at once)."""
@@ -155,6 +163,14 @@ class SimState:
             ("msg_src", 0),
             ("msg_ejected", 0),
             ("msg_vcs_held", 0),
+            ("p_dst", 0),
+            ("p_header", 0),
+            ("p_dist", 0),
+            ("p_floor", 0),
+            ("p_hops", 0),
+            ("p_first_attempt", -1),
+            ("p_head_vc", -1),
+            ("msg_memo", -1),
         ):
             arr = getattr(self, name)
             wide = np.empty((R, new), dtype=arr.dtype)
@@ -162,20 +178,17 @@ class SimState:
             wide[:, old:] = fill
             setattr(self, name, wide)
         self.msg_ejected_flat = self.msg_ejected.ravel()
-        extra = new - old
-        for rows, fill in (
-            (self.p_dst, 0),
-            (self.p_header, 0),
-            (self.p_dist, 0),
-            (self.p_floor, 0),
-            (self.p_hops, 0),
-            (self.p_first_attempt, -1),
-            (self.p_head_vc, -1),
-        ):
-            for row in rows:
-                row.extend([fill] * extra)
-        for free in self.free_slots:
-            free.extend(range(new - 1, old - 1, -1))
+        # New (higher) slot ids go on top of each stack in descending
+        # order, so the next pops hand out the lowest new ids first —
+        # the same order the old per-rep list ``extend`` produced.
+        new_ids = np.arange(new - 1, old - 1, -1, dtype=np.int32)
+        wide_stack = np.empty((R, new), dtype=np.int32)
+        wide_stack[:, :old] = self.free_stack
+        for rep in range(R):
+            n = int(self.free_n[rep])
+            wide_stack[rep, n : n + new_ids.size] = new_ids
+        self.free_stack = wide_stack
+        self.free_n += new_ids.size
         self.capacity = new
 
     # ------------------------------------------------------------------

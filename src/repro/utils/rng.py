@@ -57,6 +57,16 @@ class RngStreams:
         """Stream that drives message generation at ``node``."""
         return self.get("traffic", node)
 
+    def dest(self, node: int) -> np.random.Generator:
+        """Stream that draws message destinations at ``node``.
+
+        The object engine interleaves destination draws on the per-node
+        :meth:`traffic` stream (historical layout); the array backend
+        separates them onto this stream so arrival instants and
+        destinations can be block-drawn independently.
+        """
+        return self.get("dest", node)
+
     def allocator(self) -> np.random.Generator:
         """Stream used by the header VC-allocation tie-breaker."""
         return self.get("allocator")

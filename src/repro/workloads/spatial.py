@@ -45,6 +45,11 @@ class SpatialPattern(abc.ABC):
 
     name: str = "abstract"
 
+    #: Whether :meth:`destinations_block` draws may be buffered ahead of
+    #: use.  True for pure functions of (src, rng); patterns with shared
+    #: mutable state across sources (trace replay) must opt out.
+    block_safe: bool = True
+
     def __init__(self, num_nodes: int):
         if num_nodes < 2:
             raise ConfigurationError(
@@ -60,6 +65,19 @@ class SpatialPattern(abc.ABC):
     def probs(self, src: int) -> np.ndarray:
         """Destination probabilities from ``src`` (length N, 0 at ``src``)."""
 
+    def destinations_block(
+        self, src: int, k: int, rng: np.random.Generator
+    ) -> list[int]:
+        """The next ``k`` destinations for ``src``, consumed as one block.
+
+        Exactly equivalent to ``[self.destination(src, rng) for _ in
+        range(k)]`` — same values, same RNG stream consumption — so the
+        array backend's block-buffered generation reproduces the
+        one-at-a-time destination stream bit for bit regardless of block
+        size.  Subclasses override only to batch the generator calls.
+        """
+        return [self.destination(src, rng) for _ in range(k)]
+
 
 class UniformSpatial(SpatialPattern):
     """Uniform over the other N-1 nodes — the paper's assumption (a)."""
@@ -69,6 +87,21 @@ class UniformSpatial(SpatialPattern):
     def destination(self, src: int, rng: np.random.Generator) -> int:
         d = int(rng.integers(self.num_nodes - 1))
         return d if d < src else d + 1
+
+    def destinations_block(
+        self, src: int, k: int, rng: np.random.Generator
+    ) -> list[int]:
+        """Vectorized block draw (one bounded-integers call for k draws).
+
+        ``Generator.integers(n, size=k)`` applies Lemire rejection per
+        element in order, consuming the Philox bitstream exactly like k
+        scalar calls, so the block reproduces the scalar destination
+        stream bit for bit (asserted by the workload-block parity tests).
+        """
+        if k <= 0:
+            return []
+        d = rng.integers(self.num_nodes - 1, size=k)
+        return np.where(d < src, d, d + 1).tolist()
 
     def probs(self, src: int) -> np.ndarray:
         p = np.full(self.num_nodes, 1.0 / (self.num_nodes - 1))
@@ -202,6 +235,11 @@ class PermutationSpatial(SpatialPattern):
     def destination(self, src: int, rng: np.random.Generator) -> int:
         return int(self._partner[src])
 
+    def destinations_block(
+        self, src: int, k: int, rng: np.random.Generator
+    ) -> list[int]:
+        return [int(self._partner[src])] * max(k, 0)
+
     def probs(self, src: int) -> np.ndarray:
         p = np.zeros(self.num_nodes)
         p[int(self._partner[src])] = 1.0
@@ -224,6 +262,11 @@ class ShiftSpatial(SpatialPattern):
     def destination(self, src: int, rng: np.random.Generator) -> int:
         return (src + self.offset) % self.num_nodes
 
+    def destinations_block(
+        self, src: int, k: int, rng: np.random.Generator
+    ) -> list[int]:
+        return [(src + self.offset) % self.num_nodes] * max(k, 0)
+
     def probs(self, src: int) -> np.ndarray:
         p = np.zeros(self.num_nodes)
         p[(src + self.offset) % self.num_nodes] = 1.0
@@ -244,6 +287,10 @@ class TraceSpatial(SpatialPattern):
     """
 
     name = "trace"
+
+    #: Each pop advances a shared per-source cursor; buffering a block
+    #: ahead of consumption would reorder the replay.
+    block_safe = False
 
     def __init__(self, num_nodes: int, path: str = ""):
         super().__init__(num_nodes)

@@ -83,6 +83,18 @@ class ArrivalProcess(abc.ABC):
             out.append(self.pop_next())
         return out
 
+    def draw_block(self, k: int) -> list[float]:
+        """The next ``k`` arrival instants, consumed as one block.
+
+        Exactly equivalent to ``[self.pop_next() for _ in range(k)]`` —
+        same values, same RNG stream consumption — so a block-buffered
+        consumer (the array backend's generation phase) reproduces the
+        one-at-a-time stream bit for bit regardless of block size.
+        Subclasses override only to batch the underlying generator calls;
+        the variate sequence itself must stay identical.
+        """
+        return [self.pop_next() for _ in range(k)]
+
 
 class PoissonProcess(ArrivalProcess):
     """Independent exponential inter-arrivals — the paper's assumption (b)."""
@@ -94,6 +106,26 @@ class PoissonProcess(ArrivalProcess):
 
     def _advance(self) -> float:
         return self._next + self._rng.exponential(1.0 / self.rate)
+
+    def draw_block(self, k: int) -> list[float]:
+        """Vectorized block draw (one Generator call for k gaps).
+
+        ``Generator.exponential(size=k)`` consumes the Philox bitstream
+        exactly like k scalar ``exponential()`` calls (the ziggurat runs
+        per-variate either way), and the instants are accumulated with
+        the same left-to-right float additions as :meth:`pop_next`, so
+        the block reproduces the scalar stream bit for bit.
+        """
+        if self.rate == 0 or k <= 0:
+            return super().draw_block(k)
+        gaps = self._rng.exponential(1.0 / self.rate, size=k).tolist()
+        out = []
+        t = self._next
+        for g in gaps:
+            out.append(t)
+            t += g
+        self._next = t
+        return out
 
     @staticmethod
     def scv(params: Mapping[str, Any]) -> float:

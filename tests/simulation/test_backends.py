@@ -202,11 +202,35 @@ class TestArrayBackendBehaviour:
         assert res.backlog > 0
 
     def test_generation_matches_object_per_seed(self, star4):
-        """Workload draws are a pure function of the seed on both backends."""
-        cfg = small_config(seed=13)
+        """Arrival draws are a pure function of the seed on both backends.
+
+        Exact per-seed generation parity holds whenever the destination
+        pattern draws no RNG (shift/permutation): arrival instants come
+        off the same per-node traffic streams.  Patterns that do draw
+        (uniform, hotspot) use the array backend's dedicated ``dest``
+        stream — per-seed counts then differ, but only statistically
+        (see test below and docs/simulation.md).
+        """
+        cfg = small_config(seed=13, workload="shift(offset=5)")
         obj = simulate(star4, EnhancedNbc(), cfg)
         arr = simulate(star4, EnhancedNbc(), cfg, engine="array")
         assert obj.messages_generated == arr.messages_generated
+
+    def test_generation_statistically_matches_object(self, star4):
+        """With RNG-drawing destinations, generated counts agree closely
+        in aggregate even though the dest draws ride separate streams."""
+        seeds = range(8)
+        obj = [
+            simulate(star4, EnhancedNbc(), small_config(seed=s)).messages_generated
+            for s in seeds
+        ]
+        arr = [
+            simulate(
+                star4, EnhancedNbc(), small_config(seed=s), engine="array"
+            ).messages_generated
+            for s in seeds
+        ]
+        assert np.mean(arr) == pytest.approx(np.mean(obj), rel=0.1)
 
     def test_oversized_buffer_depth_rejected(self, star4):
         with pytest.raises(ConfigurationError, match="buffer_depth"):
@@ -229,10 +253,14 @@ class TestWideVcFallback:
         lut = ArraySimulator(star4, EnhancedNbc(), cfg, seeds=(1, 2))
         assert lut._lut is not None
         monkeypatch.setattr(kernels, "_MAX_LUT_VCS", 2)
-        fallback = ArraySimulator(star4, EnhancedNbc(), cfg, seeds=(1, 2))
-        assert fallback._lut is None and fallback._ck is None
-        for a, b in zip(lut.run(), fallback.run()):
-            assert result_key(a) == result_key(b)
+        wide_c = ArraySimulator(star4, EnhancedNbc(), cfg, seeds=(1, 2))
+        # The C megakernel scan covers wide V too — no LUT, but still C.
+        assert wide_c._lut is None
+        wide_np = ArraySimulator(star4, EnhancedNbc(), cfg, seeds=(1, 2))
+        wide_np._ck = None
+        ref = [result_key(r) for r in lut.run()]
+        assert [result_key(r) for r in wide_c.run()] == ref
+        assert [result_key(r) for r in wide_np.run()] == ref
 
     def test_wide_v_runs_and_tracks_object_engine(self, star4):
         cfg = small_config(total_vcs=16, generation_rate=0.004)
