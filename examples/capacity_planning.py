@@ -1,57 +1,102 @@
 #!/usr/bin/env python
-"""Capacity planning with the analytical model.
+"""Capacity planning through the query service.
 
 The model's selling point (paper section 1) is answering design
-questions without simulation.  This example answers two:
+questions without simulation; the service (`docs/service.md`) turns
+that into an interactive loop over a growing result store.  This
+example seeds a store with one overnight-style campaign, serves it, and
+walks a planning session through all three resolution tiers:
 
-1. How many virtual channels does an S5 router need to sustain a target
-   load with a latency budget?
-2. How does the message length trade off against the stable region?
+1. a **warm** hit on a campaigned operating point,
+2. a **surrogate** answer between grid points, with its error budget,
+3. a **cold** model answer off the grid — then the background
+   refinement that lands a measured row and upgrades the same query to
+   a warm simulation hit,
+4. a classic planning sweep (smallest V within a latency budget) asked
+   entirely through the client.
 
 Run:  python examples/capacity_planning.py
 """
 
-from repro import StarLatencyModel
+import tempfile
+import time
+from pathlib import Path
+
+from repro import Scenario
 from repro.experiments.tables import render_table
+from repro.service import QueryEngine, ServiceClient, ServiceServer
 
 
-def smallest_v_for(n: int, message_length: int, rate: float, budget: float) -> int | None:
-    """Smallest V whose predicted latency at ``rate`` is within budget."""
-    min_escape = (3 * (n - 1)) // 2 // 2 + 1
-    for total_vcs in range(min_escape + 1, 33):
-        model = StarLatencyModel(n, message_length, total_vcs)
-        res = model.evaluate(rate)
-        if not res.saturated and res.latency <= budget:
-            return total_vcs
-    return None
+def describe(label: str, row) -> None:
+    print(
+        f"  {label:<28} latency {row.latency:8.2f} cycles   "
+        f"provenance={row.provenance:<9} served={row.meta['served']} "
+        f"({row.meta['service_ms']:.2f} ms)"
+    )
 
 
 def main() -> None:
-    n, message_length = 5, 32
+    scenario = Scenario(order=5, message_length=32, total_vcs=9, quality="smoke")
+    store = Path(tempfile.mkdtemp(prefix="capacity-")) / "store"
 
-    print("== 1. virtual channels needed for a target operating point ==\n")
-    rows = []
-    for rate in (0.008, 0.012, 0.016, 0.018):
-        for budget in (100.0, 200.0):
-            v = smallest_v_for(n, message_length, rate, budget)
-            rows.append([rate, budget, v if v is not None else "unattainable"])
-    print(render_table(["load (msg/node/cycle)", "latency budget", "smallest V"], rows))
+    # -- the overnight campaign: an 8-point model ladder, sharded store --
+    rates = scenario.rate_ladder(tuple(0.15 + 0.08 * i for i in range(8)))
+    scenario.sweep({"rate": rates}, store=str(store))
+    print(f"seeded {len(rates)} model points into {store}\n")
 
-    print("\n== 2. message length vs. stable region (V = 9) ==\n")
-    rows = []
-    for m in (16, 32, 64, 128):
-        model = StarLatencyModel(n, m, 9)
-        sat = model.saturation_rate()
-        flit_cap = sat * m  # flits/node/cycle the network absorbs
-        rows.append([m, model.zero_load_latency(), sat, flit_cap])
-    print(
-        render_table(
-            ["M (flits)", "zero-load latency", "saturation rate", "flit throughput"],
-            rows,
+    server = ServiceServer(QueryEngine(store)).start()
+    client = ServiceClient(server.url)
+    try:
+        print("== 1-3. one operating point, three resolution tiers ==\n")
+        warm = client.query(scenario, rate=rates[3])
+        describe("on the campaign grid:", warm)
+
+        mid = round(0.5 * (rates[3] + rates[4]), 6)
+        surrogate = client.query(scenario, rate=mid)
+        describe("between grid points:", surrogate)
+        print(
+            f"{'':>30} stated error budget ±{surrogate.meta['error_budget']:.1%} "
+            f"-> [{surrogate.latency_lo:.1f}, {surrogate.latency_hi:.1f}] cycles"
         )
-    )
-    print("\nLonger messages amortise per-hop overheads (higher flit")
-    print("throughput) but saturate at proportionally lower message rates.")
+
+        off_grid = round(rates[-1] * 1.05, 6)
+        cold = client.query(scenario, rate=off_grid)
+        describe("off the sampled span:", cold)
+
+        # The cold answer queued a simulation; wait for the measured row.
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            again = client.query(scenario, rate=off_grid)
+            if again.meta["served"] == "warm":
+                break
+            time.sleep(0.25)
+        describe("same query, refined:", again)
+
+        print("\n== 4. smallest V for a target operating point ==\n")
+        rows = []
+        for rate in (0.008, 0.012, 0.016, 0.018):
+            for budget in (100.0, 200.0):
+                answer = "unattainable"
+                for total_vcs in range(7, 33):
+                    row = client.query(
+                        scenario.replace(total_vcs=total_vcs),
+                        rate=rate,
+                        refine=False,  # a planning sweep, not a commitment
+                    )
+                    if not row.saturated and row.latency <= budget:
+                        answer = total_vcs
+                        break
+                rows.append([rate, budget, answer])
+        print(render_table(["load (msg/node/cycle)", "latency budget", "smallest V"], rows))
+
+        stats = client.stats()
+        print(
+            f"\nserved {stats['queries']} queries: {stats['warm_hits']} warm, "
+            f"{stats['surrogate_hits']} surrogate, {stats['cold_misses']} cold "
+            f"({stats['refined']} refined in the background)"
+        )
+    finally:
+        server.close()
 
 
 if __name__ == "__main__":

@@ -38,8 +38,12 @@ SCHEMA_VERSION = 1
 
 #: Legal values of :attr:`ResultRow.provenance`.  ``bound`` rows come
 #: from the network-calculus engine (:mod:`repro.bounds` — Farhi &
-#: Gaujal 2010 / Mifdaoui & Ayed 2016 style worst-case envelopes).
-PROVENANCES = ("model", "sim", "bound")
+#: Gaujal 2010 / Mifdaoui & Ayed 2016 style worst-case envelopes);
+#: ``surrogate`` rows are interpolated answers the capacity service
+#: (:mod:`repro.service`) fits over cached grids, carrying an
+#: ``error_budget`` in ``meta``.  Adding an enum value is additive under
+#: the schema version policy (older documents never contain it).
+PROVENANCES = ("model", "sim", "bound", "surrogate")
 
 #: Marker line identifying a ResultSet JSONL document.
 _HEADER_TYPE = "repro.resultset"

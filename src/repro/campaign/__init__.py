@@ -18,7 +18,8 @@ Layers
 :mod:`repro.campaign.runner`
     ``run_campaign`` — executors, streaming, resume.
 :mod:`repro.campaign.store`
-    ``ResultStore`` — append-only JSONL persistence.
+    ``ResultStore`` / ``ShardedResultStore`` — append-only JSONL
+    persistence with atomic locked appends and offline compaction.
 :mod:`repro.campaign.cache`
     Cross-process path-statistics disk cache.
 """
@@ -26,7 +27,7 @@ Layers
 from repro.campaign.grid import GridSpec, WorkUnit, canonical_key
 from repro.campaign.kinds import KINDS, available_kinds, register_kind
 from repro.campaign.runner import CampaignResult, run_campaign, to_payload
-from repro.campaign.store import ResultStore
+from repro.campaign.store import ResultStore, ShardedResultStore, open_store
 
 __all__ = [
     "GridSpec",
@@ -39,4 +40,6 @@ __all__ = [
     "run_campaign",
     "to_payload",
     "ResultStore",
+    "ShardedResultStore",
+    "open_store",
 ]

@@ -18,11 +18,11 @@ from __future__ import annotations
 
 import os
 import pickle
-import tempfile
 from pathlib import Path
 
 from repro.core.hypercube_model import cached_hypercube_statistics
 from repro.core.pathstats import cached_path_statistics
+from repro.utils.atomicio import atomic_write_bytes
 from repro.utils.exceptions import ConfigurationError
 
 __all__ = ["configure", "configured_dir", "path_statistics"]
@@ -91,18 +91,9 @@ def path_statistics(topology: str, order: int, cache_dir: str | Path | None = No
             pass  # unreadable cache entry: rebuild below and rewrite
     stats = builder(order)
     _memory[memo_key] = stats
-    directory.mkdir(parents=True, exist_ok=True)
-    # Atomic publish: concurrent workers may race to build the same entry;
-    # each writes a private temp file and the final rename is atomic, so
-    # readers never observe a half-written pickle.
-    fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as fh:
-            pickle.dump(stats, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp_name, path)
-    except OSError:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
+    # Atomic durable publish: concurrent workers may race to build the
+    # same entry; each writes a private temp file, fsyncs it, and the
+    # final rename is atomic, so lock-free readers never observe a
+    # half-written (or named-but-unwritten) pickle.
+    atomic_write_bytes(path, pickle.dumps(stats, protocol=pickle.HIGHEST_PROTOCOL))
     return stats

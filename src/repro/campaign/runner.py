@@ -26,7 +26,7 @@ from typing import Any, Callable, Iterable, Sequence
 from repro.campaign import cache
 from repro.campaign.grid import WorkUnit
 from repro.campaign.kinds import lookup
-from repro.campaign.store import ResultStore
+from repro.campaign.store import ResultStore, open_store
 from repro.utils.exceptions import ConfigurationError
 
 __all__ = ["CampaignResult", "run_campaign", "to_payload"]
@@ -103,7 +103,9 @@ def _resolve_store(store: ResultStore | str | Path | None) -> tuple[ResultStore 
         return None, False
     if isinstance(store, ResultStore):
         return store, False
-    return ResultStore(store), True
+    # Layout detection: directory-ish paths open sharded (concurrent
+    # writers), ``.jsonl`` paths keep the historical flat layout.
+    return open_store(store), True
 
 
 def run_campaign(

@@ -13,6 +13,9 @@ sim          Run one flit-level simulation with full workload control.
 validate     Model-vs-sim accuracy per workload (campaign-backed);
              --bounds adds the network-calculus cross-check and --preset
              runs the standing S5/S6 suites with stated tolerances.
+serve        Capacity-planning query service over a campaign store
+             (warm store hits, saturation-aware surrogates, instant
+             cold fallback + background refinement).
 """
 
 from __future__ import annotations
@@ -269,6 +272,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     val.add_argument(
         "--cache-dir", metavar="DIR", help="shared campaign disk cache"
+    )
+
+    srv = sub.add_parser(
+        "serve",
+        help="serve capacity queries over a campaign result store",
+        description=(
+            "Start the capacity-planning HTTP/JSON service: queries answer "
+            "from the store when warm, through a saturation-aware surrogate "
+            "when the rate falls inside a cached ladder, and from an instant "
+            "model/bound evaluation otherwise (cold answers enqueue a "
+            "simulation unit for background refinement).  A --store path "
+            "ending in .jsonl opens the flat single-file layout; anything "
+            "else opens (or creates) a sharded concurrent-writer store."
+        ),
+    )
+    srv.add_argument(
+        "--store",
+        required=True,
+        metavar="PATH",
+        help="campaign result store (flat .jsonl file or sharded directory)",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8351)
+    srv.add_argument(
+        "--cache-dir", metavar="DIR", help="shared campaign disk cache"
+    )
+    srv.add_argument(
+        "--no-refine",
+        action="store_true",
+        help="answer cold queries without enqueueing background simulation",
     )
     return parser
 
@@ -663,6 +696,17 @@ def main(argv: list[str] | None = None) -> int:
         print(render_table(["network", "Eq. (2)", "enumeration", "|diff|"], rows))
     elif args.command == "campaign":
         return _run_campaign_command(args)
+    elif args.command == "serve":
+        from repro.service.server import run_server
+
+        run_server(
+            args.store,
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            refine=not args.no_refine,
+        )
+        return 0
     elif args.command == "sim":
         return _run_sim_command(args)
     elif args.command == "validate":

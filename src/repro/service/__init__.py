@@ -1,0 +1,53 @@
+"""Capacity-planning service: answer scenario queries at interactive latency.
+
+The platform's fourth subsystem — where model, simulator and bounds
+*run batches*, this package *answers queries* (ROADMAP item 4: millions
+of what-if capacity questions in milliseconds, not campaign-minutes).
+A query resolves through a three-tier ladder over the campaign result
+store:
+
+warm
+    The store holds a row at exactly this scenario + rate (same
+    content-hash identity campaigns key on): returned as-is.
+surrogate
+    The store holds this scenario's rate ladder: saturation-aware
+    interpolation answers instantly with provenance ``surrogate`` and a
+    stated, cross-validated error budget.
+cold
+    Nothing cached applies: an instant, always-sound analytical answer
+    (model, or bound when the model cannot represent the scenario) is
+    returned immediately while a simulation work unit is queued for
+    background refinement — the measured row lands in the store and the
+    next identical query is warm.
+
+Layers
+------
+:mod:`repro.service.query`
+    ``Query`` — one Scenario + rate + service options, JSON wire form.
+:mod:`repro.service.surrogate`
+    Family-organised store index, piecewise-linear saturation-aware
+    fits, leave-one-out error budgets.
+:mod:`repro.service.engine`
+    ``QueryEngine`` — the resolution ladder + refinement queue.
+:mod:`repro.service.server` / :mod:`repro.service.client`
+    ``starnet serve`` asyncio HTTP/JSON front end and the stdlib client.
+
+See ``docs/service.md`` for endpoint and contract details.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.engine import QueryEngine
+from repro.service.query import Query
+from repro.service.server import ServiceServer, run_server
+from repro.service.surrogate import SurrogateFit, SurrogateIndex
+
+__all__ = [
+    "Query",
+    "QueryEngine",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "SurrogateFit",
+    "SurrogateIndex",
+    "run_server",
+]

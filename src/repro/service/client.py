@@ -1,0 +1,114 @@
+"""Thin stdlib client for the capacity-planning service.
+
+Speaks the service's JSON/JSONL wire format over ``urllib`` — no
+dependencies — and hands back the same typed
+:class:`~repro.api.results.ResultRow` objects every other layer of the
+platform produces, so example scripts and notebooks move between local
+``Scenario`` calls and remote service queries without changing shape.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Iterable, Mapping
+
+from repro.api.results import ResultRow, ResultSet
+from repro.api.scenario import Scenario
+from repro.service.query import Query
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level failure reported by the service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"service error {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Client for one ``starnet serve`` endpoint."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: Any = None) -> tuple[int, bytes, dict]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.status, response.read(), dict(response.headers)
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            try:
+                message = json.loads(body.decode("utf-8")).get("error", body.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                message = body.decode("utf-8", "replace")
+            raise ServiceError(exc.code, message) from None
+
+    # -- endpoints ------------------------------------------------------
+
+    def health(self) -> dict:
+        """``GET /health`` — liveness and the server's schema version."""
+        _, body, _ = self._request("GET", "/health")
+        return json.loads(body.decode("utf-8"))
+
+    def stats(self) -> dict:
+        """``GET /stats`` — engine counters and index shape."""
+        _, body, _ = self._request("GET", "/stats")
+        return json.loads(body.decode("utf-8"))
+
+    def query(
+        self,
+        scenario: Scenario | Mapping[str, Any] | None = None,
+        rate: float = 0.0,
+        *,
+        max_error: float | None = None,
+        refine: bool = True,
+        replications: int = 1,
+        **scenario_kwargs,
+    ) -> ResultRow:
+        """One capacity question; returns the answer row.
+
+        ``scenario`` may be a :class:`Scenario`, its params dict, or
+        omitted in favour of keyword scenario fields
+        (``client.query(order=4, message_length=16, rate=0.01)``).
+        The answer's resolution tier is in ``row.meta["served"]``
+        (warm / surrogate / cold) and its provenance in
+        ``row.provenance``.
+        """
+        if scenario is None:
+            scenario = Scenario(**scenario_kwargs)
+        elif scenario_kwargs:
+            raise TypeError("give either a scenario or scenario keywords, not both")
+        elif isinstance(scenario, Mapping):
+            scenario = Scenario.from_params(scenario)
+        q = Query(
+            scenario=scenario,
+            rate=rate,
+            max_error=max_error,
+            refine=refine,
+            replications=replications,
+        )
+        _, body, _ = self._request("POST", "/query", q.to_dict())
+        rows = ResultSet.from_jsonl(body.decode("utf-8"))
+        return rows[0]
+
+    def query_many(self, queries: Iterable[Query]) -> ResultSet:
+        """``POST /batch`` — many queries, one ResultSet in order."""
+        payload = {"queries": [q.to_dict() for q in queries]}
+        _, body, _ = self._request("POST", "/batch", payload)
+        return ResultSet.from_jsonl(body.decode("utf-8"))

@@ -1,0 +1,257 @@
+"""The query engine: warm store -> surrogate -> cold fallback.
+
+:class:`QueryEngine` answers :class:`~repro.service.query.Query` points
+against a campaign result store through a three-tier resolution ladder:
+
+1. **warm** — the store already holds a row at exactly this scenario
+   and rate (same content-hash identity a campaign would use): return
+   it unchanged, tagged ``meta["served"] = "warm"``.
+2. **surrogate** — the store holds this scenario's rate ladder and the
+   query rate falls inside its unsaturated sampled span: interpolate
+   (:mod:`repro.service.surrogate`), returning a ``surrogate``
+   provenance row with a stated ``error_budget``.
+3. **cold** — nothing cached applies: evaluate the analytical model
+   (or, when the model cannot represent the scenario, the bound engine)
+   inline — milliseconds, always sound — tag it ``"cold"``, and enqueue
+   a simulation work unit so background refinement lands the measured
+   row in the store and upgrades the next identical query to warm.
+
+The engine is thread-safe: the HTTP server answers queries from
+executor threads while a refinement worker drains the queue, and both
+paths share one lock around index state.  The store index rebuilds only
+when the store's on-disk signature changes, so steady-state answers are
+dictionary lookups.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Any
+
+from repro.api.convert import row_from_unit
+from repro.api.results import ResultRow
+from repro.api.scenario import run_units
+from repro.campaign import cache
+from repro.campaign.grid import WorkUnit, canonical_key
+from repro.campaign.kinds import lookup
+from repro.campaign.store import ResultStore, open_store
+from repro.service.query import Query
+from repro.service.surrogate import SurrogateFit, SurrogateIndex, query_families
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["QueryEngine"]
+
+#: Family namespaces in warm/surrogate preference order: measured
+#: simulation rows beat analytical rows beat worst-case bounds.
+_PREFERENCE = ("sim", "model", "bound")
+
+
+class QueryEngine:
+    """Resolve scenario queries against a store, with cold fallback.
+
+    Parameters
+    ----------
+    store:
+        A :class:`ResultStore` (flat or sharded) or a path for
+        :func:`open_store`.  Refined rows are appended here.
+    cache_dir:
+        Optional shared path-statistics / flow-profile disk cache used
+        by cold evaluations and refinement workers.
+    refine:
+        Master switch for background refinement (a query may also opt
+        out individually).
+    auto_refresh:
+        Re-index when the store's signature changes (set False only in
+        benchmarks that want the index pinned).
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | str | Path,
+        *,
+        cache_dir: str | Path | None = None,
+        refine: bool = True,
+        auto_refresh: bool = True,
+    ):
+        self.store = store if isinstance(store, ResultStore) else open_store(store)
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.refine_enabled = refine
+        self.auto_refresh = auto_refresh
+        if self.cache_dir is not None:
+            cache.configure(self.cache_dir)
+        self._lock = threading.Lock()
+        self._index: SurrogateIndex | None = None
+        self._signature: tuple | None = None
+        self._queue: dict[str, WorkUnit] = {}
+        self.counters = {
+            "queries": 0,
+            "warm_hits": 0,
+            "surrogate_hits": 0,
+            "cold_misses": 0,
+            "refined": 0,
+        }
+
+    # -- index lifecycle ------------------------------------------------
+
+    def _current_index(self) -> SurrogateIndex:
+        with self._lock:
+            signature = self.store.signature() if self.auto_refresh else self._signature
+            if self._index is None or signature != self._signature:
+                self._signature = (
+                    self.store.signature() if signature is None else signature
+                )
+                self._index = SurrogateIndex(self.store.load())
+            return self._index
+
+    def refresh(self) -> SurrogateIndex:
+        """Force a rebuild of the in-memory index from the store."""
+        with self._lock:
+            self._signature = self.store.signature()
+            self._index = SurrogateIndex(self.store.load())
+            return self._index
+
+    # -- resolution ladder ----------------------------------------------
+
+    def answer(self, query: Query) -> ResultRow:
+        """One ResultRow for ``query`` — warm, surrogate, or cold."""
+        t0 = time.perf_counter()
+        index = self._current_index()
+        families = query_families(query.scenario)
+        self.counters["queries"] += 1
+
+        for namespace in _PREFERENCE:
+            family = families.get(namespace)
+            if family is None:
+                continue
+            row = index.exact(family, query.rate)
+            if row is not None:
+                self.counters["warm_hits"] += 1
+                return self._tag(row, "warm", t0)
+
+        for namespace in _PREFERENCE:
+            family = families.get(namespace)
+            if family is None:
+                continue
+            fit = index.fit(family)
+            if fit is None:
+                continue
+            latency = fit.predict(query.rate)
+            if latency is None:
+                continue
+            if query.max_error is not None and fit.error_budget > query.max_error:
+                continue
+            self.counters["surrogate_hits"] += 1
+            return self._tag(
+                self._surrogate_row(query, family, namespace, fit, latency), None, t0
+            )
+
+        row = self._cold_answer(query)
+        self.counters["cold_misses"] += 1
+        if self.refine_enabled and query.refine:
+            self._enqueue_refinement(query)
+        return self._tag(row, "cold", t0)
+
+    def _tag(self, row: ResultRow, served: str | None, t0: float) -> ResultRow:
+        meta = dict(row.meta)
+        if served is not None:
+            meta["served"] = served
+        meta["service_ms"] = round((time.perf_counter() - t0) * 1e3, 3)
+        return replace(row, meta=meta)
+
+    def _surrogate_row(
+        self, query: Query, family: str, namespace: str, fit: SurrogateFit, latency: float
+    ) -> ResultRow:
+        scenario = query.scenario
+        budget = fit.error_budget
+        lo, hi = fit.rate_span
+        return ResultRow(
+            provenance="surrogate",
+            spec=canonical_key("surrogate", {"family": family, "rate": query.rate}),
+            topology=scenario.topology,
+            order=scenario.order,
+            workload=scenario.workload,
+            message_length=scenario.message_length,
+            total_vcs=scenario.total_vcs,
+            engine="surrogate",
+            rate=query.rate,
+            latency=latency,
+            latency_lo=latency * (1.0 - budget),
+            latency_hi=latency * (1.0 + budget),
+            saturated=False,
+            algorithm=scenario.algorithm if namespace == "sim" else None,
+            replications=1,
+            seed=None,
+            meta={
+                "served": "surrogate",
+                "error_budget": round(budget, 6),
+                "source": namespace,
+                "source_points": len(fit.points),
+                "source_rate_min": lo,
+                "source_rate_max": hi,
+                "family": family,
+            },
+        )
+
+    def _cold_answer(self, query: Query) -> ResultRow:
+        """Instant analytical answer: model first, bound as last resort."""
+        try:
+            unit = query.scenario.model_unit(query.rate)
+            return row_from_unit(unit, lookup(unit.kind)(unit.params))
+        except ConfigurationError:
+            # The model cannot represent this scenario (e.g. explicit
+            # flows beyond MAX_FLOW_ORDER); the bound engine may still
+            # give an always-sound worst-case answer.
+            unit = query.scenario.bound_unit(query.rate)
+            return row_from_unit(unit, lookup(unit.kind)(unit.params))
+
+    # -- background refinement ------------------------------------------
+
+    def _enqueue_refinement(self, query: Query) -> None:
+        unit = query.scenario.sim_unit(query.rate, replications=query.replications)
+        with self._lock:
+            # setdefault dedupes: repeated cold queries of one point
+            # refine it once.
+            self._queue.setdefault(unit.key(), unit)
+
+    @property
+    def pending_refinements(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def refine(self, max_units: int | None = None) -> int:
+        """Run queued refinement units, landing their rows in the store.
+
+        Returns the number of units completed.  Safe to call from a
+        background thread; queries keep answering from the existing
+        index and pick up the refined rows on the next signature change.
+        """
+        with self._lock:
+            keys = list(self._queue)
+            if max_units is not None:
+                keys = keys[:max_units]
+            units = [self._queue.pop(k) for k in keys]
+        if not units:
+            return 0
+        run_units(units, store=self.store, cache_dir=self.cache_dir)
+        self.counters["refined"] += len(units)
+        return len(units)
+
+    # -- diagnostics ----------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Counters plus store/index shape, JSON-safe."""
+        index = self._current_index()
+        with self._lock:
+            return {
+                **self.counters,
+                "pending_refinements": len(self._queue),
+                "indexed_records": len(index),
+                "families": len(index.family_sizes()),
+                "store": str(self.store.path),
+            }
+
+    def close(self) -> None:
+        self.store.close()

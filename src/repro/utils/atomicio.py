@@ -1,0 +1,64 @@
+"""Atomic, durable file publication shared by every disk cache.
+
+Cache entries (path-statistics pickles, flow-profile pickles, crossing
+tables) are written by racing pool workers and read lock-free by every
+other process, so the one invariant that matters is *readers never see a
+partial file*.  :func:`atomic_write_bytes` provides the canonical
+recipe: write a private temp file in the destination directory, flush
+and ``fsync`` it so the data reaches the disk before the name does, then
+``os.replace`` — atomic on POSIX — onto the final path.
+
+Without the fsync a crash between rename and writeback could leave a
+*named but empty/partial* file (the classic rename-before-data hole);
+with it, the entry either exists complete or not at all.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_bytes", "fsync_directory"]
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> bool:
+    """Publish ``data`` at ``path`` atomically; True when it succeeded.
+
+    Failures (read-only directory, disk full, ...) clean up the temp
+    file and return False rather than raising — caches treat a failed
+    publish as "this process simply doesn't get to warm the cache".
+    """
+    path = Path(path)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    except OSError:
+        return False
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+        return True
+    except OSError:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        return False
+
+
+def fsync_directory(directory: str | Path) -> None:
+    """Best-effort fsync of a directory entry (persists recent renames)."""
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

@@ -22,9 +22,8 @@ how the non-uniform pipeline reduces to the published model.
 from __future__ import annotations
 
 import hashlib
-import os
+import io
 import pickle
-import tempfile
 from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
@@ -34,6 +33,7 @@ import numpy as np
 from repro.topology import permutations as pm
 from repro.topology.routing_sets import CycleType, cycle_type_of
 from repro.topology.star import StarGraph, profitable_ports_of_relative
+from repro.utils.atomicio import atomic_write_bytes
 from repro.utils.exceptions import ConfigurationError
 from repro.workloads.spec import WorkloadSpec
 
@@ -304,20 +304,10 @@ def cached_flow_profile(order: int, spatial_canonical: str) -> FlowProfile:
         mean_distance=built.mean_distance,
     )
     if directory is not None:
-        directory.mkdir(parents=True, exist_ok=True)
-        # Atomic publish, as in repro.campaign.cache: racing workers each
-        # write a private temp file; the rename is atomic so readers never
-        # observe a half-written pickle.
-        fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(profile, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, path)
-        except OSError:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
+        # Atomic durable publish, as in repro.campaign.cache: racing
+        # workers each write a private temp file, fsynced before the
+        # atomic rename, so readers never observe a half-written pickle.
+        atomic_write_bytes(path, pickle.dumps(profile, protocol=pickle.HIGHEST_PROTOCOL))
     return profile
 
 
@@ -361,15 +351,7 @@ def cached_channel_crossings(order: int, spatial_canonical: str) -> np.ndarray:
     spatial = spec.build_spatial(topology=topology)
     counts = channel_crossings(topology, spatial)
     if directory is not None:
-        directory.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                np.save(fh, counts)
-            os.replace(tmp_name, path)
-        except OSError:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
+        buf = io.BytesIO()
+        np.save(buf, counts)
+        atomic_write_bytes(path, buf.getvalue())
     return counts

@@ -1,6 +1,6 @@
 """JSONL result store: append, reload, interruption tolerance."""
 
-from repro.campaign.store import ResultStore
+from repro.campaign.store import ResultStore, ShardedResultStore, open_store
 
 
 class TestResultStore:
@@ -47,3 +47,106 @@ class TestResultStore:
         with ResultStore(path) as store:
             store.append("k1", "model", {}, {})
         assert path.exists()
+
+    def test_append_heals_torn_tail(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with ResultStore(path) as store:
+            store.append("k1", "model", {}, {"v": 1})
+        # A writer killed mid-record leaves a line without its newline;
+        # the next append must not concatenate onto it.
+        with path.open("a") as fh:
+            fh.write('{"key": "torn", "resu')
+        with ResultStore(path) as store:
+            store.append("k2", "model", {}, {"v": 2})
+        loaded = ResultStore(path).load()
+        assert set(loaded) == {"k1", "k2"}
+        assert loaded["k2"]["result"]["v"] == 2
+
+    def test_compact_dedupes_last_wins(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with ResultStore(path) as store:
+            store.append("k1", "model", {}, {"v": 1})
+            store.append("k2", "model", {}, {"v": 2})
+            store.append("k1", "model", {}, {"v": 3})
+        store = ResultStore(path)
+        kept, dropped = store.compact()
+        assert (kept, dropped) == (2, 1)
+        assert path.read_text().count("\n") == 2
+        loaded = ResultStore(path).load()
+        assert loaded["k1"]["result"]["v"] == 3
+        assert loaded["k2"]["result"]["v"] == 2
+
+
+class TestShardedResultStore:
+    def test_roundtrip_across_shards(self, tmp_path):
+        root = tmp_path / "store"
+        with ShardedResultStore(root, shards=4) as store:
+            for i in range(40):
+                store.append(f"k{i}", "model", {"rate": i}, {"latency": float(i)})
+        loaded = ShardedResultStore(root).load()
+        assert len(loaded) == 40
+        assert loaded["k7"]["result"]["latency"] == 7.0
+        # Keys actually spread over more than one shard file.
+        assert len(list(root.glob("shard-*.jsonl"))) > 1
+
+    def test_shard_count_persists_in_metadata(self, tmp_path):
+        root = tmp_path / "store"
+        with ShardedResultStore(root, shards=4) as store:
+            store.append("k1", "model", {}, {})
+        # Reopening with a different requested count keeps the original
+        # routing, so existing keys stay findable.
+        reopened = ShardedResultStore(root, shards=16)
+        assert reopened.shards == 4
+        assert set(reopened.load()) == {"k1"}
+
+    def test_last_record_wins_within_a_key(self, tmp_path):
+        root = tmp_path / "store"
+        with ShardedResultStore(root, shards=2) as store:
+            store.append("k1", "model", {}, {"v": 1})
+            store.append("k1", "model", {}, {"v": 2})
+        assert ShardedResultStore(root).load()["k1"]["result"]["v"] == 2
+
+    def test_compact_per_shard(self, tmp_path):
+        root = tmp_path / "store"
+        with ShardedResultStore(root, shards=2) as store:
+            for _ in range(3):
+                for i in range(10):
+                    store.append(f"k{i}", "model", {}, {"round": _})
+        store = ShardedResultStore(root)
+        kept, dropped = store.compact()
+        assert (kept, dropped) == (10, 20)
+        loaded = ShardedResultStore(root).load()
+        assert len(loaded) == 10
+        assert all(r["result"]["round"] == 2 for r in loaded.values())
+
+    def test_signature_changes_on_append(self, tmp_path):
+        root = tmp_path / "store"
+        store = ShardedResultStore(root, shards=2)
+        before = store.signature()
+        store.append("k1", "model", {}, {})
+        store.close()
+        assert ShardedResultStore(root).signature() != before
+
+
+class TestOpenStore:
+    def test_jsonl_path_opens_flat(self, tmp_path):
+        store = open_store(tmp_path / "results.jsonl")
+        assert type(store) is ResultStore
+
+    def test_directoryish_path_opens_sharded(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        assert isinstance(store, ShardedResultStore)
+
+    def test_existing_directory_opens_sharded(self, tmp_path):
+        root = tmp_path / "anything.jsonl"  # suffix loses to being a dir
+        root.mkdir()
+        assert isinstance(open_store(root), ShardedResultStore)
+
+    def test_layouts_share_record_format(self, tmp_path):
+        with open_store(tmp_path / "flat.jsonl") as flat:
+            flat.append("k1", "model", {"rate": 0.01}, {"latency": 5.0})
+        with open_store(tmp_path / "sharded") as sharded:
+            sharded.append("k1", "model", {"rate": 0.01}, {"latency": 5.0})
+        a = open_store(tmp_path / "flat.jsonl").load()["k1"]
+        b = open_store(tmp_path / "sharded").load()["k1"]
+        assert a == b

@@ -1,0 +1,68 @@
+"""Query wire form: validation, roundtrip, unknown-key rejection."""
+
+import pytest
+
+from repro.api.scenario import Scenario
+from repro.service.query import Query
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestValidation:
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="rate"):
+            Query(scenario=Scenario(), rate=0.0)
+        with pytest.raises(ConfigurationError, match="rate"):
+            Query(scenario=Scenario(), rate=-0.1)
+
+    def test_rate_coerced_to_float(self):
+        assert isinstance(Query(scenario=Scenario(), rate=1).rate, float)
+
+    def test_scenario_must_be_scenario(self):
+        with pytest.raises(ConfigurationError, match="Scenario"):
+            Query(scenario={"order": 4}, rate=0.01)
+
+    def test_max_error_must_be_positive_when_given(self):
+        with pytest.raises(ConfigurationError, match="max_error"):
+            Query(scenario=Scenario(), rate=0.01, max_error=0.0)
+
+    def test_replications_must_be_at_least_one(self):
+        with pytest.raises(ConfigurationError, match="replications"):
+            Query(scenario=Scenario(), rate=0.01, replications=0)
+
+
+class TestWireForm:
+    def test_roundtrip_defaults(self):
+        q = Query(scenario=Scenario(order=4), rate=0.01)
+        assert Query.from_dict(q.to_dict()) == q
+
+    def test_roundtrip_full_options(self):
+        q = Query(
+            scenario=Scenario(order=4, message_length=16),
+            rate=0.02,
+            max_error=0.05,
+            refine=False,
+            replications=3,
+        )
+        assert Query.from_dict(q.to_dict()) == q
+
+    def test_defaults_omitted_from_wire_form(self):
+        d = Query(scenario=Scenario(), rate=0.01).to_dict()
+        assert set(d) == {"scenario", "rate"}
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            Query.from_dict({"scenario": {}, "rate": 0.01, "bogus": 1})
+
+    def test_from_dict_requires_scenario_and_rate(self):
+        with pytest.raises(ConfigurationError):
+            Query.from_dict({"rate": 0.01})
+        with pytest.raises(ConfigurationError):
+            Query.from_dict({"scenario": {}})
+
+    def test_from_dict_accepts_scenario_instance(self):
+        s = Scenario(order=4)
+        assert Query.from_dict({"scenario": s, "rate": 0.01}).scenario is s
+
+    def test_from_dict_rejects_non_mapping_scenario(self):
+        with pytest.raises(ConfigurationError, match="params"):
+            Query.from_dict({"scenario": "star-4", "rate": 0.01})

@@ -1,0 +1,143 @@
+"""ServiceServer + ServiceClient end-to-end over a real HTTP socket."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro.api.results import SCHEMA_VERSION
+from repro.api.scenario import Scenario
+from repro.service import Query, QueryEngine, ServiceClient, ServiceError, ServiceServer
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    """A live server on an ephemeral port over a seeded store."""
+    store_dir = tmp_path_factory.mktemp("server") / "store"
+    scenario = Scenario(order=4, message_length=16, total_vcs=5, quality="smoke")
+    rates = scenario.rate_ladder((0.2, 0.3, 0.4, 0.5, 0.6))
+    scenario.sweep({"rate": rates}, store=str(store_dir))
+    server = ServiceServer(QueryEngine(store_dir), port=0).start()
+    try:
+        yield ServiceClient(server.url), server, scenario, rates
+    finally:
+        server.close()
+
+
+class TestEndpoints:
+    def test_health_reports_schema_version(self, service):
+        client, _, _, _ = service
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["schema_version"] == SCHEMA_VERSION
+        assert health["indexed_records"] >= 5
+
+    def test_warm_query(self, service):
+        client, _, scenario, rates = service
+        row = client.query(scenario, rate=rates[1])
+        assert row.provenance == "model"
+        assert row.meta["served"] == "warm"
+
+    def test_surrogate_query(self, service):
+        client, _, scenario, rates = service
+        row = client.query(scenario, rate=0.5 * (rates[1] + rates[2]))
+        assert row.provenance == "surrogate"
+        assert row.meta["error_budget"] > 0
+
+    def test_cold_query(self, service):
+        client, _, scenario, _ = service
+        row = client.query(scenario.replace(message_length=64), rate=0.002, refine=False)
+        assert row.meta["served"] == "cold"
+
+    def test_query_by_scenario_keywords(self, service):
+        client, _, _, rates = service
+        row = client.query(
+            order=4, message_length=16, total_vcs=5, quality="smoke", rate=rates[0]
+        )
+        assert row.meta["served"] == "warm"
+
+    def test_batch_preserves_order(self, service):
+        client, _, scenario, rates = service
+        queries = [Query(scenario=scenario, rate=r) for r in (rates[0], rates[2], rates[1])]
+        rows = client.query_many(queries)
+        assert [row.rate for row in rows] == [rates[0], rates[2], rates[1]]
+        assert all(row.meta["served"] == "warm" for row in rows)
+
+    def test_stats_counts_traffic(self, service):
+        client, _, _, _ = service
+        stats = client.stats()
+        assert stats["queries"] >= 1
+        assert "pending_refinements" in stats
+
+
+class TestWireFormat:
+    def test_response_echoes_schema_version_header(self, service):
+        client, server, scenario, rates = service
+        request = urllib.request.Request(
+            server.url + "/query",
+            data=json.dumps(Query(scenario=scenario, rate=rates[0]).to_dict()).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.headers["X-Schema-Version"] == str(SCHEMA_VERSION)
+            assert response.headers["X-Served"] == "warm"
+            body = response.read().decode()
+        header = json.loads(body.splitlines()[0])
+        assert header == {"type": "repro.resultset", "schema_version": SCHEMA_VERSION}
+
+    def test_errors_are_json_with_schema_header(self, service):
+        client, _, _, _ = service
+        with pytest.raises(ServiceError) as err:
+            client._request("POST", "/query", {"rate": 0.01})
+        assert err.value.status == 400
+
+    def test_bad_json_is_400(self, service):
+        _, server, _, _ = service
+        request = urllib.request.Request(
+            server.url + "/query", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=30)
+        assert err.value.code == 400
+
+    def test_unknown_route_is_404(self, service):
+        client, _, _, _ = service
+        with pytest.raises(ServiceError) as err:
+            client._request("GET", "/nope")
+        assert err.value.status == 404
+
+    def test_unknown_scenario_field_is_400(self, service):
+        client, _, _, _ = service
+        with pytest.raises(ServiceError) as err:
+            client._request(
+                "POST", "/query", {"scenario": {"warp_factor": 9}, "rate": 0.01}
+            )
+        assert err.value.status == 400
+
+
+class TestBackgroundRefinement:
+    def test_cold_query_is_refined_in_the_background(self, tmp_path):
+        scenario = Scenario(order=4, message_length=16, quality="smoke", seed=7)
+        engine = QueryEngine(tmp_path / "store")
+        server = ServiceServer(engine, port=0).start()
+        try:
+            client = ServiceClient(server.url)
+            rate = scenario.rate_ladder((0.3,))[0]
+            cold = client.query(scenario, rate=rate)
+            assert cold.meta["served"] == "cold"
+            # The refinement worker picks the unit up without any further
+            # traffic; poll until the measured row lands.
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                row = client.query(scenario, rate=rate)
+                if row.meta["served"] == "warm":
+                    break
+                time.sleep(0.1)
+            assert row.meta["served"] == "warm"
+            assert row.provenance == "sim"
+        finally:
+            server.close()
