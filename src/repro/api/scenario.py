@@ -37,7 +37,7 @@ from repro.api.convert import row_from_unit
 from repro.api.quality import QUALITY_WINDOWS, quality_for_windows, quality_windows
 from repro.api.results import ResultSet
 from repro.campaign.grid import WorkUnit, canonical_key, parse_axis_values
-from repro.campaign.runner import CampaignResult, run_campaign
+from repro.campaign.runner import CampaignResult, pool_choice, run_campaign
 from repro.core.spec import ModelSpec
 from repro.core.solver import SolverSettings
 from repro.simulation.config import SimulationConfig
@@ -63,6 +63,7 @@ def run_units(
     units: Sequence[WorkUnit],
     *,
     workers: int = 1,
+    executor: str = "processes",
     store=None,
     resume: bool = False,
     cache_dir=None,
@@ -72,10 +73,14 @@ def run_units(
 
     A thin, stable alias of :func:`repro.campaign.runner.run_campaign`;
     the CLI and the Scenario methods all execute through here.
+    ``executor="threads"`` swaps the ``workers > 1`` process pool for an
+    in-process thread pool (zero pickling; the array engine's compiled
+    kernel releases the GIL, so its units genuinely overlap).
     """
     return run_campaign(
         units,
         workers=workers,
+        executor=executor,
         store=store,
         resume=resume,
         cache_dir=cache_dir,
@@ -427,6 +432,7 @@ class Scenario:
         *,
         replications: int = 1,
         workers: int = 1,
+        jobs: int | None = None,
         cache_dir=None,
     ) -> ResultSet:
         """Simulated latency at the given rate(s) as a ResultSet.
@@ -434,10 +440,15 @@ class Scenario:
         With ``replications > 1`` every rate becomes one pooled
         ``sim_batch`` row (seeds ``seed .. seed + R - 1``; on the array
         engine the whole batch advances in one vectorized process).
+        ``jobs > 1`` runs the rate points concurrently on in-process
+        threads instead of the ``workers`` process pool.
         """
         rates = _rate_tuple(rates)
         units = [self.sim_unit(r, replications=replications) for r in rates]
-        result = run_units(units, workers=workers, cache_dir=cache_dir)
+        width, executor = pool_choice(workers, jobs)
+        result = run_units(
+            units, workers=width, executor=executor, cache_dir=cache_dir
+        )
         return ResultSet(
             row_from_unit(u, r) for u, r in zip(result.units, result.results)
         )
@@ -448,6 +459,7 @@ class Scenario:
         *,
         replications: int = 1,
         workers: int = 1,
+        jobs: int | None = None,
         store=None,
         resume: bool = False,
         cache_dir=None,
@@ -471,6 +483,13 @@ class Scenario:
         unit keyed by the same content hashes as historical campaign
         stores, so ``store=``/``resume=`` interoperate with existing
         JSONL stores.
+
+        ``jobs > 1`` parallelises in-process on threads: the fused
+        in-process path runs its batched groups concurrently, and the
+        store/resume/cache path swaps the process pool for the thread
+        executor (``jobs`` and ``workers`` are mutually exclusive).
+        ``jobs`` never enters unit keys — it is a resource knob, and
+        results are identical for every value.
         """
         if "rate" not in axes:
             raise ConfigurationError("sweep needs a 'rate' axis")
@@ -517,13 +536,15 @@ class Scenario:
             # process pools keep the per-unit campaign path.
             from repro.campaign.kinds import run_units_fused
 
-            fused = run_units_fused(units, progress=progress)
+            fused = run_units_fused(units, progress=progress, jobs=jobs)
             return ResultSet(
                 row_from_unit(u, r) for u, r in zip(units, fused)
             )
+        width, executor = pool_choice(workers, jobs)
         result = run_units(
             units,
-            workers=workers,
+            workers=width,
+            executor=executor,
             store=store,
             resume=resume,
             cache_dir=cache_dir,
@@ -541,6 +562,7 @@ class Scenario:
         replications: int = 1,
         hops: bool = False,
         workers: int = 1,
+        jobs: int | None = None,
         tolerance: float | None = None,
         cache_dir=None,
     ) -> ResultSet:
@@ -562,6 +584,7 @@ class Scenario:
             replications=replications,
             hops=hops,
             workers=workers,
+            jobs=jobs,
             tolerance=tolerance,
             cache_dir=cache_dir,
         )

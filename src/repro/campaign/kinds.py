@@ -33,7 +33,10 @@ Built-ins
 from __future__ import annotations
 
 import math
+import os
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Mapping
 
 from repro.campaign import cache
@@ -47,8 +50,34 @@ __all__ = [
     "lookup",
     "available_kinds",
     "fused_sim_group",
+    "resolve_jobs",
     "run_units_fused",
 ]
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Resolve a campaign-lane count (the ``--jobs`` knob).
+
+    ``None`` means 1 (serial); ``0`` means one lane per core; explicit
+    positive counts are honoured as-is.  Invalid values raise
+    :class:`ConfigurationError`.  Unlike the kernel ``threads`` knob this
+    never consults ``STARNET_THREADS`` — the two levels would multiply
+    into ``jobs x threads`` workers if one variable drove both (see the
+    "Parallelism model" section of ``docs/simulation.md``).
+    """
+    if jobs is None:
+        return 1
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise ConfigurationError(
+            f"jobs must be a non-negative integer (0 = one per core), got {jobs!r}"
+        )
+    if jobs < 0:
+        raise ConfigurationError(
+            f"jobs must be >= 0 (0 = one per core), got {jobs}"
+        )
+    if jobs == 0:
+        return max(1, os.cpu_count() or 1)
+    return jobs
 
 KINDS: dict[str, Callable[[Mapping[str, Any]], Any]] = {}
 
@@ -130,14 +159,16 @@ def _expand_fused_unit(unit) -> list:
     return [spec.config.with_seed(spec.config.seed + i) for i in range(replications)]
 
 
-def _run_fused_group(units: list) -> list[Any]:
+def _run_fused_group(units: list, threads: int | None = None) -> list[Any]:
     """Run one structurally-compatible group as a single batched sim.
 
     Returns one result per unit, in unit order: ``sim`` units yield
     their single :class:`SimulationResult`, ``sim_batch`` units the
     pooled summary of their replication slice.  Per-replication purity
     of the array backend makes each result bit-identical to running the
-    unit on its own.
+    unit on its own.  ``threads`` sizes the kernel worker pool
+    (bit-identical for every value); ``None`` defers to the usual
+    ``STARNET_THREADS`` / config precedence.
     """
     from repro.simulation.backends import simulate_many, summarize_batch
 
@@ -155,7 +186,9 @@ def _run_fused_group(units: list) -> list[Any]:
         slices.append((unit.kind, len(configs), len(cfgs)))
         configs.extend(cfgs)
     topology, algorithm, _ = spec.build()
-    results = simulate_many(topology, algorithm, configs, engine="array")
+    results = simulate_many(
+        topology, algorithm, configs, engine="array", threads=threads
+    )
     out: list[Any] = []
     for kind, off, n in slices:
         if kind == "sim":
@@ -165,7 +198,7 @@ def _run_fused_group(units: list) -> list[Any]:
     return out
 
 
-def run_units_fused(units, progress=None) -> list[Any]:
+def run_units_fused(units, progress=None, jobs: int | None = None) -> list[Any]:
     """Execute work units in order, fusing compatible array sim units.
 
     The single-process, no-store counterpart of
@@ -175,8 +208,18 @@ def run_units_fused(units, progress=None) -> list[Any]:
     while every other unit executes individually.  Results come back in
     unit order; ``progress(done, total)`` fires as unit results
     materialize (a fused group completes all at once).
+
+    ``jobs > 1`` runs the fused groups (and the non-fusible units)
+    concurrently on a thread pool in this process — zero pickling, one
+    shared path-statistics cache.  The compiled cycle kernel releases
+    the GIL for the whole C-resident run, so lanes genuinely overlap;
+    each lane's kernel then runs single-threaded so ``jobs`` alone
+    decides the core budget.  Results are bit-identical to ``jobs=1``
+    (each lane is an independent simulation; only completion order
+    varies, and results are reassembled in unit order).
     """
     units = list(units)
+    jobs = resolve_jobs(jobs)
     keys = [fused_sim_group(u) for u in units]
     groups: dict[tuple, list[int]] = {}
     for i, key in enumerate(keys):
@@ -184,6 +227,48 @@ def run_units_fused(units, progress=None) -> list[Any]:
             groups.setdefault(key, []).append(i)
     results: list[Any] = [None] * len(units)
     total = len(units)
+
+    if jobs > 1:
+        # One task per fused group plus one per non-fusible unit.  The
+        # lanes claim the cores, so group sims run their kernel pool
+        # serial (threads=1) — jobs x kernel-threads oversubscription
+        # is the documented anti-pattern.
+        lock = threading.Lock()
+        done = 0
+
+        def _advance(n: int) -> None:
+            nonlocal done
+            with lock:
+                done += n
+                if progress is not None:
+                    progress(done, total)
+
+        def _single(i: int) -> None:
+            unit = units[i]
+            results[i] = lookup(unit.kind)(unit.params)
+            _advance(1)
+
+        def _group(indices: list[int]) -> None:
+            fused = _run_fused_group([units[j] for j in indices], threads=1)
+            for j, result in zip(indices, fused):
+                results[j] = result
+            _advance(len(indices))
+
+        with ThreadPoolExecutor(
+            max_workers=jobs, thread_name_prefix="starnet-job"
+        ) as pool:
+            futures = []
+            seen: set = set()
+            for i, key in enumerate(keys):
+                if key is None:
+                    futures.append(pool.submit(_single, i))
+                elif key not in seen:
+                    seen.add(key)
+                    futures.append(pool.submit(_group, groups[key]))
+            for future in futures:
+                future.result()
+        return results
+
     done = 0
     started: set = set()
     for i, unit in enumerate(units):

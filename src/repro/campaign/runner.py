@@ -1,12 +1,20 @@
 """Campaign execution: pluggable executors, streaming store, resume.
 
 :func:`run_campaign` takes an iterable of work units and drives them
-through either the in-process serial executor or a
-:class:`concurrent.futures.ProcessPoolExecutor`.  Completed units stream
-to an optional :class:`~repro.campaign.store.ResultStore` as they finish
-(completion order), so killing a campaign loses at most the units in
-flight; a ``resume=True`` rerun loads the store first and skips every
-unit whose content-hash key is already present.
+through the in-process serial executor, a
+:class:`concurrent.futures.ProcessPoolExecutor`
+(``executor="processes"``, the default), or a
+:class:`concurrent.futures.ThreadPoolExecutor` (``executor="threads"``).
+The thread executor runs every unit in this process — zero pickling,
+one shared read-only path-statistics cache — and pays off when units
+spend their time inside the compiled array kernel, which releases the
+GIL for the whole C-resident run; pure-Python units (model solves,
+object-engine sims) still contend for the GIL and belong on the process
+pool.  Completed units stream to an optional
+:class:`~repro.campaign.store.ResultStore` as they finish (completion
+order), so killing a campaign loses at most the units in flight; a
+``resume=True`` rerun loads the store first and skips every unit whose
+content-hash key is already present.
 
 Results are returned in unit order.  Freshly computed units yield rich
 result objects (``ModelResult``, ``SimulationResult``, ...); units
@@ -18,21 +26,48 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.campaign import cache
 from repro.campaign.grid import WorkUnit
-from repro.campaign.kinds import lookup
+from repro.campaign.kinds import lookup, resolve_jobs
 from repro.campaign.store import ResultStore, open_store
 from repro.utils.exceptions import ConfigurationError
 
-__all__ = ["CampaignResult", "run_campaign", "to_payload"]
+__all__ = ["CampaignResult", "pool_choice", "run_campaign", "to_payload"]
 
 #: Upper bound on futures kept in flight per pool worker.
 _BACKLOG_PER_WORKER = 4
+
+#: Executor names :func:`run_campaign` accepts for ``workers > 1``.
+_EXECUTORS = ("processes", "threads")
+
+
+def pool_choice(workers: int, jobs: int | None) -> tuple[int, str]:
+    """Map the ``(workers, jobs)`` knob pair onto ``(width, executor)``.
+
+    ``workers`` names the historical process-pool width; ``jobs`` the
+    in-process thread-lane count (``0`` = one per core, ``None`` = off).
+    They are alternative spellings of "how wide", so asking for both
+    raises :class:`ConfigurationError`.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs > 1 and workers > 1:
+        raise ConfigurationError(
+            "choose either workers (process pool) or jobs (in-process "
+            "threads), not both"
+        )
+    if jobs > 1:
+        return jobs, "threads"
+    return workers, "processes"
 
 
 def to_payload(result: Any) -> Any:
@@ -112,6 +147,7 @@ def run_campaign(
     units: Iterable[WorkUnit],
     *,
     workers: int = 1,
+    executor: str = "processes",
     store: ResultStore | str | Path | None = None,
     resume: bool = False,
     cache_dir: str | Path | None = None,
@@ -122,7 +158,13 @@ def run_campaign(
     Parameters
     ----------
     workers:
-        1 runs serially in-process; > 1 uses a process pool.
+        1 runs serially in-process; > 1 fans out over ``executor``.
+    executor:
+        ``"processes"`` (default) uses a process pool — full isolation,
+        pickling per unit.  ``"threads"`` uses an in-process thread
+        pool: zero pickling and one shared cache, worthwhile when the
+        units run the array engine (the compiled kernel releases the
+        GIL for its whole C-resident run).
     store:
         A :class:`ResultStore`, a path to create one at, or None.
     resume:
@@ -136,6 +178,10 @@ def run_campaign(
     unit_list = list(units)
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if executor not in _EXECUTORS:
+        raise ConfigurationError(
+            f"unknown executor {executor!r}; available: {', '.join(_EXECUTORS)}"
+        )
     the_store, owns_store = _resolve_store(store)
     cache_dir = str(cache_dir) if cache_dir is not None else None
 
@@ -182,7 +228,7 @@ def run_campaign(
                 result, unit_elapsed = _execute_unit(unit_list[pending[key][0]], cache_dir)
                 _finish(key, result, unit_elapsed)
         else:
-            _run_pool(unit_list, pending, workers, cache_dir, _finish)
+            _run_pool(unit_list, pending, workers, cache_dir, _finish, executor)
     finally:
         if the_store is not None and owns_store:
             the_store.close()
@@ -205,19 +251,34 @@ def _run_pool(
     workers: int,
     cache_dir: str | None,
     finish: Callable[[str, Any, float], None],
+    executor: str = "processes",
 ) -> None:
-    """Process-pool executor with a bounded in-flight window.
+    """Pool executor (processes or threads) with a bounded in-flight window.
 
     Bounding the submission backlog keeps memory flat on huge grids and
     lets results stream to the store (and progress callback) in
-    completion order rather than submission order.
+    completion order rather than submission order.  ``finish`` always
+    runs here in the caller's thread, so the store append and progress
+    callback never need their own locking.
     """
     queue = list(pending)
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_pool_initializer,
-        initargs=(cache_dir,),
-    ) as pool:
+    if executor == "threads":
+        # In-process lanes: configure the shared cache once up front and
+        # hand the workers cache_dir=None so they never re-configure it
+        # concurrently (None leaves any prior configuration in place).
+        if cache_dir is not None:
+            cache.configure(cache_dir)
+        pool_factory = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="starnet-campaign"
+        )
+        cache_dir = None
+    else:
+        pool_factory = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_pool_initializer,
+            initargs=(cache_dir,),
+        )
+    with pool_factory as pool:
         in_flight = {}
         max_in_flight = workers * _BACKLOG_PER_WORKER
         cursor = 0

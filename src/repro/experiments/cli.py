@@ -27,7 +27,7 @@ from repro.api.presets import available_presets
 from repro.api.scenario import Scenario, run_units
 from repro.campaign.grid import GridSpec
 from repro.campaign.kinds import available_kinds
-from repro.campaign.runner import to_payload
+from repro.campaign.runner import pool_choice, to_payload
 from repro.experiments import ablations
 from repro.experiments.figure1 import FIGURE1_PANELS, panel_record, render_panel, reproduce_panel
 from repro.experiments.tables import render_table
@@ -129,6 +129,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--seeds", type=int, help="replication: adds a seed axis 0..N-1"
     )
     camp.add_argument("--workers", type=int, default=1, help="process-pool width")
+    camp.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="in-process thread lanes instead of --workers processes "
+        "(0 = one per core); best for array-engine units, whose compiled "
+        "kernel releases the GIL",
+    )
     camp.add_argument("--out", metavar="FILE", help="JSONL result store")
     camp.add_argument(
         "--resume",
@@ -173,6 +182,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="independent seeds (seed..seed+R-1); R > 1 prints per-seed "
         "rows plus a pooled summary (one vectorized process on the "
         "array engine)",
+    )
+    sim.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="kernel worker threads for the array engine (0 = one per "
+        "core; results are bit-identical for every value); overrides "
+        "STARNET_THREADS, ignored by the object engine",
     )
     sim.add_argument("--quality", choices=("smoke", "quick", "full"), default="quick")
     sim.add_argument("--warmup", type=int, help="override the quality preset's warmup cycles")
@@ -232,6 +250,14 @@ def build_parser() -> argparse.ArgumentParser:
         f"(default {_VALIDATE_DEFAULTS['engine']})",
     )
     val.add_argument("--workers", type=int, default=1, help="process-pool width")
+    val.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="in-process thread lanes instead of --workers processes "
+        "(0 = one per core); best with --engine array",
+    )
     val.add_argument(
         "--tolerance",
         type=float,
@@ -303,6 +329,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="answer cold queries without enqueueing background simulation",
     )
+    srv.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="thread lanes for draining the refinement queue "
+        "(0 = one per core; queries are unaffected)",
+    )
     return parser
 
 
@@ -360,9 +394,15 @@ def _run_campaign_command(args) -> int:
         print(f"starnet campaign: error: {exc}", file=sys.stderr)
         return 2
     units = grid.expand()
+    try:
+        width, executor = pool_choice(args.workers, args.jobs)
+    except ConfigurationError as exc:
+        print(f"starnet campaign: error: {exc}", file=sys.stderr)
+        return 2
     result = run_units(
         units,
-        workers=args.workers,
+        workers=width,
+        executor=executor,
         store=args.out,
         resume=args.resume,
         cache_dir=args.cache_dir,
@@ -378,10 +418,15 @@ def _run_campaign_command(args) -> int:
 
 def _run_sim_command(args) -> int:
     from repro.simulation import summarize_batch
+    from repro.simulation.backends import simulate, simulate_batch
+    from repro.simulation.config import resolve_threads
 
     try:
         if args.replications < 1:
             raise ConfigurationError("--replications must be >= 1")
+        if args.jobs is not None:
+            # Eager validation; the object engine ignores the value.
+            resolve_threads(args.jobs, None)
         # One declarative description of the run — the Scenario facade
         # canonicalises the workload and builds the SimSpec.
         scenario = Scenario(
@@ -402,11 +447,14 @@ def _run_sim_command(args) -> int:
         config = spec.config
         # Topology/algorithm names only resolve when the spec is built,
         # so run() failures are configuration errors too.
+        topo, algo, run_config = spec.build()
         if args.replications == 1:
-            result = spec.run()
+            result = simulate(topo, algo, run_config, threads=args.jobs)
             results = [result]
         else:
-            results = spec.run_batch(args.replications)
+            results = simulate_batch(
+                topo, algo, run_config, args.replications, threads=args.jobs
+            )
             result = results[0]
     except ConfigurationError as exc:
         print(f"starnet sim: error: {exc}", file=sys.stderr)
@@ -563,6 +611,7 @@ def _run_validate_command(args) -> int:
                 scenario=scenario,
                 load_fractions=fractions,
                 workers=args.workers,
+                jobs=args.jobs,
                 tolerance=tolerance,
                 replications=args.replications,
                 hops=args.hops,
@@ -699,13 +748,18 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "serve":
         from repro.service.server import run_server
 
-        run_server(
-            args.store,
-            host=args.host,
-            port=args.port,
-            cache_dir=args.cache_dir,
-            refine=not args.no_refine,
-        )
+        try:
+            run_server(
+                args.store,
+                host=args.host,
+                port=args.port,
+                cache_dir=args.cache_dir,
+                refine=not args.no_refine,
+                refine_jobs=args.jobs,
+            )
+        except ConfigurationError as exc:
+            print(f"starnet serve: error: {exc}", file=sys.stderr)
+            return 2
         return 0
     elif args.command == "sim":
         return _run_sim_command(args)

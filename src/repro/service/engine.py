@@ -63,6 +63,13 @@ class QueryEngine:
     refine:
         Master switch for background refinement (a query may also opt
         out individually).
+    refine_jobs:
+        Thread-lane count for draining the refinement queue (``starnet
+        serve --jobs``): ``None``/1 runs queued units serially, ``0``
+        one lane per core, N > 1 that many concurrent in-process lanes
+        (zero pickling — array-engine units overlap inside the compiled
+        kernel's GIL release).  Refined rows land in the store through
+        the same append path either way.
     auto_refresh:
         Re-index when the store's signature changes (set False only in
         benchmarks that want the index pinned).
@@ -74,11 +81,17 @@ class QueryEngine:
         *,
         cache_dir: str | Path | None = None,
         refine: bool = True,
+        refine_jobs: int | None = None,
         auto_refresh: bool = True,
     ):
         self.store = store if isinstance(store, ResultStore) else open_store(store)
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.refine_enabled = refine
+        # Validate eagerly so a bad --jobs fails at service start-up,
+        # not on the first cold query's background drain.
+        from repro.campaign.kinds import resolve_jobs
+
+        self.refine_jobs = resolve_jobs(refine_jobs)
         self.auto_refresh = auto_refresh
         if self.cache_dir is not None:
             cache.configure(self.cache_dir)
@@ -235,7 +248,13 @@ class QueryEngine:
             units = [self._queue.pop(k) for k in keys]
         if not units:
             return 0
-        run_units(units, store=self.store, cache_dir=self.cache_dir)
+        run_units(
+            units,
+            workers=self.refine_jobs,
+            executor="threads" if self.refine_jobs > 1 else "processes",
+            store=self.store,
+            cache_dir=self.cache_dir,
+        )
         self.counters["refined"] += len(units)
         return len(units)
 

@@ -303,9 +303,16 @@ def run_server(
     port: int = 8351,
     cache_dir=None,
     refine: bool = True,
+    refine_jobs: int | None = None,
 ) -> None:
-    """Build an engine over ``store`` and serve it until interrupted."""
-    engine = QueryEngine(store, cache_dir=cache_dir, refine=refine)
+    """Build an engine over ``store`` and serve it until interrupted.
+
+    ``refine_jobs`` sizes the refinement drain's in-process thread lanes
+    (``starnet serve --jobs``); queries are unaffected.
+    """
+    engine = QueryEngine(
+        store, cache_dir=cache_dir, refine=refine, refine_jobs=refine_jobs
+    )
     server = ServiceServer(engine, host=host, port=port)
     stats = engine.stats()
     print(

@@ -16,9 +16,11 @@ Two backends implement the same cycle semantics (``docs/simulation.md``):
   (:mod:`repro.simulation.state` / :mod:`repro.simulation.kernels`) that
   advance batched replications in one process.
 
-``UniformTraffic`` and friends are legacy aliases of the
-:mod:`repro.workloads` spatial patterns, kept for compatibility; prefer
-:class:`~repro.workloads.WorkloadSpec`.
+Traffic lives in :mod:`repro.workloads` (spatial patterns, temporal
+processes, the ``spatial[+temporal]`` grammar of
+:class:`~repro.workloads.WorkloadSpec`); the deprecated
+``repro.simulation.traffic`` aliases were removed after a deprecation
+period.
 """
 
 from repro.simulation.backends import (
@@ -40,12 +42,6 @@ from repro.simulation.metrics import (
 from repro.simulation.spec import SimSpec
 from repro.simulation.state import SimState
 from repro.workloads import WorkloadSpec
-from repro.workloads.spatial import (
-    HotspotSpatial as HotspotTraffic,
-    PermutationSpatial as PermutationTraffic,
-    SpatialPattern as TrafficPattern,
-    UniformSpatial as UniformTraffic,
-)
 
 __all__ = [
     "WorkloadSpec",
@@ -63,18 +59,4 @@ __all__ = [
     "SimulationResult",
     "LatencyAccumulator",
     "HopBlockingStats",
-    "TrafficPattern",
-    "UniformTraffic",
-    "HotspotTraffic",
-    "PermutationTraffic",
-    "make_traffic",
 ]
-
-
-def __getattr__(name: str):
-    if name == "make_traffic":
-        # Lazy so the deprecated shim's warning fires at use, not import.
-        from repro.simulation.traffic import make_traffic
-
-        return make_traffic
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

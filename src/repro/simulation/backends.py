@@ -69,6 +69,7 @@ def make_simulator(
     algorithm: RoutingAlgorithm,
     config: SimulationConfig,
     engine: str | None = None,
+    threads: int | None = None,
 ):
     """Build a single-run simulator on the selected backend.
 
@@ -77,8 +78,15 @@ def make_simulator(
     simulator exposes the backend's native interface (``step``/``run``;
     the array backend's ``run()`` returns a one-element list) — use
     :func:`simulate` when you just want a :class:`SimulationResult`.
+
+    ``threads`` sizes the array backend's kernel worker pool (results
+    are bit-identical for every value); the object engine is inherently
+    single-threaded and ignores it.
     """
-    return ENGINES[_resolve(engine, config)](topology, algorithm, config)
+    name = _resolve(engine, config)
+    if name == "object":
+        return _engine.WormholeSimulator(topology, algorithm, config)
+    return ArraySimulator(topology, algorithm, config, threads=threads)
 
 
 def simulate(
@@ -86,12 +94,13 @@ def simulate(
     algorithm: RoutingAlgorithm,
     config: SimulationConfig,
     engine: str | None = None,
+    threads: int | None = None,
 ) -> SimulationResult:
     """Run one simulation on the selected backend."""
     name = _resolve(engine, config)
     if name == "object":
         return _engine.simulate(topology, algorithm, config)
-    result = ArraySimulator(topology, algorithm, config).run()
+    result = ArraySimulator(topology, algorithm, config, threads=threads).run()
     return result[0]
 
 
@@ -102,6 +111,7 @@ def simulate_batch(
     replications: int = 1,
     seeds: Sequence[int] | None = None,
     engine: str | None = None,
+    threads: int | None = None,
 ) -> list[SimulationResult]:
     """Run R independent replications; one result per seed, in seed order.
 
@@ -127,7 +137,9 @@ def simulate_batch(
         return [
             _engine.simulate(topology, algorithm, config.with_seed(s)) for s in seeds
         ]
-    return ArraySimulator(topology, algorithm, config, seeds=seeds).run()
+    return ArraySimulator(
+        topology, algorithm, config, seeds=seeds, threads=threads
+    ).run()
 
 
 def simulate_many(
@@ -135,6 +147,7 @@ def simulate_many(
     algorithm: RoutingAlgorithm,
     configs: Sequence[SimulationConfig],
     engine: str | None = None,
+    threads: int | None = None,
 ) -> list[SimulationResult]:
     """Run heterogeneous configs together; one result per config, in order.
 
@@ -153,7 +166,9 @@ def simulate_many(
     name = _resolve(engine, configs[0])
     if name == "object":
         return [_engine.simulate(topology, algorithm, c) for c in configs]
-    return ArraySimulator(topology, algorithm, configs=configs).run()
+    return ArraySimulator(
+        topology, algorithm, configs=configs, threads=threads
+    ).run()
 
 
 def summarize_batch(results: Sequence[SimulationResult]) -> dict:

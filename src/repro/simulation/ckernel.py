@@ -26,14 +26,32 @@ import subprocess
 import tempfile
 import warnings
 from pathlib import Path
+from typing import NamedTuple
 
-__all__ = ["load_kernel"]
+__all__ = ["KernelBundle", "load_bundle", "load_kernel"]
 
 _SOURCE = Path(__file__).with_name("_ckernel.c")
 
 #: The kernel takes one int64 parameter block (see _ckernel.c for the
 #: slot layout) so each per-cycle call marshals a single pointer.
 _SIGNATURE: list = [ctypes.c_void_p]
+
+
+class KernelBundle(NamedTuple):
+    """The compiled entry points of one ``_ckernel.c`` build.
+
+    ``cycle`` runs one cycle of phases 2-5; ``run`` is the resident
+    driver that loops whole cycles in C; ``pool_new``/``pool_free``
+    manage the persistent worker-thread pool (``pool_new(n)`` returns an
+    opaque handle as int64, 0 when pool creation failed — callers fall
+    back to the serial path).
+    """
+
+    cycle: object
+    run: object
+    pool_new: object
+    pool_free: object
+
 
 _cached: tuple | None = None
 
@@ -71,7 +89,16 @@ def _build(source: Path, out: Path) -> bool:
         # without it for compilers that reject -march=native.
         for extra in (["-O3", "-march=native"], ["-O2"]):
             proc = subprocess.run(
-                [cc, *extra, "-shared", "-fPIC", "-o", tmp, str(source)],
+                [
+                    cc,
+                    *extra,
+                    "-shared",
+                    "-fPIC",
+                    "-pthread",
+                    "-o",
+                    tmp,
+                    str(source),
+                ],
                 capture_output=True,
                 timeout=120,
             )
@@ -102,8 +129,13 @@ def _fail(reason: str):
     return None
 
 
-def load_kernel():
-    """The compiled ``starnet_cycle`` function, or None when unavailable."""
+def load_bundle() -> KernelBundle | None:
+    """The compiled kernel entry points, or None when unavailable.
+
+    All four symbols load (or fail) as one unit: a build that exports
+    ``starnet_cycle`` but not the pool entry points is treated as a
+    failed load, so callers never see a half-threaded kernel.
+    """
     global _cached
     if _cached is not None:
         return _cached[0]
@@ -118,10 +150,26 @@ def load_kernel():
         if not so_path.exists() and not _build(_SOURCE, so_path):
             return _fail("no working C compiler")
         lib = ctypes.CDLL(str(so_path))
-        fn = lib.starnet_cycle
-        fn.argtypes = _SIGNATURE
-        fn.restype = ctypes.c_int64
-        _cached = (fn,)
-        return fn
+        cycle = lib.starnet_cycle
+        cycle.argtypes = _SIGNATURE
+        cycle.restype = ctypes.c_int64
+        run = lib.starnet_run
+        run.argtypes = _SIGNATURE
+        run.restype = ctypes.c_int64
+        pool_new = lib.starnet_pool_new
+        pool_new.argtypes = [ctypes.c_int64]
+        pool_new.restype = ctypes.c_int64
+        pool_free = lib.starnet_pool_free
+        pool_free.argtypes = [ctypes.c_int64]
+        pool_free.restype = None
+        bundle = KernelBundle(cycle, run, pool_new, pool_free)
+        _cached = (bundle,)
+        return bundle
     except (OSError, AttributeError) as exc:
         return _fail(f"{type(exc).__name__}: {exc}")
+
+
+def load_kernel():
+    """The compiled ``starnet_cycle`` function, or None when unavailable."""
+    bundle = load_bundle()
+    return bundle.cycle if bundle is not None else None

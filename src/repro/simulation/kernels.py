@@ -55,19 +55,36 @@ stream.  Both backends remain statistically equivalent (see
 ``docs/simulation.md`` for the equivalence contract).  Batching is
 invisible: a replication's result depends only on its own config and
 seed, never on its batch companions.
+
+Two further accelerations sit on top, both bit-identical by
+construction (see docs/simulation.md, "Parallelism model"):
+
+* **Worker threads.**  ``threads > 1`` gives the C kernel a persistent
+  pthread pool that partitions replications across cores each cycle;
+  per-replication work is staged and merged in fixed replication order,
+  so every thread count produces the same bits.
+* **The C-resident cycle loop.**  When the whole cycle can run in C
+  (compiled kernel present, stock floor arithmetic, block-safe
+  workload), :meth:`ArraySimulator.run` hands the loop to
+  ``starnet_run``, which also advances generation/activation/watchdog
+  and returns to Python only on events Python must service (block
+  refills, pool growth, memo misses, sampling, stops).  Set
+  ``STARNET_NO_RESIDENT=1`` to force the per-cycle path.
 """
 
 from __future__ import annotations
 
+import ctypes
 import heapq
 import math
-from collections import deque
+import os
+import weakref
 
 import numpy as np
 
 from repro.routing.base import MessageRouteState, RoutingAlgorithm, SelectionPolicy
-from repro.simulation.ckernel import load_kernel
-from repro.simulation.config import SimulationConfig
+from repro.simulation.ckernel import load_bundle
+from repro.simulation.config import SimulationConfig, resolve_threads
 from repro.simulation.metrics import (
     ChannelLoadSampler,
     HopBlockingStats,
@@ -100,6 +117,26 @@ _GEN_BLOCK = 64
 #: Fibonacci multiplier of the memo hash (mirrored in _ckernel.c).
 _GOLDEN = 0x9E3779B97F4A7C15
 _MASK64 = (1 << 64) - 1
+
+#: Widest topology for which the resident loop's N x N distance table
+#: is worth allocating; larger networks keep the per-cycle driver.
+_DIST_TABLE_MAX = 2048
+
+#: starnet_run return-reason bits (mirrored in _ckernel.c).
+_RUN_STOP = 1
+_RUN_PUNT = 2
+_RUN_MISS = 4
+_RUN_SAMPLE = 8
+_RUN_WATCHDOG = 16
+_RUN_CBERR = 32
+_RUN_ERR = 64
+
+#: Refill/query callback signature of the resident loop:
+#: ``cb(kind, a, b)`` with kind 0 = arrival-block refill (rep, node),
+#: 1 = destination-block refill (rep, node), 2 = distance (src, dst).
+_CB_TYPE = ctypes.CFUNCTYPE(
+    ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64
+)
 
 #: Structural config fields every replication of one batch must share.
 _SHARED_FIELDS = (
@@ -138,6 +175,12 @@ class ArraySimulator:
     homogeneous batch: one config, one seed per replication) or
     ``configs`` (heterogeneous work units: per-replication rate, seed and
     cycle windows — structural parameters must match).
+
+    ``threads`` sizes the compiled kernel's worker pool (precedence:
+    this argument, then ``STARNET_THREADS``, then ``config.threads``,
+    then 1; 0 means one thread per core).  Results are bit-identical for
+    every thread count; without the compiled kernel the numpy path runs
+    single-threaded and the setting is ignored.
     """
 
     def __init__(
@@ -147,6 +190,7 @@ class ArraySimulator:
         config: SimulationConfig | None = None,
         seeds: tuple[int, ...] | None = None,
         configs: list[SimulationConfig] | None = None,
+        threads: int | None = None,
     ):
         if configs is not None:
             if config is not None or seeds is not None:
@@ -286,34 +330,55 @@ class ArraySimulator:
         #: Stateful spatial patterns (trace replay) opt out of block
         #: buffering: their draw order across nodes is semantic.
         self._dest_blocks = getattr(self.spatial, "block_safe", True)
-        self._arr_buf: list[list[list[float]]] = [[[] for _ in range(N)] for _ in range(R)]
-        self._arr_pos = [[0] * N for _ in range(R)]
-        self._dst_buf: list[list[list[int]]] = [[[] for _ in range(N)] for _ in range(R)]
-        self._dst_pos = [[0] * N for _ in range(R)]
-        self._heaps: list[list[tuple[float, int]]] = []
+        # Generation state lives in flat arrays shared with the resident
+        # C loop: pre-drawn arrival/destination blocks with cursors, the
+        # next-arrival instant per node, and the linked-list source
+        # queues below.  One outstanding arrival per node makes the
+        # event order canonical — the smallest (instant, node) pair —
+        # so an argmin over the node row replaces the old heap exactly.
+        self._arr_buf = np.zeros((R, N, _GEN_BLOCK), dtype=np.float64)
+        self._arr_pos = np.zeros((R, N), dtype=np.int32)
+        self._arr_len = np.zeros((R, N), dtype=np.int32)
+        self._dst_buf = np.zeros((R, N, _GEN_BLOCK), dtype=np.int32)
+        self._dst_pos = np.zeros((R, N), dtype=np.int32)
+        self._dst_len = np.zeros((R, N), dtype=np.int32)
+        self._gen_node_t = np.full((R, N), math.inf, dtype=np.float64)
         for rep in range(R):
-            heap = []
             for node, src in enumerate(self._sources[rep]):
                 if src.rate == 0:
-                    heap.append((math.inf, node))
-                else:
-                    buf = src.draw_block(_GEN_BLOCK)
-                    self._arr_buf[rep][node] = buf
-                    # Seed with the first instant *unconsumed* (cursor 0):
-                    # the engines seed their heaps with peek(), so the
-                    # first event re-pushes the same instant — that quirk
-                    # is part of the frozen per-seed generation contract.
-                    heap.append((buf[0], node))
-            heapq.heapify(heap)
-            self._heaps.append(heap)
-        #: Per-replication heap tops, mirrored so the generation fast path
-        #: compares plain floats instead of touching heap tuples.
-        self._next_per_rep = [heap[0][0] for heap in self._heaps]
-        self._next_arrival = min(self._next_per_rep, default=math.inf)
-        self._queues: list[list[deque[int]]] = [
-            [deque() for _ in range(N)] for _ in range(R)
-        ]
-        self._activatable: set[tuple[int, int]] = set()
+                    continue
+                buf = src.draw_block(_GEN_BLOCK)
+                self._arr_buf[rep, node, : len(buf)] = buf
+                self._arr_len[rep, node] = len(buf)
+                # Seed with the first instant *unconsumed* (cursor 0):
+                # the engines seed their heaps with peek(), so the
+                # first event re-pushes the same instant — that quirk
+                # is part of the frozen per-seed generation contract.
+                self._gen_node_t[rep, node] = buf[0]
+        #: Per-replication minima of ``_gen_node_t``, so the generation
+        #: fast path compares one float per replication.
+        self._gen_next = self._gen_node_t.min(axis=1)
+        self._next_arrival = float(self._gen_next.min()) if R else math.inf
+        #: Python mirrors of the two arrays above: the stepwise
+        #: generation path peeks a per-rep (t, node) heap and writes
+        #: through to the arrays (which stay authoritative — the C loop
+        #: reads and updates them, after which _run_resident resyncs).
+        self._gen_next_list = self._gen_next.tolist()
+        self._rebuild_gen_heaps()
+        #: Nodes with messages to (re)activate, as a bitmap plus a dirty
+        #: flag — the array twin of the old ``_activatable`` set.
+        self._act = np.zeros((R, N), dtype=np.uint8)
+        #: Python mirror of the bitmap's set coords — the stepwise path
+        #: iterates the set (cheap), the C loop walks the bitmap; the
+        #: two are resynced whenever the C loop returns.
+        self._act_set: set[tuple[int, int]] = set()
+        self._act_any = False
+        #: Node-to-node distances for the resident loop (-1 until the
+        #: refill callback copies them out of ``_dist_memo``).
+        if N <= _DIST_TABLE_MAX:
+            self._dist_tab = np.full((N, N), -1, dtype=np.int32)
+        else:
+            self._dist_tab = None
         #: Optional generation-event tap for the trace-diff harness:
         #: called with (rep, node, t, dst) per generated message.
         self._gen_hook = None
@@ -324,6 +389,13 @@ class ArraySimulator:
 
         # -- pending headers / ejection columns --------------------------
         cap = self.state.capacity
+        #: Per-node source queues as linked lists over message slots
+        #: (resized with the pool): qnext[rep, s] chains slot s to the
+        #: next queued slot of the same node, -1 terminates.
+        self._qnext = np.full((R, cap), -1, dtype=np.int32)
+        self._qhead = np.full((R, N), -1, dtype=np.int32)
+        self._qtail = np.full((R, N), -1, dtype=np.int32)
+        self._qlen = np.zeros((R, N), dtype=np.int32)
         self._need_slots = np.zeros((R, cap), dtype=np.int32)
         self._need_n = np.zeros(R, dtype=np.int64)
         self._need_total = 0
@@ -337,6 +409,24 @@ class ArraySimulator:
         self._msg_cap = cap
         self._busy_vcs = 0
         self.cycle = 0
+        self._sample_int = self.config.sample_interval
+        self._Nn = N
+        # Raveled views of the per-event hot arrays (flat index
+        # rep*cap + slot or rep*N + node): scalar access through a 1-D
+        # view is markedly cheaper than tuple indexing, and every write
+        # lands in the authoritative 2-D array underneath.
+        self._f_qhead = self._qhead.ravel()
+        self._f_qtail = self._qtail.ravel()
+        self._f_qlen = self._qlen.ravel()
+        self._f_act = self._act.ravel()
+        self._f_ai = self.state.active_injections.ravel()
+        self._f_arr_pos = self._arr_pos.ravel()
+        self._f_arr_len = self._arr_len.ravel()
+        self._f_arr_buf = self._arr_buf.ravel()
+        self._f_dst_pos = self._dst_pos.ravel()
+        self._f_dst_len = self._dst_len.ravel()
+        self._f_dst_buf = self._dst_buf.ravel()
+        self._rebuild_flat_views()
 
         # Scratch buffers for the numpy transfer kernel's dense passes.
         RC = R * self._C
@@ -357,13 +447,41 @@ class ArraySimulator:
         # Optional compiled megakernel (bit-identical to the numpy path,
         # asserted in the test-suite).  Wide V uses the C scan, so the
         # kernel is loaded regardless of the LUT.
-        self._ck = load_kernel()
+        self._ck_bundle = load_bundle()
+        self._ck = None if self._ck_bundle is None else self._ck_bundle.cycle
         self._c_out = np.zeros(8, dtype=np.int64)
         self._c_args: np.ndarray | None = None
         self._c_msg_cap = -1
+        #: Scalar in/out block of the resident loop: {cycle, busy_vcs,
+        #: ejecting_count, need_total, reason, aux rep, spare, spare}.
+        self._c_rs = np.zeros(8, dtype=np.int64)
+        #: Uniform-gate mirror of (_u_headroom, _u_spend) for the C loop.
+        self._c_ugate = np.zeros(2, dtype=np.int64)
+        #: Per-replication staging block of the threaded kernel.
+        self._c_tstage = np.zeros(R * 8, dtype=np.int64)
+        #: ctypes callback handed to starnet_run for block refills and
+        #: distance queries; exceptions are stashed and re-raised after
+        #: the C call returns.
+        self._cb_exc: BaseException | None = None
+        self._c_cb = _CB_TYPE(self._cb_dispatch)
+        self._c_cb_ptr = ctypes.cast(self._c_cb, ctypes.c_void_p).value or 0
+        self._no_resident = bool(os.environ.get("STARNET_NO_RESIDENT"))
 
-        self._last_progress = [0] * R
-        self._progress_marks = [-1] * R
+        # Kernel worker-thread pool: spawned once per simulator, freed
+        # by the finalizer.  Pool creation failure (or a missing kernel)
+        # degrades silently to the serial path — same bits either way.
+        self._threads = resolve_threads(threads, base.threads)
+        self._pool_ptr = 0
+        if self._threads > 1 and self._ck_bundle is not None:
+            ptr = int(self._ck_bundle.pool_new(self._threads))
+            if ptr:
+                self._pool_ptr = ptr
+                self._pool_finalizer = weakref.finalize(
+                    self, self._ck_bundle.pool_free, ptr
+                )
+
+        self._last_progress = np.zeros(R, dtype=np.int64)
+        self._progress_marks = np.full(R, -1, dtype=np.int64)
         # Message/latency bookkeeping lives in flat numpy arrays shared
         # with the compiled megakernel, which handles completions (phase
         # 5) without a Python round-trip; the numpy fallback updates the
@@ -371,8 +489,8 @@ class ArraySimulator:
         self._in_flight = np.zeros(R, dtype=np.int64)
         self._measured_in_flight = np.zeros(R, dtype=np.int64)
         self._completed = np.zeros(R, dtype=np.int64)
-        self._generated = [0] * R
-        self._measured_generated = [0] * R
+        self._generated = np.zeros(R, dtype=np.int64)
+        self._measured_generated = np.zeros(R, dtype=np.int64)
         self._injected = np.zeros(R, dtype=np.int64)
         self.alloc_attempts = np.zeros(R, dtype=np.int64)
         self.alloc_failures = np.zeros(R, dtype=np.int64)
@@ -381,6 +499,12 @@ class ArraySimulator:
         self._warm = [c.warmup_cycles for c in configs]
         self._horizon_per = [c.horizon for c in configs]
         self._end_per = [c.horizon + c.drain_cycles for c in configs]
+        self._warm_np = np.array(self._warm, dtype=np.int64)
+        self._horizon_np = np.array(self._horizon_per, dtype=np.int64)
+        self._end_np = np.array(self._end_per, dtype=np.int64)
+        #: 1 while the replication's result is not yet frozen (the
+        #: resident loop's mirror of ``_final[rep] is None``).
+        self._active_np = np.ones(R, dtype=np.uint8)
         for c in configs:
             if c.batches < 1:
                 raise ValueError("batches must be >= 1")
@@ -431,7 +555,15 @@ class ArraySimulator:
         every replication has stopped.  Accumulator-derived values are
         frozen in the snapshot so a replication with an early horizon is
         untouched by its companions' remaining cycles.
+
+        When the compiled kernel can run the whole cycle (stock floor
+        arithmetic, no test seams, block-safe workload), the loop itself
+        moves into C (``starnet_run``) and Python is re-entered only on
+        refill/growth/miss/sample/stop events — same bits, one ctypes
+        crossing per *event* instead of per cycle.
         """
+        if self._resident_ok():
+            return self._run_resident()
         R = self._R
         horizons = self._horizon_per
         ends = self._end_per
@@ -450,12 +582,137 @@ class ArraySimulator:
                     and (cyc >= ends[rep] or self._measured_in_flight[rep] == 0)
                 ):
                     final[rep] = self._snapshot(rep)
-                    # A stopped replication generates no further traffic.
-                    self._next_per_rep[rep] = math.inf
+                    self._stop_rep(rep)
                     remaining -= 1
             if remaining == 0:
                 break
             step()
+        return [self._result(rep) for rep in range(R)]
+
+    def _stop_rep(self, rep: int) -> None:
+        """Freeze one replication: no further traffic, samples or checks."""
+        self._gen_next[rep] = math.inf
+        self._gen_next_list[rep] = math.inf
+        self._next_arrival = min(self._gen_next_list)
+        self._active_np[rep] = 0
+
+    def _resident_ok(self) -> bool:
+        """May :meth:`run` hand the cycle loop to ``starnet_run``?
+
+        Requires the compiled kernel with in-C allocation, no Python
+        seams (``_choose_vc``/``_gen_hook``), a block-safe workload and
+        a distance table; ``STARNET_NO_RESIDENT`` (or clearing the
+        ``_no_resident`` attribute's inverse in tests) forces the
+        per-cycle driver, which produces identical bits.
+        """
+        return (
+            self._ck is not None
+            and self._ck_bundle is not None
+            and self._c_alloc_ok
+            and self._choose_vc is None
+            and self._gen_hook is None
+            and self._dest_blocks
+            and self._dist_tab is not None
+            and not self._no_resident
+        )
+
+    def _run_resident(self) -> list[SimulationResult]:
+        """The in-C run loop: drive ``starnet_run`` event to event.
+
+        Scalar state crosses through the run-state block; every return
+        reason maps onto exactly the work the per-cycle driver would
+        have done at the same point, so the two run paths are
+        bit-identical cycle for cycle.
+        """
+        R = self._R
+        st = self.state
+        final = self._final
+        horizons = self._horizon_per
+        ends = self._end_per
+        run = self._ck_bundle.run
+        rs = self._c_rs
+        remaining = sum(1 for f in final if f is None)
+        while remaining:
+            if self._msg_cap != st.capacity:
+                self._sync_msg_cap()
+            if self._c_args is None or self._c_msg_cap != st.capacity:
+                self._refresh_c_args()
+            self._c_ugate[0] = self._u_headroom
+            self._c_ugate[1] = self._u_spend
+            rs[0] = self.cycle
+            rs[1] = self._busy_vcs
+            rs[2] = self._ejecting_count
+            rs[3] = self._need_total
+            self._cb_exc = None
+            run(self._c_params_ptr)
+            reason = int(rs[4])
+            self.cycle = int(rs[0])
+            self._busy_vcs = int(rs[1])
+            self._ejecting_count = int(rs[2])
+            self._need_total = int(rs[3])
+            self._u_headroom = int(self._c_ugate[0])
+            self._u_spend = int(self._c_ugate[1])
+            self._gen_next_list = self._gen_next.tolist()
+            self._rebuild_gen_heaps()
+            self._next_arrival = min(self._gen_next_list) if R else math.inf
+            nz = np.nonzero(self._act)
+            self._act_set = set(zip(nz[0].tolist(), nz[1].tolist()))
+            self._act_any = bool(self._act_set)
+            if reason & _RUN_CBERR:
+                exc = self._cb_exc
+                self._cb_exc = None
+                if exc is not None:
+                    raise exc
+                raise SimulationError(
+                    "resident-loop refill callback failed without an exception"
+                )
+            if reason & _RUN_ERR:
+                raise SimulationError(
+                    f"compiled cycle kernel invariant failure at cycle "
+                    f"{self.cycle} (non-minimal route, unresolved routing "
+                    "memo, or a completed message still owning channels)"
+                )
+            if reason & _RUN_MISS:
+                # Same resolution (and memo-id order) as _cycle_c's tail.
+                cap = st.capacity
+                for mf in self._c_miss[: int(self._c_out[4])].tolist():
+                    rep = mf // cap
+                    self._resolve_memo(rep, mf - rep * cap)
+            if reason & _RUN_WATCHDOG:
+                rep = int(rs[5])
+                grace = self._c_grace
+                raise SimulationError(
+                    f"no progress for {grace} cycles at cycle {self.cycle} "
+                    f"with {self._in_flight[rep]} messages in flight "
+                    f"(replication {rep}, seed {self.seeds[rep]}) — "
+                    "routing deadlock?"
+                )
+            if reason & _RUN_SAMPLE:
+                cyc = self.cycle - 1  # the cycle the kernel just finished
+                stats = None
+                for rep in range(R):
+                    if final[rep] is None and cyc >= self._warm[rep]:
+                        if stats is None:
+                            stats = self._sample_stats()
+                        self._sampler[rep].sample_scalars(
+                            stats[0][rep], stats[1][rep], stats[2][rep]
+                        )
+            if reason & _RUN_PUNT:
+                # The cycle needs Python (buffer refill, pool growth,
+                # memo insert, ejection-row growth): run exactly this
+                # one cycle through the per-cycle driver and re-enter.
+                self.step()
+            if reason & _RUN_STOP:
+                cyc = self.cycle
+                for rep in range(R):
+                    if (
+                        final[rep] is None
+                        and cyc >= horizons[rep]
+                        and (cyc >= ends[rep] or self._measured_in_flight[rep] == 0)
+                    ):
+                        final[rep] = self._snapshot(rep)
+                        self._stop_rep(rep)
+                        remaining -= 1
         return [self._result(rep) for rep in range(R)]
 
     def step(self) -> None:
@@ -463,7 +720,7 @@ class ArraySimulator:
         cycle = self.cycle
         if cycle >= self._next_arrival:
             self._generate(cycle)
-        if self._activatable:
+        if self._act_any:
             self._activate()
         c_alloc = self._c_alloc_ok and self._choose_vc is None
         if self._ck is not None:
@@ -483,18 +740,30 @@ class ArraySimulator:
                 self._apply_ejections(picks, cycle)
         if (cycle & 31) == 0:
             self._watchdog(cycle)
-        if cycle % self.config.sample_interval == 0:
-            counts = None
+        if cycle % self._sample_int == 0:
+            stats = None
             final = self._final
             for rep in range(self._R):
                 # A replication samples only inside its own post-warmup
                 # life — batch companions must not influence its
                 # multiplexing estimate.
                 if final[rep] is None and cycle >= self._warm[rep]:
-                    if counts is None:
-                        counts = self.state.busy_vc_counts()
-                    self._sampler[rep].sample_counts(counts[rep])
+                    if stats is None:
+                        stats = self._sample_stats()
+                    self._sampler[rep].sample_scalars(
+                        stats[0][rep], stats[1][rep], stats[2][rep]
+                    )
         self.cycle = cycle + 1
+
+    def _sample_stats(self) -> tuple[list[int], list[int], list[int]]:
+        """Per-rep busy-channel moments off the maintained ch_busy array
+        (== busy_vc_counts row reductions, in three vector passes)."""
+        cb = self.state.ch_busy.astype(np.int64)
+        return (
+            cb.sum(axis=1).tolist(),
+            (cb * cb).sum(axis=1).tolist(),
+            np.count_nonzero(cb, axis=1).tolist(),
+        )
 
     def _watchdog(self, cycle: int) -> None:
         """Periodic stall check (every 32 cycles).
@@ -503,18 +772,14 @@ class ArraySimulator:
         successful allocations, completed messages — instead of a
         per-cycle flag, so the common fully-loaded cycle pays nothing.
         """
-        transfers = self.state.transfers
+        transfers = self.state.transfers.tolist()
         marks = self._progress_marks
         last = self._last_progress
-        attempts = self.alloc_attempts
-        failures = self.alloc_failures
+        attempts = self.alloc_attempts.tolist()
+        failures = self.alloc_failures.tolist()
+        completed = self._completed.tolist()
         for rep in range(self._R):
-            p = (
-                int(transfers[rep])
-                + int(self._completed[rep])
-                + int(attempts[rep])
-                - int(failures[rep])
-            )
+            p = transfers[rep] + completed[rep] + attempts[rep] - failures[rep]
             if p != marks[rep]:
                 marks[rep] = p
                 last[rep] = cycle
@@ -538,94 +803,234 @@ class ArraySimulator:
     # Phase 1 — generation and activation (event-driven, per replication)
     # ------------------------------------------------------------------
 
+    def _refill_arr(self, rep: int, node: int) -> None:
+        """Refill one node's pre-drawn arrival block, cursor reset."""
+        buf = self._sources[rep][node].draw_block(_GEN_BLOCK)
+        self._arr_buf[rep, node, : len(buf)] = buf
+        self._arr_len[rep, node] = len(buf)
+        self._arr_pos[rep, node] = 0
+
+    def _refill_dst(self, rep: int, node: int) -> None:
+        """Refill one node's pre-drawn destination block, cursor reset."""
+        buf = self.spatial.destinations_block(
+            node, _GEN_BLOCK, self._dest_rng[rep][node]
+        )
+        self._dst_buf[rep, node, : len(buf)] = buf
+        self._dst_len[rep, node] = len(buf)
+        self._dst_pos[rep, node] = 0
+
+    def _cb_dispatch(self, kind: int, a: int, b: int) -> int:
+        """``starnet_run``'s service callback (ctypes re-acquires the GIL).
+
+        kind 0/1 refill one node's arrival/destination block, kind 2
+        answers a distance query (memoized, and copied into the dense
+        table so the C loop never asks twice).  Exceptions can't cross
+        the C frame: they are stashed for :meth:`_run_resident` to
+        re-raise and signalled to C as -1 (→ CBERR return).
+        """
+        try:
+            if kind == 0:
+                self._refill_arr(a, b)
+                return 0
+            if kind == 1:
+                self._refill_dst(a, b)
+                return 0
+            key = a * self.state.num_nodes + b
+            dist = self._dist_memo.get(key)
+            if dist is None:
+                dist = self.topology.distance(a, b)
+                self._dist_memo[key] = dist
+            self._dist_tab[a, b] = dist
+            return dist
+        except BaseException as exc:  # noqa: BLE001 — crossing a C frame
+            self._cb_exc = exc
+            return -1
+
     def _next_arrival_time(self, rep: int, node: int) -> float:
         """Pop the node's next arrival instant from its pre-drawn block."""
-        buf = self._arr_buf[rep][node]
-        pos = self._arr_pos[rep][node]
-        if pos >= len(buf):
-            buf = self._sources[rep][node].draw_block(_GEN_BLOCK)
-            self._arr_buf[rep][node] = buf
+        k = rep * self._Nn + node
+        pos = int(self._f_arr_pos[k])
+        if pos >= int(self._f_arr_len[k]):
+            self._refill_arr(rep, node)
             pos = 0
-        self._arr_pos[rep][node] = pos + 1
-        return buf[pos]
+        self._f_arr_pos[k] = pos + 1
+        return float(self._f_arr_buf[k * _GEN_BLOCK + pos])
 
     def _next_dest(self, rep: int, node: int) -> int:
         """Pop the node's next destination from its pre-drawn block."""
         if not self._dest_blocks:
             return self.spatial.destination(node, self._dest_rng[rep][node])
-        buf = self._dst_buf[rep][node]
-        pos = self._dst_pos[rep][node]
-        if pos >= len(buf):
-            buf = self.spatial.destinations_block(
-                node, _GEN_BLOCK, self._dest_rng[rep][node]
-            )
-            self._dst_buf[rep][node] = buf
+        k = rep * self._Nn + node
+        pos = int(self._f_dst_pos[k])
+        if pos >= int(self._f_dst_len[k]):
+            self._refill_dst(rep, node)
             pos = 0
-        self._dst_pos[rep][node] = pos + 1
-        return buf[pos]
+        self._f_dst_pos[k] = pos + 1
+        return int(self._f_dst_buf[k * _GEN_BLOCK + pos])
 
     def _generate(self, cycle: int) -> None:
         st = self.state
         N = st.num_nodes
         dist_memo = self._dist_memo
-        nexts = self._next_per_rep
-        nxt = math.inf
+        dist_tab = self._dist_tab
+        gen_next = self._gen_next
+        gnl = self._gen_next_list
+        fcycle = float(cycle)
+        cap = self._msg_cap
+        (f_tgen, f_src, f_ejd, f_meas, f_dst, f_hdr, f_dist, f_flr,
+         f_hops, f_fa, f_memo, f_qnext) = self._flatc
+        f_qhead = self._f_qhead
+        f_qtail = self._f_qtail
+        f_qlen = self._f_qlen
+        f_act = self._f_act
+        act_set = self._act_set
         for rep in range(self._R):
-            if nexts[rep] > cycle:
-                if nexts[rep] < nxt:
-                    nxt = nexts[rep]
+            if gnl[rep] > fcycle:
                 continue
-            heap = self._heaps[rep]
+            nt = self._gen_node_t[rep]
+            heap = self._gen_heaps[rep]
             warm = self._warm[rep]
             horizon = self._horizon_per[rep]
-            queues = self._queues[rep]
-            while heap[0][0] <= cycle:
-                t, node = heapq.heappop(heap)
+            nb = rep * N
+            mb = rep * cap
+            g = mg = 0
+            while True:
+                # One outstanding arrival per node makes (t, node) pairs
+                # unique, so heap (t, node) order ≡ the array's strict
+                # first-minimum scan (what the C loop performs).
+                t, node = heap[0]
+                if t > fcycle:
+                    gen_next[rep] = t
+                    gnl[rep] = t
+                    break
+                heapq.heappop(heap)
                 dst = self._next_dest(rep, node)
                 key = node * N + dst
                 dist = dist_memo.get(key)
                 if dist is None:
                     dist = self.topology.distance(node, dst)
                     dist_memo[key] = dist
+                if dist_tab is not None:
+                    dist_tab[node, dst] = dist
                 s = st.alloc_slot(rep)
-                st.msg_t_gen[rep, s] = t
-                st.msg_src[rep, s] = node
-                st.msg_ejected[rep, s] = 0
+                if cap != st.capacity:
+                    self._sync_msg_cap()  # pool grew: views reallocated
+                    cap = self._msg_cap
+                    (f_tgen, f_src, f_ejd, f_meas, f_dst, f_hdr, f_dist,
+                     f_flr, f_hops, f_fa, f_memo, f_qnext) = self._flatc
+                    mb = rep * cap
+                i = mb + s
+                f_tgen[i] = t
+                f_src[i] = node
+                f_ejd[i] = 0
                 measured = warm <= t < horizon
-                st.msg_measured[rep, s] = measured
-                st.p_dst[rep, s] = dst
-                st.p_header[rep, s] = node
-                st.p_dist[rep, s] = dist
-                st.p_floor[rep, s] = 0
-                st.p_hops[rep, s] = 0
-                st.p_first_attempt[rep, s] = -1
-                st.msg_memo[rep, s] = -1
-                self._generated[rep] += 1
+                f_meas[i] = measured
+                f_dst[i] = dst
+                f_hdr[i] = node
+                f_dist[i] = dist
+                f_flr[i] = 0
+                f_hops[i] = 0
+                f_fa[i] = -1
+                f_memo[i] = -1
+                g += 1
                 if measured:
-                    self._measured_generated[rep] += 1
-                queues[node].append(s)
-                self._activatable.add((rep, node))
+                    mg += 1
+                f_qnext[i] = -1
+                k = nb + node
+                tail = int(f_qtail[k])
+                if tail < 0:
+                    f_qhead[k] = s
+                else:
+                    f_qnext[mb + tail] = s
+                f_qtail[k] = s
+                f_qlen[k] += 1
+                f_act[k] = 1
+                act_set.add((rep, node))
                 if self._gen_hook is not None:
                     self._gen_hook(rep, node, t, dst)
-                heapq.heappush(heap, (self._next_arrival_time(rep, node), node))
-            top = heap[0][0]
-            nexts[rep] = top
-            if top < nxt:
-                nxt = top
-        self._next_arrival = nxt
+                tn = self._next_arrival_time(rep, node)
+                heapq.heappush(heap, (tn, node))
+                nt[node] = tn
+            if g:
+                self._generated[rep] += g
+                if mg:
+                    self._measured_generated[rep] += mg
+                self._act_any = True
+        self._next_arrival = min(gnl)
+
+    def _rebuild_gen_heaps(self) -> None:
+        """Re-derive the per-rep (t, node) event heaps from the array."""
+        self._gen_heaps = [
+            [(t, n) for n, t in enumerate(row)]
+            for row in self._gen_node_t.tolist()
+        ]
+        for h in self._gen_heaps:
+            heapq.heapify(h)
 
     def _activate(self) -> None:
         st = self.state
-        for rep, node in sorted(self._activatable):
-            queue = self._queues[rep][node]
-            while queue and st.active_injections[rep, node] < self._slots:
-                s = queue.popleft()
-                st.active_injections[rep, node] += 1
-                self._in_flight[rep] += 1
-                if st.msg_measured[rep, s]:
-                    self._measured_in_flight[rep] += 1
-                self._queue_need(rep, s)
-        self._activatable.clear()
+        N = st.num_nodes
+        cap = self._msg_cap
+        slots = self._slots
+        flatc = self._flatc
+        f_meas = flatc[3]
+        f_dst = flatc[4]
+        f_memo = flatc[10]
+        f_qnext = flatc[11]
+        f_qhead = self._f_qhead
+        f_qtail = self._f_qtail
+        f_qlen = self._f_qlen
+        f_act = self._f_act
+        f_ai = self._f_ai
+        f_need_slots = self._f_need_slots
+        need_n = self._need_n
+        memo_ids = self._memo_ids
+        total_new = 0
+        # The set mirrors the bitmap's nonzero coords, so sorted order
+        # == the bitmap's row-major order (what the C loop walks).
+        for rep, node in sorted(self._act_set):
+            k = rep * N + node
+            n = int(f_qlen[k])
+            a = int(f_ai[k])
+            if n and a < slots:
+                mb = rep * cap
+                head = int(f_qhead[k])
+                nn = int(need_n[rep])
+                popped = mcount = 0
+                while n and a < slots:
+                    s = head
+                    i = mb + s
+                    head = int(f_qnext[i])
+                    n -= 1
+                    a += 1
+                    popped += 1
+                    if f_meas[i]:
+                        mcount += 1
+                    # A message entering injection has never routed, so
+                    # its memo key is always (src, dst, floor=0, hops=0)
+                    # — same id-assignment order as _queue_need.
+                    key = (node, int(f_dst[i]), 0, 0)
+                    mid = memo_ids.get(key)
+                    if mid is None:
+                        mid = self._new_memo(key)
+                    f_memo[i] = mid
+                    f_need_slots[mb + nn] = s
+                    nn += 1
+                f_qhead[k] = head
+                if head < 0:
+                    f_qtail[k] = -1
+                f_qlen[k] = n
+                f_ai[k] = a
+                need_n[rep] = nn
+                self._in_flight[rep] += popped
+                if mcount:
+                    self._measured_in_flight[rep] += mcount
+                total_new += popped
+            f_act[k] = 0
+        if total_new:
+            self._need_total += total_new
+        self._act_set.clear()
+        self._act_any = False
 
     # ------------------------------------------------------------------
     # Routing memo (candidate tables shared by both kernels)
@@ -1049,13 +1454,17 @@ class ArraySimulator:
         """Messages whose tail flit just left the PE free their source slot."""
         st = self.state
         CV = self._CV
-        activatable = self._activatable
+        act = self._act
+        act_set = self._act_set
         for aflat in fin.tolist():
             rep = aflat // CV
             slot = int(st.owner_flat[aflat])
             node = int(st.msg_src[rep, slot])
             st.active_injections[rep, node] -= 1
-            activatable.add((rep, node))
+            act[rep, node] = 1
+            act_set.add((rep, node))
+        if len(fin):
+            self._act_any = True
 
     def _release(self, flats: np.ndarray) -> None:
         """Free drained VCs (tail flit crossed and downstream buffer empty).
@@ -1097,12 +1506,40 @@ class ArraySimulator:
         ns = np.zeros((R, new), dtype=np.int32)
         ns[:, :old] = self._need_slots
         self._need_slots = ns
+        qn = np.full((R, new), -1, dtype=np.int32)
+        qn[:, :old] = self._qnext
+        self._qnext = qn
         ep = np.full((R, new), -1, dtype=np.int64)
         ep[:, :old] = self._ej_pos
         self._ej_pos = ep
         n = self._ejecting_count
         self._ej_mflats[:n] = self._ej_reps[:n] * new + self._ej_slots[:n]
         self._c_args = None  # msg_* arrays were reallocated too
+        self._rebuild_flat_views()
+
+    def _rebuild_flat_views(self) -> None:
+        """Refresh the raveled views of the capacity-sized arrays.
+
+        The message pool's arrays are reallocated whenever it grows, so
+        the 1-D views the generation/activation hot paths index through
+        must be re-derived alongside (``_sync_msg_cap`` calls this).
+        """
+        st = self.state
+        self._flatc = (
+            st.msg_t_gen.ravel(),
+            st.msg_src.ravel(),
+            st.msg_ejected.ravel(),
+            st.msg_measured.ravel(),
+            st.p_dst.ravel(),
+            st.p_header.ravel(),
+            st.p_dist.ravel(),
+            st.p_floor.ravel(),
+            st.p_hops.ravel(),
+            st.p_first_attempt.ravel(),
+            st.msg_memo.ravel(),
+            self._qnext.ravel(),
+        )
+        self._f_need_slots = self._need_slots.ravel()
 
     def _grow_ej_rows(self) -> None:
         n = self._ejecting_count
@@ -1232,6 +1669,14 @@ class ArraySimulator:
         self._c_miss = np.empty(RC, dtype=np.int64)
         self._c_msg_cap = st.capacity
         ej_rate = -1 if self._ej_rate is None else int(self._ej_rate)
+        grace = self.config.watchdog_grace
+        if grace is None:
+            # The object engine's module default, resolved late so a
+            # monkeypatched _WATCHDOG_GRACE governs the resident loop too.
+            from repro.simulation import engine as engine_mod
+
+            grace = engine_mod._WATCHDOG_GRACE
+        self._c_grace = grace
         params = np.array(
             [
                 st.vc_bd.ctypes.data,  # 0
@@ -1319,6 +1764,39 @@ class ArraySimulator:
                 self._w_width.ctypes.data,  # 82
                 self._w_batches.ctypes.data,  # 83
                 self._Bmax,  # 84
+                self._c_tstage.ctypes.data,  # 85
+                self._threads,  # 86
+                self._pool_ptr,  # 87
+                self._gen_node_t.ctypes.data,  # 88
+                self._gen_next.ctypes.data,  # 89
+                self._arr_buf.ctypes.data,  # 90
+                self._arr_pos.ctypes.data,  # 91
+                self._arr_len.ctypes.data,  # 92
+                self._dst_buf.ctypes.data,  # 93
+                self._dst_pos.ctypes.data,  # 94
+                self._dst_len.ctypes.data,  # 95
+                _GEN_BLOCK,  # 96
+                self._qnext.ctypes.data,  # 97
+                self._qhead.ctypes.data,  # 98
+                self._qtail.ctypes.data,  # 99
+                self._qlen.ctypes.data,  # 100
+                self._act.ctypes.data,  # 101
+                0 if self._dist_tab is None else self._dist_tab.ctypes.data,  # 102
+                self._c_cb_ptr,  # 103
+                self._generated.ctypes.data,  # 104
+                self._measured_generated.ctypes.data,  # 105
+                self._warm_np.ctypes.data,  # 106
+                self._horizon_np.ctypes.data,  # 107
+                self._end_np.ctypes.data,  # 108
+                self._active_np.ctypes.data,  # 109
+                self._slots,  # 110
+                grace,  # 111
+                self._progress_marks.ctypes.data,  # 112
+                self._last_progress.ctypes.data,  # 113
+                self.config.sample_interval,  # 114
+                self._c_ugate.ctypes.data,  # 115
+                self._ej_cap_rows,  # 116
+                self._c_rs.ctypes.data,  # 117
             ],
             dtype=np.int64,
         )
@@ -1356,25 +1834,28 @@ class ArraySimulator:
         params[_DO_ALLOC_SLOT] = do_alloc
         params[_CYCLE_SLOT] = cycle
         self._ck(self._c_params_ptr)
-        out = self._c_out
+        out = self._c_out.tolist()  # one bulk read beats 6 scalar reads
         if out[5]:
             raise SimulationError(
                 f"compiled cycle kernel invariant failure at cycle {cycle} "
                 "(non-minimal route, unresolved routing memo, or a "
                 "completed message still owning channels)"
             )
-        self._busy_vcs += int(out[1])
-        self._ejecting_count = int(out[6])
+        self._busy_vcs += out[1]
+        self._ejecting_count = out[6]
         # Allocation consumed headers and/or ready events appended some:
         # the C-side sum is authoritative either way.
-        self._need_total = int(out[7])
-        fn = int(out[2])
-        rm = int(out[4])
+        self._need_total = out[7]
+        fn = out[2]
+        rm = out[4]
         if fn:
             N = st.num_nodes
-            activatable = self._activatable
+            af = self._f_act
+            act_set = self._act_set
             for x in self._c_fin[:fn].tolist():
-                activatable.add((x // N, x % N))
+                af[x] = 1
+                act_set.add((x // N, x % N))
+            self._act_any = True
         if rm:
             # Headers whose new routing state missed the C-side hash:
             # resolve in Python (insertion order = C's report order, so
@@ -1419,9 +1900,9 @@ class ArraySimulator:
         return {
             "cycles_run": self.cycle,
             "transfers": int(self.state.transfers[rep]),
-            "backlog": sum(len(q) for q in self._queues[rep]),
-            "generated": self._generated[rep],
-            "measured_generated": self._measured_generated[rep],
+            "backlog": int(self._qlen[rep].sum()),
+            "generated": int(self._generated[rep]),
+            "measured_generated": int(self._measured_generated[rep]),
             "incomplete": int(self._measured_in_flight[rep]),
             "completed": int(self._completed[rep]),
             "injected_in_window": int(self._injected[rep]),

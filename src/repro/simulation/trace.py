@@ -54,10 +54,28 @@ _STATE_FIELDS = (
     "msg_memo",
 )
 
-#: Simulator-side accumulator arrays hashed in full.
+#: Simulator-side accumulator arrays hashed in full.  The generation
+#: state (pre-drawn blocks, cursors, per-node next arrivals, source-queue
+#: links, activation bitmap) is included so the digests also pin the
+#: resident C loop and every kernel thread count to the same bits.
 _SIM_FIELDS = (
     "_ej_pos",
     "_alloc_pos",
+    "_gen_node_t",
+    "_gen_next",
+    "_arr_buf",
+    "_arr_pos",
+    "_arr_len",
+    "_dst_buf",
+    "_dst_pos",
+    "_dst_len",
+    "_qnext",
+    "_qhead",
+    "_qtail",
+    "_qlen",
+    "_act",
+    "_generated",
+    "_measured_generated",
     "_in_flight",
     "_measured_in_flight",
     "_completed",
