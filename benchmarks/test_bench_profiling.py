@@ -1,0 +1,61 @@
+"""Instrumentation-overhead benchmark: profiling off vs on.
+
+The observability contract (docs/observability.md) is that phase
+profiling is opt-in and the off path costs nothing — the kernel sees a
+NULL profiling pointer and every timing call short-circuits.  This
+benchmark runs the same 16-replication S4 batch with ``profile=False``
+and ``profile=True`` back to back and records the on/off wall-time
+ratio.  The off path's absolute time stays accountable to the guarded
+``test_bench_engine`` gate; the ratio here documents what turning the
+clocks on costs (expected: a few percent — two ``clock_gettime`` pairs
+per resident cycle plus the per-phase accumulations).
+"""
+
+import time
+
+from repro.routing import EnhancedNbc
+from repro.simulation import simulate_batch, summarize_batch
+from repro.topology import StarGraph
+
+from benchmarks.test_bench_engine import REPLICATIONS, _config
+
+
+def test_bench_profiling_overhead_s4(benchmark, once):
+    """16-rep S4 batch, instrumentation off vs on, same results either way."""
+    topology = StarGraph(4)
+    cfg = _config(64, warmup_cycles=1_000, measure_cycles=3_000, drain_cycles=3_000)
+
+    # Warm the compiled kernel and memo caches outside both timed runs.
+    simulate_batch(topology, EnhancedNbc(), cfg, REPLICATIONS, engine="array")
+
+    t0 = time.perf_counter()
+    plain = simulate_batch(topology, EnhancedNbc(), cfg, REPLICATIONS, engine="array")
+    wall_off = time.perf_counter() - t0
+
+    profiled = once(
+        simulate_batch,
+        topology,
+        EnhancedNbc(),
+        cfg,
+        REPLICATIONS,
+        engine="array",
+        profile=True,
+    )
+    prof = summarize_batch(profiled)["phase_ns"]
+    wall_on = prof["total"] / 1e9
+
+    # Observation-only: the profiled batch reproduces the plain batch bit
+    # for bit, replication by replication.
+    for a, b in zip(plain, profiled):
+        assert a.mean_latency == b.mean_latency
+        assert a.messages_measured == b.messages_measured
+        assert a.cycles_run == b.cycles_run
+
+    benchmark.extra_info["wall_off_s"] = round(wall_off, 4)
+    benchmark.extra_info["wall_on_s"] = round(wall_on, 4)
+    benchmark.extra_info["overhead_ratio"] = round(wall_on / wall_off, 3)
+    for phase in ("generation", "activation", "route", "complete", "other"):
+        benchmark.extra_info[f"{phase}_share"] = round(prof[phase] / prof["total"], 4)
+    # Generous sanity bound, not a perf gate: instrumentation must never
+    # approach the cost of the work it measures.
+    assert wall_on < wall_off * 3

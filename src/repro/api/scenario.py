@@ -68,6 +68,7 @@ def run_units(
     resume: bool = False,
     cache_dir=None,
     progress=None,
+    events=None,
 ) -> CampaignResult:
     """Run campaign work units — the facade's one execution funnel.
 
@@ -76,6 +77,8 @@ def run_units(
     ``executor="threads"`` swaps the ``workers > 1`` process pool for an
     in-process thread pool (zero pickling; the array engine's compiled
     kernel releases the GIL, so its units genuinely overlap).
+    ``events`` (a JSONL path or :class:`repro.obs.EventSink`) streams
+    per-unit lifecycle telemetry — see ``docs/observability.md``.
     """
     return run_campaign(
         units,
@@ -85,6 +88,7 @@ def run_units(
         resume=resume,
         cache_dir=cache_dir,
         progress=progress,
+        events=events,
     )
 
 

@@ -198,7 +198,9 @@ def _run_fused_group(units: list, threads: int | None = None) -> list[Any]:
     return out
 
 
-def run_units_fused(units, progress=None, jobs: int | None = None) -> list[Any]:
+def run_units_fused(
+    units, progress=None, jobs: int | None = None, events=None
+) -> list[Any]:
     """Execute work units in order, fusing compatible array sim units.
 
     The single-process, no-store counterpart of
@@ -217,6 +219,10 @@ def run_units_fused(units, progress=None, jobs: int | None = None) -> list[Any]:
     decides the core budget.  Results are bit-identical to ``jobs=1``
     (each lane is an independent simulation; only completion order
     varies, and results are reassembled in unit order).
+
+    ``events`` (an :class:`repro.obs.EventSink` or None) receives one
+    ``fused_group`` event per structural group before execution starts —
+    the group's unit count is the fan-in the batching saves.
     """
     units = list(units)
     jobs = resolve_jobs(jobs)
@@ -227,6 +233,17 @@ def run_units_fused(units, progress=None, jobs: int | None = None) -> list[Any]:
             groups.setdefault(key, []).append(i)
     results: list[Any] = [None] * len(units)
     total = len(units)
+    if events is not None:
+        solo = sum(1 for key in keys if key is None)
+        for indices in groups.values():
+            events.emit(
+                "fused_group",
+                size=len(indices),
+                kinds=sorted({units[j].kind for j in indices}),
+            )
+        events.emit(
+            "fused_plan", units=total, groups=len(groups), unfused=solo
+        )
 
     if jobs > 1:
         # One task per fused group plus one per non-fusible unit.  The

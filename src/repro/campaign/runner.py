@@ -40,6 +40,7 @@ from repro.campaign import cache
 from repro.campaign.grid import WorkUnit
 from repro.campaign.kinds import lookup, resolve_jobs
 from repro.campaign.store import ResultStore, open_store
+from repro.obs import EventSink, Heartbeat
 from repro.utils.exceptions import ConfigurationError
 
 __all__ = ["CampaignResult", "pool_choice", "run_campaign", "to_payload"]
@@ -143,6 +144,14 @@ def _resolve_store(store: ResultStore | str | Path | None) -> tuple[ResultStore 
     return open_store(store), True
 
 
+def _resolve_events(events: EventSink | str | Path | None) -> tuple[EventSink | None, bool]:
+    if events is None:
+        return None, False
+    if isinstance(events, EventSink):
+        return events, False
+    return EventSink(events), True
+
+
 def run_campaign(
     units: Iterable[WorkUnit],
     *,
@@ -152,6 +161,8 @@ def run_campaign(
     resume: bool = False,
     cache_dir: str | Path | None = None,
     progress: Callable[[int, int], None] | None = None,
+    events: EventSink | str | Path | None = None,
+    heartbeat_s: float = 10.0,
 ) -> CampaignResult:
     """Execute ``units``, streaming results to ``store`` as they finish.
 
@@ -174,6 +185,17 @@ def run_campaign(
         Path-statistics disk cache shared by all workers.
     progress:
         Optional ``callback(done, total)`` fired after every unit.
+    events:
+        An :class:`~repro.obs.EventSink`, a JSONL path to create one at,
+        or None.  When set, the campaign appends lifecycle telemetry —
+        ``campaign_start``, per-unit ``unit_queued`` / ``unit_cached`` /
+        ``unit_started`` / ``unit_finished``, periodic ``heartbeat``
+        (every ``heartbeat_s`` seconds, with done/total counts and
+        executor lane occupancy) and ``campaign_end`` — one JSON object
+        per line (see ``docs/observability.md`` for the schema).  Works
+        identically on the serial, process and thread executors: every
+        event is emitted from the coordinating thread or the heartbeat
+        daemon, never from pool workers.
     """
     unit_list = list(units)
     if workers < 1:
@@ -183,6 +205,7 @@ def run_campaign(
             f"unknown executor {executor!r}; available: {', '.join(_EXECUTORS)}"
         )
     the_store, owns_store = _resolve_store(store)
+    the_sink, owns_sink = _resolve_events(events)
     cache_dir = str(cache_dir) if cache_dir is not None else None
 
     keys = [u.key() for u in unit_list]
@@ -197,6 +220,10 @@ def run_campaign(
                 results[i] = record["result"]
                 skipped += 1
                 the_store.hits += 1
+                if the_sink is not None:
+                    the_sink.emit(
+                        "unit_cached", key=key, kind=unit_list[i].kind
+                    )
 
     # Identical units (same content key) are computed once and shared.
     pending: dict[str, list[int]] = {}
@@ -207,7 +234,27 @@ def run_campaign(
 
     done_count = skipped
     total = len(unit_list)
+    #: Executor lane occupancy, written by the coordinating thread and
+    #: read by the heartbeat daemon (a single int slot: benign race).
+    lanes = {"in_flight": 0}
     t0 = time.perf_counter()
+
+    if the_sink is not None:
+        the_sink.emit(
+            "campaign_start",
+            units=total,
+            distinct=len(pending),
+            resumed=skipped,
+            workers=workers,
+            executor=executor if workers > 1 else "serial",
+        )
+        for key, indices in pending.items():
+            the_sink.emit(
+                "unit_queued",
+                key=key,
+                kind=unit_list[indices[0]].kind,
+                fanout=len(indices),
+            )
 
     def _finish(key: str, result: Any, unit_elapsed: float) -> None:
         nonlocal done_count
@@ -219,17 +266,58 @@ def run_campaign(
         if the_store is not None:
             the_store.append(key, rep.kind, rep.params, to_payload(result), unit_elapsed)
         done_count += len(indices)
+        if the_sink is not None:
+            the_sink.emit(
+                "unit_finished",
+                key=key,
+                kind=rep.kind,
+                elapsed_s=round(unit_elapsed, 6),
+                fanout=len(indices),
+                done=done_count,
+                total=total,
+                in_flight=lanes["in_flight"],
+            )
         if progress is not None:
             progress(done_count, total)
 
+    heartbeat = None
+    if the_sink is not None:
+        heartbeat = Heartbeat(
+            the_sink,
+            heartbeat_s,
+            fields=lambda: {
+                "done": done_count,
+                "total": total,
+                "in_flight": lanes["in_flight"],
+            },
+        ).start()
     try:
         if workers == 1:
             for key in list(pending):
-                result, unit_elapsed = _execute_unit(unit_list[pending[key][0]], cache_dir)
+                unit = unit_list[pending[key][0]]
+                lanes["in_flight"] = 1
+                if the_sink is not None:
+                    the_sink.emit("unit_started", key=key, kind=unit.kind)
+                result, unit_elapsed = _execute_unit(unit, cache_dir)
+                lanes["in_flight"] = 0
                 _finish(key, result, unit_elapsed)
         else:
-            _run_pool(unit_list, pending, workers, cache_dir, _finish, executor)
+            _run_pool(
+                unit_list, pending, workers, cache_dir, _finish, executor,
+                sink=the_sink, lanes=lanes,
+            )
     finally:
+        if heartbeat is not None:
+            heartbeat.stop()
+        if the_sink is not None:
+            the_sink.emit(
+                "campaign_end",
+                computed=total - skipped,
+                resumed=skipped,
+                elapsed_s=round(time.perf_counter() - t0, 6),
+            )
+            if owns_sink:
+                the_sink.close()
         if the_store is not None and owns_store:
             the_store.close()
 
@@ -252,6 +340,8 @@ def _run_pool(
     cache_dir: str | None,
     finish: Callable[[str, Any, float], None],
     executor: str = "processes",
+    sink: EventSink | None = None,
+    lanes: dict | None = None,
 ) -> None:
     """Pool executor (processes or threads) with a bounded in-flight window.
 
@@ -288,8 +378,19 @@ def _run_pool(
                 unit = unit_list[pending[key][0]]
                 in_flight[pool.submit(_execute_unit, unit, cache_dir)] = key
                 cursor += 1
+                if lanes is not None:
+                    lanes["in_flight"] = len(in_flight)
+                if sink is not None:
+                    sink.emit(
+                        "unit_started",
+                        key=key,
+                        kind=unit.kind,
+                        in_flight=len(in_flight),
+                    )
             done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
             for future in done:
                 key = in_flight.pop(future)
+                if lanes is not None:
+                    lanes["in_flight"] = len(in_flight)
                 result, unit_elapsed = future.result()
                 finish(key, result, unit_elapsed)

@@ -150,6 +150,70 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument(
         "--no-table", action="store_true", help="print only the run summary"
     )
+    camp.add_argument(
+        "--events",
+        metavar="FILE",
+        help="append per-unit lifecycle events (queued/started/cached/"
+        "finished plus periodic heartbeats) as JSONL to FILE",
+    )
+
+    prof = sub.add_parser(
+        "profile",
+        help="per-phase kernel timing of one array-engine batch",
+        description=(
+            "Run one profiled batch on the array engine and print where "
+            "the kernel's wall time goes, phase by phase (generation / "
+            "activation / route / complete).  Profiling is observational: "
+            "results are bit-identical to an unprofiled run, and the "
+            "instrumentation is compiled in but completely off unless this "
+            "command (or profile=True) asks for it."
+        ),
+    )
+    prof.add_argument("--topology", choices=("star", "hypercube"), default="star")
+    prof.add_argument("--order", type=int, default=4, help="star n / hypercube k")
+    prof.add_argument(
+        "--algorithm", default="enhanced_nbc", help="routing-registry name"
+    )
+    prof.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="lambda_g, messages/cycle/node (default: --load of saturation)",
+    )
+    prof.add_argument(
+        "--load",
+        type=float,
+        default=0.4,
+        help="operating point as a fraction of the model's saturation rate, "
+        "used when --rate is not given",
+    )
+    prof.add_argument("--message-length", type=int, default=16, help="M, flits")
+    prof.add_argument("--vcs", type=int, default=6, help="V, virtual channels")
+    prof.add_argument(
+        "--workload", default="uniform", help="spatial[+temporal] workload string"
+    )
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument(
+        "--replications",
+        type=int,
+        default=8,
+        metavar="R",
+        help="batch width (all replications advance through the same "
+        "vectorized passes; the table shows whole-batch time)",
+    )
+    prof.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="kernel worker threads (0 = one per core)",
+    )
+    prof.add_argument(
+        "--quality", choices=("smoke", "quick", "full"), default="quick"
+    )
+    prof.add_argument("--warmup", type=int, help="override warmup cycles")
+    prof.add_argument("--measure", type=int, help="override the measurement window")
+    prof.add_argument("--drain", type=int, help="override the drain window")
 
     sim = sub.add_parser(
         "sim",
@@ -406,13 +470,85 @@ def _run_campaign_command(args) -> int:
         store=args.out,
         resume=args.resume,
         cache_dir=args.cache_dir,
+        events=args.events,
     )
     print(f"campaign[{grid.kind}]: {result.summary()}")
     if result.store_path is not None:
         print(f"store: {result.store_path}")
+    if args.events:
+        print(f"events: {args.events}")
     if not args.no_table:
         print()
         print(_campaign_table(result))
+    return 0
+
+
+def _run_profile_command(args) -> int:
+    from repro.simulation.backends import simulate_batch
+    from repro.simulation.config import resolve_threads
+
+    try:
+        if args.replications < 1:
+            raise ConfigurationError("--replications must be >= 1")
+        if args.jobs is not None:
+            resolve_threads(args.jobs, None)
+        scenario = Scenario(
+            topology=args.topology,
+            order=args.order,
+            algorithm=args.algorithm,
+            message_length=args.message_length,
+            total_vcs=args.vcs,
+            workload=args.workload,
+            quality=args.quality,
+            warmup_cycles=args.warmup,
+            measure_cycles=args.measure,
+            drain_cycles=args.drain,
+            engine="array",
+            seed=args.seed,
+        )
+        rate = args.rate
+        if rate is None:
+            if not 0 < args.load < 1:
+                raise ConfigurationError(
+                    f"--load must be in (0, 1), got {args.load}"
+                )
+            rate = round(args.load * scenario.saturation_rate(), 6)
+        spec = scenario.sim_spec(rate)
+        topo, algo, run_config = spec.build()
+        results = simulate_batch(
+            topo,
+            algo,
+            run_config,
+            args.replications,
+            threads=args.jobs,
+            profile=True,
+        )
+    except ConfigurationError as exc:
+        print(f"starnet profile: error: {exc}", file=sys.stderr)
+        return 2
+    prof = results[0].phase_ns or {}
+    total = prof.get("total", 0) or 1
+    cycles = prof.get("cycles", 0)
+    print(
+        f"profile[{args.topology} order={args.order} {args.algorithm}] "
+        f"workload={run_config.workload_spec().canonical} rate={rate} "
+        f"M={args.message_length} V={args.vcs} "
+        f"replications={args.replications} cycles={cycles}"
+    )
+    rows = []
+    for phase in ("generation", "activation", "route", "complete", "other"):
+        ns = int(prof.get(phase, 0))
+        rows.append(
+            [
+                phase,
+                ns,
+                f"{100.0 * ns / total:.1f}%",
+                round(ns / cycles, 1) if cycles else "",
+            ]
+        )
+    rows.append(["total", int(total), "100.0%", round(total / cycles, 1) if cycles else ""])
+    print()
+    print(render_table(["phase", "ns", "share", "ns/cycle"], rows))
     return 0
 
 
@@ -763,6 +899,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     elif args.command == "sim":
         return _run_sim_command(args)
+    elif args.command == "profile":
+        return _run_profile_command(args)
     elif args.command == "validate":
         return _run_validate_command(args)
     return 0

@@ -1,0 +1,46 @@
+"""Observability: metrics registry, span timers, structured events.
+
+The platform's three hot layers — the array simulator's megakernel, the
+campaign engine, and the capacity-planning service — each gained real
+concurrency over PRs 6-8 without gaining any way to watch it run.  This
+package is the shared, dependency-free telemetry layer they report
+through:
+
+* :mod:`repro.obs.registry` — a thread-safe :class:`MetricsRegistry`
+  of counters, gauges and fixed-bucket histograms, rendered either as
+  a JSON-safe snapshot (``/stats``) or in the Prometheus text
+  exposition format (``/metrics``);
+* :mod:`repro.obs.timers` — monotonic-clock span timers
+  (:class:`Stopwatch`, :func:`span`) feeding histograms;
+* :mod:`repro.obs.events` — a structured JSONL :class:`EventSink`
+  (campaign lifecycle events, heartbeats) with the same strict-JSON
+  conventions as the ResultSet wire format: non-finite floats
+  serialise as ``null``, never as bare ``NaN`` tokens.
+
+Everything here is stdlib-only and safe to import from worker threads;
+nothing in this package ever blocks on I/O while holding a metric lock.
+See ``docs/observability.md`` for the full metric and event catalogue.
+"""
+
+from repro.obs.events import EventSink, Heartbeat, read_events
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    LATENCY_BUCKETS,
+)
+from repro.obs.timers import Stopwatch, span
+
+__all__ = [
+    "Counter",
+    "EventSink",
+    "Gauge",
+    "Heartbeat",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "Stopwatch",
+    "read_events",
+    "span",
+]

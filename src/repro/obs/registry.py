@@ -1,0 +1,352 @@
+"""A thread-safe metrics registry with Prometheus text exposition.
+
+One :class:`MetricsRegistry` holds named metric families — counters,
+gauges and histograms — each optionally split by a fixed tuple of label
+names.  The service engine owns one registry per instance (no process
+globals: two engines in one test process never share counters), the
+HTTP server renders it at ``GET /metrics``, and ``/stats`` reads the
+same numbers through :meth:`MetricsRegistry.snapshot`.
+
+Concurrency contract: every mutation (``inc``/``set``/``observe``) and
+every read (``value``/``render``/``snapshot``) takes the registry's one
+lock.  Increments are therefore atomic across any number of threads —
+the property the old ``QueryEngine.counters`` dict lacked — and a
+render never observes a histogram's ``sum`` without its matching
+``count``.  The critical sections are a few dict operations; nothing
+I/O-bound ever runs under the lock.
+
+Histograms use fixed, ascending bucket upper bounds chosen at creation
+(:data:`LATENCY_BUCKETS` suits service-side seconds).  Quantiles come
+from linear interpolation inside the winning cumulative bucket — the
+standard Prometheus ``histogram_quantile`` estimate, computed here so
+``/stats`` can report p50/p95 without a scrape pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Iterable, Mapping
+
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+]
+
+#: Default histogram layout for service latencies in seconds: sub-ms
+#: warm hits through multi-second cold simulations.
+LATENCY_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+
+
+def _check_name(name: str) -> str:
+    if not name or name[0].isdigit() or not set(name) <= _NAME_OK:
+        raise ConfigurationError(f"invalid metric name {name!r}")
+    return name
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integers bare, floats via repr, +Inf/NaN."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_key(labelnames: tuple[str, ...], labels: Mapping[str, Any]) -> tuple[str, ...]:
+    if set(labels) != set(labelnames):
+        raise ConfigurationError(
+            f"metric expects labels {labelnames}, got {tuple(sorted(labels))}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+def _render_labels(labelnames: tuple[str, ...], values: tuple[str, ...], extra: str = "") -> str:
+    pairs = [f'{n}="{_escape_label(v)}"' for n, v in zip(labelnames, values)]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+class _Metric:
+    """Shared shape of one metric family (name, help, label names)."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: Iterable[str], lock):
+        self.name = _check_name(name)
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+        for label in self.labelnames:
+            _check_name(label)
+        self._lock = lock
+
+    def _header(self) -> list[str]:
+        return [
+            f"# HELP {self.name} {_escape_help(self.help_text)}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+
+class Counter(_Metric):
+    """Monotonically increasing sum, optionally split by labels."""
+
+    kind = "counter"
+
+    def __init__(self, name, help_text, labelnames, lock):
+        super().__init__(name, help_text, labelnames, lock)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ConfigurationError(f"counter {self.name} cannot decrease ({amount})")
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def _render(self) -> list[str]:
+        lines = self._header()
+        for key in sorted(self._values):
+            lines.append(
+                f"{self.name}{_render_labels(self.labelnames, key)} "
+                f"{_format_value(self._values[key])}"
+            )
+        return lines
+
+    def _snapshot(self) -> Any:
+        if not self.labelnames:
+            return self._values.get((), 0.0)
+        return {",".join(k): v for k, v in sorted(self._values.items())}
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depths, occupancy)."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help_text, labelnames, lock):
+        super().__init__(name, help_text, labelnames, lock)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    _render = Counter._render
+    _snapshot = Counter._snapshot
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram with sum/count and quantile estimates."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help_text, labelnames, lock, buckets):
+        super().__init__(name, help_text, labelnames, lock)
+        edges = tuple(float(b) for b in buckets)
+        if not edges or list(edges) != sorted(set(edges)):
+            raise ConfigurationError(
+                f"histogram {name} needs strictly increasing bucket bounds, got {buckets}"
+            )
+        self.buckets = edges
+        # per label key: [bucket counts..., +Inf count], sum
+        self._counts: dict[tuple[str, ...], list[int]] = {}
+        self._sums: dict[tuple[str, ...], float] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        value = float(value)
+        if math.isnan(value):
+            return  # NaN observations would poison sum; drop them
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = self._counts[key] = [0] * (len(self.buckets) + 1)
+                self._sums[key] = 0.0
+            for i, edge in enumerate(self.buckets):
+                if value <= edge:
+                    counts[i] += 1
+                    break
+            else:
+                counts[-1] += 1
+            self._sums[key] = self._sums[key] + value
+
+    def count(self, **labels: Any) -> int:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return sum(self._counts.get(key, ()))
+
+    def sum(self, **labels: Any) -> float:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return self._sums.get(key, 0.0)
+
+    def quantile(self, q: float, **labels: Any) -> float:
+        """Linear-interpolation quantile estimate (NaN when empty).
+
+        Matches PromQL ``histogram_quantile``: the answer lives in the
+        first cumulative bucket covering rank ``q * count``, linearly
+        interpolated from the bucket's lower edge; observations beyond
+        the last finite edge clamp to that edge.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            counts = list(self._counts.get(key, ()))
+        total = sum(counts)
+        if total == 0:
+            return math.nan
+        rank = q * total
+        cumulative = 0
+        for i, edge in enumerate(self.buckets):
+            prev_cumulative = cumulative
+            cumulative += counts[i]
+            if cumulative >= rank:
+                lo = 0.0 if i == 0 else self.buckets[i - 1]
+                if counts[i] == 0:
+                    return edge
+                return lo + (edge - lo) * (rank - prev_cumulative) / counts[i]
+        return self.buckets[-1]
+
+    def _render(self) -> list[str]:
+        lines = self._header()
+        for key in sorted(self._counts):
+            counts = self._counts[key]
+            cumulative = 0
+            for edge, n in zip(self.buckets, counts):
+                cumulative += n
+                labels = _render_labels(
+                    self.labelnames, key, f'le="{_format_value(edge)}"'
+                )
+                lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            cumulative += counts[-1]
+            labels = _render_labels(self.labelnames, key, 'le="+Inf"')
+            lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            plain = _render_labels(self.labelnames, key)
+            lines.append(f"{self.name}_sum{plain} {_format_value(self._sums[key])}")
+            lines.append(f"{self.name}_count{plain} {cumulative}")
+        return lines
+
+    def _snapshot(self) -> Any:
+        out = {}
+        for key, counts in sorted(self._counts.items()):
+            label = ",".join(key) if self.labelnames else ""
+            out[label] = {"count": sum(counts), "sum": self._sums[key]}
+        if not self.labelnames:
+            return out.get("", {"count": 0, "sum": 0.0})
+        return out
+
+
+class MetricsRegistry:
+    """Named metric families behind one lock.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice
+    with the same name returns the same family (a kind or label-name
+    mismatch raises), so wiring code never needs module-level metric
+    singletons.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help_text: str, labelnames, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.labelnames != tuple(labelnames):
+                    raise ConfigurationError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels {existing.labelnames}"
+                    )
+                return existing
+            metric = cls(name, help_text, labelnames, self._lock, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str = "", labelnames: Iterable[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help_text, tuple(labelnames))
+
+    def gauge(self, name: str, help_text: str = "", labelnames: Iterable[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text, tuple(labelnames))
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Iterable[float] = LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help_text, tuple(labelnames), buckets=tuple(buckets)
+        )
+
+    def render(self) -> str:
+        """The registry in Prometheus text exposition format 0.0.4."""
+        with self._lock:
+            lines: list[str] = []
+            for name in sorted(self._metrics):
+                lines.extend(self._metrics[name]._render())
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe view: metric name -> value / per-label dict."""
+        with self._lock:
+            return {
+                name: metric._snapshot()
+                for name, metric in sorted(self._metrics.items())
+            }

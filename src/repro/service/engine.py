@@ -21,6 +21,14 @@ executor threads while a refinement worker drains the queue, and both
 paths share one lock around index state.  The store index rebuilds only
 when the store's on-disk signature changes, so steady-state answers are
 dictionary lookups.
+
+Telemetry lives in a per-engine :class:`~repro.obs.MetricsRegistry`
+(tier counters, per-tier latency histograms, refinement queue depth,
+store appends).  The registry's single lock makes every increment
+atomic — the plain-dict ``counters`` this replaces lost updates when
+executor threads raced the refinement worker on ``+=``.  ``counters``
+survives as a read-only snapshot property; ``GET /metrics`` renders the
+same registry in Prometheus text format.
 """
 
 from __future__ import annotations
@@ -38,6 +46,7 @@ from repro.campaign import cache
 from repro.campaign.grid import WorkUnit, canonical_key
 from repro.campaign.kinds import lookup
 from repro.campaign.store import ResultStore, open_store
+from repro.obs import LATENCY_BUCKETS, MetricsRegistry
 from repro.service.query import Query
 from repro.service.surrogate import SurrogateFit, SurrogateIndex, query_families
 from repro.utils.exceptions import ConfigurationError
@@ -99,13 +108,40 @@ class QueryEngine:
         self._index: SurrogateIndex | None = None
         self._signature: tuple | None = None
         self._queue: dict[str, WorkUnit] = {}
-        self.counters = {
-            "queries": 0,
-            "warm_hits": 0,
-            "surrogate_hits": 0,
-            "cold_misses": 0,
-            "refined": 0,
-        }
+        self._t_created = time.monotonic()
+        self.registry = MetricsRegistry()
+        self._c_queries = self.registry.counter(
+            "starnet_queries_total",
+            "Queries answered, by resolution tier",
+            labelnames=("tier",),
+        )
+        self._h_latency = self.registry.histogram(
+            "starnet_query_latency_seconds",
+            "Service-side query latency, by resolution tier",
+            labelnames=("tier",),
+            buckets=LATENCY_BUCKETS,
+        )
+        self._c_refined = self.registry.counter(
+            "starnet_refinements_total",
+            "Background refinement units completed",
+        )
+        self._c_appends = self.registry.counter(
+            "starnet_store_appends_total",
+            "Rows appended to the store by refinement",
+        )
+        self._g_queue = self.registry.gauge(
+            "starnet_refinement_queue_depth",
+            "Refinement units awaiting a background drain",
+        )
+        self._g_indexed = self.registry.gauge(
+            "starnet_indexed_records",
+            "Store records in the in-memory surrogate index",
+        )
+        # Materialise the unlabelled series at 0 so a scrape before the
+        # first refinement still sees every catalogued metric.
+        self._c_refined.inc(0)
+        self._c_appends.inc(0)
+        self._g_queue.set(0)
 
     # -- index lifecycle ------------------------------------------------
 
@@ -117,6 +153,7 @@ class QueryEngine:
                     self.store.signature() if signature is None else signature
                 )
                 self._index = SurrogateIndex(self.store.load())
+                self._g_indexed.set(len(self._index))
             return self._index
 
     def refresh(self) -> SurrogateIndex:
@@ -124,6 +161,7 @@ class QueryEngine:
         with self._lock:
             self._signature = self.store.signature()
             self._index = SurrogateIndex(self.store.load())
+            self._g_indexed.set(len(self._index))
             return self._index
 
     # -- resolution ladder ----------------------------------------------
@@ -133,7 +171,6 @@ class QueryEngine:
         t0 = time.perf_counter()
         index = self._current_index()
         families = query_families(query.scenario)
-        self.counters["queries"] += 1
 
         for namespace in _PREFERENCE:
             family = families.get(namespace)
@@ -141,7 +178,6 @@ class QueryEngine:
                 continue
             row = index.exact(family, query.rate)
             if row is not None:
-                self.counters["warm_hits"] += 1
                 return self._tag(row, "warm", t0)
 
         for namespace in _PREFERENCE:
@@ -156,13 +192,11 @@ class QueryEngine:
                 continue
             if query.max_error is not None and fit.error_budget > query.max_error:
                 continue
-            self.counters["surrogate_hits"] += 1
             return self._tag(
                 self._surrogate_row(query, family, namespace, fit, latency), None, t0
             )
 
         row = self._cold_answer(query)
-        self.counters["cold_misses"] += 1
         if self.refine_enabled and query.refine:
             self._enqueue_refinement(query)
         return self._tag(row, "cold", t0)
@@ -171,7 +205,14 @@ class QueryEngine:
         meta = dict(row.meta)
         if served is not None:
             meta["served"] = served
-        meta["service_ms"] = round((time.perf_counter() - t0) * 1e3, 3)
+        elapsed = time.perf_counter() - t0
+        meta["service_ms"] = round(elapsed * 1e3, 3)
+        # Registry increments are atomic (one lock), so executor threads
+        # and the refinement worker can tag concurrently without losing
+        # counts — the failure mode of the old plain-dict ``+=``.
+        tier = meta.get("served", "cold")
+        self._c_queries.inc(tier=tier)
+        self._h_latency.observe(elapsed, tier=tier)
         return replace(row, meta=meta)
 
     def _surrogate_row(
@@ -228,6 +269,7 @@ class QueryEngine:
             # setdefault dedupes: repeated cold queries of one point
             # refine it once.
             self._queue.setdefault(unit.key(), unit)
+            self._g_queue.set(len(self._queue))
 
     @property
     def pending_refinements(self) -> int:
@@ -246,6 +288,7 @@ class QueryEngine:
             if max_units is not None:
                 keys = keys[:max_units]
             units = [self._queue.pop(k) for k in keys]
+            self._g_queue.set(len(self._queue))
         if not units:
             return 0
         run_units(
@@ -255,21 +298,64 @@ class QueryEngine:
             store=self.store,
             cache_dir=self.cache_dir,
         )
-        self.counters["refined"] += len(units)
+        self._c_refined.inc(len(units))
+        # One store row lands per refined unit (the campaign's append
+        # path), so the append counter advances in lockstep.
+        self._c_appends.inc(len(units))
         return len(units)
 
     # -- diagnostics ----------------------------------------------------
 
+    @property
+    def counters(self) -> dict[str, int]:
+        """The historical counter dict, read from the registry.
+
+        Kept for callers that predate the registry; mutating the
+        returned dict has no effect on the engine's metrics.
+        """
+        tiers = {
+            "warm_hits": "warm",
+            "surrogate_hits": "surrogate",
+            "cold_misses": "cold",
+        }
+        out = {name: int(self._c_queries.value(tier=t)) for name, t in tiers.items()}
+        out["queries"] = sum(out.values())
+        out["refined"] = int(self._c_refined.value())
+        return out
+
+    @property
+    def uptime_s(self) -> float:
+        """Seconds since this engine was constructed (monotonic)."""
+        return time.monotonic() - self._t_created
+
+    def latency_summary(self) -> dict[str, dict[str, Any]]:
+        """Per-tier service latency in milliseconds: count, p50, p95."""
+        out: dict[str, dict[str, Any]] = {}
+        for tier in ("warm", "surrogate", "cold"):
+            n = self._h_latency.count(tier=tier)
+            if not n:
+                continue
+            out[tier] = {
+                "count": n,
+                "p50_ms": round(self._h_latency.quantile(0.5, tier=tier) * 1e3, 3),
+                "p95_ms": round(self._h_latency.quantile(0.95, tier=tier) * 1e3, 3),
+            }
+        return out
+
     def stats(self) -> dict[str, Any]:
         """Counters plus store/index shape, JSON-safe."""
         index = self._current_index()
+        counters = self.counters
+        latency = self.latency_summary()
         with self._lock:
             return {
-                **self.counters,
+                **counters,
                 "pending_refinements": len(self._queue),
                 "indexed_records": len(index),
                 "families": len(index.family_sizes()),
                 "store": str(self.store.path),
+                "uptime_s": round(self.uptime_s, 3),
+                "latency": latency,
             }
 
     def close(self) -> None:

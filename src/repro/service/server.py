@@ -13,7 +13,10 @@ Endpoints
     Liveness + the ResultSet schema version the server speaks.
 ``GET /stats``
     Engine counters (warm/surrogate/cold, pending refinements, index
-    shape).
+    shape), uptime, and per-tier latency summaries (p50/p95).
+``GET /metrics``
+    The engine's metrics registry in Prometheus text exposition format
+    0.0.4 — see ``docs/observability.md`` for the metric catalogue.
 ``POST /query``
     One :class:`~repro.service.query.Query` as JSON; the response body
     is a one-row ResultSet JSONL document (the platform's wire format —
@@ -48,6 +51,7 @@ _MAX_BODY = 8 * 1024 * 1024
 
 _JSON = "application/json"
 _JSONL = "application/x-ndjson"
+_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
 
 
 def _http_response(
@@ -166,6 +170,14 @@ class ServiceServer:
         if method == "GET" and path == "/stats":
             stats = await loop.run_in_executor(None, self.engine.stats)
             return _http_response(200, "OK", _json_body(stats), _JSON)
+        if method == "GET" and path == "/metrics":
+            # render() only takes the registry lock (no store I/O), but
+            # run it off-loop anyway so a large registry never stalls
+            # connection accept.
+            text = await loop.run_in_executor(None, self.engine.registry.render)
+            return _http_response(
+                200, "OK", text.encode("utf-8"), _PROMETHEUS
+            )
         if method == "POST" and path == "/query":
             payload = self._parse_json(body)
             row = await loop.run_in_executor(None, self._answer_one, payload)

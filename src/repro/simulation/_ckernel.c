@@ -153,11 +153,17 @@
  * 116 ej_cap_rows                 ejection-column capacity
  * 117 run_state   (int64*, 8)     in/out {cycle, busy_vcs, ej_n,
  *                                  need_total, reason, aux, 0, 0}
+ * 118 prof        (int64*, 8)     phase-profiling ns accumulators, or 0
+ *                                  when profiling is off: {generation,
+ *                                  activation, route, complete, -, -,
+ *                                  -, -} (total/cycles live Python-side;
+ *                                  see ArraySimulator.phase_profile)
  */
 
 #include <stdint.h>
 #include <stdlib.h>
 #include <pthread.h>
+#include <time.h>
 
 /* Widest candidate list the on-stack free-VC scratch supports; the
  * Python side keeps do_alloc = 0 when deg * V exceeds it. */
@@ -246,8 +252,22 @@ typedef struct Ctx {
     int64_t *ugate;
     int64_t ej_cap_rows;
     int64_t *run_state;
+    int64_t *prof;
     int64_t ms, CV;
 } Ctx;
+
+/* Monotonic nanoseconds for phase profiling.  The NULL check keeps the
+ * profiling-off path to one predictable branch per call site — no
+ * clock syscall, no accumulator write — which is the overhead contract
+ * the guarded benchmarks rely on (docs/observability.md). */
+static inline int64_t prof_now(const int64_t *prof)
+{
+    struct timespec ts;
+    if (!prof)
+        return 0;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return (int64_t)ts.tv_sec * 1000000000LL + ts.tv_nsec;
+}
 
 static void decode(Ctx *c, int64_t *P)
 {
@@ -366,6 +386,7 @@ static void decode(Ctx *c, int64_t *P)
     c->ugate = (int64_t *)P[115];
     c->ej_cap_rows = P[116];
     c->run_state = (int64_t *)P[117];
+    c->prof = (int64_t *)P[118];
     c->ms = (int64_t)c->M << 16;
     c->CV = c->C * c->V;
 }
@@ -821,6 +842,7 @@ static void run_phases(const Ctx *c, int64_t cycle, int64_t do_alloc,
                        int64_t ej_n_old, CycleOut *o)
 {
     const int64_t R = c->R, C = c->C, cap = c->cap;
+    const int64_t pt0 = prof_now(c->prof);
 
     /* Staging bases: new ejection columns land at ej_n_old plus the
      * prefix sum of pending-header counts (an upper bound on each
@@ -902,6 +924,11 @@ static void run_phases(const Ctx *c, int64_t cycle, int64_t do_alloc,
     for (int64_t r = 1; r < R; ++r)
         for (int64_t j = 0; j < c->tstage[r * 8 + 3]; ++j)
             c->ready_miss[rm++] = c->ready_miss[r * C + j];
+    /* route (phases 2-4) ends here; the completion tail is phase 5 */
+    const int64_t pt1 = prof_now(c->prof);
+    if (c->prof)
+        c->prof[2] += pt1 - pt0;
+
     int64_t cn = 0;
     for (int64_t i = 0; i < ej_n_old; ++i)
         if (c->ej_k[i] == -1)
@@ -965,6 +992,9 @@ static void run_phases(const Ctx *c, int64_t cycle, int64_t do_alloc,
     int64_t need_total = 0;
     for (int64_t r = 0; r < R; ++r)
         need_total += c->need_n[r];
+
+    if (c->prof)
+        c->prof[3] += prof_now(c->prof) - pt1;
 
     o->grants = grants;
     o->busy_delta = busy_delta;
@@ -1183,7 +1213,10 @@ int64_t starnet_run(int64_t *P)
 
         /* phase 1 — generation, then activation */
         {
+            const int64_t tp = prof_now(c.prof);
             const int g = gen_cycle(&c, cycle, &act_any);
+            if (c.prof)
+                c.prof[0] += prof_now(c.prof) - tp;
             if (g == GEN_CBERR) {
                 reason = RUN_CBERR;
                 goto out;
@@ -1194,7 +1227,11 @@ int64_t starnet_run(int64_t *P)
             }
         }
         if (act_any) {
-            if (act_cycle(&c, &need_total) == ACT_PUNT) {
+            const int64_t tp = prof_now(c.prof);
+            const int a = act_cycle(&c, &need_total);
+            if (c.prof)
+                c.prof[1] += prof_now(c.prof) - tp;
+            if (a == ACT_PUNT) {
                 reason = RUN_PUNT;
                 goto out;
             }

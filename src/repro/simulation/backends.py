@@ -70,6 +70,7 @@ def make_simulator(
     config: SimulationConfig,
     engine: str | None = None,
     threads: int | None = None,
+    profile: bool = False,
 ):
     """Build a single-run simulator on the selected backend.
 
@@ -81,12 +82,16 @@ def make_simulator(
 
     ``threads`` sizes the array backend's kernel worker pool (results
     are bit-identical for every value); the object engine is inherently
-    single-threaded and ignores it.
+    single-threaded and ignores it.  ``profile`` turns on the array
+    backend's per-phase cycle timing (also observation-only — results
+    stay bit-identical; the object engine ignores it).
     """
     name = _resolve(engine, config)
     if name == "object":
         return _engine.WormholeSimulator(topology, algorithm, config)
-    return ArraySimulator(topology, algorithm, config, threads=threads)
+    return ArraySimulator(
+        topology, algorithm, config, threads=threads, profile=profile
+    )
 
 
 def simulate(
@@ -95,12 +100,15 @@ def simulate(
     config: SimulationConfig,
     engine: str | None = None,
     threads: int | None = None,
+    profile: bool = False,
 ) -> SimulationResult:
     """Run one simulation on the selected backend."""
     name = _resolve(engine, config)
     if name == "object":
         return _engine.simulate(topology, algorithm, config)
-    result = ArraySimulator(topology, algorithm, config, threads=threads).run()
+    result = ArraySimulator(
+        topology, algorithm, config, threads=threads, profile=profile
+    ).run()
     return result[0]
 
 
@@ -112,6 +120,7 @@ def simulate_batch(
     seeds: Sequence[int] | None = None,
     engine: str | None = None,
     threads: int | None = None,
+    profile: bool = False,
 ) -> list[SimulationResult]:
     """Run R independent replications; one result per seed, in seed order.
 
@@ -138,7 +147,7 @@ def simulate_batch(
             _engine.simulate(topology, algorithm, config.with_seed(s)) for s in seeds
         ]
     return ArraySimulator(
-        topology, algorithm, config, seeds=seeds, threads=threads
+        topology, algorithm, config, seeds=seeds, threads=threads, profile=profile
     ).run()
 
 
@@ -148,6 +157,7 @@ def simulate_many(
     configs: Sequence[SimulationConfig],
     engine: str | None = None,
     threads: int | None = None,
+    profile: bool = False,
 ) -> list[SimulationResult]:
     """Run heterogeneous configs together; one result per config, in order.
 
@@ -167,7 +177,7 @@ def simulate_many(
     if name == "object":
         return [_engine.simulate(topology, algorithm, c) for c in configs]
     return ArraySimulator(
-        topology, algorithm, configs=configs, threads=threads
+        topology, algorithm, configs=configs, threads=threads, profile=profile
     ).run()
 
 
@@ -214,4 +224,14 @@ def summarize_batch(results: Sequence[SimulationResult]) -> dict:
         # run's hop table, feeding the model's P_block(k) comparison
         # (``starnet validate --hops``).
         out["hop_blocking"] = HopBlockingStats.merge(hop_stats).as_rows()
+    profiles = [r.phase_ns for r in results if r.phase_ns]
+    if profiles:
+        # Phase timing is attached once per *batch* (to its first
+        # replication), so summing the non-None dicts pools separately
+        # run batches without double counting.
+        pooled: dict[str, int] = {}
+        for prof in profiles:
+            for key, value in prof.items():
+                pooled[key] = pooled.get(key, 0) + int(value)
+        out["phase_ns"] = pooled
     return out

@@ -75,9 +75,11 @@ construction (see docs/simulation.md, "Parallelism model"):
 from __future__ import annotations
 
 import ctypes
+import dataclasses
 import heapq
 import math
 import os
+import time
 import weakref
 
 import numpy as np
@@ -138,6 +140,12 @@ _CB_TYPE = ctypes.CFUNCTYPE(
     ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64
 )
 
+#: Phase-profiling slot names of ``SimState.phase_ns`` (slots 0-3; slot
+#: 5 holds the total run() wall time).  Mirrored in _ckernel.c: the C
+#: paths and the Python per-cycle/numpy drivers write the same slots.
+_PROF_PHASES = ("generation", "activation", "route", "complete")
+_PROF_TOTAL_SLOT = 5
+
 #: Structural config fields every replication of one batch must share.
 _SHARED_FIELDS = (
     "message_length",
@@ -181,6 +189,16 @@ class ArraySimulator:
     then 1; 0 means one thread per core).  Results are bit-identical for
     every thread count; without the compiled kernel the numpy path runs
     single-threaded and the setting is ignored.
+
+    ``profile=True`` turns on per-phase cycle timing: the kernel (and
+    the Python drivers on the fallback paths) accumulate monotonic-clock
+    nanoseconds per phase into ``state.phase_ns``, surfaced through
+    :meth:`phase_profile` and attached to the first replication's
+    result.  Like ``threads`` it is a pure observation knob — results
+    are bit-identical either way and campaign content-hash keys ignore
+    it.  Off (the default) the kernel passes a NULL profiling pointer,
+    so the cost is one predictable branch per phase — the guarded
+    benchmarks run with it off.
     """
 
     def __init__(
@@ -191,6 +209,7 @@ class ArraySimulator:
         seeds: tuple[int, ...] | None = None,
         configs: list[SimulationConfig] | None = None,
         threads: int | None = None,
+        profile: bool = False,
     ):
         if configs is not None:
             if config is not None or seeds is not None:
@@ -253,6 +272,10 @@ class ArraySimulator:
         self.state = SimState(
             topology, V, self._M, R, initial_capacity=max(64, 2 * N * self._slots)
         )
+        self.profile = bool(profile)
+        #: Phase-timing accumulators, or None when profiling is off —
+        #: the hot paths test this once per phase and skip the clock.
+        self._prof = self.state.phase_ns if self.profile else None
         self._color_py = [topology.color(u) for u in range(N)]
         self._color_np = np.array(self._color_py, dtype=np.uint8)
         #: Flat neighbor list: entry ``channel`` = node reached through it.
@@ -561,7 +584,21 @@ class ArraySimulator:
         moves into C (``starnet_run``) and Python is re-entered only on
         refill/growth/miss/sample/stop events — same bits, one ctypes
         crossing per *event* instead of per cycle.
+
+        With ``profile=True`` the call also accumulates its wall time
+        and attaches :meth:`phase_profile` to the first replication's
+        result (the batch advances as one unit, so phase timing is a
+        whole-batch property).
         """
+        if self._prof is None:
+            return self._run_to_completion()
+        t0 = time.perf_counter_ns()
+        results = self._run_to_completion()
+        self._prof[_PROF_TOTAL_SLOT] += time.perf_counter_ns() - t0
+        results[0] = dataclasses.replace(results[0], phase_ns=self.phase_profile())
+        return results
+
+    def _run_to_completion(self) -> list[SimulationResult]:
         if self._resident_ok():
             return self._run_resident()
         R = self._R
@@ -588,6 +625,27 @@ class ArraySimulator:
                 break
             step()
         return [self._result(rep) for rep in range(R)]
+
+    def phase_profile(self) -> dict:
+        """Accumulated per-phase wall time in nanoseconds.
+
+        Keys: the four phase groups (``generation``, ``activation``,
+        ``route`` — VC allocation, switch traversal and ejection picking,
+        phases 2-4 — and ``complete``, the serial phase-5 bookkeeping),
+        plus ``other`` (driver overhead: watchdog, sampling, Python/C
+        crossings), ``total`` and ``cycles``.  On the fused per-cycle C
+        path, phases 2-5 run as one kernel call whose route/complete
+        split is timed inside C; the numpy fallback times the same split
+        in Python.  All zeros when profiling is off.
+        """
+        p = self.state.phase_ns
+        phases = {name: int(p[i]) for i, name in enumerate(_PROF_PHASES)}
+        accounted = sum(phases.values())
+        total = max(int(p[_PROF_TOTAL_SLOT]), accounted)
+        phases["other"] = total - accounted
+        phases["total"] = total
+        phases["cycles"] = int(self.cycle)
+        return phases
 
     def _stop_rep(self, rep: int) -> None:
         """Freeze one replication: no further traffic, samples or checks."""
@@ -716,17 +774,38 @@ class ArraySimulator:
         return [self._result(rep) for rep in range(R)]
 
     def step(self) -> None:
-        """Advance every replication by one cycle."""
+        """Advance every replication by one cycle.
+
+        With profiling on, each phase group's wall time lands in the
+        same ``phase_ns`` slots the resident C loop uses; the per-cycle
+        C kernel times its own route/complete split (it reads the
+        profiling pointer from the param block), so only the phases that
+        run in Python are timed here.
+        """
+        prof = self._prof
         cycle = self.cycle
+        if prof is not None:
+            t0 = time.perf_counter_ns()
         if cycle >= self._next_arrival:
             self._generate(cycle)
+        if prof is not None:
+            t1 = time.perf_counter_ns()
+            prof[0] += t1 - t0
+            t0 = t1
         if self._act_any:
             self._activate()
+        if prof is not None:
+            t1 = time.perf_counter_ns()
+            prof[1] += t1 - t0
+            t0 = t1
         c_alloc = self._c_alloc_ok and self._choose_vc is None
         if self._ck is not None:
             if self._need_total and not c_alloc:
                 self._ensure_uniforms()
                 self._allocate_py(cycle)
+                if prof is not None:
+                    t1 = time.perf_counter_ns()
+                    prof[2] += t1 - t0
             if self._busy_vcs or (c_alloc and self._need_total):
                 self._cycle_c(cycle)
         else:
@@ -736,8 +815,15 @@ class ArraySimulator:
             picks = self._pick_ejections() if self._ejecting_count else None
             if self._busy_vcs:
                 self._transfer_phase()
+            if prof is not None:
+                t1 = time.perf_counter_ns()
+                prof[2] += t1 - t0
+                t0 = t1
             if picks is not None:
                 self._apply_ejections(picks, cycle)
+            if prof is not None:
+                t1 = time.perf_counter_ns()
+                prof[3] += t1 - t0
         if (cycle & 31) == 0:
             self._watchdog(cycle)
         if cycle % self._sample_int == 0:
@@ -1797,6 +1883,7 @@ class ArraySimulator:
                 self._c_ugate.ctypes.data,  # 115
                 self._ej_cap_rows,  # 116
                 self._c_rs.ctypes.data,  # 117
+                self.state.phase_ns.ctypes.data if self._prof is not None else 0,  # 118
             ],
             dtype=np.int64,
         )

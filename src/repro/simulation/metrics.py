@@ -292,6 +292,10 @@ class SimulationResult:
     backlog: int
     #: Per-hop measured blocking (None when instrumentation disabled).
     hop_blocking: HopBlockingStats | None = None
+    #: Per-phase kernel wall time in nanoseconds (None unless the run
+    #: was profiled; a batched run attaches the whole batch's timing to
+    #: its first replication — see ArraySimulator.phase_profile).
+    phase_ns: dict | None = None
 
     def as_dict(self) -> dict:
         """JSON-friendly view (rounded for table rendering)."""
@@ -310,4 +314,7 @@ class SimulationResult:
             "channel_utilization": round(self.channel_utilization, 4),
             "cycles_run": self.cycles_run,
             "backlog": self.backlog,
+            # Only profiled runs carry phase timing; omitting the key
+            # otherwise keeps historical payloads byte-identical.
+            **({"phase_ns": dict(self.phase_ns)} if self.phase_ns else {}),
         }

@@ -130,6 +130,14 @@ class SimState:
         self.free_stack[:] = np.arange(cap - 1, -1, -1, dtype=np.int32)[None, :]
         self.free_n = np.full(R, cap, dtype=np.int64)
 
+        #: Phase-profiling accumulators (nanoseconds), the side array
+        #: next to the kernel param block (slot 118): {generation,
+        #: activation, route, complete, reserved, total, reserved,
+        #: reserved}.  Always allocated (64 bytes) but only written when
+        #: ``ArraySimulator(profile=True)`` hands its pointer to the
+        #: kernel / the per-cycle driver; see docs/observability.md.
+        self.phase_ns = np.zeros(8, dtype=np.int64)
+
     # ------------------------------------------------------------------
     # Slot management
     # ------------------------------------------------------------------

@@ -1,0 +1,99 @@
+"""EventSink JSONL round-trips, NaN safety, heartbeats."""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.obs import EventSink, Heartbeat, read_events
+
+
+class TestEventSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventSink(path) as sink:
+            sink.emit("unit_started", key="abc", kind="model")
+            sink.emit("unit_finished", key="abc", elapsed_s=0.25, done=1, total=3)
+        events = read_events(path)
+        assert [e["type"] for e in events] == ["unit_started", "unit_finished"]
+        assert events[0]["key"] == "abc"
+        assert events[1]["elapsed_s"] == 0.25
+        # Timestamps are monotonic offsets from sink open.
+        assert 0 <= events[0]["ts"] <= events[1]["ts"]
+
+    def test_every_line_is_strict_json(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventSink(path) as sink:
+            sink.emit(
+                "metrics",
+                latency=math.nan,
+                bound=math.inf,
+                nested={"ci": [1.0, math.nan]},
+            )
+        raw = path.read_text()
+        assert "NaN" not in raw and "Infinity" not in raw
+        event = json.loads(raw.strip())  # strict parser: bare NaN would raise
+        assert event["latency"] is None
+        assert event["bound"] is None
+        assert event["nested"]["ci"] == [1.0, None]
+
+    def test_appends_across_reopen(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventSink(path) as sink:
+            sink.emit("first")
+        with EventSink(path) as sink:
+            sink.emit("second")
+        assert [e["type"] for e in read_events(path)] == ["first", "second"]
+
+    def test_emit_after_close_is_noop(self, tmp_path):
+        sink = EventSink(tmp_path / "events.jsonl")
+        sink.emit("kept")
+        sink.close()
+        sink.emit("dropped")
+        assert [e["type"] for e in read_events(sink.path)] == ["kept"]
+
+    def test_concurrent_emitters_never_interleave(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = EventSink(path)
+        n, per = 8, 200
+
+        def emit(worker: int) -> None:
+            for i in range(per):
+                sink.emit("tick", worker=worker, i=i, pad="x" * 64)
+
+        threads = [threading.Thread(target=emit, args=(w,)) for w in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        sink.close()
+        events = read_events(path)  # json.loads raises on torn lines
+        assert len(events) == n * per
+        seen = {(e["worker"], e["i"]) for e in events}
+        assert len(seen) == n * per
+
+
+class TestHeartbeat:
+    def test_emits_until_stopped(self, tmp_path):
+        path = tmp_path / "hb.jsonl"
+        with EventSink(path) as sink:
+            beats = {"n": 0}
+
+            def fields():
+                beats["n"] += 1
+                return {"done": beats["n"], "total": 10}
+
+            with Heartbeat(sink, 0.02, fields=fields):
+                while beats["n"] < 3:
+                    pass
+        events = [e for e in read_events(path) if e["type"] == "heartbeat"]
+        assert len(events) >= 3
+        assert events[0]["total"] == 10
+
+    def test_rejects_nonpositive_interval(self, tmp_path):
+        with EventSink(tmp_path / "hb.jsonl") as sink:
+            with pytest.raises(ValueError):
+                Heartbeat(sink, 0)

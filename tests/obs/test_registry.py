@@ -1,0 +1,200 @@
+"""MetricsRegistry: concurrency, bucket edges, Prometheus rendering."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import LATENCY_BUCKETS, MetricsRegistry, Stopwatch, span
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = MetricsRegistry().counter("hits_total")
+        assert c.value() == 0
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labelled_series_are_independent(self):
+        c = MetricsRegistry().counter("q_total", labelnames=("tier",))
+        c.inc(tier="warm")
+        c.inc(3, tier="cold")
+        assert c.value(tier="warm") == 1
+        assert c.value(tier="cold") == 3
+        assert c.value(tier="surrogate") == 0
+
+    def test_rejects_negative_increment(self):
+        c = MetricsRegistry().counter("x_total")
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+    def test_rejects_wrong_label_set(self):
+        c = MetricsRegistry().counter("x_total", labelnames=("tier",))
+        with pytest.raises(ConfigurationError):
+            c.inc(color="red")
+        with pytest.raises(ConfigurationError):
+            c.inc()  # missing the declared label
+
+    def test_concurrent_increment_storm_loses_nothing(self):
+        """The regression the registry exists for: parallel += is atomic."""
+        registry = MetricsRegistry()
+        c = registry.counter("storm_total", labelnames=("lane",))
+        threads_n, per_thread = 8, 2_000
+
+        def hammer(lane: str) -> None:
+            for _ in range(per_thread):
+                c.inc(lane=lane)
+                c.inc(lane="shared")
+
+        threads = [
+            threading.Thread(target=hammer, args=(str(i),)) for i in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value(lane="shared") == threads_n * per_thread
+        for i in range(threads_n):
+            assert c.value(lane=str(i)) == per_thread
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value() == 6
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 2.0, 4.0, 9.0):
+            h.observe(v)
+        rendered = MetricsRegistry().render()  # unrelated registry: empty
+        assert rendered == ""
+        # Cumulative counts: <=1 holds {0.5, 1.0}; <=2 adds {1.5, 2.0};
+        # <=4 adds {4.0}; +Inf adds {9.0}.
+        assert h.count() == 6
+        assert h.sum() == pytest.approx(18.0)
+        lines = h._render()
+        samples = [line for line in lines if line.startswith("lat_bucket")]
+        assert samples == [
+            'lat_bucket{le="1"} 2',
+            'lat_bucket{le="2"} 4',
+            'lat_bucket{le="4"} 5',
+            'lat_bucket{le="+Inf"} 6',
+        ]
+
+    def test_nan_observation_is_dropped(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0,))
+        h.observe(math.nan)
+        h.observe(0.5)
+        assert h.count() == 1
+        assert h.sum() == 0.5
+
+    def test_quantiles_interpolate_and_clamp(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0))
+        for _ in range(10):
+            h.observe(0.5)
+        assert h.quantile(0.5) == pytest.approx(0.5, abs=0.51)  # within bucket 1
+        assert 0 < h.quantile(0.5) <= 1.0
+        h2 = MetricsRegistry().histogram("lat2", buckets=(1.0,))
+        h2.observe(50.0)  # beyond the last finite edge
+        assert h2.quantile(0.99) == 1.0
+        assert math.isnan(MetricsRegistry().histogram("lat3").quantile(0.5))
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().histogram("bad", buckets=(2.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().histogram("bad", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits_total", "help")
+        b = registry.counter("hits_total")
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("thing")
+
+    def test_labelnames_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing", labelnames=("a",))
+        with pytest.raises(ConfigurationError):
+            registry.counter("thing", labelnames=("b",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        for bad in ("", "9lives", "has space", "dash-ed"):
+            with pytest.raises(ConfigurationError):
+                registry.counter(bad)
+
+    def test_render_is_valid_exposition_text(self):
+        registry = MetricsRegistry()
+        c = registry.counter("req_total", "requests", labelnames=("tier",))
+        c.inc(tier="warm")
+        g = registry.gauge("depth", "queue depth")
+        g.set(3)
+        text = registry.render()
+        assert text.endswith("\n")
+        assert "# HELP req_total requests" in text
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{tier="warm"} 1' in text
+        assert "depth 3" in text
+
+    def test_render_escapes_help_and_label_values(self):
+        registry = MetricsRegistry()
+        c = registry.counter("esc_total", 'multi\nline \\ "help"', labelnames=("p",))
+        c.inc(p='a"b\\c\nd')
+        text = registry.render()
+        assert '# HELP esc_total multi\\nline \\\\ "help"' in text
+        assert 'esc_total{p="a\\"b\\\\c\\nd"} 1' in text
+        # Every rendered line is a single physical line.
+        assert all("\n" not in line for line in text.rstrip("\n").split("\n"))
+
+    def test_snapshot_is_json_shaped(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc(2)
+        registry.gauge("b", labelnames=("k",)).set(1, k="x")
+        h = registry.histogram("c", buckets=LATENCY_BUCKETS)
+        h.observe(0.01)
+        snap = registry.snapshot()
+        assert snap["a_total"] == 2
+        assert snap["b"] == {"x": 1.0}
+        assert snap["c"] == {"count": 1, "sum": 0.01}
+
+
+class TestTimers:
+    def test_stopwatch_accumulates_and_guards_reentry(self):
+        w = Stopwatch()
+        w.start()
+        with pytest.raises(RuntimeError):
+            w.start()
+        w.stop()
+        with pytest.raises(RuntimeError):
+            w.stop()
+        assert w.elapsed_ns > 0
+        assert w.laps == 1
+        assert w.elapsed_s == w.elapsed_ns / 1e9
+
+    def test_span_observes_even_on_exception(self):
+        h = MetricsRegistry().histogram("dur", labelnames=("op",))
+        with span(h, op="ok"):
+            pass
+        with pytest.raises(ValueError):
+            with span(h, op="boom"):
+                raise ValueError("x")
+        assert h.count(op="ok") == 1
+        assert h.count(op="boom") == 1

@@ -72,6 +72,90 @@ class TestEndpoints:
         assert stats["queries"] >= 1
         assert "pending_refinements" in stats
 
+    def test_stats_reports_uptime_and_latency_summary(self, service):
+        client, _, scenario, rates = service
+        client.query(scenario, rate=rates[0])  # ensure a warm observation
+        stats = client.stats()
+        assert stats["uptime_s"] >= 0
+        warm = stats["latency"]["warm"]
+        assert warm["count"] >= 1
+        assert 0 <= warm["p50_ms"] <= warm["p95_ms"]
+
+
+class TestMetricsEndpoint:
+    def _scrape(self, server) -> tuple[str, str]:
+        with urllib.request.urlopen(server.url + "/metrics", timeout=30) as response:
+            return response.read().decode(), response.headers["Content-Type"]
+
+    def test_metrics_exposition(self, service):
+        client, server, scenario, rates = service
+        client.query(scenario, rate=rates[0])
+        text, content_type = self._scrape(server)
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        for name in (
+            "starnet_queries_total",
+            "starnet_query_latency_seconds",
+            "starnet_refinement_queue_depth",
+            "starnet_refinements_total",
+            "starnet_store_appends_total",
+            "starnet_indexed_records",
+        ):
+            assert f"# TYPE {name}" in text
+        assert 'starnet_queries_total{tier="warm"}' in text
+        assert 'starnet_query_latency_seconds_bucket{tier="warm",le="+Inf"}' in text
+        assert text.endswith("\n")
+
+    def test_metrics_agree_with_stats(self, service):
+        client, server, _, _ = service
+        stats = client.stats()
+        text, _ = self._scrape(server)
+        warm = 0
+        for line in text.splitlines():
+            if line.startswith('starnet_queries_total{tier="warm"}'):
+                warm = int(float(line.split()[-1]))
+        assert warm == stats["warm_hits"]
+
+
+class TestCounterThreadSafety:
+    def test_concurrent_queries_lose_no_counts(self, tmp_path):
+        """Regression: parallel /query traffic raced the old plain-dict
+        ``counters`` ``+=`` and dropped increments."""
+        import concurrent.futures
+
+        store_dir = tmp_path / "store"
+        scenario = Scenario(order=4, message_length=16, total_vcs=5, quality="smoke")
+        rates = scenario.rate_ladder((0.2, 0.4, 0.6))
+        scenario.sweep({"rate": rates}, store=str(store_dir))
+        engine = QueryEngine(store_dir, refine=False)
+        server = ServiceServer(engine, port=0).start()
+        try:
+            client = ServiceClient(server.url)
+            per_worker, workers = 25, 8
+            payload = json.dumps(
+                Query(scenario=scenario, rate=rates[1]).to_dict()
+            ).encode()
+
+            def hammer(_: int) -> int:
+                ok = 0
+                for _ in range(per_worker):
+                    request = urllib.request.Request(
+                        server.url + "/query", data=payload, method="POST"
+                    )
+                    with urllib.request.urlopen(request, timeout=30) as response:
+                        ok += response.status == 200
+                return ok
+
+            with concurrent.futures.ThreadPoolExecutor(workers) as pool:
+                answered = sum(pool.map(hammer, range(workers)))
+            assert answered == workers * per_worker
+            stats = client.stats()
+            assert stats["warm_hits"] == workers * per_worker
+            assert stats["queries"] == workers * per_worker
+            assert stats["latency"]["warm"]["count"] == workers * per_worker
+        finally:
+            server.close()
+
 
 class TestWireFormat:
     def test_response_echoes_schema_version_header(self, service):
