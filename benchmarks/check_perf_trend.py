@@ -39,6 +39,7 @@ GUARDED = (
     "test_bench_model_solve",
     "test_bench_service_warm_query",
     "test_bench_service_surrogate_query",
+    "test_bench_profiling_overhead_s4",
 )
 
 

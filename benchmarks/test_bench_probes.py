@@ -1,0 +1,65 @@
+"""Probe-overhead benchmark: time-series probes off vs on.
+
+The probe contract (docs/observability.md) mirrors the profiling one:
+sampling is opt-in and the off path costs nothing — the kernel sees a
+NULL probe-buffer pointer and never branches into the sampling block.
+This benchmark runs the same 16-replication S4 batch unprobed and then
+probed at the default stride and records the on/off wall-time ratio
+plus the sample volume.  It is deliberately NOT in the perf gate's
+GUARDED list: the ratio is the observation, and the unprobed absolute
+time is already accountable to the ``test_bench_engine`` and
+``test_bench_profiling`` gates.
+"""
+
+import time
+
+from repro.obs import default_probe_interval
+from repro.routing import EnhancedNbc
+from repro.simulation import simulate_batch
+from repro.topology import StarGraph
+
+from benchmarks.test_bench_engine import REPLICATIONS, _config
+
+
+def test_bench_probes_overhead_s4(benchmark, once):
+    """16-rep S4 batch, probes off vs on, bit-identical results either way."""
+    topology = StarGraph(4)
+    cfg = _config(64, warmup_cycles=1_000, measure_cycles=3_000, drain_cycles=3_000)
+    horizon = cfg.warmup_cycles + cfg.measure_cycles + cfg.drain_cycles
+    interval = default_probe_interval(horizon)
+
+    # Warm the compiled kernel and memo caches outside both timed runs.
+    simulate_batch(topology, EnhancedNbc(), cfg, REPLICATIONS, engine="array")
+
+    t0 = time.perf_counter()
+    plain = simulate_batch(topology, EnhancedNbc(), cfg, REPLICATIONS, engine="array")
+    wall_off = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    probed = once(
+        simulate_batch,
+        topology,
+        EnhancedNbc(),
+        cfg,
+        REPLICATIONS,
+        engine="array",
+        probe_interval=interval,
+    )
+    wall_on = time.perf_counter() - t0
+
+    # Observation-only: probing must never perturb the simulation.
+    for a, b in zip(plain, probed):
+        assert a.mean_latency == b.mean_latency
+        assert a.messages_measured == b.messages_measured
+        assert a.cycles_run == b.cycles_run
+    series = probed[0].timeseries
+    assert series is not None and series["interval"] == interval
+
+    benchmark.extra_info["wall_off_s"] = round(wall_off, 4)
+    benchmark.extra_info["wall_on_s"] = round(wall_on, 4)
+    benchmark.extra_info["overhead_ratio"] = round(wall_on / wall_off, 3)
+    benchmark.extra_info["probe_interval"] = interval
+    benchmark.extra_info["samples"] = len(series["cycles"])
+    # Generous sanity bound, not a perf gate: one sample every ~27
+    # cycles must stay a rounding error next to the cycle work itself.
+    assert wall_on < wall_off * 3

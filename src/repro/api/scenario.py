@@ -69,6 +69,7 @@ def run_units(
     cache_dir=None,
     progress=None,
     events=None,
+    trace=None,
 ) -> CampaignResult:
     """Run campaign work units — the facade's one execution funnel.
 
@@ -78,7 +79,9 @@ def run_units(
     in-process thread pool (zero pickling; the array engine's compiled
     kernel releases the GIL, so its units genuinely overlap).
     ``events`` (a JSONL path or :class:`repro.obs.EventSink`) streams
-    per-unit lifecycle telemetry — see ``docs/observability.md``.
+    per-unit lifecycle telemetry; ``trace`` (a
+    :class:`repro.obs.TraceContext`) links the run's spans into a
+    caller's trace — see ``docs/observability.md``.
     """
     return run_campaign(
         units,
@@ -89,6 +92,7 @@ def run_units(
         cache_dir=cache_dir,
         progress=progress,
         events=events,
+        trace=trace,
     )
 
 

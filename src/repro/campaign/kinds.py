@@ -199,7 +199,7 @@ def _run_fused_group(units: list, threads: int | None = None) -> list[Any]:
 
 
 def run_units_fused(
-    units, progress=None, jobs: int | None = None, events=None
+    units, progress=None, jobs: int | None = None, events=None, trace=None
 ) -> list[Any]:
     """Execute work units in order, fusing compatible array sim units.
 
@@ -222,7 +222,10 @@ def run_units_fused(
 
     ``events`` (an :class:`repro.obs.EventSink` or None) receives one
     ``fused_group`` event per structural group before execution starts —
-    the group's unit count is the fan-in the batching saves.
+    the group's unit count is the fan-in the batching saves.  ``trace``
+    (a :class:`repro.obs.TraceContext` or None) stamps those events with
+    the caller's trace/span ids so a fused sweep stays attributable
+    inside a larger trace.
     """
     units = list(units)
     jobs = resolve_jobs(jobs)
@@ -235,14 +238,17 @@ def run_units_fused(
     total = len(units)
     if events is not None:
         solo = sum(1 for key in keys if key is None)
+        trace_fields = trace.as_fields() if trace is not None else {}
         for indices in groups.values():
             events.emit(
                 "fused_group",
                 size=len(indices),
                 kinds=sorted({units[j].kind for j in indices}),
+                **trace_fields,
             )
         events.emit(
-            "fused_plan", units=total, groups=len(groups), unfused=solo
+            "fused_plan", units=total, groups=len(groups), unfused=solo,
+            **trace_fields,
         )
 
     if jobs > 1:

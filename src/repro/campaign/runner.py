@@ -40,7 +40,7 @@ from repro.campaign import cache
 from repro.campaign.grid import WorkUnit
 from repro.campaign.kinds import lookup, resolve_jobs
 from repro.campaign.store import ResultStore, open_store
-from repro.obs import EventSink, Heartbeat
+from repro.obs import EventSink, Heartbeat, TraceContext, emit_span
 from repro.utils.exceptions import ConfigurationError
 
 __all__ = ["CampaignResult", "pool_choice", "run_campaign", "to_payload"]
@@ -163,6 +163,7 @@ def run_campaign(
     progress: Callable[[int, int], None] | None = None,
     events: EventSink | str | Path | None = None,
     heartbeat_s: float = 10.0,
+    trace: TraceContext | None = None,
 ) -> CampaignResult:
     """Execute ``units``, streaming results to ``store`` as they finish.
 
@@ -196,6 +197,15 @@ def run_campaign(
         identically on the serial, process and thread executors: every
         event is emitted from the coordinating thread or the heartbeat
         daemon, never from pool workers.
+    trace:
+        Optional :class:`~repro.obs.TraceContext` linking this campaign
+        into a caller's trace (needs ``events``).  The run emits one
+        ``campaign.run`` span plus a ``campaign.unit`` span per computed
+        unit (children of the run span), and the ``campaign_start`` /
+        ``campaign_end`` events carry the trace id.  Unit span start
+        times are reconstructed as *end - elapsed* from the coordinating
+        thread — durations are exact, ancestry comes from the parent
+        links, never from time containment.
     """
     unit_list = list(units)
     if workers < 1:
@@ -238,6 +248,8 @@ def run_campaign(
     #: read by the heartbeat daemon (a single int slot: benign race).
     lanes = {"in_flight": 0}
     t0 = time.perf_counter()
+    run_ctx = trace.child() if trace is not None and the_sink is not None else None
+    run_t0_ns = time.monotonic_ns()
 
     if the_sink is not None:
         the_sink.emit(
@@ -247,6 +259,7 @@ def run_campaign(
             resumed=skipped,
             workers=workers,
             executor=executor if workers > 1 else "serial",
+            **({"trace_id": run_ctx.trace_id} if run_ctx is not None else {}),
         )
         for key, indices in pending.items():
             the_sink.emit(
@@ -277,6 +290,17 @@ def run_campaign(
                 total=total,
                 in_flight=lanes["in_flight"],
             )
+            if run_ctx is not None:
+                dur_ns = int(unit_elapsed * 1e9)
+                emit_span(
+                    the_sink,
+                    "campaign.unit",
+                    run_ctx.child(),
+                    time.monotonic_ns() - dur_ns,
+                    dur_ns,
+                    key=key,
+                    kind=rep.kind,
+                )
         if progress is not None:
             progress(done_count, total)
 
@@ -310,11 +334,22 @@ def run_campaign(
         if heartbeat is not None:
             heartbeat.stop()
         if the_sink is not None:
+            if run_ctx is not None:
+                emit_span(
+                    the_sink,
+                    "campaign.run",
+                    run_ctx,
+                    run_t0_ns,
+                    time.monotonic_ns() - run_t0_ns,
+                    units=total,
+                    computed=total - skipped,
+                )
             the_sink.emit(
                 "campaign_end",
                 computed=total - skipped,
                 resumed=skipped,
                 elapsed_s=round(time.perf_counter() - t0, 6),
+                **({"trace_id": run_ctx.trace_id} if run_ctx is not None else {}),
             )
             if owns_sink:
                 the_sink.close()

@@ -11,11 +11,21 @@ campaign     Run a declarative parameter-grid campaign (parallel,
              resumable, cache-backed).
 sim          Run one flit-level simulation with full workload control.
 validate     Model-vs-sim accuracy per workload (campaign-backed);
-             --bounds adds the network-calculus cross-check and --preset
-             runs the standing S5/S6 suites with stated tolerances.
+             --bounds adds the network-calculus cross-check, --preset
+             runs the standing S5/S6 suites with stated tolerances, and
+             a probed warmup-adequacy check warns when the configured
+             warmup window ends before the measured transient.
 serve        Capacity-planning query service over a campaign store
              (warm store hits, saturation-aware surrogates, instant
-             cold fallback + background refinement).
+             cold fallback + background refinement); --trace-events
+             records every query's span tree.
+profile      Per-phase kernel timing of one array-engine batch
+             (--json for machine-readable output).
+watch        Cycle-resolution time-series probes of one array-engine
+             run: in-flight, throughput, backlog and VC occupancy as
+             terminal sparklines/table or JSONL (--out).
+trace        Trace-file tooling: ``trace export`` rewrites span events
+             as Chrome trace-event JSON for chrome://tracing.
 """
 
 from __future__ import annotations
@@ -214,6 +224,107 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--warmup", type=int, help="override warmup cycles")
     prof.add_argument("--measure", type=int, help="override the measurement window")
     prof.add_argument("--drain", type=int, help="override the drain window")
+    prof.add_argument(
+        "--json",
+        action="store_true",
+        help="print one machine-readable JSON object instead of the table "
+        "(phase nanoseconds plus the run's identifying parameters)",
+    )
+
+    watch = sub.add_parser(
+        "watch",
+        help="cycle-resolution time-series probes of one array-engine run",
+        description=(
+            "Run one probed batch on the array engine and render the "
+            "sampled dynamics — in-flight messages, throughput, source "
+            "backlog and per-channel VC occupancy — as terminal "
+            "sparklines plus a sample table, or as JSONL with --out.  "
+            "Probing is observational: results are bit-identical to an "
+            "unprobed run.  The footer reports the MSER-based warmup "
+            "adequacy check (see docs/observability.md)."
+        ),
+    )
+    watch.add_argument("--topology", choices=("star", "hypercube"), default="star")
+    watch.add_argument("--order", type=int, default=4, help="star n / hypercube k")
+    watch.add_argument(
+        "--algorithm", default="enhanced_nbc", help="routing-registry name"
+    )
+    watch.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="lambda_g, messages/cycle/node (default: --load of saturation)",
+    )
+    watch.add_argument(
+        "--load",
+        type=float,
+        default=0.4,
+        help="operating point as a fraction of the model's saturation rate, "
+        "used when --rate is not given",
+    )
+    watch.add_argument("--message-length", type=int, default=16, help="M, flits")
+    watch.add_argument("--vcs", type=int, default=6, help="V, virtual channels")
+    watch.add_argument(
+        "--workload", default="uniform", help="spatial[+temporal] workload string"
+    )
+    watch.add_argument("--seed", type=int, default=0)
+    watch.add_argument(
+        "--replications",
+        type=int,
+        default=4,
+        metavar="R",
+        help="batch width (series aggregate over the whole batch)",
+    )
+    watch.add_argument(
+        "--quality", choices=("smoke", "quick", "full"), default="quick"
+    )
+    watch.add_argument("--warmup", type=int, help="override warmup cycles")
+    watch.add_argument("--measure", type=int, help="override the measurement window")
+    watch.add_argument("--drain", type=int, help="override the drain window")
+    watch.add_argument(
+        "--interval",
+        type=int,
+        default=None,
+        metavar="K",
+        help="probe stride in cycles (default: aimed at ~256 samples)",
+    )
+    watch.add_argument(
+        "--rows",
+        type=int,
+        default=16,
+        metavar="N",
+        help="sample rows to print in the table (the series is thinned)",
+    )
+    watch.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write the samples as JSONL (one meta line, one line per "
+        "sample) instead of rendering",
+    )
+
+    tr = sub.add_parser(
+        "trace",
+        help="trace-file tooling (export span events for chrome://tracing)",
+    )
+    trsub = tr.add_subparsers(dest="trace_command", required=True)
+    texp = trsub.add_parser(
+        "export",
+        help="rewrite span events as Chrome trace-event JSON",
+        description=(
+            "Read a span-carrying event JSONL file (e.g. from starnet "
+            "serve --trace-events) and write Chrome trace-event JSON "
+            "loadable in chrome://tracing or Perfetto."
+        ),
+    )
+    texp.add_argument("events", metavar="FILE", help="event JSONL file")
+    texp.add_argument(
+        "--out",
+        metavar="FILE",
+        help="output path (default: FILE with a .trace.json suffix)",
+    )
+    texp.add_argument(
+        "--trace-id", default=None, help="export a single trace's tree"
+    )
 
     sim = sub.add_parser(
         "sim",
@@ -303,6 +414,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"simulation window preset (default {_VALIDATE_DEFAULTS['quality']})",
     )
     val.add_argument(
+        "--warmup", type=int, default=None,
+        help="override the quality preset's warmup cycles",
+    )
+    val.add_argument(
+        "--measure", type=int, default=None,
+        help="override the measurement window",
+    )
+    val.add_argument(
+        "--drain", type=int, default=None, help="override the drain window"
+    )
+    val.add_argument(
         "--seed", type=int, default=None,
         help=f"master seed (default {_VALIDATE_DEFAULTS['seed']})",
     )
@@ -363,6 +485,13 @@ def build_parser() -> argparse.ArgumentParser:
     val.add_argument(
         "--cache-dir", metavar="DIR", help="shared campaign disk cache"
     )
+    val.add_argument(
+        "--no-warmup-check",
+        action="store_true",
+        help="skip the probed warmup-adequacy check (one extra array-"
+        "engine run at the top load fraction per scenario, warning when "
+        "the warmup window ends before the measured transient)",
+    )
 
     srv = sub.add_parser(
         "serve",
@@ -400,6 +529,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="thread lanes for draining the refinement queue "
         "(0 = one per core; queries are unaffected)",
+    )
+    srv.add_argument(
+        "--trace-events",
+        metavar="FILE",
+        help="append span/lifecycle events as JSONL to FILE: every query "
+        "emits a service.query span, refinements parent under the query "
+        "that enqueued them ('starnet trace export' renders the file "
+        "for chrome://tracing)",
     )
     return parser
 
@@ -529,6 +666,28 @@ def _run_profile_command(args) -> int:
     prof = results[0].phase_ns or {}
     total = prof.get("total", 0) or 1
     cycles = prof.get("cycles", 0)
+    if args.json:
+        import json
+
+        record = {
+            "command": "profile",
+            "topology": args.topology,
+            "order": args.order,
+            "algorithm": args.algorithm,
+            "workload": run_config.workload_spec().canonical,
+            "rate": rate,
+            "message_length": args.message_length,
+            "total_vcs": args.vcs,
+            "replications": args.replications,
+            "cycles": int(cycles),
+            "total_ns": int(total),
+            "phases": {
+                phase: int(prof.get(phase, 0))
+                for phase in ("generation", "activation", "route", "complete", "other")
+            },
+        }
+        print(json.dumps(record, sort_keys=True))
+        return 0
     print(
         f"profile[{args.topology} order={args.order} {args.algorithm}] "
         f"workload={run_config.workload_spec().canonical} rate={rate} "
@@ -550,6 +709,160 @@ def _run_profile_command(args) -> int:
     print()
     print(render_table(["phase", "ns", "share", "ns/cycle"], rows))
     return 0
+
+
+def _run_watch_command(args) -> int:
+    import json
+
+    from repro.obs import (
+        default_probe_interval,
+        series_rows,
+        sparkline,
+        warmup_adequacy,
+    )
+    from repro.simulation.backends import simulate_batch
+
+    try:
+        if args.replications < 1:
+            raise ConfigurationError("--replications must be >= 1")
+        scenario = Scenario(
+            topology=args.topology,
+            order=args.order,
+            algorithm=args.algorithm,
+            message_length=args.message_length,
+            total_vcs=args.vcs,
+            workload=args.workload,
+            quality=args.quality,
+            warmup_cycles=args.warmup,
+            measure_cycles=args.measure,
+            drain_cycles=args.drain,
+            engine="array",
+            seed=args.seed,
+        )
+        rate = args.rate
+        if rate is None:
+            if not 0 < args.load < 1:
+                raise ConfigurationError(
+                    f"--load must be in (0, 1), got {args.load}"
+                )
+            rate = round(args.load * scenario.saturation_rate(), 6)
+        spec = scenario.sim_spec(rate)
+        topo, algo, run_config = spec.build()
+        horizon = run_config.warmup_cycles + run_config.measure_cycles
+        interval = (
+            args.interval
+            if args.interval is not None
+            else default_probe_interval(horizon)
+        )
+        results = simulate_batch(
+            topo, algo, run_config, args.replications, probe_interval=interval
+        )
+    except ConfigurationError as exc:
+        print(f"starnet watch: error: {exc}", file=sys.stderr)
+        return 2
+    series = results[0].timeseries or {}
+    adequacy = warmup_adequacy(
+        series, run_config.warmup_cycles, measure_end=horizon
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            meta = {
+                "type": "meta",
+                "topology": args.topology,
+                "order": args.order,
+                "algorithm": args.algorithm,
+                "workload": run_config.workload_spec().canonical,
+                "rate": rate,
+                "replications": args.replications,
+                "interval": series.get("interval", interval),
+                "total_vcs": series.get("total_vcs", args.vcs),
+                "samples": len(series.get("cycles", [])),
+                "warmup_adequacy": adequacy,
+            }
+            handle.write(json.dumps(meta, sort_keys=True) + "\n")
+            for i, cycle in enumerate(series.get("cycles", [])):
+                handle.write(
+                    json.dumps(
+                        {
+                            "type": "sample",
+                            "cycle": cycle,
+                            "in_flight": series["in_flight"][i],
+                            "completed": series["completed"][i],
+                            "throughput": series["throughput"][i],
+                            "backlog": series["backlog"][i],
+                            "occupancy": series["occupancy"][i],
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+        print(f"probes: {args.out} ({meta['samples']} samples)")
+        return 0
+    print(
+        f"watch[{args.topology} order={args.order} {args.algorithm}] "
+        f"workload={run_config.workload_spec().canonical} rate={rate} "
+        f"M={args.message_length} V={args.vcs} "
+        f"replications={args.replications} interval={interval} "
+        f"samples={len(series.get('cycles', []))}"
+    )
+    print()
+    for name in ("in_flight", "throughput", "backlog"):
+        values = series.get(name, [])
+        peak = max(values) if values else 0
+        print(f"  {name:<11} {sparkline(values)}  peak={round(peak, 4)}")
+    rows = series_rows(
+        series, every=max(1, len(series.get("cycles", [])) // max(1, args.rows))
+    )
+    headers = ["cycle", "in_flight", "throughput", "backlog", "max_busy_vcs"]
+    print()
+    print(render_table(headers, [[row[h] for h in headers] for row in rows]))
+    print()
+    if adequacy["adequate"]:
+        print(
+            f"warmup: ok (warmup_cycles={adequacy['warmup_cycles']}, "
+            f"MSER truncation at cycle {adequacy['truncation_cycle']})"
+        )
+    else:
+        print(
+            f"warmup: WARNING: warmup_cycles={adequacy['warmup_cycles']} ends "
+            f"before the measured transient (MSER truncation at cycle "
+            f"{adequacy['truncation_cycle']}, post-warmup effect "
+            f"{adequacy['post_warmup_effect']} sd) — consider --warmup >= "
+            f"{adequacy['truncation_cycle']}"
+        )
+    return 0
+
+
+def _run_trace_command(args) -> int:
+    from pathlib import Path
+
+    from repro.obs import export_chrome_trace, read_events, span_tree
+
+    if args.trace_command == "export":
+        events_path = Path(args.events)
+        if not events_path.exists():
+            print(
+                f"starnet trace: error: no event file at {events_path}",
+                file=sys.stderr,
+            )
+            return 2
+        out = (
+            Path(args.out)
+            if args.out
+            else events_path.with_name(events_path.stem + ".trace.json")
+        )
+        doc = export_chrome_trace(events_path, out, trace_id=args.trace_id)
+        spans = [e for e in read_events(events_path) if e.get("type") == "span"]
+        if args.trace_id is not None:
+            spans = [s for s in spans if s.get("trace_id") == args.trace_id]
+        traces = {s.get("trace_id") for s in spans}
+        roots = len(span_tree(spans).get(None, []))
+        print(
+            f"trace export: {len(doc['traceEvents'])} spans, "
+            f"{len(traces)} trace(s), {roots} root span(s) -> {out}"
+        )
+        return 0
+    return 2
 
 
 def _run_sim_command(args) -> int:
@@ -674,6 +987,26 @@ def _bound_check_table(scenario, record, cache_dir) -> tuple[str, bool, "object"
     return rendered, violated, bound_rows
 
 
+def _warmup_adequacy_report(scenario, fractions) -> dict:
+    """Probe one array-engine run at the top load fraction and judge
+    the scenario's warmup window against the measured transient."""
+    from repro.obs import adequacy_probe_interval, warmup_adequacy
+    from repro.simulation.backends import simulate
+
+    rate = round(max(fractions) * scenario.saturation_rate(), 6)
+    spec = scenario.replace(engine="array").sim_spec(rate)
+    topo, algo, config = spec.build()
+    horizon = config.warmup_cycles + config.measure_cycles
+    result = simulate(
+        topo, algo, config, probe_interval=adequacy_probe_interval(horizon)
+    )
+    report = warmup_adequacy(
+        result.timeseries, config.warmup_cycles, measure_end=horizon
+    )
+    report["rate"] = rate
+    return report
+
+
 def _run_validate_command(args) -> int:
     from repro.api.presets import preset_suite
     from repro.api.results import ResultSet
@@ -699,6 +1032,9 @@ def _run_validate_command(args) -> int:
                     ("--message-length", args.message_length),
                     ("--vcs", args.vcs),
                     ("--quality", args.quality),
+                    ("--warmup", args.warmup),
+                    ("--measure", args.measure),
+                    ("--drain", args.drain),
                     ("--seed", args.seed),
                     ("--engine", args.engine),
                 )
@@ -730,6 +1066,9 @@ def _run_validate_command(args) -> int:
                 message_length=_resolve("message_length"),
                 total_vcs=_resolve("vcs"),
                 quality=_resolve("quality"),
+                warmup_cycles=args.warmup,
+                measure_cycles=args.measure,
+                drain_cycles=args.drain,
                 seed=_resolve("seed"),
                 engine=_resolve("engine"),
             )
@@ -807,6 +1146,29 @@ def _run_validate_command(args) -> int:
                 print(render_table(headers, table))
         if record.passed is False:
             failed = True
+    if not args.no_warmup_check:
+        # One probed run per distinct scenario at the top load fraction:
+        # warn (without failing) when the configured warmup window ends
+        # before the MSER-detected transient.  Silent when adequate.
+        seen: set[str] = set()
+        for scenario, _record in results:
+            fp = scenario.fingerprint()
+            if fp in seen:
+                continue
+            seen.add(fp)
+            try:
+                report = _warmup_adequacy_report(scenario, fractions)
+            except ConfigurationError:
+                continue
+            if not report["adequate"]:
+                print(
+                    f"warmup check: WARNING: warmup_cycles="
+                    f"{report['warmup_cycles']} ends before the measured "
+                    f"transient at rate={report['rate']:g} (MSER truncation "
+                    f"at cycle {report['truncation_cycle']}, post-warmup "
+                    f"effect {report['post_warmup_effect']} sd) — consider "
+                    f"warmup >= {report['truncation_cycle']}"
+                )
     if args.out:
         path = all_rows.save(args.out)
         print(f"rows: {path}")
@@ -892,6 +1254,7 @@ def main(argv: list[str] | None = None) -> int:
                 cache_dir=args.cache_dir,
                 refine=not args.no_refine,
                 refine_jobs=args.jobs,
+                trace_events=args.trace_events,
             )
         except ConfigurationError as exc:
             print(f"starnet serve: error: {exc}", file=sys.stderr)
@@ -901,6 +1264,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_sim_command(args)
     elif args.command == "profile":
         return _run_profile_command(args)
+    elif args.command == "watch":
+        return _run_watch_command(args)
+    elif args.command == "trace":
+        return _run_trace_command(args)
     elif args.command == "validate":
         return _run_validate_command(args)
     return 0

@@ -13,16 +13,34 @@ through:
 * :mod:`repro.obs.timers` — monotonic-clock span timers
   (:class:`Stopwatch`, :func:`span`) feeding histograms;
 * :mod:`repro.obs.events` — a structured JSONL :class:`EventSink`
-  (campaign lifecycle events, heartbeats) with the same strict-JSON
-  conventions as the ResultSet wire format: non-finite floats
-  serialise as ``null``, never as bare ``NaN`` tokens.
+  (campaign lifecycle events, heartbeats, optional ``max_bytes``
+  rotation) with the same strict-JSON conventions as the ResultSet
+  wire format: non-finite floats serialise as ``null``, never as bare
+  ``NaN`` tokens;
+* :mod:`repro.obs.tracing` — trace/span context propagated service
+  query → campaign unit → kernel run, emitted through the event sink
+  and exportable as Chrome trace-event JSON;
+* :mod:`repro.obs.probes` — the schema, warmup-adequacy detector and
+  terminal rendering of the kernels' cycle-resolution time-series
+  probes (the one numpy-dependent module here — it post-processes
+  kernel buffers).
 
-Everything here is stdlib-only and safe to import from worker threads;
-nothing in this package ever blocks on I/O while holding a metric lock.
-See ``docs/observability.md`` for the full metric and event catalogue.
+Everything else is stdlib-only; all of it is safe to import from
+worker threads, and nothing in this package ever blocks on I/O while
+holding a metric lock.  See ``docs/observability.md`` for the full
+metric and event catalogue.
 """
 
 from repro.obs.events import EventSink, Heartbeat, read_events
+from repro.obs.probes import (
+    adequacy_probe_interval,
+    build_timeseries,
+    default_probe_interval,
+    mser_truncation,
+    series_rows,
+    sparkline,
+    warmup_adequacy,
+)
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -31,6 +49,13 @@ from repro.obs.registry import (
     LATENCY_BUCKETS,
 )
 from repro.obs.timers import Stopwatch, span
+from repro.obs.tracing import (
+    TraceContext,
+    emit_span,
+    export_chrome_trace,
+    span_timer,
+    span_tree,
+)
 
 __all__ = [
     "Counter",
@@ -41,6 +66,18 @@ __all__ = [
     "LATENCY_BUCKETS",
     "MetricsRegistry",
     "Stopwatch",
+    "TraceContext",
+    "adequacy_probe_interval",
+    "build_timeseries",
+    "default_probe_interval",
+    "emit_span",
+    "export_chrome_trace",
+    "mser_truncation",
     "read_events",
+    "series_rows",
     "span",
+    "span_timer",
+    "span_tree",
+    "sparkline",
+    "warmup_adequacy",
 ]

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import threading
 import time
 from pathlib import Path
@@ -48,12 +49,25 @@ def _json_safe(value: Any) -> Any:
 
 
 class EventSink:
-    """Append-only JSONL event stream, safe for concurrent emitters."""
+    """Append-only JSONL event stream, safe for concurrent emitters.
 
-    def __init__(self, path: str | Path):
+    ``max_bytes`` (optional) bounds the file: once an emit pushes it to
+    the limit the stream rotates — ``path`` is atomically renamed to
+    ``path.1`` (the previous ``path.1``, if any, to ``path.2``) and a
+    fresh file is opened, so long campaigns with heartbeats keep at
+    most three generations (~3 × ``max_bytes``) on disk.  Rotation
+    happens under the emit lock and uses ``os.replace``, so no event
+    line is ever split across files.
+    """
+
+    def __init__(self, path: str | Path, max_bytes: int | None = None):
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._max_bytes = max_bytes
         self._file = self.path.open("a", encoding="utf-8")
+        self._size = self._file.tell()
         self._lock = threading.Lock()
         self._t0 = time.monotonic()
         self._closed = False
@@ -68,6 +82,26 @@ class EventSink:
                 return
             self._file.write(line)
             self._file.flush()
+            if self._max_bytes is not None:
+                self._size += len(line.encode("utf-8"))
+                if self._size >= self._max_bytes:
+                    self._rotate()
+
+    def _rotate(self) -> None:
+        """Shift generations (``path`` → ``.1`` → ``.2``) and reopen.
+
+        Caller holds the lock.  ``os.replace`` is atomic on POSIX, so a
+        concurrent reader sees either the old or the new generation,
+        never a truncated file.
+        """
+        self._file.close()
+        one = self.path.with_name(self.path.name + ".1")
+        two = self.path.with_name(self.path.name + ".2")
+        if one.exists():
+            os.replace(one, two)
+        os.replace(self.path, one)
+        self._file = self.path.open("a", encoding="utf-8")
+        self._size = 0
 
     def close(self) -> None:
         with self._lock:

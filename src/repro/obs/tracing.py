@@ -1,0 +1,195 @@
+"""Lightweight trace/span propagation across the service and campaign layers.
+
+A :class:`TraceContext` is three identifiers — ``trace_id`` (one per
+top-level request), ``span_id`` (one per operation) and ``parent_id``
+(the enclosing span, None at the root) — passed *by value* down the
+call chain: service query → tier resolution → refinement enqueue →
+campaign unit → simulate call.  Spans are emitted as ordinary
+``type="span"`` events through the existing :class:`~repro.obs.events.
+EventSink` (fields ``name``, ``trace_id``, ``span_id``, ``parent_id``,
+``t0_ns``, ``dur_ns`` plus emitter extras), so one ``--trace-events``
+file carries a whole request tree; :func:`export_chrome_trace` rewrites
+it as Chrome trace-event JSON loadable in ``chrome://tracing`` /
+Perfetto (``starnet trace export``).
+
+Timestamps are ``time.monotonic_ns()`` — span *durations* and
+within-process ordering are exact; cross-process alignment is not a
+goal (refinement is asynchronous anyway), ancestry comes from the
+parent links, never from time containment.
+
+Stdlib-only, allocation-light, and safe to pass between threads (the
+context is frozen; sinks serialise their own writes).
+"""
+
+from __future__ import annotations
+
+import json
+import secrets
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.obs.events import EventSink, read_events
+
+__all__ = [
+    "TraceContext",
+    "emit_span",
+    "export_chrome_trace",
+    "span_timer",
+    "span_tree",
+]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One span's identity within a trace (immutable, value-passed)."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+
+    @classmethod
+    def root(cls, trace_id: str | None = None) -> "TraceContext":
+        """Start a trace: fresh ids, or adopt a caller-supplied trace id
+        (the ``X-Trace-Id`` request header) so distributed callers can
+        stitch their own spans onto ours."""
+        return cls(
+            trace_id=trace_id if trace_id else secrets.token_hex(16),
+            span_id=secrets.token_hex(8),
+            parent_id=None,
+        )
+
+    def child(self) -> "TraceContext":
+        """A new span under this one (same trace, parent = this span)."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=secrets.token_hex(8),
+            parent_id=self.span_id,
+        )
+
+    def as_fields(self) -> dict[str, Any]:
+        """The id triple as event fields."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+        }
+
+
+def emit_span(
+    sink: EventSink,
+    name: str,
+    ctx: TraceContext,
+    t0_ns: int,
+    dur_ns: int,
+    **extra: Any,
+) -> None:
+    """Emit one completed span event (monotonic start + duration)."""
+    sink.emit(
+        "span",
+        name=name,
+        t0_ns=int(t0_ns),
+        dur_ns=int(dur_ns),
+        **ctx.as_fields(),
+        **extra,
+    )
+
+
+class span_timer:
+    """Context manager: time a block and emit its span on exit.
+
+    Extra fields may be added mid-block via ``set(key=value)`` — they
+    ride on the span event.  The span is emitted even when the block
+    raises (with ``error`` set to the exception class name), so failed
+    requests still appear in the trace.
+    """
+
+    def __init__(self, sink: EventSink, name: str, ctx: TraceContext, **extra: Any):
+        self._sink = sink
+        self._name = name
+        self._ctx = ctx
+        self._extra = dict(extra)
+        self._t0 = 0
+
+    def set(self, **fields: Any) -> None:
+        self._extra.update(fields)
+
+    def __enter__(self) -> "span_timer":
+        self._t0 = time.monotonic_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._extra.setdefault("error", exc_type.__name__)
+        emit_span(
+            self._sink,
+            self._name,
+            self._ctx,
+            self._t0,
+            time.monotonic_ns() - self._t0,
+            **self._extra,
+        )
+
+
+def span_tree(events: list[dict]) -> dict[str | None, list[dict]]:
+    """Group span events by parent id (None = roots), t0-ordered.
+
+    Input is any event list (non-span events are skipped); the output
+    maps each parent span id to its children, which is what the tests
+    and the CI smoke walk to assert a trace is connected.
+    """
+    spans = [e for e in events if e.get("type") == "span"]
+    spans.sort(key=lambda e: e.get("t0_ns", 0))
+    tree: dict[str | None, list[dict]] = {}
+    for span in spans:
+        tree.setdefault(span.get("parent_id"), []).append(span)
+    return tree
+
+
+def export_chrome_trace(
+    events_path: str | Path,
+    out_path: str | Path | None = None,
+    trace_id: str | None = None,
+) -> dict:
+    """Rewrite span events as Chrome trace-event JSON.
+
+    Each span becomes one complete (``"ph": "X"``) event: timestamps
+    and durations convert from nanoseconds to the format's
+    microseconds, every trace gets its own ``tid`` lane (first-seen
+    order) so concurrent requests stack instead of overlapping, and the
+    span/parent ids ride in ``args`` for tooltip inspection.  Pass
+    ``trace_id`` to export a single request's tree.  Returns the
+    document; writes it to ``out_path`` when given.
+    """
+    spans = [e for e in read_events(events_path) if e.get("type") == "span"]
+    if trace_id is not None:
+        spans = [s for s in spans if s.get("trace_id") == trace_id]
+    spans.sort(key=lambda e: e.get("t0_ns", 0))
+    lanes: dict[str, int] = {}
+    trace_events = []
+    for span in spans:
+        tid = lanes.setdefault(span.get("trace_id", ""), len(lanes) + 1)
+        args = {
+            k: v
+            for k, v in span.items()
+            if k not in ("type", "ts", "name", "t0_ns", "dur_ns")
+        }
+        trace_events.append(
+            {
+                "ph": "X",
+                "name": span.get("name", "span"),
+                "cat": "starnet",
+                "pid": 1,
+                "tid": tid,
+                "ts": span.get("t0_ns", 0) / 1000.0,
+                "dur": span.get("dur_ns", 0) / 1000.0,
+                "args": args,
+            }
+        )
+    doc = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    if out_path is not None:
+        out = Path(out_path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return doc

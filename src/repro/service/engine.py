@@ -46,7 +46,14 @@ from repro.campaign import cache
 from repro.campaign.grid import WorkUnit, canonical_key
 from repro.campaign.kinds import lookup
 from repro.campaign.store import ResultStore, open_store
-from repro.obs import LATENCY_BUCKETS, MetricsRegistry
+from repro.obs import (
+    LATENCY_BUCKETS,
+    EventSink,
+    MetricsRegistry,
+    TraceContext,
+    emit_span,
+    span_timer,
+)
 from repro.service.query import Query
 from repro.service.surrogate import SurrogateFit, SurrogateIndex, query_families
 from repro.utils.exceptions import ConfigurationError
@@ -82,6 +89,15 @@ class QueryEngine:
     auto_refresh:
         Re-index when the store's signature changes (set False only in
         benchmarks that want the index pinned).
+    trace_events:
+        Optional span/event destination — an
+        :class:`~repro.obs.EventSink` or a JSONL path to open one at
+        (``starnet serve --trace-events``).  When set, every answered
+        query emits a ``service.query`` span, refinement units emit
+        ``refine.unit`` spans parented under the query that enqueued
+        them, and the refinement campaign's lifecycle events land in the
+        same file — one stream carries a whole request tree, exportable
+        with ``starnet trace export``.
     """
 
     def __init__(
@@ -92,6 +108,7 @@ class QueryEngine:
         refine: bool = True,
         refine_jobs: int | None = None,
         auto_refresh: bool = True,
+        trace_events: EventSink | str | Path | None = None,
     ):
         self.store = store if isinstance(store, ResultStore) else open_store(store)
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
@@ -108,6 +125,15 @@ class QueryEngine:
         self._index: SurrogateIndex | None = None
         self._signature: tuple | None = None
         self._queue: dict[str, WorkUnit] = {}
+        #: Trace context per queued refinement key: the child span the
+        #: enqueuing query reserved for its refinement unit.
+        self._trace_by_key: dict[str, TraceContext] = {}
+        if trace_events is None or isinstance(trace_events, EventSink):
+            self.trace_sink = trace_events
+            self._owns_sink = False
+        else:
+            self.trace_sink = EventSink(trace_events)
+            self._owns_sink = True
         self._t_created = time.monotonic()
         self.registry = MetricsRegistry()
         self._c_queries = self.registry.counter(
@@ -166,8 +192,27 @@ class QueryEngine:
 
     # -- resolution ladder ----------------------------------------------
 
-    def answer(self, query: Query) -> ResultRow:
-        """One ResultRow for ``query`` — warm, surrogate, or cold."""
+    def answer(self, query: Query, trace: TraceContext | None = None) -> ResultRow:
+        """One ResultRow for ``query`` — warm, surrogate, or cold.
+
+        ``trace`` is the request's root :class:`~repro.obs.TraceContext`
+        (the server mints one per ``POST /query``, adopting an
+        ``X-Trace-Id`` header when present).  With a ``trace_events``
+        sink configured the resolution ladder runs inside a
+        ``service.query`` span carrying the resolved tier; without a
+        sink the context is accepted and ignored.
+        """
+        if self.trace_sink is None:
+            return self._answer(query, None)
+        ctx = trace if trace is not None else TraceContext.root()
+        with span_timer(
+            self.trace_sink, "service.query", ctx, rate=query.rate
+        ) as timer:
+            row = self._answer(query, ctx)
+            timer.set(tier=row.meta.get("served", row.provenance))
+            return row
+
+    def _answer(self, query: Query, ctx: TraceContext | None) -> ResultRow:
         t0 = time.perf_counter()
         index = self._current_index()
         families = query_families(query.scenario)
@@ -198,7 +243,7 @@ class QueryEngine:
 
         row = self._cold_answer(query)
         if self.refine_enabled and query.refine:
-            self._enqueue_refinement(query)
+            self._enqueue_refinement(query, ctx)
         return self._tag(row, "cold", t0)
 
     def _tag(self, row: ResultRow, served: str | None, t0: float) -> ResultRow:
@@ -263,12 +308,16 @@ class QueryEngine:
 
     # -- background refinement ------------------------------------------
 
-    def _enqueue_refinement(self, query: Query) -> None:
+    def _enqueue_refinement(self, query: Query, ctx: TraceContext | None = None) -> None:
         unit = query.scenario.sim_unit(query.rate, replications=query.replications)
         with self._lock:
             # setdefault dedupes: repeated cold queries of one point
-            # refine it once.
-            self._queue.setdefault(unit.key(), unit)
+            # refine it once; the first enqueuer's trace owns the unit's
+            # refinement span.
+            key = unit.key()
+            self._queue.setdefault(key, unit)
+            if ctx is not None and key not in self._trace_by_key:
+                self._trace_by_key[key] = ctx.child()
             self._g_queue.set(len(self._queue))
 
     @property
@@ -288,16 +337,39 @@ class QueryEngine:
             if max_units is not None:
                 keys = keys[:max_units]
             units = [self._queue.pop(k) for k in keys]
+            ctxs = [self._trace_by_key.pop(k, None) for k in keys]
             self._g_queue.set(len(self._queue))
         if not units:
             return 0
-        run_units(
+        result = run_units(
             units,
             workers=self.refine_jobs,
             executor="threads" if self.refine_jobs > 1 else "processes",
             store=self.store,
             cache_dir=self.cache_dir,
+            events=self.trace_sink,
         )
+        if self.trace_sink is not None:
+            # Unit spans parent under the query that enqueued them; the
+            # start time is reconstructed as end - elapsed (durations
+            # exact, ancestry from the parent links — refinement is
+            # asynchronous, so time containment is not a goal).
+            now = time.monotonic_ns()
+            for key, unit, ctx, elapsed in zip(
+                keys, units, ctxs, result.unit_elapsed_s
+            ):
+                if ctx is None:
+                    continue
+                dur_ns = int((elapsed or 0.0) * 1e9)
+                emit_span(
+                    self.trace_sink,
+                    "refine.unit",
+                    ctx,
+                    now - dur_ns,
+                    dur_ns,
+                    key=key,
+                    kind=unit.kind,
+                )
         self._c_refined.inc(len(units))
         # One store row lands per refined unit (the campaign's append
         # path), so the append counter advances in lockstep.
@@ -360,3 +432,5 @@ class QueryEngine:
 
     def close(self) -> None:
         self.store.close()
+        if self.trace_sink is not None and self._owns_sink:
+            self.trace_sink.close()

@@ -22,10 +22,15 @@ Endpoints
     is a one-row ResultSet JSONL document (the platform's wire format —
     the header line echoes the schema version, also mirrored in the
     ``X-Schema-Version`` response header; ``X-Served`` carries the
-    resolution tier).
+    resolution tier).  Every query gets a trace: ``X-Trace-Id`` on the
+    response names it (a request ``X-Trace-Id`` header is adopted), and
+    with ``--trace-events`` configured the query's span tree lands in
+    the event file (``starnet trace export`` renders it for
+    ``chrome://tracing``).
 ``POST /batch``
     ``{"queries": [...]}`` — many queries, one ResultSet JSONL with the
-    answer rows in request order.
+    answer rows in request order (one shared trace id, one root span
+    per query).
 
 Run it from the CLI (``starnet serve --store ...``), or embed
 :class:`ServiceServer` for in-process serving (tests, examples).
@@ -40,6 +45,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
 from repro.api.results import SCHEMA_VERSION, ResultSet
+from repro.obs import TraceContext
 from repro.service.engine import QueryEngine
 from repro.service.query import Query
 from repro.utils.exceptions import ConfigurationError
@@ -131,7 +137,7 @@ class ServiceServer:
         if length > _MAX_BODY:
             raise _HttpError(413, "Payload Too Large", f"body over {_MAX_BODY} bytes")
         body = await reader.readexactly(length) if length else b""
-        return method.upper(), target.split("?", 1)[0], body
+        return method.upper(), target.split("?", 1)[0], body, headers
 
     def _parse_json(self, body: bytes) -> Any:
         try:
@@ -139,17 +145,19 @@ class ServiceServer:
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise _HttpError(400, "Bad Request", f"invalid JSON body: {exc}") from None
 
-    def _answer_one(self, payload: Any) -> Any:
+    def _answer_one(self, payload: Any, trace: TraceContext | None = None) -> Any:
         try:
             query = Query.from_dict(payload)
         except ConfigurationError as exc:
             raise _HttpError(400, "Bad Request", str(exc)) from None
         try:
-            return self.engine.answer(query)
+            return self.engine.answer(query, trace=trace)
         except ConfigurationError as exc:
             raise _HttpError(422, "Unprocessable Entity", str(exc)) from None
 
-    async def _dispatch(self, method: str, path: str, body: bytes) -> bytes:
+    async def _dispatch(
+        self, method: str, path: str, body: bytes, headers: dict[str, str]
+    ) -> bytes:
         loop = asyncio.get_running_loop()
         if method == "GET" and path == "/health":
             index_size = await loop.run_in_executor(
@@ -180,27 +188,45 @@ class ServiceServer:
             )
         if method == "POST" and path == "/query":
             payload = self._parse_json(body)
-            row = await loop.run_in_executor(None, self._answer_one, payload)
+            # One root context per request: a fresh trace, or the
+            # caller's via an ``X-Trace-Id`` header (so distributed
+            # clients stitch our spans onto theirs).  The response
+            # always echoes the id, sink or no sink.
+            ctx = TraceContext.root(headers.get("x-trace-id"))
+            row = await loop.run_in_executor(None, self._answer_one, payload, ctx)
             self._kick_refiner()
             return _http_response(
                 200,
                 "OK",
                 ResultSet([row]).to_jsonl().encode("utf-8"),
                 _JSONL,
-                {"X-Served": row.meta.get("served", row.provenance)},
+                {
+                    "X-Served": row.meta.get("served", row.provenance),
+                    "X-Trace-Id": ctx.trace_id,
+                },
             )
         if method == "POST" and path == "/batch":
             payload = self._parse_json(body)
             if not isinstance(payload, dict) or not isinstance(payload.get("queries"), list):
                 raise _HttpError(400, "Bad Request", "batch body needs a 'queries' list")
+            batch_ctx = TraceContext.root(headers.get("x-trace-id"))
 
             def _answer_all() -> list:
-                return [self._answer_one(q) for q in payload["queries"]]
+                # Every query in the batch gets its own root span inside
+                # the one shared trace id.
+                return [
+                    self._answer_one(q, TraceContext.root(batch_ctx.trace_id))
+                    for q in payload["queries"]
+                ]
 
             rows = await loop.run_in_executor(None, _answer_all)
             self._kick_refiner()
             return _http_response(
-                200, "OK", ResultSet(rows).to_jsonl().encode("utf-8"), _JSONL
+                200,
+                "OK",
+                ResultSet(rows).to_jsonl().encode("utf-8"),
+                _JSONL,
+                {"X-Trace-Id": batch_ctx.trace_id},
             )
         raise _HttpError(404, "Not Found", f"no route for {method} {path}")
 
@@ -316,14 +342,21 @@ def run_server(
     cache_dir=None,
     refine: bool = True,
     refine_jobs: int | None = None,
+    trace_events=None,
 ) -> None:
     """Build an engine over ``store`` and serve it until interrupted.
 
     ``refine_jobs`` sizes the refinement drain's in-process thread lanes
-    (``starnet serve --jobs``); queries are unaffected.
+    (``starnet serve --jobs``); queries are unaffected.  ``trace_events``
+    (a JSONL path) turns on span emission — every query and refinement
+    unit lands in the file, ready for ``starnet trace export``.
     """
     engine = QueryEngine(
-        store, cache_dir=cache_dir, refine=refine, refine_jobs=refine_jobs
+        store,
+        cache_dir=cache_dir,
+        refine=refine,
+        refine_jobs=refine_jobs,
+        trace_events=trace_events,
     )
     server = ServiceServer(engine, host=host, port=port)
     stats = engine.stats()

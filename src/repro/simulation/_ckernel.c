@@ -158,6 +158,20 @@
  *                                  activation, route, complete, -, -,
  *                                  -, -} (total/cycles live Python-side;
  *                                  see ArraySimulator.phase_profile)
+ *
+ * Time-series probe slots (119+), the same NULL-pointer = zero-overhead
+ * contract as slot 118 (see probe_sample / docs/observability.md):
+ *
+ * 119 pb_data     (int64*, cap*R*(3+V+1)) sample ring buffer, or 0
+ *                                  when probing is off; one sample is
+ *                                  R rows of {in_flight, completed,
+ *                                  backlog, occupancy histogram 0..V}
+ * 120 pb_cycles   (int64*, cap)   cycle stamp per sample
+ * 121 pb_state    (int64*, 1)     {sample count} — shared with the
+ *                                  Python-driven cycles so both append
+ *                                  to the same ring
+ * 122 pb_interval                 cycles between samples
+ * 123 pb_cap                      ring capacity (samples)
  */
 
 #include <stdint.h>
@@ -253,6 +267,8 @@ typedef struct Ctx {
     int64_t ej_cap_rows;
     int64_t *run_state;
     int64_t *prof;
+    int64_t *pb_data, *pb_cycles, *pb_state;
+    int64_t pb_interval, pb_cap;
     int64_t ms, CV;
 } Ctx;
 
@@ -387,8 +403,45 @@ static void decode(Ctx *c, int64_t *P)
     c->ej_cap_rows = P[116];
     c->run_state = (int64_t *)P[117];
     c->prof = (int64_t *)P[118];
+    c->pb_data = (int64_t *)P[119];
+    c->pb_cycles = (int64_t *)P[120];
+    c->pb_state = (int64_t *)P[121];
+    c->pb_interval = P[122];
+    c->pb_cap = P[123];
     c->ms = (int64_t)c->M << 16;
     c->CV = c->C * c->V;
+}
+
+/* Time-series probe: one ring-buffer sample of the batch's occupancy
+ * state after the probed cycle's phases.  Observation-only — it reads
+ * counters the phases already maintain and writes only the side
+ * buffers — so results are bit-identical probed or not; the numpy
+ * fallback's ArraySimulator._probe_sample mirrors this layout exactly.
+ * The caller's NULL check on pb_data keeps the probes-off path to one
+ * predictable branch per cycle, the prof_now contract. */
+static void probe_sample(const Ctx *c, int64_t cycle)
+{
+    const int64_t s = c->pb_state[0];
+    if (s >= c->pb_cap)
+        return;
+    const int64_t row = 3 + c->V + 1;
+    int64_t *dst = c->pb_data + s * c->R * row;
+    for (int64_t r = 0; r < c->R; ++r, dst += row) {
+        dst[0] = c->in_flight[r];
+        dst[1] = c->completed[r];
+        int64_t backlog = 0;
+        const int32_t *ql = c->qlen + r * c->N;
+        for (int64_t u = 0; u < c->N; ++u)
+            backlog += ql[u];
+        dst[2] = backlog;
+        for (int64_t v = 0; v <= c->V; ++v)
+            dst[3 + v] = 0;
+        const uint8_t *b = c->busy + r * c->C;
+        for (int64_t ch = 0; ch < c->C; ++ch)
+            dst[3 + b[ch]] += 1;
+    }
+    c->pb_cycles[s] = cycle;
+    c->pb_state[0] = s + 1;
 }
 
 static int64_t probe_memo(const int64_t *keys, const int32_t *vals,
@@ -1308,6 +1361,12 @@ int64_t starnet_run(int64_t *P)
             if (reason & RUN_WATCHDOG)
                 goto out; /* cycle NOT advanced: Python raises at it */
         }
+
+        /* time-series probe due?  Samples every probed cycle of the
+         * run, warmup included (the warmup-adequacy detector needs the
+         * transient), unlike the warm-gated channel-load sample. */
+        if (c.pb_data && cycle % c.pb_interval == 0)
+            probe_sample(&c, cycle);
 
         /* channel-load sample due for any live post-warmup rep? */
         if (cycle % c.sample_interval == 0) {

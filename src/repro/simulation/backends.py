@@ -71,6 +71,7 @@ def make_simulator(
     engine: str | None = None,
     threads: int | None = None,
     profile: bool = False,
+    probe_interval: int | None = None,
 ):
     """Build a single-run simulator on the selected backend.
 
@@ -83,14 +84,20 @@ def make_simulator(
     ``threads`` sizes the array backend's kernel worker pool (results
     are bit-identical for every value); the object engine is inherently
     single-threaded and ignores it.  ``profile`` turns on the array
-    backend's per-phase cycle timing (also observation-only — results
-    stay bit-identical; the object engine ignores it).
+    backend's per-phase cycle timing and ``probe_interval`` its
+    cycle-resolution time-series probes (both observation-only —
+    results stay bit-identical; the object engine ignores them).
     """
     name = _resolve(engine, config)
     if name == "object":
         return _engine.WormholeSimulator(topology, algorithm, config)
     return ArraySimulator(
-        topology, algorithm, config, threads=threads, profile=profile
+        topology,
+        algorithm,
+        config,
+        threads=threads,
+        profile=profile,
+        probe_interval=probe_interval,
     )
 
 
@@ -101,13 +108,19 @@ def simulate(
     engine: str | None = None,
     threads: int | None = None,
     profile: bool = False,
+    probe_interval: int | None = None,
 ) -> SimulationResult:
     """Run one simulation on the selected backend."""
     name = _resolve(engine, config)
     if name == "object":
         return _engine.simulate(topology, algorithm, config)
     result = ArraySimulator(
-        topology, algorithm, config, threads=threads, profile=profile
+        topology,
+        algorithm,
+        config,
+        threads=threads,
+        profile=profile,
+        probe_interval=probe_interval,
     ).run()
     return result[0]
 
@@ -121,6 +134,7 @@ def simulate_batch(
     engine: str | None = None,
     threads: int | None = None,
     profile: bool = False,
+    probe_interval: int | None = None,
 ) -> list[SimulationResult]:
     """Run R independent replications; one result per seed, in seed order.
 
@@ -147,7 +161,13 @@ def simulate_batch(
             _engine.simulate(topology, algorithm, config.with_seed(s)) for s in seeds
         ]
     return ArraySimulator(
-        topology, algorithm, config, seeds=seeds, threads=threads, profile=profile
+        topology,
+        algorithm,
+        config,
+        seeds=seeds,
+        threads=threads,
+        profile=profile,
+        probe_interval=probe_interval,
     ).run()
 
 
@@ -158,6 +178,7 @@ def simulate_many(
     engine: str | None = None,
     threads: int | None = None,
     profile: bool = False,
+    probe_interval: int | None = None,
 ) -> list[SimulationResult]:
     """Run heterogeneous configs together; one result per config, in order.
 
@@ -177,7 +198,12 @@ def simulate_many(
     if name == "object":
         return [_engine.simulate(topology, algorithm, c) for c in configs]
     return ArraySimulator(
-        topology, algorithm, configs=configs, threads=threads, profile=profile
+        topology,
+        algorithm,
+        configs=configs,
+        threads=threads,
+        profile=profile,
+        probe_interval=probe_interval,
     ).run()
 
 

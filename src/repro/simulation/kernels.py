@@ -199,6 +199,15 @@ class ArraySimulator:
     it.  Off (the default) the kernel passes a NULL profiling pointer,
     so the cost is one predictable branch per phase — the guarded
     benchmarks run with it off.
+
+    ``probe_interval=k`` turns on cycle-resolution time-series probes:
+    every k cycles both kernels write per-replication in-flight,
+    completed and backlog counts plus a busy-VC occupancy histogram
+    into preallocated ring buffers (``state.probe_*``), surfaced as
+    ``SimulationResult.timeseries`` on the first replication.  Same
+    observation-only contract as ``profile``: results are bit-identical
+    probed or not (asserted in tests), the kernel sees a NULL data
+    pointer when probing is off, and campaign keys ignore the knob.
     """
 
     def __init__(
@@ -210,6 +219,7 @@ class ArraySimulator:
         configs: list[SimulationConfig] | None = None,
         threads: int | None = None,
         profile: bool = False,
+        probe_interval: int | None = None,
     ):
         if configs is not None:
             if config is not None or seeds is not None:
@@ -276,6 +286,14 @@ class ArraySimulator:
         #: Phase-timing accumulators, or None when profiling is off —
         #: the hot paths test this once per phase and skip the clock.
         self._prof = self.state.phase_ns if self.profile else None
+        if probe_interval is not None and probe_interval < 1:
+            raise ConfigurationError(
+                f"probe_interval must be >= 1, got {probe_interval}"
+            )
+        #: Time-series probe stride in cycles, or None when probing is
+        #: off (the ring buffers are allocated after the measurement
+        #: windows are known, below).
+        self._probe_int = None if probe_interval is None else int(probe_interval)
         self._color_py = [topology.color(u) for u in range(N)]
         self._color_np = np.array(self._color_py, dtype=np.uint8)
         #: Flat neighbor list: entry ``channel`` = node reached through it.
@@ -533,6 +551,12 @@ class ArraySimulator:
                 raise ValueError("batches must be >= 1")
             if c.horizon <= c.warmup_cycles:
                 raise ValueError("empty measurement window")
+        if self._probe_int is not None:
+            # The batch never cycles past the longest drain horizon, so
+            # a ring sized off it can't overflow (both kernels still
+            # guard on capacity); warmup cycles are probed too — the
+            # warmup-adequacy detector needs the transient.
+            self.state.alloc_probes(max(self._end_per) // self._probe_int + 2)
         # Streaming latency sums (the array twin of LatencyAccumulator):
         # one scalar sum per metric plus per-batch sums for the CI, all
         # accumulated in message-completion order by whichever kernel
@@ -590,12 +614,19 @@ class ArraySimulator:
         result (the batch advances as one unit, so phase timing is a
         whole-batch property).
         """
-        if self._prof is None:
+        if self._prof is None and self._probe_int is None:
             return self._run_to_completion()
         t0 = time.perf_counter_ns()
         results = self._run_to_completion()
-        self._prof[_PROF_TOTAL_SLOT] += time.perf_counter_ns() - t0
-        results[0] = dataclasses.replace(results[0], phase_ns=self.phase_profile())
+        if self._prof is not None:
+            self._prof[_PROF_TOTAL_SLOT] += time.perf_counter_ns() - t0
+            results[0] = dataclasses.replace(
+                results[0], phase_ns=self.phase_profile()
+            )
+        if self._probe_int is not None:
+            results[0] = dataclasses.replace(
+                results[0], timeseries=self.probe_series()
+            )
         return results
 
     def _run_to_completion(self) -> list[SimulationResult]:
@@ -839,7 +870,51 @@ class ArraySimulator:
                     self._sampler[rep].sample_scalars(
                         stats[0][rep], stats[1][rep], stats[2][rep]
                     )
+        # Time-series probe: the resident C loop probes the cycles it
+        # completes itself; every cycle that finishes here (numpy path,
+        # per-cycle C path, or a PUNTed resident cycle) is probed by
+        # this twin, through the same shared sample counter.
+        if self._probe_int is not None and cycle % self._probe_int == 0:
+            self._probe_sample(cycle)
         self.cycle = cycle + 1
+
+    def _probe_sample(self, cycle: int) -> None:
+        """Append one probe sample — the bit-exact twin of the C
+        kernel's ``probe_sample`` (same layout, same int64 values)."""
+        st = self.state
+        s = int(st.probe_state[0])
+        if s >= st.probe_capacity:
+            return
+        data = st.probe_data[s]
+        data[:, 0] = self._in_flight
+        data[:, 1] = self._completed
+        data[:, 2] = self._qlen.sum(axis=1)
+        V = self._V
+        for rep in range(self._R):
+            data[rep, 3:] = np.bincount(st.ch_busy[rep], minlength=V + 1)
+        st.probe_cycles[s] = cycle
+        st.probe_state[0] = s + 1
+
+    def probe_series(self) -> dict:
+        """The probed samples as an aggregate time-series dict.
+
+        See :func:`repro.obs.probes.build_timeseries` for the schema;
+        raises when the simulator was built without ``probe_interval``.
+        """
+        if self._probe_int is None:
+            raise ConfigurationError(
+                "probe_series() needs ArraySimulator(probe_interval=k)"
+            )
+        from repro.obs.probes import build_timeseries
+
+        st = self.state
+        n = int(st.probe_state[0])
+        return build_timeseries(
+            st.probe_data[:n],
+            st.probe_cycles[:n],
+            interval=self._probe_int,
+            num_vcs=self._V,
+        )
 
     def _sample_stats(self) -> tuple[list[int], list[int], list[int]]:
         """Per-rep busy-channel moments off the maintained ch_busy array
@@ -1884,6 +1959,11 @@ class ArraySimulator:
                 self._ej_cap_rows,  # 116
                 self._c_rs.ctypes.data,  # 117
                 self.state.phase_ns.ctypes.data if self._prof is not None else 0,  # 118
+                0 if st.probe_data is None else st.probe_data.ctypes.data,  # 119
+                0 if st.probe_cycles is None else st.probe_cycles.ctypes.data,  # 120
+                0 if st.probe_state is None else st.probe_state.ctypes.data,  # 121
+                self._probe_int or 0,  # 122
+                st.probe_capacity,  # 123
             ],
             dtype=np.int64,
         )

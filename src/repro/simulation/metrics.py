@@ -296,6 +296,11 @@ class SimulationResult:
     #: was profiled; a batched run attaches the whole batch's timing to
     #: its first replication — see ArraySimulator.phase_profile).
     phase_ns: dict | None = None
+    #: Cycle-resolution probe series (None unless the run was probed; a
+    #: batched run attaches the whole batch's series to its first
+    #: replication — see ArraySimulator.probe_series and
+    #: repro.obs.probes.build_timeseries for the schema).
+    timeseries: dict | None = None
 
     def as_dict(self) -> dict:
         """JSON-friendly view (rounded for table rendering)."""
@@ -317,4 +322,6 @@ class SimulationResult:
             # Only profiled runs carry phase timing; omitting the key
             # otherwise keeps historical payloads byte-identical.
             **({"phase_ns": dict(self.phase_ns)} if self.phase_ns else {}),
+            # Likewise only probed runs carry the time series.
+            **({"timeseries": dict(self.timeseries)} if self.timeseries else {}),
         }

@@ -138,6 +138,37 @@ class SimState:
         #: kernel / the per-cycle driver; see docs/observability.md.
         self.phase_ns = np.zeros(8, dtype=np.int64)
 
+        #: Time-series probe ring buffers (param-block slots 119-123),
+        #: unallocated until ``alloc_probes`` — probing is opt-in
+        #: (``ArraySimulator(probe_interval=k)``) and the kernel sees a
+        #: NULL data pointer otherwise, the same zero-overhead contract
+        #: as ``phase_ns``.  See docs/observability.md.
+        self.probe_data: np.ndarray | None = None
+        self.probe_cycles: np.ndarray | None = None
+        self.probe_state: np.ndarray | None = None
+        self.probe_capacity = 0
+        self.probe_row = 0
+
+    def alloc_probes(self, capacity: int) -> None:
+        """Allocate the probe ring buffers for ``capacity`` samples.
+
+        One sample holds, per replication, ``[in_flight, completed,
+        backlog, occupancy histogram over busy-VC counts 0..V]`` — all
+        int64, written by the C megakernel and the numpy fallback with
+        identical semantics.  ``probe_state[0]`` is the shared sample
+        counter so C-resident spans and Python-driven cycles append to
+        the same ring.
+        """
+        if capacity < 1:
+            raise ConfigurationError(f"probe capacity must be >= 1, got {capacity}")
+        self.probe_row = 3 + self.num_vcs + 1
+        self.probe_capacity = capacity
+        self.probe_data = np.zeros(
+            (capacity, self.replications, self.probe_row), dtype=np.int64
+        )
+        self.probe_cycles = np.zeros(capacity, dtype=np.int64)
+        self.probe_state = np.zeros(1, dtype=np.int64)
+
     # ------------------------------------------------------------------
     # Slot management
     # ------------------------------------------------------------------

@@ -1,0 +1,56 @@
+"""Campaign span emission: ``run_campaign(trace=...)``."""
+
+from __future__ import annotations
+
+from repro.campaign.grid import GridSpec
+from repro.campaign.runner import run_campaign
+from repro.obs import TraceContext, read_events
+
+_GRID = GridSpec(
+    kind="model",
+    axes=(("rate", (0.002, 0.004, 0.006)),),
+    pinned=(("order", 4), ("message_length", 8)),
+)
+
+
+def _spans(path):
+    return [e for e in read_events(path) if e["type"] == "span"]
+
+
+class TestCampaignSpans:
+    def test_run_and_unit_spans_form_one_tree(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        trace = TraceContext.root()
+        run_campaign(_GRID.expand(), events=path, trace=trace)
+        spans = _spans(path)
+        (run,) = [s for s in spans if s["name"] == "campaign.run"]
+        units = [s for s in spans if s["name"] == "campaign.unit"]
+        assert len(units) == 3
+        assert run["trace_id"] == trace.trace_id
+        assert run["parent_id"] == trace.span_id
+        assert all(u["parent_id"] == run["span_id"] for u in units)
+        assert all(u["trace_id"] == trace.trace_id for u in units)
+        assert {u["kind"] for u in units} == {"model"}
+        assert all(u["dur_ns"] >= 0 and "key" in u for u in units)
+        assert run["units"] == 3 and run["computed"] == 3
+
+    def test_lifecycle_events_carry_the_trace_id(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        trace = TraceContext.root()
+        run_campaign(_GRID.expand(), events=path, trace=trace)
+        events = read_events(path)
+        start = next(e for e in events if e["type"] == "campaign_start")
+        end = next(e for e in events if e["type"] == "campaign_end")
+        assert start["trace_id"] == trace.trace_id
+        assert end["trace_id"] == trace.trace_id
+
+    def test_no_trace_means_no_spans(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        run_campaign(_GRID.expand(), events=path)
+        assert _spans(path) == []
+        events = read_events(path)
+        assert "trace_id" not in events[0]
+
+    def test_trace_without_events_is_a_noop(self, tmp_path):
+        result = run_campaign(_GRID.expand(), trace=TraceContext.root())
+        assert result.computed == 3

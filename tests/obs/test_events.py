@@ -76,6 +76,70 @@ class TestEventSink:
         assert len(seen) == n * per
 
 
+class TestRotation:
+    def test_rotates_generations_and_keeps_at_most_three(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventSink(path, max_bytes=256) as sink:
+            for i in range(200):
+                sink.emit("tick", i=i, pad="x" * 32)
+        one = path.with_name(path.name + ".1")
+        two = path.with_name(path.name + ".2")
+        assert one.exists() and two.exists()
+        assert not path.with_name(path.name + ".3").exists()
+        for p in (path, one, two):
+            assert p.stat().st_size <= 256 + 128  # one event of slack
+
+    def test_no_event_line_is_split_across_files(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventSink(path, max_bytes=200) as sink:
+            for i in range(60):
+                sink.emit("tick", i=i)
+        generations = [path.with_name(path.name + ".1"), path]
+        seen = []
+        for p in generations:
+            seen.extend(e["i"] for e in read_events(p))  # raises on torn JSON
+        # The newest generations hold a contiguous, ordered tail.
+        assert seen == sorted(seen)
+        assert seen[-1] == 59
+
+    def test_concurrent_emitters_with_rotation_drop_nothing_newer(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = EventSink(path, max_bytes=4096)
+        n, per = 4, 100
+
+        def emit(worker: int) -> None:
+            for i in range(per):
+                sink.emit("tick", worker=worker, i=i, pad="y" * 48)
+
+        threads = [threading.Thread(target=emit, args=(w,)) for w in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        sink.close()
+        events = []
+        for suffix in ("", ".1", ".2"):
+            p = path.with_name(path.name + suffix)
+            if p.exists():
+                events.extend(read_events(p))
+        # At most three generations survive, every surviving line parses,
+        # and no (worker, i) pair appears twice.
+        pairs = [(e["worker"], e["i"]) for e in events]
+        assert len(pairs) == len(set(pairs))
+
+    def test_rotation_off_by_default(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventSink(path) as sink:
+            for i in range(500):
+                sink.emit("tick", i=i, pad="z" * 64)
+        assert not path.with_name(path.name + ".1").exists()
+        assert len(read_events(path)) == 500
+
+    def test_rejects_bad_max_bytes(self, tmp_path):
+        with pytest.raises(ValueError):
+            EventSink(tmp_path / "events.jsonl", max_bytes=0)
+
+
 class TestHeartbeat:
     def test_emits_until_stopped(self, tmp_path):
         path = tmp_path / "hb.jsonl"

@@ -1,0 +1,214 @@
+"""Probe post-processing: timeseries schema, MSER warmup checks, rendering."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    adequacy_probe_interval,
+    build_timeseries,
+    default_probe_interval,
+    mser_truncation,
+    series_rows,
+    sparkline,
+    warmup_adequacy,
+)
+
+
+class TestProbeInterval:
+    def test_targets_about_256_samples(self):
+        assert default_probe_interval(25_600) == 100
+        assert default_probe_interval(256) == 1
+
+    def test_short_runs_clamp_to_one(self):
+        assert default_probe_interval(10) == 1
+
+    def test_rejects_empty_run(self):
+        with pytest.raises(ValueError):
+            default_probe_interval(0)
+
+    def test_adequacy_stride_is_finer(self):
+        total = 20_000
+        assert adequacy_probe_interval(total) < default_probe_interval(total)
+        assert adequacy_probe_interval(total) == total // 1024
+
+
+class TestBuildTimeseries:
+    def _data(self, n=4, reps=2, vcs=3):
+        # (n, R, 3 + V + 1) int64: in_flight, completed, backlog, hist.
+        data = np.zeros((n, reps, 3 + vcs + 1), dtype=np.int64)
+        for i in range(n):
+            for r in range(reps):
+                data[i, r, 0] = i + r  # in flight
+                data[i, r, 1] = 10 * i  # completed (cumulative)
+                data[i, r, 2] = r  # backlog
+                data[i, r, 3] = 5  # hist bin 0
+        return data
+
+    def test_schema_and_aggregation(self):
+        data = self._data()
+        cycles = np.arange(0, 40, 10, dtype=np.int64)
+        ts = build_timeseries(data, cycles, interval=10, num_vcs=3)
+        assert ts["interval"] == 10 and ts["replications"] == 2
+        assert ts["total_vcs"] == 3
+        assert ts["cycles"] == [0, 10, 20, 30]
+        # Replications sum: in_flight[i] = (i) + (i + 1).
+        assert ts["in_flight"] == [1, 3, 5, 7]
+        assert ts["completed"] == [0, 20, 40, 60]
+        assert ts["backlog"] == [1, 1, 1, 1]
+        assert all(len(row) == 4 for row in ts["occupancy"])
+        assert ts["occupancy"][0][0] == 10
+
+    def test_throughput_is_completed_delta_per_cycle(self):
+        data = self._data()
+        cycles = np.arange(0, 40, 10, dtype=np.int64)
+        ts = build_timeseries(data, cycles, interval=10, num_vcs=3)
+        assert ts["throughput"] == [0.0, 2.0, 2.0, 2.0]
+
+    def test_strict_json_safe(self):
+        data = self._data()
+        cycles = np.arange(0, 40, 10, dtype=np.int64)
+        ts = build_timeseries(data, cycles, interval=10, num_vcs=3)
+        parsed = json.loads(json.dumps(ts, allow_nan=False))
+        assert parsed["in_flight"] == ts["in_flight"]
+
+    def test_empty_ring(self):
+        data = np.zeros((0, 0, 7), dtype=np.int64)
+        ts = build_timeseries(data, np.zeros(0, dtype=np.int64), interval=5, num_vcs=3)
+        assert ts["cycles"] == [] and ts["in_flight"] == []
+        assert ts["replications"] == 0
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            build_timeseries(
+                self._data(), np.arange(4, dtype=np.int64), interval=0, num_vcs=3
+            )
+
+
+class TestMserTruncation:
+    def test_stationary_series_truncates_at_zero(self):
+        rng = np.random.default_rng(0)
+        x = 100 + rng.normal(0, 1, 400)
+        assert mser_truncation(x) == 0
+
+    def test_ramp_then_steady_truncates_past_the_ramp(self):
+        rng = np.random.default_rng(1)
+        ramp = np.linspace(0, 100, 80)
+        steady = 100 + rng.normal(0, 1, 320)
+        d = mser_truncation(np.concatenate([ramp, steady]))
+        assert 40 <= d <= 120  # lands near the knee, batch-quantized
+
+    def test_short_series_returns_zero(self):
+        assert mser_truncation([1.0, 2.0, 3.0]) == 0
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            mser_truncation([1.0] * 20, batch=0)
+
+
+def _synthetic_series(ramp_cycles=600, total=6_000, stride=10, level=200.0, seed=3):
+    """A ramp-up transient then noisy steady state, probe-style."""
+    rng = np.random.default_rng(seed)
+    cycles = np.arange(0, total, stride)
+    steady = level + rng.normal(0, 3.0, cycles.size)
+    if ramp_cycles:
+        ramp = cycles < ramp_cycles
+        steady[ramp] = level * cycles[ramp] / ramp_cycles
+    values = steady
+    return {"cycles": cycles.tolist(), "in_flight": values.tolist()}
+
+
+class TestWarmupAdequacy:
+    def test_short_warmup_flagged(self):
+        ts = _synthetic_series()
+        report = warmup_adequacy(ts, 100)
+        assert not report["adequate"]
+        assert report["truncation_cycle"] > 100
+        assert report["post_warmup_effect"] > 2.0
+        assert report["series"] == "in_flight"
+
+    def test_generous_warmup_passes(self):
+        ts = _synthetic_series()
+        report = warmup_adequacy(ts, 1_500)
+        assert report["adequate"]
+
+    def test_stationary_series_passes_any_warmup(self):
+        ts = _synthetic_series(ramp_cycles=0)
+        report = warmup_adequacy(ts, 10)
+        assert report["adequate"]
+
+    def test_measure_end_hides_the_drain_rampdown(self):
+        ts = _synthetic_series(total=6_000)
+        # Graft a drain-like decay after cycle 6000; without measure_end
+        # the tail would register as structure.
+        decay = np.linspace(200, 0, 100)
+        ts["cycles"] += list(range(6_000, 7_000, 10))
+        ts["in_flight"] += decay.tolist()
+        report = warmup_adequacy(ts, 1_500, measure_end=6_000)
+        assert report["adequate"]
+        assert report["samples"] == 600
+
+    def test_tiny_series_trivially_passes(self):
+        ts = {"cycles": list(range(0, 200, 10)), "in_flight": list(range(20))}
+        assert warmup_adequacy(ts, 10)["adequate"]
+
+    def test_report_is_json_safe(self):
+        report = warmup_adequacy(_synthetic_series(), 100)
+        json.dumps(report, allow_nan=False)
+
+
+class TestSparkline:
+    def test_monotone_series_uses_full_glyph_range(self):
+        line = sparkline(range(8), width=8)
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(line) == 8
+
+    def test_long_series_pools_to_width(self):
+        assert len(sparkline(range(1000), width=40)) == 40
+
+    def test_constant_series_is_flat_not_missing(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+    def test_nan_values_dropped(self):
+        assert len(sparkline([1.0, math.nan, 2.0])) == 2
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)
+
+
+class TestSeriesRows:
+    def _ts(self, n=10):
+        return {
+            "cycles": list(range(0, n * 5, 5)),
+            "in_flight": list(range(n)),
+            "throughput": [0.5] * n,
+            "backlog": [0] * n,
+            "occupancy": [[3, 1, 0]] * n,
+        }
+
+    def test_one_row_per_sample(self):
+        rows = series_rows(self._ts())
+        assert len(rows) == 10
+        assert rows[0] == {
+            "cycle": 0,
+            "in_flight": 0,
+            "throughput": 0.5,
+            "backlog": 0,
+            "max_busy_vcs": 1,
+        }
+
+    def test_thinning_keeps_last_row(self):
+        rows = series_rows(self._ts(), every=4)
+        assert [r["cycle"] for r in rows] == [0, 20, 40, 45]
+
+    def test_rejects_bad_every(self):
+        with pytest.raises(ValueError):
+            series_rows(self._ts(), every=0)

@@ -1,0 +1,147 @@
+"""TraceContext propagation, span emission, Chrome trace export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    EventSink,
+    TraceContext,
+    emit_span,
+    export_chrome_trace,
+    read_events,
+    span_timer,
+    span_tree,
+)
+
+
+class TestTraceContext:
+    def test_root_mints_fresh_ids(self):
+        a, b = TraceContext.root(), TraceContext.root()
+        assert a.trace_id != b.trace_id
+        assert a.parent_id is None
+        assert len(a.trace_id) == 32 and len(a.span_id) == 16
+
+    def test_root_adopts_caller_trace_id(self):
+        ctx = TraceContext.root("cafe" * 8)
+        assert ctx.trace_id == "cafe" * 8
+        assert ctx.parent_id is None
+
+    def test_empty_header_means_fresh_trace(self):
+        assert TraceContext.root("").trace_id != ""
+
+    def test_child_links_to_parent(self):
+        root = TraceContext.root()
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+        grand = child.child()
+        assert grand.parent_id == child.span_id
+
+    def test_as_fields(self):
+        root = TraceContext.root()
+        fields = root.as_fields()
+        assert fields == {
+            "trace_id": root.trace_id,
+            "span_id": root.span_id,
+            "parent_id": None,
+        }
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            TraceContext.root().trace_id = "x"
+
+
+class TestSpanEmission:
+    def test_emit_span_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        ctx = TraceContext.root()
+        with EventSink(path) as sink:
+            emit_span(sink, "unit.run", ctx, 1_000, 250, key="abc")
+        (event,) = read_events(path)
+        assert event["type"] == "span" and event["name"] == "unit.run"
+        assert event["t0_ns"] == 1_000 and event["dur_ns"] == 250
+        assert event["trace_id"] == ctx.trace_id
+        assert event["span_id"] == ctx.span_id
+        assert event["parent_id"] is None
+        assert event["key"] == "abc"
+
+    def test_span_timer_times_the_block(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventSink(path) as sink:
+            with span_timer(sink, "work", TraceContext.root(), rate=0.01) as timer:
+                timer.set(tier="warm")
+        (event,) = read_events(path)
+        assert event["dur_ns"] >= 0
+        assert event["rate"] == 0.01 and event["tier"] == "warm"
+        assert "error" not in event
+
+    def test_span_timer_emits_on_exception(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventSink(path) as sink:
+            with pytest.raises(RuntimeError):
+                with span_timer(sink, "work", TraceContext.root()):
+                    raise RuntimeError("boom")
+        (event,) = read_events(path)
+        assert event["name"] == "work"
+        assert event["error"] == "RuntimeError"
+
+
+class TestSpanTree:
+    def test_groups_by_parent_in_time_order(self):
+        root = TraceContext.root()
+        a, b = root.child(), root.child()
+        events = [
+            {"type": "span", "name": "late", "t0_ns": 30, **b.as_fields()},
+            {"type": "span", "name": "root", "t0_ns": 0, **root.as_fields()},
+            {"type": "span", "name": "early", "t0_ns": 10, **a.as_fields()},
+            {"type": "unit_finished", "key": "noise"},
+        ]
+        tree = span_tree(events)
+        assert [s["name"] for s in tree[None]] == ["root"]
+        assert [s["name"] for s in tree[root.span_id]] == ["early", "late"]
+
+
+class TestChromeExport:
+    def _write_spans(self, path):
+        t1, t2 = TraceContext.root(), TraceContext.root()
+        with EventSink(path) as sink:
+            emit_span(sink, "q1", t1, 1_000, 5_000, tier="warm")
+            emit_span(sink, "q1.refine", t1.child(), 2_000, 1_000)
+            emit_span(sink, "q2", t2, 8_000, 2_000)
+        return t1, t2
+
+    def test_complete_events_in_microseconds(self, tmp_path):
+        events = tmp_path / "events.jsonl"
+        self._write_spans(events)
+        doc = export_chrome_trace(events)
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) == 3
+        first = doc["traceEvents"][0]
+        assert first["ph"] == "X" and first["cat"] == "starnet"
+        assert first["ts"] == 1.0 and first["dur"] == 5.0
+        assert first["args"]["tier"] == "warm"
+
+    def test_one_tid_lane_per_trace(self, tmp_path):
+        events = tmp_path / "events.jsonl"
+        self._write_spans(events)
+        doc = export_chrome_trace(events)
+        tids = [e["tid"] for e in doc["traceEvents"]]
+        assert tids == [1, 1, 2]
+
+    def test_trace_id_filter(self, tmp_path):
+        events = tmp_path / "events.jsonl"
+        t1, _ = self._write_spans(events)
+        doc = export_chrome_trace(events, trace_id=t1.trace_id)
+        assert [e["name"] for e in doc["traceEvents"]] == ["q1", "q1.refine"]
+
+    def test_writes_loadable_json(self, tmp_path):
+        events = tmp_path / "events.jsonl"
+        self._write_spans(events)
+        out = tmp_path / "nested" / "out.trace.json"
+        export_chrome_trace(events, out_path=out)
+        doc = json.loads(out.read_text())
+        assert {e["name"] for e in doc["traceEvents"]} == {"q1", "q1.refine", "q2"}

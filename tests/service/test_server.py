@@ -157,6 +157,78 @@ class TestCounterThreadSafety:
             server.close()
 
 
+class TestMetricsUnderStorm:
+    def test_concurrent_scrapes_during_query_traffic(self, tmp_path):
+        """ISSUE satellite: ``/metrics`` stays a valid exposition document
+        while query traffic races it, and ``starnet_queries_total`` never
+        under-reports the answers already sent."""
+        import concurrent.futures
+
+        store_dir = tmp_path / "store"
+        scenario = Scenario(order=4, message_length=16, total_vcs=5, quality="smoke")
+        rates = scenario.rate_ladder((0.2, 0.4, 0.6))
+        scenario.sweep({"rate": rates}, store=str(store_dir))
+        engine = QueryEngine(store_dir, refine=False)
+        server = ServiceServer(engine, port=0).start()
+        try:
+            per_worker, workers = 20, 6
+            payload = json.dumps(
+                Query(scenario=scenario, rate=rates[1]).to_dict()
+            ).encode()
+
+            def hammer(_: int) -> int:
+                ok = 0
+                for _ in range(per_worker):
+                    request = urllib.request.Request(
+                        server.url + "/query", data=payload, method="POST"
+                    )
+                    with urllib.request.urlopen(request, timeout=30) as response:
+                        ok += response.status == 200
+                return ok
+
+            def scrape(_: int) -> list[str]:
+                texts = []
+                for _ in range(per_worker):
+                    with urllib.request.urlopen(
+                        server.url + "/metrics", timeout=30
+                    ) as response:
+                        assert response.status == 200
+                        texts.append(response.read().decode())
+                return texts
+
+            with concurrent.futures.ThreadPoolExecutor(workers + 2) as pool:
+                scrapes = [pool.submit(scrape, i) for i in range(2)]
+                answered = sum(pool.map(hammer, range(workers)))
+                mid_storm = [t for f in scrapes for t in f.result()]
+            assert answered == workers * per_worker
+
+            def warm_total(text: str) -> int:
+                for line in text.splitlines():
+                    if line.startswith('starnet_queries_total{tier="warm"}'):
+                        return int(float(line.split()[-1]))
+                return 0
+
+            # Every mid-storm scrape is a well-formed document: each
+            # family typed, counter lines parse, trailing newline intact.
+            seen = []
+            for text in mid_storm:
+                assert "# TYPE starnet_queries_total counter" in text
+                assert text.endswith("\n")
+                for line in text.splitlines():
+                    if not line or line.startswith("#"):
+                        continue
+                    float(line.split()[-1])  # value column always parses
+                seen.append(warm_total(text))
+            # Scrape order is preserved per worker, so counts only grow.
+            assert all(b >= a for a, b in zip(seen[:10], seen[1:11]))
+            # After the storm, the counter accounts for every answer.
+            with urllib.request.urlopen(server.url + "/metrics", timeout=30) as resp:
+                final = warm_total(resp.read().decode())
+            assert final == workers * per_worker
+        finally:
+            server.close()
+
+
 class TestWireFormat:
     def test_response_echoes_schema_version_header(self, service):
         client, server, scenario, rates = service

@@ -1,0 +1,176 @@
+"""Cross-layer trace propagation: service query -> refinement -> campaign.
+
+The acceptance contract: one ``POST /query`` that triggers refinement
+produces a *connected* trace in the ``--trace-events`` file — the
+``service.query`` span is an ancestor of the ``refine.unit`` span, the
+client's ``X-Trace-Id`` is adopted and echoed, and ``starnet trace
+export`` renders the whole thing as loadable Chrome trace JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.api.scenario import Scenario
+from repro.obs import export_chrome_trace, read_events, span_tree
+from repro.service import Query, QueryEngine, ServiceServer
+
+
+def _spans(path):
+    return [e for e in read_events(path) if e.get("type") == "span"]
+
+
+def _ancestor(spans, child, root):
+    """True when ``root`` is reachable from ``child`` via parent links."""
+    by_id = {s["span_id"]: s for s in spans}
+    cur = child
+    while cur.get("parent_id"):
+        cur = by_id.get(cur["parent_id"])
+        if cur is None:
+            return False
+        if cur["span_id"] == root["span_id"]:
+            return True
+    return False
+
+
+class TestEngineTraces:
+    def test_untraced_engine_emits_nothing(self, tmp_path):
+        engine = QueryEngine(tmp_path / "store")
+        engine.answer(Query(scenario=Scenario(quality="smoke"), rate=0.002))
+        assert engine.trace_sink is None
+
+    def test_warm_query_emits_one_span(self, tmp_path):
+        events = tmp_path / "trace.jsonl"
+        scenario = Scenario(order=4, message_length=16, total_vcs=5, quality="smoke")
+        store = tmp_path / "store"
+        rates = scenario.rate_ladder((0.3, 0.4))
+        scenario.sweep({"rate": rates}, store=str(store))
+        engine = QueryEngine(store, trace_events=events)
+        engine.answer(Query(scenario=scenario, rate=rates[0]))
+        engine.close()
+        (span,) = _spans(events)
+        assert span["name"] == "service.query"
+        assert span["parent_id"] is None
+        assert span["tier"] == "warm"
+        assert span["rate"] == rates[0]
+        assert span["dur_ns"] > 0
+
+    def test_cold_query_refinement_is_a_connected_trace(self, tmp_path):
+        events = tmp_path / "trace.jsonl"
+        scenario = Scenario(order=4, message_length=16, quality="smoke", seed=3)
+        engine = QueryEngine(tmp_path / "store", trace_events=events)
+        engine.answer(Query(scenario=scenario, rate=0.003))
+        assert engine.pending_refinements == 1
+        assert engine.refine() == 1
+        engine.close()
+        spans = _spans(events)
+        names = {s["name"] for s in spans}
+        assert {"service.query", "refine.unit"} <= names
+        query = next(s for s in spans if s["name"] == "service.query")
+        unit = next(s for s in spans if s["name"] == "refine.unit")
+        assert unit["trace_id"] == query["trace_id"]
+        assert _ancestor(spans, unit, query)
+        assert unit["kind"] == "sim"
+        assert "key" in unit
+
+    def test_first_enqueuer_owns_the_unit_trace(self, tmp_path):
+        events = tmp_path / "trace.jsonl"
+        scenario = Scenario(order=4, message_length=16, quality="smoke", seed=5)
+        engine = QueryEngine(tmp_path / "store", trace_events=events)
+        engine.answer(Query(scenario=scenario, rate=0.003))
+        engine.answer(Query(scenario=scenario, rate=0.003))  # dedupes
+        assert engine.pending_refinements == 1
+        engine.refine()
+        engine.close()
+        spans = _spans(events)
+        queries = [s for s in spans if s["name"] == "service.query"]
+        (unit,) = [s for s in spans if s["name"] == "refine.unit"]
+        assert len(queries) == 2
+        assert unit["trace_id"] == queries[0]["trace_id"]
+
+    def test_borrowed_sink_is_not_closed(self, tmp_path):
+        from repro.obs import EventSink
+
+        sink = EventSink(tmp_path / "trace.jsonl")
+        engine = QueryEngine(tmp_path / "store", trace_events=sink)
+        engine.close()
+        sink.emit("still_open")  # would be a no-op if close() had propagated
+        sink.close()
+        assert [e["type"] for e in read_events(sink.path)] == ["still_open"]
+
+
+class TestServerTraceHeaders:
+    @pytest.fixture()
+    def traced_server(self, tmp_path):
+        events = tmp_path / "trace.jsonl"
+        scenario = Scenario(order=4, message_length=16, total_vcs=5, quality="smoke")
+        store = tmp_path / "store"
+        rates = scenario.rate_ladder((0.3, 0.4))
+        scenario.sweep({"rate": rates}, store=str(store))
+        engine = QueryEngine(store, trace_events=events)
+        server = ServiceServer(engine, port=0).start()
+        try:
+            yield server, events, scenario, rates
+        finally:
+            server.close()
+            engine.close()
+
+    def _post(self, url, payload, headers=None):
+        req = urllib.request.Request(
+            url,
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json", **(headers or {})},
+        )
+        with urllib.request.urlopen(req) as resp:
+            return resp.headers, resp.read()
+
+    def test_query_response_names_its_trace(self, traced_server):
+        server, events, scenario, rates = traced_server
+        payload = {"scenario": scenario.to_params(), "rate": rates[0]}
+        headers, _ = self._post(server.url + "/query", payload)
+        trace_id = headers["X-Trace-Id"]
+        assert trace_id
+        server.close()
+        assert any(s["trace_id"] == trace_id for s in _spans(events))
+
+    def test_caller_trace_id_is_adopted(self, traced_server):
+        server, events, scenario, rates = traced_server
+        caller_id = "deadbeef" * 4
+        payload = {"scenario": scenario.to_params(), "rate": rates[0]}
+        headers, _ = self._post(
+            server.url + "/query", payload, {"X-Trace-Id": caller_id}
+        )
+        assert headers["X-Trace-Id"] == caller_id
+        server.close()
+        spans = [s for s in _spans(events) if s["trace_id"] == caller_id]
+        assert spans and spans[0]["name"] == "service.query"
+
+    def test_batch_shares_one_trace_id_across_root_spans(self, traced_server):
+        server, events, scenario, rates = traced_server
+        payload = {
+            "queries": [
+                {"scenario": scenario.to_params(), "rate": r} for r in rates
+            ]
+        }
+        headers, _ = self._post(server.url + "/batch", payload)
+        trace_id = headers["X-Trace-Id"]
+        server.close()
+        spans = [s for s in _spans(events) if s["trace_id"] == trace_id]
+        assert len(spans) == len(rates)
+        assert all(s["parent_id"] is None for s in spans)
+
+    def test_export_round_trip(self, traced_server, tmp_path):
+        server, events, scenario, rates = traced_server
+        payload = {"scenario": scenario.to_params(), "rate": rates[0]}
+        self._post(server.url + "/query", payload)
+        server.close()
+        out = tmp_path / "chrome.trace.json"
+        doc = export_chrome_trace(events, out_path=out)
+        loaded = json.loads(out.read_text())
+        assert loaded == doc
+        assert loaded["traceEvents"][0]["ph"] == "X"
+        tree = span_tree(read_events(events))
+        assert tree[None]  # at least one root span
